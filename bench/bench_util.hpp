@@ -1,0 +1,111 @@
+// Shared plumbing for the figure-reproduction harnesses: environment
+// overrides, timed multi-threaded op loops, and paper-style table printing.
+//
+// Every bench binary honours:
+//   DARRAY_BENCH_NODES    max node count for inter-node sweeps (default 4)
+//   DARRAY_BENCH_THREADS  max threads/node for intra-node sweeps (default 4)
+//   DARRAY_BENCH_ELEMS    array elements per node (default 16384)
+//   DARRAY_BENCH_SCALE    R-MAT scale for graph benches (default 12)
+//   DARRAY_BENCH_LAT_NS   simulated one-way fabric latency (default 1000)
+#pragma once
+
+#include <cstdio>
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/histogram.hpp"
+#include "core/context.hpp"
+#include "runtime/cluster.hpp"
+
+namespace darray::bench {
+
+inline uint64_t env_u64(const char* name, uint64_t def) {
+  const char* e = std::getenv(name);
+  return e ? std::strtoull(e, nullptr, 10) : def;
+}
+
+inline uint32_t max_nodes() { return static_cast<uint32_t>(env_u64("DARRAY_BENCH_NODES", 4)); }
+inline uint32_t max_threads() {
+  return static_cast<uint32_t>(env_u64("DARRAY_BENCH_THREADS", 4));
+}
+inline uint64_t elems_per_node() { return env_u64("DARRAY_BENCH_ELEMS", 16384); }
+inline uint32_t graph_scale() { return static_cast<uint32_t>(env_u64("DARRAY_BENCH_SCALE", 12)); }
+
+inline rt::ClusterConfig bench_cfg(uint32_t nodes) {
+  rt::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.fabric_latency_ns = env_u64("DARRAY_BENCH_LAT_NS", 1000);  // ~2 µs RTT, as the paper
+  cfg.cachelines_per_region = 512;
+  return cfg;
+}
+
+// Runs `op(node, thread, i)` ops_per_thread times on every thread and returns
+// aggregate millions of ops per second. Workers self-timestamp around their
+// loop (span = max(end) - min(start)): a separate timer thread would park on
+// the start barrier and, on an oversubscribed host, only wake after the
+// workers already finished.
+inline double measure_mops(rt::Cluster& cluster, uint32_t threads_per_node,
+                           uint64_t ops_per_thread,
+                           const std::function<void(rt::NodeId, uint32_t, uint64_t)>& op) {
+  const uint32_t total = cluster.num_nodes() * threads_per_node;
+  SenseBarrier barrier(total);
+  std::vector<uint64_t> starts(total), ends(total);
+  std::vector<std::thread> ts;
+  uint32_t slot = 0;
+  for (rt::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    for (uint32_t t = 0; t < threads_per_node; ++t, ++slot) {
+      ts.emplace_back([&, n, t, slot] {
+        bind_thread(cluster, n);
+        barrier.arrive_and_wait();
+        starts[slot] = now_ns();
+        for (uint64_t i = 0; i < ops_per_thread; ++i) op(n, t, i);
+        ends[slot] = now_ns();
+      });
+    }
+  }
+  for (auto& t : ts) t.join();
+  const uint64_t t0 = *std::min_element(starts.begin(), starts.end());
+  const uint64_t t1 = *std::max_element(ends.begin(), ends.end());
+  const double ops = static_cast<double>(total) * static_cast<double>(ops_per_thread);
+  return ops / (static_cast<double>(t1 - t0) / 1e9) / 1e6;
+}
+
+// Average per-op latency in nanoseconds for a single-threaded-per-node loop.
+inline double measure_avg_ns(rt::Cluster& cluster, uint64_t ops_per_thread,
+                             const std::function<void(rt::NodeId, uint64_t)>& op) {
+  const double mops = measure_mops(cluster, 1, ops_per_thread,
+                                   [&](rt::NodeId n, uint32_t, uint64_t i) { op(n, i); });
+  // total ops/s across nodes → per-node op rate → ns per op on one thread
+  return 1e3 / (mops / static_cast<double>(cluster.num_nodes()));
+}
+
+// --- table printing ----------------------------------------------------------
+
+inline void print_header(const std::string& title, const std::vector<std::string>& cols) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-12s", cols[0].c_str());
+  for (size_t i = 1; i < cols.size(); ++i) std::printf("%14s", cols[i].c_str());
+  std::printf("\n");
+}
+
+inline void print_row(uint64_t x, const std::vector<double>& vals, const char* fmt = "%14.2f") {
+  std::printf("%-12llu", static_cast<unsigned long long>(x));
+  for (double v : vals) std::printf(fmt, v);
+  std::printf("\n");
+  std::fflush(stdout);  // long sweeps: show each point as it lands
+}
+
+// The paper's scalability ratio: speedup at the largest point divided by the
+// resource factor, i.e. (T_max / T_1) / (x_max / x_1).
+inline double scalability_ratio(const std::vector<uint64_t>& xs,
+                                const std::vector<double>& ys) {
+  if (xs.size() < 2 || ys.front() <= 0) return 0;
+  return (ys.back() / ys.front()) / (static_cast<double>(xs.back()) / static_cast<double>(xs.front()));
+}
+
+}  // namespace darray::bench

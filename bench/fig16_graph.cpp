@@ -1,0 +1,93 @@
+// Figure 16: running time of PageRank and Connected Components on an R-MAT
+// graph, for DArray, DArray-Pin, GAM, and Gemini.
+//
+// Paper setup: rMat24 (2^24 vertices, 2^26 edges), all cores per node. The
+// simulation defaults to DARRAY_BENCH_SCALE=10 so the whole suite runs on one
+// core; set DARRAY_BENCH_SCALE=24 to reproduce the paper-sized run.
+//
+// Paper shape: GAM is 2–3 orders of magnitude slower than DArray (per-edge
+// exclusive atomics vs combined Operate); Gemini wins on one node but
+// DArray-Pin overtakes it as nodes grow.
+#include "bench/bench_util.hpp"
+#include "graph/cc.hpp"
+#include "graph/pagerank.hpp"
+#include "graph/rmat.hpp"
+
+using namespace darray;
+using namespace darray::bench;
+using namespace darray::graph;
+
+namespace {
+
+template <typename Fn>
+double time_s(Fn&& fn) {
+  const uint64_t t0 = now_ns();
+  fn();
+  return static_cast<double>(now_ns() - t0) / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t nodes = std::min<uint32_t>(3, max_nodes());
+  const uint32_t scale = graph_scale();
+  const bool run_gam = env_u64("DARRAY_BENCH_SKIP_GAM", 0) == 0;
+
+  RmatParams params;
+  params.scale = scale;
+  params.edge_factor = 4;
+  const auto edges = rmat_edges(params);
+  Csr g = Csr::from_edges(uint64_t{1} << scale, edges);
+  Csr g_sym = Csr::symmetric_from_edges(uint64_t{1} << scale, edges);
+
+  GraphRunOptions opt;
+  opt.iterations = 5;
+  opt.threads_per_node = std::min<uint32_t>(2, max_threads());
+
+  std::printf("=== Figure 16: graph application running time (s) — rMat%u, %u nodes, "
+              "%u threads/node ===\n",
+              scale, nodes, opt.threads_per_node);
+  std::printf("graph: %llu vertices, %llu edges; PageRank = %d iterations\n",
+              static_cast<unsigned long long>(g.n_vertices()),
+              static_cast<unsigned long long>(g.n_edges()), opt.iterations);
+
+  auto run_engine = [&](const char* name, double pr, double cc) {
+    std::printf("%-12s%14.3f%14.3f\n", name, pr, cc);
+  };
+
+  std::printf("\n%-12s%14s%14s\n", "engine", "PageRank", "CC");
+  {
+    rt::Cluster cluster(bench_cfg(nodes));
+    GraphRunOptions o = opt;
+    const double pr = time_s([&] { pagerank_darray(cluster, g, o); });
+    const double cc = time_s([&] { cc_darray(cluster, g_sym, o); });
+    run_engine("DArray", pr, cc);
+  }
+  {
+    rt::Cluster cluster(bench_cfg(nodes));
+    GraphRunOptions o = opt;
+    o.use_pin = true;
+    const double pr = time_s([&] { pagerank_darray(cluster, g, o); });
+    const double cc = time_s([&] { cc_darray(cluster, g_sym, o); });
+    run_engine("DArray-Pin", pr, cc);
+  }
+  {
+    rt::Cluster cluster(bench_cfg(nodes));
+    const double pr = time_s([&] { pagerank_gemini(cluster, g, opt); });
+    const double cc = time_s([&] { cc_gemini(cluster, g_sym, opt); });
+    run_engine("Gemini", pr, cc);
+  }
+  if (run_gam) {
+    rt::Cluster cluster(bench_cfg(nodes));
+    const double pr = time_s([&] { pagerank_gam(cluster, g, opt); });
+    const double cc = time_s([&] { cc_gam(cluster, g_sym, opt); });
+    run_engine("GAM", pr, cc);
+  } else {
+    std::printf("%-12s%14s%14s  (DARRAY_BENCH_SKIP_GAM=1)\n", "GAM", "skipped", "skipped");
+  }
+
+  std::printf("\nexpected shape: GAM slower than DArray by orders of magnitude; "
+              "DArray-Pin ahead of plain DArray; Gemini competitive (it wins at 1 node, "
+              "DArray-Pin overtakes as nodes grow).\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 18 (limitations): average latency of uniformly RANDOM (a) Read
+// (b) Write (c) Operate as the node count grows — the poor-locality regime
+// where DArray's cache stops helping.
+//
+// Paper shape: on one node DArray ≈ BCL and beats GAM (lock-free path); as
+// nodes grow, BCL stays flat at the RDMA round trip while DArray/GAM climb
+// above it (coherence protocol + eviction overhead on cache-hostile access),
+// with random writes costlier than reads.
+#include "bench/bench_util.hpp"
+#include "baselines/bcl/bcl_array.hpp"
+#include "baselines/gam/gam_array.hpp"
+#include "common/rng.hpp"
+#include "core/darray.hpp"
+
+using namespace darray;
+using namespace darray::bench;
+
+namespace {
+
+void add_fn(uint64_t& a, uint64_t b) { a += b; }
+uint64_t add_fn_gam(uint64_t a, uint64_t b) { return a + b; }
+
+enum class Op { kRead, kWrite, kOperate };
+
+std::vector<std::vector<uint64_t>> random_streams(uint32_t nodes, uint64_t total,
+                                                  uint64_t ops) {
+  std::vector<std::vector<uint64_t>> idx(nodes);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    Xoshiro256 rng(77 + n);
+    idx[n].reserve(ops);
+    for (uint64_t i = 0; i < ops; ++i) idx[n].push_back(rng.next_below(total));
+  }
+  return idx;
+}
+
+double run(const std::string& sys, uint32_t nodes, Op op) {
+  rt::Cluster cluster(bench_cfg(nodes));
+  const uint64_t total = elems_per_node() * nodes;
+  const uint64_t ops = env_u64("DARRAY_BENCH_RAND_OPS", 3000);
+  const auto idx = random_streams(nodes, total, ops);
+
+  if (sys == "darray") {
+    auto arr = DArray<uint64_t>::create(cluster, total);
+    const uint16_t add = arr.register_op(&add_fn, 0);
+    return measure_avg_ns(cluster, ops, [&](rt::NodeId n, uint64_t i) {
+      const uint64_t k = idx[n][i];
+      switch (op) {
+        case Op::kRead: {
+          volatile uint64_t v = arr.get(k);
+          (void)v;
+          break;
+        }
+        case Op::kWrite: arr.set(k, i); break;
+        case Op::kOperate: arr.apply(k, add, 1); break;
+      }
+    });
+  }
+  if (sys == "gam") {
+    auto arr = gam::GamArray<uint64_t>::create(cluster, total);
+    return measure_avg_ns(cluster, ops, [&](rt::NodeId n, uint64_t i) {
+      const uint64_t k = idx[n][i];
+      switch (op) {
+        case Op::kRead: {
+          volatile uint64_t v = arr.get(k);
+          (void)v;
+          break;
+        }
+        case Op::kWrite: arr.set(k, i); break;
+        case Op::kOperate: arr.atomic_rmw(k, &add_fn_gam, 1); break;
+      }
+    });
+  }
+  auto arr = bcl::BclArray<uint64_t>::create(cluster, total);
+  return measure_avg_ns(cluster, ops, [&](rt::NodeId n, uint64_t i) {
+    const uint64_t k = idx[n][i];
+    if (op == Op::kRead) {
+      volatile uint64_t v = arr.get(k);
+      (void)v;
+    } else {
+      arr.set(k, i);
+    }
+  });
+}
+
+void panel(const char* title, Op op, const std::vector<uint64_t>& node_counts) {
+  const bool has_bcl = op != Op::kOperate;
+  print_header(title, has_bcl ? std::vector<std::string>{"nodes", "DArray", "GAM", "BCL"}
+                              : std::vector<std::string>{"nodes", "DArray", "GAM"});
+  for (uint64_t n : node_counts) {
+    std::vector<double> row{run("darray", static_cast<uint32_t>(n), op),
+                            run("gam", static_cast<uint32_t>(n), op)};
+    if (has_bcl) row.push_back(run("bcl", static_cast<uint32_t>(n), op));
+    print_row(n, row, "%14.0f");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::vector<uint64_t> node_counts;
+  for (uint64_t n = 1; n <= max_nodes(); ++n) node_counts.push_back(n);
+
+  std::printf("=== Figure 18: random access latency (ns/op, 1 thread/node) ===\n");
+  panel("(a) Read", Op::kRead, node_counts);
+  panel("(b) Write", Op::kWrite, node_counts);
+  panel("(c) Operate", Op::kOperate, node_counts);
+  std::printf("\nexpected shape: single-node DArray <= BCL < GAM; multi-node BCL stays "
+              "near the fabric round trip while DArray/GAM rise above it; writes cost "
+              "more than reads.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Google-benchmark microbenchmarks of the data access fast path (§4.1): the
+// per-op cost of DArray get/set/apply against a native array, the pinned
+// variant, and the GAM-style locked path — the "minimal overhead" claim
+// behind Fig. 1's single-machine bars (one atomic read + two atomic writes +
+// branches, and zero atomics under a pin).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/gam/gam_array.hpp"
+#include "core/darray.hpp"
+
+using namespace darray;
+
+namespace {
+
+// One shared single-node cluster for all fast-path benches (setup is heavy).
+struct Fixture {
+  rt::Cluster cluster;
+  DArray<uint64_t> arr;
+  gam::GamArray<uint64_t> gam_arr;
+  uint16_t add;
+
+  static rt::ClusterConfig cfg() {
+    rt::ClusterConfig c;
+    c.num_nodes = 1;
+    return c;
+  }
+
+  Fixture() : cluster(cfg()) {
+    arr = DArray<uint64_t>::create(cluster, 1 << 16);
+    gam_arr = gam::GamArray<uint64_t>::create(cluster, 1 << 16);
+    add = arr.register_op(+[](uint64_t& a, uint64_t v) { a += v; }, 0);
+    bind_thread(cluster, 0);
+  }
+
+  static Fixture& get() {
+    static Fixture f;
+    return f;
+  }
+};
+
+constexpr uint64_t kMask = (1 << 16) - 1;
+
+void BM_NativeArrayRead(benchmark::State& state) {
+  std::vector<uint64_t> v(1 << 16, 1);
+  uint64_t i = 0, sum = 0;
+  for (auto _ : state) {
+    sum += v[i++ & kMask];
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_NativeArrayRead);
+
+void BM_DArrayGet(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  bind_thread(f.cluster, 0);
+  uint64_t i = 0, sum = 0;
+  for (auto _ : state) {
+    sum += f.arr.get(i++ & kMask);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DArrayGet);
+
+void BM_DArrayGetPinned(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  bind_thread(f.cluster, 0);
+  f.arr.pin(0, PinMode::kRead);
+  const uint64_t chunk_mask = f.arr.meta().chunk_elems - 1;
+  uint64_t i = 0, sum = 0;
+  for (auto _ : state) {
+    sum += f.arr.get(i++ & chunk_mask);  // stays inside the pinned chunk
+    benchmark::DoNotOptimize(sum);
+  }
+  f.arr.unpin(0);
+}
+BENCHMARK(BM_DArrayGetPinned);
+
+void BM_GamGetLocked(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  bind_thread(f.cluster, 0);
+  uint64_t i = 0, sum = 0;
+  for (auto _ : state) {
+    sum += f.gam_arr.get(i++ & kMask);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_GamGetLocked);
+
+void BM_DArraySet(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  bind_thread(f.cluster, 0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    f.arr.set(i & kMask, i);
+    ++i;
+  }
+}
+BENCHMARK(BM_DArraySet);
+
+void BM_DArrayApplyLocal(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  bind_thread(f.cluster, 0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    f.arr.apply(i & kMask, f.add, 1);
+    ++i;
+  }
+}
+BENCHMARK(BM_DArrayApplyLocal);
+
+void BM_GamAtomicRmwLocal(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  bind_thread(f.cluster, 0);
+  uint64_t i = 0;
+  for (auto _ : state)
+    f.gam_arr.atomic_rmw(i++ & kMask, +[](uint64_t a, uint64_t v) { return a + v; }, 1);
+}
+BENCHMARK(BM_GamAtomicRmwLocal);
+
+void BM_DArrayWlockUnlock(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  bind_thread(f.cluster, 0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    f.arr.wlock(i & kMask);
+    f.arr.unlock(i & kMask);
+    ++i;
+  }
+}
+BENCHMARK(BM_DArrayWlockUnlock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// PageRank on an R-MAT graph with the DArray-backed graph engine (paper §5.1)
+// — the simplified Fig. 8 pattern, fleshed out: the single-machine engine's
+// shared arrays become DArrays and the scatter phase uses write_add.
+//
+//   build/examples/pagerank [scale] [nodes] [iterations]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/pagerank.hpp"
+#include "graph/reference.hpp"
+#include "graph/rmat.hpp"
+
+using namespace darray;
+using namespace darray::graph;
+
+int main(int argc, char** argv) {
+  const uint32_t scale = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 12;
+  const uint32_t nodes = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 3;
+  const int iters = argc > 3 ? std::atoi(argv[3]) : 10;
+
+  RmatParams params;
+  params.scale = scale;
+  Csr g = rmat_graph(params);
+  std::printf("rMat%u: %llu vertices, %llu edges\n", scale,
+              static_cast<unsigned long long>(g.n_vertices()),
+              static_cast<unsigned long long>(g.n_edges()));
+
+  rt::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  rt::Cluster cluster(cfg);
+
+  GraphRunOptions opt;
+  opt.iterations = iters;
+  opt.use_pin = true;  // the DArray-Pin variant of the paper
+
+  const uint64_t t0 = now_ns();
+  std::vector<double> ranks = pagerank_darray(cluster, g, opt);
+  const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+  std::printf("distributed PageRank: %d iterations on %u nodes in %.2fs\n", iters, nodes,
+              secs);
+
+  // Validate against the serial reference.
+  std::vector<double> ref = pagerank_reference(g, iters);
+  double max_err = 0;
+  for (uint64_t v = 0; v < g.n_vertices(); ++v)
+    max_err = std::max(max_err, std::abs(ranks[v] - ref[v]));
+  std::printf("max |rank - serial reference| = %.3g\n", max_err);
+
+  // Top-5 ranked vertices.
+  std::vector<uint32_t> order(g.n_vertices());
+  for (uint32_t i = 0; i < g.n_vertices(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](uint32_t a, uint32_t b) { return ranks[a] > ranks[b]; });
+  std::printf("top vertices by rank:\n");
+  for (int i = 0; i < 5; ++i)
+    std::printf("  v%-8u rank=%.3e out_degree=%llu\n", order[i], ranks[order[i]],
+                static_cast<unsigned long long>(g.out_degree(order[i])));
+  return max_err < 1e-9 ? 0 : 1;
+}

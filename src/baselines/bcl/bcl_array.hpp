@@ -1,0 +1,159 @@
+// BCL-like baseline (Brock et al., ICPP'19): a distributed array WITHOUT a
+// cache layer. Every remote access maps directly to a one-sided RMA operation
+// (READ for get, WRITE for set) and blocks for its completion, so remote
+// access latency equals the fabric round trip — the defining property the
+// paper measures (Fig. 1/12/13/18). Local accesses touch memory directly.
+//
+// Thread scaling is deliberately modest: like MPI RMA in the paper's BCL
+// runs, concurrent threads on one node serialise on the per-peer RMA channel.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/spinlock.hpp"
+#include "core/context.hpp"
+#include "rdma/fabric.hpp"
+#include "runtime/array_meta.hpp"
+#include "runtime/cluster.hpp"
+
+namespace darray::bcl {
+
+template <typename T>
+class BclArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  static BclArray create(rt::Cluster& cluster, uint64_t n) {
+    auto impl = std::make_shared<Impl>();
+    impl->cluster = &cluster;
+    impl->n_elems = n;
+    const uint32_t nodes = cluster.num_nodes();
+    impl->elem_begin.resize(nodes + 1);
+    for (uint32_t i = 0; i <= nodes; ++i) impl->elem_begin[i] = n * i / nodes;
+
+    impl->per_node.resize(nodes);
+    for (uint32_t i = 0; i < nodes; ++i) {
+      PerNode& pn = impl->per_node[i];
+      const uint64_t count = impl->elem_begin[i + 1] - impl->elem_begin[i];
+      pn.subarray = std::make_unique<std::byte[]>(std::max<uint64_t>(1, count * sizeof(T)));
+      std::memset(pn.subarray.get(), 0, std::max<uint64_t>(1, count * sizeof(T)));
+      pn.mr = cluster.node(i).device()->reg_mr(pn.subarray.get(),
+                                               std::max<uint64_t>(1, count * sizeof(T)));
+      pn.scratch = std::make_unique<std::byte[]>(kScratchBytes);
+      pn.scratch_mr = cluster.node(i).device()->reg_mr(pn.scratch.get(), kScratchBytes);
+      pn.qps.resize(nodes, nullptr);
+      pn.cq = std::make_unique<rdma::CompletionQueue>();
+    }
+    // Dedicated RMA mesh (BCL's "window"), separate from the DArray runtime's.
+    for (uint32_t a = 0; a < nodes; ++a) {
+      for (uint32_t b = a + 1; b < nodes; ++b) {
+        auto [qa, qb] = cluster.fabric().connect(
+            cluster.node(a).device(), impl->per_node[a].cq.get(), impl->per_node[a].cq.get(),
+            cluster.node(b).device(), impl->per_node[b].cq.get(), impl->per_node[b].cq.get());
+        impl->per_node[a].qps[b] = qa;
+        impl->per_node[b].qps[a] = qb;
+      }
+    }
+    BclArray arr;
+    arr.impl_ = std::move(impl);
+    return arr;
+  }
+
+  uint64_t size() const { return impl_->n_elems; }
+  uint64_t local_begin(rt::NodeId n) const { return impl_->elem_begin[n]; }
+  uint64_t local_end(rt::NodeId n) const { return impl_->elem_begin[n + 1]; }
+
+  T get(uint64_t index) const {
+    const rt::NodeId me = this_thread_ctx().node;
+    const rt::NodeId owner = owner_of(index);
+    if (owner == me) {
+      T v;
+      std::memcpy(&v, local_ptr(owner, index), sizeof(T));
+      return v;
+    }
+    // One RDMA READ per remote access — no cache, full round trip.
+    PerNode& pn = impl_->per_node[me];
+    std::scoped_lock lk(pn.rma_mu);  // MPI-RMA-style serialisation
+    rdma::SendWr wr;
+    wr.opcode = rdma::Opcode::kRead;
+    wr.sge = {pn.scratch.get(), sizeof(T), pn.scratch_mr.lkey};
+    wr.remote_addr = remote_addr(owner, index);
+    wr.rkey = impl_->per_node[owner].mr.rkey;
+    post_and_wait(pn, owner, wr);
+    T v;
+    std::memcpy(&v, pn.scratch.get(), sizeof(T));
+    return v;
+  }
+
+  void set(uint64_t index, T value) const {
+    const rt::NodeId me = this_thread_ctx().node;
+    const rt::NodeId owner = owner_of(index);
+    if (owner == me) {
+      std::memcpy(local_ptr(owner, index), &value, sizeof(T));
+      return;
+    }
+    PerNode& pn = impl_->per_node[me];
+    std::scoped_lock lk(pn.rma_mu);
+    std::memcpy(pn.scratch.get(), &value, sizeof(T));
+    rdma::SendWr wr;
+    wr.opcode = rdma::Opcode::kWrite;
+    wr.sge = {pn.scratch.get(), sizeof(T), pn.scratch_mr.lkey};
+    wr.remote_addr = remote_addr(owner, index);
+    wr.rkey = impl_->per_node[owner].mr.rkey;
+    post_and_wait(pn, owner, wr);
+  }
+
+ private:
+  static constexpr size_t kScratchBytes = 4096;
+
+  struct PerNode {
+    std::unique_ptr<std::byte[]> subarray;
+    rdma::MemoryRegion mr;
+    std::unique_ptr<std::byte[]> scratch;
+    rdma::MemoryRegion scratch_mr;
+    std::vector<rdma::QueuePair*> qps;
+    std::unique_ptr<rdma::CompletionQueue> cq;
+    SpinLock rma_mu;
+  };
+
+  struct Impl {
+    rt::Cluster* cluster = nullptr;
+    uint64_t n_elems = 0;
+    std::vector<uint64_t> elem_begin;
+    std::deque<PerNode> per_node;  // deque: PerNode holds a non-movable SpinLock
+  };
+
+  rt::NodeId owner_of(uint64_t index) const {
+    const auto& eb = impl_->elem_begin;
+    auto it = std::upper_bound(eb.begin(), eb.end(), index);
+    return static_cast<rt::NodeId>(it - eb.begin() - 1);
+  }
+
+  std::byte* local_ptr(rt::NodeId owner, uint64_t index) const {
+    return impl_->per_node[owner].subarray.get() +
+           (index - impl_->elem_begin[owner]) * sizeof(T);
+  }
+
+  uint64_t remote_addr(rt::NodeId owner, uint64_t index) const {
+    return reinterpret_cast<uint64_t>(local_ptr(owner, index));
+  }
+
+  void post_and_wait(PerNode& pn, rt::NodeId owner, rdma::SendWr& wr) const {
+    wr.signaled = true;
+    const bool ok = pn.qps[owner]->post_send(wr);
+    DARRAY_ASSERT(ok);
+    rdma::WorkCompletion wc;
+    while (pn.cq->poll({&wc, 1}) == 0) cpu_relax();
+    DARRAY_ASSERT(wc.status == rdma::WcStatus::kSuccess);
+  }
+
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace darray::bcl

@@ -1,0 +1,32 @@
+// Lightweight always-on assertion macros.
+//
+// DARRAY_ASSERT stays enabled in release builds: the coherence protocol relies
+// on invariants whose violation would otherwise surface as silent data
+// corruption, and the cost of the checks is negligible next to queue hops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace darray {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "DARRAY_ASSERT failed: %s (%s:%d)%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace darray
+
+#define DARRAY_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::darray::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define DARRAY_ASSERT_MSG(expr, msg)                                  \
+  do {                                                                \
+    if (!(expr)) ::darray::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define DARRAY_UNREACHABLE(msg) ::darray::assert_fail("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,37 @@
+// Cluster-wide tunables. Defaults follow the paper where it states one
+// (chunk = 512 elements, eviction watermarks 30 % / 50 %) and are sized for a
+// small simulation host elsewhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace darray {
+
+struct ClusterConfig {
+  // --- topology -------------------------------------------------------------
+  uint32_t num_nodes = 2;
+  uint32_t runtime_threads_per_node = 1;  // paper uses several; 1 fits this host
+
+  // --- array / cache --------------------------------------------------------
+  uint32_t chunk_elems = 512;        // paper default granularity
+  // Cachelines per runtime-thread cache region (a cacheline holds one chunk).
+  uint32_t cachelines_per_region = 256;
+  double low_watermark = 0.30;       // start reclaiming below this free ratio
+  double high_watermark = 0.50;      // reclaim until this free ratio
+  uint32_t prefetch_chunks = 2;      // issued on the slow path (§4.2)
+
+  // --- simulated fabric -----------------------------------------------------
+  // One-way latency added to every fabric message, and per-byte cost modelling
+  // link bandwidth. Zero by default: on an oversubscribed host the inherent
+  // cross-thread hop cost already dwarfs real RDMA latency.
+  uint64_t fabric_latency_ns = 0;
+  double fabric_ns_per_byte = 0.0;
+  uint32_t qp_depth = 1024;          // send/recv queue depth per QP
+  uint32_t selective_signal_interval = 16;  // signal 1 of every r sends (§4.5)
+
+  // --- derived --------------------------------------------------------------
+  size_t chunk_bytes(size_t elem_size) const { return size_t{chunk_elems} * elem_size; }
+};
+
+}  // namespace darray

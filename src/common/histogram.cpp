@@ -1,0 +1,89 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace darray {
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+int LatencyHistogram::bucket_index(uint64_t nanos) {
+  if (nanos < (1u << kSubBits)) return static_cast<int>(nanos);
+  const int msb = 63 - std::countl_zero(nanos);
+  const int sub = static_cast<int>((nanos >> (msb - kSubBits)) & ((1 << kSubBits) - 1));
+  const int idx = ((msb - kSubBits + 1) << kSubBits) + sub;
+  return std::min(idx, kBuckets - 1);
+}
+
+uint64_t LatencyHistogram::bucket_upper(int idx) {
+  if (idx < (1 << kSubBits)) return static_cast<uint64_t>(idx);
+  const int octave = (idx >> kSubBits) + kSubBits - 1;
+  const int sub = idx & ((1 << kSubBits) - 1);
+  const int shift = octave - kSubBits;
+  const uint64_t base = (1ull << kSubBits) + static_cast<uint64_t>(sub) + 1;
+  if (shift >= 59) return ~0ull;  // base <= 2^5: larger shifts would overflow
+  return base << shift;
+}
+
+void LatencyHistogram::record(uint64_t nanos) {
+  buckets_[static_cast<size_t>(bucket_index(nanos))]++;
+  count_++;
+  sum_ += static_cast<double>(nanos);
+  max_ = std::max(max_, nanos);
+  min_ = std::min(min_, nanos);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+  min_ = ~0ull;
+}
+
+double LatencyHistogram::mean_ns() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+uint64_t LatencyHistogram::percentile_ns(double q) const {
+  if (count_ == 0) return 0;
+  DARRAY_ASSERT(q >= 0.0 && q <= 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.0fns p50=%lluns p99=%lluns max=%lluns",
+                static_cast<unsigned long long>(count_), mean_ns(),
+                static_cast<unsigned long long>(percentile_ns(0.5)),
+                static_cast<unsigned long long>(percentile_ns(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace darray

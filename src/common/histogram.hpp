@@ -1,0 +1,45 @@
+// Log-bucketed latency histogram (nanosecond samples) with percentile and
+// mean queries. Cheap enough to record on benchmark hot paths and mergeable
+// across threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darray {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(uint64_t nanos);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  uint64_t count() const { return count_; }
+  double mean_ns() const;
+  // q in [0, 1]; returns an upper bound of the bucket containing the quantile.
+  uint64_t percentile_ns(double q) const;
+
+  std::string summary() const;  // "n=... mean=...ns p50=... p99=..."
+
+ private:
+  // Buckets: [0,1), [1,2), ... with sub-bucket resolution of 1/16 per octave
+  // (i.e. HDR-style with 4 significant bits).
+  static constexpr int kSubBits = 4;
+  static constexpr int kBuckets = 64 * (1 << kSubBits);
+  static int bucket_index(uint64_t nanos);
+  static uint64_t bucket_upper(int idx);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = ~0ull;
+};
+
+// Monotonic clock helper.
+uint64_t now_ns();
+
+}  // namespace darray

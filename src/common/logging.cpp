@@ -1,0 +1,44 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace darray {
+namespace detail {
+
+namespace {
+int level_from_env() {
+  const char* e = std::getenv("DARRAY_LOG");
+  if (!e) return static_cast<int>(LogLevel::kWarn);
+  if (!std::strcmp(e, "debug")) return static_cast<int>(LogLevel::kDebug);
+  if (!std::strcmp(e, "info")) return static_cast<int>(LogLevel::kInfo);
+  if (!std::strcmp(e, "warn")) return static_cast<int>(LogLevel::kWarn);
+  if (!std::strcmp(e, "error")) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kWarn);
+}
+}  // namespace
+
+std::atomic<int>& log_level_storage() {
+  static std::atomic<int> level{level_from_env()};
+  return level;
+}
+
+}  // namespace detail
+
+void log_write(LogLevel lvl, const char* fmt, ...) {
+  static std::mutex mu;  // keep lines whole; logging is not on any hot path
+  static const char* names[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  std::scoped_lock lk(mu);
+  std::fprintf(stderr, "[%s t=%zx] %s\n", names[static_cast<int>(lvl)],
+               std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff, buf);
+}
+
+}  // namespace darray

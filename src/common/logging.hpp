@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The simulator runs dozens of threads on one core, so logging is off by
+// default (level = kWarn) and every call sites checks the level before
+// formatting. Set DARRAY_LOG=debug|info|warn|error to change at startup.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+
+namespace darray {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace detail {
+// Initialised from the DARRAY_LOG environment variable on first use.
+std::atomic<int>& log_level_storage();
+}  // namespace detail
+
+inline LogLevel log_level() {
+  return static_cast<LogLevel>(detail::log_level_storage().load(std::memory_order_relaxed));
+}
+
+inline void set_log_level(LogLevel lvl) {
+  detail::log_level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+inline bool log_enabled(LogLevel lvl) { return lvl >= log_level(); }
+
+// printf-style; appends a newline and prefixes level + thread id.
+void log_write(LogLevel lvl, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace darray
+
+#define DLOG_DEBUG(...)                                              \
+  do {                                                               \
+    if (::darray::log_enabled(::darray::LogLevel::kDebug))           \
+      ::darray::log_write(::darray::LogLevel::kDebug, __VA_ARGS__);  \
+  } while (0)
+#define DLOG_INFO(...)                                              \
+  do {                                                              \
+    if (::darray::log_enabled(::darray::LogLevel::kInfo))           \
+      ::darray::log_write(::darray::LogLevel::kInfo, __VA_ARGS__);  \
+  } while (0)
+#define DLOG_WARN(...)                                              \
+  do {                                                              \
+    if (::darray::log_enabled(::darray::LogLevel::kWarn))           \
+      ::darray::log_write(::darray::LogLevel::kWarn, __VA_ARGS__);  \
+  } while (0)
+#define DLOG_ERROR(...)                                              \
+  do {                                                               \
+    if (::darray::log_enabled(::darray::LogLevel::kError))           \
+      ::darray::log_write(::darray::LogLevel::kError, __VA_ARGS__);  \
+  } while (0)

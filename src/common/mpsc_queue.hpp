@@ -1,0 +1,96 @@
+// Unbounded multi-producer single-consumer queue (Vyukov style) plus the
+// Doorbell used to park consumer threads.
+//
+// These queues are the arrows in the paper's Fig. 2: application threads →
+// runtime (local-req queue), Rx thread → runtime (RPC-msg queue), runtime →
+// Tx thread (RDMA-req queue). All are MPSC: each queue has exactly one
+// consumer thread that owns its protocol state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "common/wait.hpp"
+
+namespace darray {
+
+// Eventcount-style wakeup channel. One consumer may wait on one doorbell fed
+// by any number of queues: producers ring after pushing; the consumer
+// snapshots, drains everything, and only parks if the snapshot is unchanged.
+class Doorbell {
+ public:
+  void ring() {
+    seq_.fetch_add(1, std::memory_order_release);
+    seq_.notify_one();
+  }
+
+  uint32_t snapshot() const { return seq_.load(std::memory_order_acquire); }
+
+  void wait_change(uint32_t old) const {
+    spin_wait_until(seq_, [old](uint32_t v) { return v != old; });
+  }
+
+ private:
+  std::atomic<uint32_t> seq_{0};
+};
+
+// T must be default-constructible (for the stub node) and movable.
+template <typename T>
+class MpscQueue {
+ public:
+  // doorbell may be null; then consumers must poll.
+  explicit MpscQueue(Doorbell* doorbell = nullptr) : doorbell_(doorbell) {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  void push(T v) {
+    Node* n = new Node(std::move(v));
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+    if (doorbell_) doorbell_->ring();
+  }
+
+  // Single consumer only.
+  bool pop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (!next) return false;
+    out = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return true;
+  }
+
+  bool empty() const { return tail_->next.load(std::memory_order_acquire) == nullptr; }
+
+  Doorbell* doorbell() const { return doorbell_; }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  std::atomic<Node*> head_;           // producers CAS here
+  alignas(64) Node* tail_;            // consumer-private
+  Doorbell* doorbell_;
+};
+
+}  // namespace darray

@@ -1,0 +1,66 @@
+// Set of node ids as a 64-bit mask: the directory's sharer / participant
+// sets. Caps the cluster at 64 simulated nodes (documented in DESIGN.md §6).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace darray {
+
+class NodeMask {
+ public:
+  NodeMask() = default;
+  explicit NodeMask(uint64_t bits) : bits_(bits) {}
+
+  static NodeMask single(uint32_t node) {
+    DARRAY_ASSERT(node < 64);
+    return NodeMask(1ull << node);
+  }
+
+  void add(uint32_t node) {
+    DARRAY_ASSERT(node < 64);
+    bits_ |= 1ull << node;
+  }
+  void remove(uint32_t node) {
+    DARRAY_ASSERT(node < 64);
+    bits_ &= ~(1ull << node);
+  }
+  bool contains(uint32_t node) const {
+    DARRAY_ASSERT(node < 64);
+    return (bits_ >> node) & 1;
+  }
+
+  bool empty() const { return bits_ == 0; }
+  int count() const { return std::popcount(bits_); }
+  void clear() { bits_ = 0; }
+  uint64_t bits() const { return bits_; }
+
+  // True when the set is exactly {node}.
+  bool is_only(uint32_t node) const { return bits_ == (1ull << node); }
+
+  // Iterate set bits: for (uint32_t n : mask) ...
+  class iterator {
+   public:
+    explicit iterator(uint64_t bits) : bits_(bits) {}
+    uint32_t operator*() const { return static_cast<uint32_t>(std::countr_zero(bits_)); }
+    iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return bits_ != o.bits_; }
+
+   private:
+    uint64_t bits_;
+  };
+  iterator begin() const { return iterator(bits_); }
+  iterator end() const { return iterator(0); }
+
+  friend bool operator==(const NodeMask&, const NodeMask&) = default;
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+}  // namespace darray

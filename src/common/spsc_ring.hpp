@@ -1,0 +1,66 @@
+// Bounded single-producer single-consumer ring buffer with cached indices.
+// Used for per-queue-pair work queues in the simulated RDMA stack, where the
+// bounded depth models the hardware send/receive queue depth.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace darray {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity)
+      : mask_(std::bit_ceil(capacity) - 1), slots_(mask_ + 1) {
+    DARRAY_ASSERT(capacity > 0);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  bool try_push(T v) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {  // looks full: refresh
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {  // looks empty: refresh
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Approximate; exact only when called from the consumer or producer side.
+  size_t size_approx() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const uint64_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<uint64_t> head_{0};  // producer side
+  uint64_t cached_tail_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};  // consumer side
+  uint64_t cached_head_{0};
+};
+
+}  // namespace darray

@@ -1,0 +1,35 @@
+#include "common/zipf.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace darray {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  DARRAY_ASSERT(n > 0);
+  DARRAY_ASSERT(theta > 0.0 && theta < 1.0);
+  zetan_ = zeta(n, theta);
+  const double zeta2 = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+uint64_t ZipfGenerator::next(Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t item = static_cast<uint64_t>(v);
+  return item >= n_ ? n_ - 1 : item;
+}
+
+}  // namespace darray

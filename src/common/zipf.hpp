@@ -1,0 +1,34 @@
+// Zipfian distribution generator (YCSB flavour: Gray et al. rejection-free
+// inverse-CDF approximation with precomputed zeta). The paper's Operate and
+// KVS experiments both use Zipfian(0.99), YCSB's default skew.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace darray {
+
+class ZipfGenerator {
+ public:
+  // n items, skew theta in (0, 1); theta = 0.99 matches the paper.
+  ZipfGenerator(uint64_t n, double theta = 0.99);
+
+  // Draw an item in [0, n). Hot items are the small indices; callers that
+  // want hot keys scattered across the key space should hash the result.
+  uint64_t next(Xoshiro256& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace darray

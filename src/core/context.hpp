@@ -1,0 +1,63 @@
+// Application-thread binding. In a real deployment each process is one node;
+// in the simulation an application thread declares which node it runs on via
+// bind_thread(). The context also carries the thread's pinned chunks (§4.1
+// Pin interface): a pinned chunk holds a dentry reference, so get/set/apply
+// on it skip every atomic in the fast path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/dentry.hpp"
+#include "runtime/types.hpp"
+
+namespace darray {
+
+struct PinEntry {
+  bool valid = false;
+  rt::ArrayId array = 0;
+  rt::ChunkId chunk = 0;
+  std::byte* data = nullptr;
+  std::byte* combine = nullptr;               // null on home/Dirty pins
+  std::atomic<uint64_t>* bitmap = nullptr;
+  rt::DentryState state = rt::DentryState::kInvalid;
+  uint16_t op_id = rt::kNoOp;
+  rt::Dentry* dentry = nullptr;
+};
+
+inline constexpr size_t kMaxPins = 8;
+
+struct ThreadCtx {
+  rt::Cluster* cluster = nullptr;
+  rt::NodeId node = rt::kNoNode;
+  std::array<PinEntry, kMaxPins> pins{};
+
+  PinEntry* find_pin(rt::ArrayId array, rt::ChunkId chunk) {
+    for (PinEntry& p : pins)
+      if (p.valid && p.array == array && p.chunk == chunk) return &p;
+    return nullptr;
+  }
+
+  PinEntry* free_pin_slot() {
+    for (PinEntry& p : pins)
+      if (!p.valid) return &p;
+    return nullptr;
+  }
+};
+
+inline ThreadCtx& this_thread_ctx() {
+  thread_local ThreadCtx ctx;
+  return ctx;
+}
+
+// Declare that the calling thread is an application thread of `node`.
+inline void bind_thread(rt::Cluster& cluster, rt::NodeId node) {
+  DARRAY_ASSERT(node < cluster.num_nodes());
+  ThreadCtx& ctx = this_thread_ctx();
+  ctx.cluster = &cluster;
+  ctx.node = node;
+}
+
+}  // namespace darray

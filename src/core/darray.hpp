@@ -1,0 +1,389 @@
+// DArray<T>: the paper's public API (Fig. 3).
+//
+//   DArray<double> a = DArray<double>::create(cluster, n);        // constructor
+//   a.get(i); a.set(i, v);                                        // Read/Write
+//   a.rlock(i); a.wlock(i); a.unlock(i);                          // R/W locks
+//   uint16_t op = a.register_op(+[](double& x, double d){x+=d;}, 0.0);
+//   a.apply(i, op, 0.5);                                          // Operate
+//   a.pin(i, PinMode::kRead); ...; a.unpin(i);                    // hint
+//
+// The handle is a cheap value type; every call uses the calling thread's
+// bound node (see context.hpp). Element types must be trivially copyable and
+// 1/2/4/8 bytes (DESIGN.md §6).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "core/context.hpp"
+#include "runtime/array_meta.hpp"
+#include "runtime/combine.hpp"
+#include "runtime/node.hpp"
+
+namespace darray {
+
+using rt::PinMode;
+
+template <typename T>
+class DArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 || sizeof(T) == 8,
+                "DArray elements must be 1/2/4/8 bytes");
+
+ public:
+  DArray() = default;
+
+  // Collective constructor (call once; the handle may be shared/copied).
+  // `partition` optionally gives each node's first element offset
+  // (chunk-aligned), matching the paper's partition_offset argument.
+  static DArray create(rt::Cluster& cluster, uint64_t n,
+                       std::span<const uint64_t> partition = {}) {
+    DArray a;
+    a.cluster_ = &cluster;
+    a.meta_ = cluster.create_array(n, sizeof(T), partition);
+    return a;
+  }
+
+  uint64_t size() const { return meta_->n_elems; }
+  const rt::ArrayMeta& meta() const { return *meta_; }
+  rt::Cluster& cluster() const { return *cluster_; }
+
+  // Element range owned by `node` (for owner-parallel iteration).
+  uint64_t local_begin(rt::NodeId node) const { return meta_->local_begin(node); }
+  uint64_t local_end(rt::NodeId node) const { return meta_->local_end(node); }
+
+  // --- Read / Write ----------------------------------------------------------
+
+  T get(uint64_t index) const {
+    ThreadCtx& ctx = this_thread_ctx();
+    const rt::ChunkId c = meta_->chunk_of(index);
+    const uint32_t off = meta_->offset_in_chunk(index);
+    if (const PinEntry* p = ctx.find_pin(meta_->id, c)) {
+      DARRAY_ASSERT_MSG(rt::dentry_readable(p->state), "get() through a non-read pin");
+      return load_elem(p->data, off);
+    }
+    rt::Dentry& d = dentry(ctx, c);
+    d.acquire_ref();  // Fig. 4 fast path
+    if (rt::dentry_readable(d.state.load(std::memory_order_acquire))) {
+      const T v = load_elem(d.data.load(std::memory_order_acquire), off);
+      d.release_ref();
+      return v;
+    }
+    d.release_ref();
+    // Slow path: the runtime performs the read at grant time and returns the
+    // value — one miss, one completed access, no retry loop.
+    return from_bits(miss(ctx, rt::LocalRequest::Kind::kRead, c, index));
+  }
+
+  void set(uint64_t index, T value) const {
+    ThreadCtx& ctx = this_thread_ctx();
+    const rt::ChunkId c = meta_->chunk_of(index);
+    const uint32_t off = meta_->offset_in_chunk(index);
+    if (const PinEntry* p = ctx.find_pin(meta_->id, c)) {
+      DARRAY_ASSERT_MSG(rt::dentry_writable(p->state), "set() through a non-write pin");
+      store_elem(p->data, off, value);
+      return;
+    }
+    rt::Dentry& d = dentry(ctx, c);
+    d.acquire_ref();
+    if (rt::dentry_writable(d.state.load(std::memory_order_acquire))) {
+      store_elem(d.data.load(std::memory_order_acquire), off, value);
+      d.release_ref();
+      return;
+    }
+    d.release_ref();
+    miss(ctx, rt::LocalRequest::Kind::kWrite, c, index, rt::kNoOp, to_bits(value));
+  }
+
+  // --- bulk transfers ---------------------------------------------------------
+  // Copy `count` elements starting at `index` out of / into the array,
+  // acquiring each covered chunk once (not per element). Atomicity is per
+  // chunk, like a sequence of get/set.
+
+  void read_bulk(uint64_t index, T* out, uint64_t count) const {
+    bulk_op(index, count, [&](std::byte* base, uint32_t off, uint64_t n, uint64_t done) {
+      std::memcpy(out + done, base + size_t{off} * sizeof(T), n * sizeof(T));
+    }, /*write=*/false);
+  }
+
+  void write_bulk(uint64_t index, const T* src, uint64_t count) const {
+    bulk_op(index, count, [&](std::byte* base, uint32_t off, uint64_t n, uint64_t done) {
+      std::memcpy(base + size_t{off} * sizeof(T), src + done, n * sizeof(T));
+    }, /*write=*/true);
+  }
+
+  // Set every element of [begin, end) to `value` (chunk-at-a-time).
+  void fill(uint64_t begin, uint64_t end, T value) const {
+    DARRAY_ASSERT(begin <= end && end <= size());
+    bulk_op(begin, end - begin,
+            [&](std::byte* base, uint32_t off, uint64_t n, uint64_t) {
+              for (uint64_t k = 0; k < n; ++k)
+                std::memcpy(base + size_t{off + k} * sizeof(T), &value, sizeof(T));
+            },
+            /*write=*/true);
+  }
+
+  // Fold [begin, end) left-to-right with `f`, starting from `init`
+  // (chunk-at-a-time snapshot semantics, like a sequence of get()).
+  template <typename F>
+  T reduce(uint64_t begin, uint64_t end, T init, F&& f) const {
+    DARRAY_ASSERT(begin <= end && end <= size());
+    T acc = init;
+    bulk_op(begin, end - begin,
+            [&](std::byte* base, uint32_t off, uint64_t n, uint64_t) {
+              for (uint64_t k = 0; k < n; ++k) {
+                T v;
+                std::memcpy(&v, base + size_t{off + k} * sizeof(T), sizeof(T));
+                acc = f(acc, v);
+              }
+            },
+            /*write=*/false);
+    return acc;
+  }
+
+  // --- Operate (§4.3) ---------------------------------------------------------
+
+  // Register an associative + commutative operator; `identity` seeds combine
+  // buffers (0 for add, numeric_limits::max() for min, ...).
+  uint16_t register_op(void (*fn)(T& acc, T operand), T identity) const {
+    rt::OpDesc desc;
+    desc.fn = [fn](void* acc, const void* operand) {
+      T tmp;
+      std::memcpy(&tmp, operand, sizeof(T));
+      fn(*static_cast<T*>(acc), tmp);
+    };
+    desc.identity_bits = 0;
+    std::memcpy(&desc.identity_bits, &identity, sizeof(T));
+    desc.elem_size = sizeof(T);
+    return cluster_->register_op(std::move(desc));
+  }
+
+  void apply(uint64_t index, uint16_t op_id, T operand) const {
+    ThreadCtx& ctx = this_thread_ctx();
+    const rt::ChunkId c = meta_->chunk_of(index);
+    const uint32_t off = meta_->offset_in_chunk(index);
+    const rt::OpDesc& op = cluster_->op(op_id);
+    DARRAY_ASSERT(op.elem_size == sizeof(T));
+    if (const PinEntry* p = ctx.find_pin(meta_->id, c)) {
+      apply_via_pin(*p, off, op, op_id, operand);
+      return;
+    }
+    rt::Dentry& d = dentry(ctx, c);
+    d.acquire_ref();
+    const rt::DentryState s = d.state.load(std::memory_order_acquire);
+    if (s == rt::DentryState::kWrite) {
+      // Exclusive permission: read-modify-write straight into the data.
+      rt::atomic_apply(d.data.load(std::memory_order_acquire) + size_t{off} * sizeof(T),
+                       op, &operand);
+      d.release_ref();
+      return;
+    }
+    if (s == rt::DentryState::kOperated &&
+        d.op_id.load(std::memory_order_acquire) == op_id) {
+      if (std::byte* cb = d.combine.load(std::memory_order_acquire)) {
+        // Remote participant: fold into the combine buffer (Fig. 10).
+        rt::CombineView view{cb, d.combine_bitmap.load(std::memory_order_acquire),
+                             meta_->chunk_elems};
+        rt::combine_into(view, off, op, &operand);
+      } else {
+        // Home participant: reduce directly into the subarray.
+        rt::atomic_apply(d.data.load(std::memory_order_acquire) + size_t{off} * sizeof(T),
+                         op, &operand);
+      }
+      d.release_ref();
+      return;
+    }
+    d.release_ref();
+    miss(ctx, rt::LocalRequest::Kind::kOperate, c, index, op_id, to_bits(operand));
+  }
+
+  // --- Concurrency control -----------------------------------------------------
+
+  void rlock(uint64_t index) const { lock_op(index, rt::LocalRequest::Kind::kLockAcq, false); }
+  void wlock(uint64_t index) const { lock_op(index, rt::LocalRequest::Kind::kLockAcq, true); }
+  void unlock(uint64_t index) const { lock_op(index, rt::LocalRequest::Kind::kLockRel, false); }
+
+  // --- Optimization hint (§4.1 Pin) ----------------------------------------------
+
+  // Hold the chunk containing `index` in `mode` until unpin(). While pinned,
+  // get/set/apply on the chunk run with zero atomics. Returns false only if
+  // the thread's pin slots (kMaxPins) are exhausted.
+  bool pin(uint64_t index, PinMode mode, uint16_t op_id = rt::kNoOp) const {
+    ThreadCtx& ctx = this_thread_ctx();
+    const rt::ChunkId c = meta_->chunk_of(index);
+    if (ctx.find_pin(meta_->id, c)) return true;  // already pinned by this thread
+    PinEntry* slot = ctx.free_pin_slot();
+    if (!slot) return false;
+    rt::Dentry& d = dentry(ctx, c);
+    d.acquire_ref();
+    const rt::DentryState s = d.state.load(std::memory_order_acquire);
+    if (pin_satisfied(s, d, mode, op_id)) {
+      record_pin(slot, d, c, s);
+      return true;  // reference intentionally kept until unpin()
+    }
+    d.release_ref();
+    // The runtime grants the permission, takes the reference on our behalf,
+    // and reports the granted state.
+    rt::LocalRequest r;
+    r.kind = rt::LocalRequest::Kind::kPin;
+    r.pin_mode = mode;
+    r.array = meta_->id;
+    r.chunk = c;
+    r.index = index;
+    r.op_id = op_id;
+    ctx.cluster->node(ctx.node).submit_local(&r);
+    r.done.wait();
+    record_pin(slot, d, c, r.granted);
+    return true;
+  }
+
+  void unpin(uint64_t index) const {
+    ThreadCtx& ctx = this_thread_ctx();
+    const rt::ChunkId c = meta_->chunk_of(index);
+    PinEntry* p = ctx.find_pin(meta_->id, c);
+    DARRAY_ASSERT_MSG(p != nullptr, "unpin() of a chunk this thread never pinned");
+    p->valid = false;
+    p->dentry->release_ref();
+  }
+
+ private:
+  // Visit [index, index+count) chunk by chunk with the chunk reference held.
+  template <typename Fn>
+  void bulk_op(uint64_t index, uint64_t count, Fn&& fn, bool write) const {
+    ThreadCtx& ctx = this_thread_ctx();
+    uint64_t done = 0;
+    while (done < count) {
+      const uint64_t i = index + done;
+      const rt::ChunkId c = meta_->chunk_of(i);
+      const uint32_t off = meta_->offset_in_chunk(i);
+      const uint64_t in_chunk = std::min<uint64_t>(count - done, meta_->chunk_elems - off);
+      if (const PinEntry* p = ctx.find_pin(meta_->id, c)) {
+        fn(p->data, off, in_chunk, done);
+        done += in_chunk;
+        continue;
+      }
+      rt::Dentry& d = dentry(ctx, c);
+      d.acquire_ref();
+      const rt::DentryState s = d.state.load(std::memory_order_acquire);
+      if (write ? rt::dentry_writable(s) : rt::dentry_readable(s)) {
+        fn(d.data.load(std::memory_order_acquire), off, in_chunk, done);
+        d.release_ref();
+        done += in_chunk;
+        continue;
+      }
+      d.release_ref();
+      // Pin the chunk through the runtime (which holds the reference for us),
+      // run the bulk copy under it, then release.
+      rt::LocalRequest r;
+      r.kind = rt::LocalRequest::Kind::kPin;
+      r.pin_mode = write ? PinMode::kWrite : PinMode::kRead;
+      r.array = meta_->id;
+      r.chunk = c;
+      r.index = i;
+      ctx.cluster->node(ctx.node).submit_local(&r);
+      r.done.wait();
+      fn(d.data.load(std::memory_order_acquire), off, in_chunk, done);
+      d.release_ref();
+      done += in_chunk;
+    }
+  }
+
+  static T from_bits(uint64_t bits) {
+    T v;
+    std::memcpy(&v, &bits, sizeof(T));
+    return v;
+  }
+  static uint64_t to_bits(T v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(T));
+    return bits;
+  }
+  // Element loads/stores are atomic: application fast paths, the runtime's
+  // perform-at-grant path, and atomic_apply may hit the same element.
+  static T load_elem(const std::byte* base, uint32_t off) {
+    return from_bits(rt::atomic_load_elem(base + size_t{off} * sizeof(T), sizeof(T)));
+  }
+  static void store_elem(std::byte* base, uint32_t off, T v) {
+    rt::atomic_store_elem(base + size_t{off} * sizeof(T), sizeof(T), to_bits(v));
+  }
+
+  rt::Dentry& dentry(ThreadCtx& ctx, rt::ChunkId c) const {
+    DARRAY_ASSERT_MSG(ctx.cluster == cluster_, "thread not bound to this cluster");
+    rt::NodeArrayState* as = ctx.cluster->node(ctx.node).array_state(meta_->id);
+    return as->dentries[c];
+  }
+
+  // Submit a slow-path access; the runtime performs it at grant time. For
+  // kRead the returned bits are the element value.
+  uint64_t miss(ThreadCtx& ctx, rt::LocalRequest::Kind kind, rt::ChunkId c, uint64_t index,
+                uint16_t op_id = rt::kNoOp, uint64_t operand = 0) const {
+    rt::LocalRequest r;
+    r.kind = kind;
+    r.array = meta_->id;
+    r.chunk = c;
+    r.index = index;
+    r.op_id = op_id;
+    r.operand = operand;
+    ctx.cluster->node(ctx.node).submit_local(&r);
+    r.done.wait();
+    return r.operand;
+  }
+
+  void record_pin(PinEntry* slot, rt::Dentry& d, rt::ChunkId c, rt::DentryState granted) const {
+    slot->valid = true;
+    slot->array = meta_->id;
+    slot->chunk = c;
+    slot->data = d.data.load(std::memory_order_acquire);
+    slot->combine = d.combine.load(std::memory_order_acquire);
+    slot->bitmap = d.combine_bitmap.load(std::memory_order_acquire);
+    slot->state = granted;
+    slot->op_id = d.op_id.load(std::memory_order_acquire);
+    slot->dentry = &d;
+  }
+
+  void lock_op(uint64_t index, rt::LocalRequest::Kind kind, bool write) const {
+    ThreadCtx& ctx = this_thread_ctx();
+    rt::LocalRequest r;
+    r.kind = kind;
+    r.lock_write = write ? 1 : 0;
+    r.array = meta_->id;
+    r.chunk = meta_->chunk_of(index);
+    r.index = index;
+    ctx.cluster->node(ctx.node).submit_local(&r);
+    r.done.wait();
+  }
+
+  void apply_via_pin(const PinEntry& p, uint32_t off, const rt::OpDesc& op, uint16_t op_id,
+                     T operand) const {
+    if (p.state == rt::DentryState::kWrite) {
+      rt::atomic_apply(p.data + size_t{off} * sizeof(T), op, &operand);
+      return;
+    }
+    DARRAY_ASSERT_MSG(p.state == rt::DentryState::kOperated && p.op_id == op_id,
+                      "apply() through an incompatible pin");
+    if (p.combine) {
+      rt::CombineView view{p.combine, p.bitmap, meta_->chunk_elems};
+      rt::combine_into(view, off, op, &operand);
+    } else {
+      rt::atomic_apply(p.data + size_t{off} * sizeof(T), op, &operand);
+    }
+  }
+
+  static bool pin_satisfied(rt::DentryState s, rt::Dentry& d, PinMode mode, uint16_t op_id) {
+    switch (mode) {
+      case PinMode::kRead: return rt::dentry_readable(s);
+      case PinMode::kWrite: return rt::dentry_writable(s);
+      case PinMode::kOperate:
+        return s == rt::DentryState::kWrite ||
+               (s == rt::DentryState::kOperated &&
+                d.op_id.load(std::memory_order_acquire) == op_id);
+    }
+    return false;
+  }
+
+  rt::Cluster* cluster_ = nullptr;
+  const rt::ArrayMeta* meta_ = nullptr;
+};
+
+}  // namespace darray

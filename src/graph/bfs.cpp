@@ -1,0 +1,144 @@
+#include "graph/bfs.hpp"
+
+#include <atomic>
+#include <deque>
+
+#include "graph/gemini.hpp"
+
+namespace darray::graph {
+
+namespace {
+void min_u64(uint64_t& acc, uint64_t v) {
+  if (v < acc) acc = v;
+}
+void atomic_min_u64(uint64_t& target, uint64_t v) {
+  std::atomic_ref<uint64_t> ref(target);
+  uint64_t old = ref.load(std::memory_order_relaxed);
+  while (old > v && !ref.compare_exchange_weak(old, v, std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+std::vector<uint64_t> bfs_reference(const Csr& g, Vertex source) {
+  std::vector<uint64_t> dist(g.n_vertices(), kUnreached);
+  std::deque<Vertex> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop_front();
+    for (Vertex u : g.neighbors(v)) {
+      if (dist[u] == kUnreached) {
+        dist[u] = dist[v] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> bfs_darray(rt::Cluster& cluster, const Csr& g, Vertex source,
+                                 const GraphRunOptions& opt) {
+  const uint64_t n = g.n_vertices();
+  auto dist = DArray<uint64_t>::create(cluster, n);
+  const uint16_t mn = dist.register_op(&min_u64, kUnreached);
+
+  std::vector<uint64_t> result(n);
+  std::atomic<uint64_t> global_changed{0};
+
+  run_bsp(cluster, opt.threads_per_node, [&](rt::NodeId node, uint32_t t, SenseBarrier& bar) {
+    const auto [b, e] =
+        split_range(dist.local_begin(node), dist.local_end(node), opt.threads_per_node, t);
+    // Init: everything unreached except the source.
+    for (uint64_t v = b; v < e; ++v) dist.set(v, v == source ? 0 : kUnreached);
+    std::vector<uint64_t> prev(e - b, kUnreached);
+    if (source >= b && source < e) prev[source - b] = 0;
+    bar.arrive_and_wait();
+
+    // Level-synchronous: in round r, vertices at depth r push r+1 to their
+    // neighbors via write_min.
+    for (uint64_t round = 0;; ++round) {
+      for (uint64_t v = b; v < e; ++v) {
+        if (prev[v - b] != round) continue;  // not on the current frontier
+        for (Vertex u : g.neighbors(static_cast<Vertex>(v)))
+          dist.apply(u, mn, round + 1);
+      }
+      bar.arrive_and_wait();
+      uint64_t changed = 0;
+      for (uint64_t v = b; v < e; ++v) {
+        const uint64_t dv = dist.get(v);
+        if (dv != prev[v - b]) {
+          prev[v - b] = dv;
+          changed++;
+        }
+      }
+      global_changed.fetch_add(changed, std::memory_order_acq_rel);
+      bar.arrive_and_wait();
+      const bool done = global_changed.load(std::memory_order_acquire) == 0;
+      bar.arrive_and_wait();
+      if (t == 0 && node == 0) global_changed.store(0, std::memory_order_release);
+      bar.arrive_and_wait();
+      if (done) break;
+    }
+    for (uint64_t v = b; v < e; ++v) result[v] = prev[v - b];
+  });
+  return result;
+}
+
+std::vector<uint64_t> bfs_gemini(rt::Cluster& cluster, const Csr& g, Vertex source,
+                                 const GraphRunOptions& opt) {
+  const uint64_t n = g.n_vertices();
+  GeminiContext<uint64_t> ctx(cluster, n, kUnreached);
+  const uint32_t nodes = cluster.num_nodes();
+
+  std::vector<std::vector<uint64_t>> dist(nodes);
+  for (uint32_t i = 0; i < nodes; ++i) {
+    dist[i].assign(ctx.end(i) - ctx.begin(i), kUnreached);
+    if (source >= ctx.begin(i) && source < ctx.end(i)) dist[i][source - ctx.begin(i)] = 0;
+  }
+
+  std::vector<uint64_t> result(n);
+  std::atomic<uint64_t> global_changed{0};
+
+  run_bsp(cluster, opt.threads_per_node, [&](rt::NodeId node, uint32_t t, SenseBarrier& bar) {
+    const uint64_t nb = ctx.begin(node), ne = ctx.end(node);
+    const auto [b, e] = split_range(nb, ne, opt.threads_per_node, t);
+
+    for (uint64_t round = 0;; ++round) {
+      uint64_t* acc = ctx.acc(node);
+      for (uint64_t v = b; v < e; ++v) {
+        if (dist[node][v - nb] != round) continue;
+        for (Vertex u : g.neighbors(static_cast<Vertex>(v)))
+          atomic_min_u64(acc[u], round + 1);
+      }
+      bar.arrive_and_wait();
+      if (t == 0) ctx.exchange_send(node);
+      bar.arrive_and_wait();
+      if (t == 0) {
+        uint64_t* reduced =
+            ctx.exchange_reduce(node, [](uint64_t a, uint64_t x) { return x < a ? x : a; });
+        uint64_t changed = 0;
+        for (uint64_t v = nb; v < ne; ++v) {
+          const uint64_t dv = std::min(dist[node][v - nb], reduced[v]);
+          if (dv != dist[node][v - nb]) {
+            dist[node][v - nb] = dv;
+            changed++;
+          }
+        }
+        global_changed.fetch_add(changed, std::memory_order_acq_rel);
+        ctx.reset(node);
+      }
+      bar.arrive_and_wait();
+      const bool done = global_changed.load(std::memory_order_acquire) == 0;
+      bar.arrive_and_wait();
+      if (t == 0 && node == 0) global_changed.store(0, std::memory_order_release);
+      bar.arrive_and_wait();
+      if (done) break;
+    }
+    if (t == 0)
+      for (uint64_t v = nb; v < ne; ++v) result[v] = dist[node][v - nb];
+  });
+  return result;
+}
+
+}  // namespace darray::graph

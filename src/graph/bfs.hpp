@@ -1,0 +1,26 @@
+// Breadth-first search: level propagation with write_min on a DArray, and a
+// Gemini-style message-passing variant. Demonstrates the Operate interface on
+// a frontier-style algorithm beyond the paper's PR/CC pair.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/engine.hpp"
+#include "runtime/cluster.hpp"
+
+namespace darray::graph {
+
+inline constexpr uint64_t kUnreached = ~0ull;
+
+// Distances in hops from `source` (kUnreached where unreachable).
+std::vector<uint64_t> bfs_darray(rt::Cluster& cluster, const Csr& g, Vertex source,
+                                 const GraphRunOptions& opt);
+
+std::vector<uint64_t> bfs_gemini(rt::Cluster& cluster, const Csr& g, Vertex source,
+                                 const GraphRunOptions& opt);
+
+// Serial reference.
+std::vector<uint64_t> bfs_reference(const Csr& g, Vertex source);
+
+}  // namespace darray::graph

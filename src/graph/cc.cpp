@@ -1,0 +1,181 @@
+#include "graph/cc.hpp"
+
+#include <atomic>
+
+#include "baselines/gam/gam_array.hpp"
+#include "graph/gemini.hpp"
+
+namespace darray::graph {
+
+namespace {
+
+void min_u64(uint64_t& acc, uint64_t v) {
+  if (v < acc) acc = v;
+}
+
+void atomic_min(uint64_t& target, uint64_t v) {
+  std::atomic_ref<uint64_t> ref(target);
+  uint64_t old = ref.load(std::memory_order_relaxed);
+  while (old > v && !ref.compare_exchange_weak(old, v, std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+constexpr int kMaxIters = 200;  // label propagation converges in O(diameter)
+
+}  // namespace
+
+std::vector<uint64_t> cc_darray(rt::Cluster& cluster, const Csr& g,
+                                const GraphRunOptions& opt) {
+  const uint64_t n = g.n_vertices();
+  auto labels = DArray<uint64_t>::create(cluster, n);
+  const uint16_t mn = labels.register_op(&min_u64, ~0ull);
+
+  std::vector<uint64_t> result(n);
+  std::atomic<uint64_t> global_changed{0};
+
+  run_bsp(cluster, opt.threads_per_node, [&](rt::NodeId node, uint32_t t, SenseBarrier& bar) {
+    const auto [b, e] =
+        split_range(labels.local_begin(node), labels.local_end(node), opt.threads_per_node, t);
+    std::vector<uint64_t> prev(e - b);
+    {
+      ScanPin<uint64_t> pin(labels, PinMode::kWrite, opt.use_pin);
+      for (uint64_t v = b; v < e; ++v) {
+        pin.touch(v);
+        labels.set(v, v);
+        prev[v - b] = v;
+      }
+    }
+    bar.arrive_and_wait();
+
+    for (int iter = 0; iter < kMaxIters; ++iter) {
+      // Scatter: push my label (as of the last settled round — re-reading the
+      // live array here would force a flush round trip per vertex) to every
+      // neighbor via write_min.
+      for (uint64_t v = b; v < e; ++v) {
+        const uint64_t l = prev[v - b];
+        for (Vertex u : g.neighbors(static_cast<Vertex>(v))) labels.apply(u, mn, l);
+      }
+      bar.arrive_and_wait();
+      // Detect change on the local slice.
+      uint64_t changed = 0;
+      for (uint64_t v = b; v < e; ++v) {
+        const uint64_t l = labels.get(v);
+        if (l != prev[v - b]) {
+          prev[v - b] = l;
+          changed++;
+        }
+      }
+      global_changed.fetch_add(changed, std::memory_order_acq_rel);
+      bar.arrive_and_wait();
+      const bool done = global_changed.load(std::memory_order_acquire) == 0;
+      bar.arrive_and_wait();  // everyone reads before anyone resets
+      if (t == 0 && node == 0) global_changed.store(0, std::memory_order_release);
+      bar.arrive_and_wait();
+      if (done) break;
+    }
+    for (uint64_t v = b; v < e; ++v) result[v] = labels.get(v);
+  });
+  return result;
+}
+
+std::vector<uint64_t> cc_gam(rt::Cluster& cluster, const Csr& g, const GraphRunOptions& opt) {
+  const uint64_t n = g.n_vertices();
+  auto labels = gam::GamArray<uint64_t>::create(cluster, n);
+  std::vector<uint64_t> result(n);
+  std::atomic<uint64_t> global_changed{0};
+
+  run_bsp(cluster, opt.threads_per_node, [&](rt::NodeId node, uint32_t t, SenseBarrier& bar) {
+    const auto [b, e] =
+        split_range(labels.local_begin(node), labels.local_end(node), opt.threads_per_node, t);
+    std::vector<uint64_t> prev(e - b);
+    for (uint64_t v = b; v < e; ++v) {
+      labels.set(v, v);
+      prev[v - b] = v;
+    }
+    bar.arrive_and_wait();
+
+    for (int iter = 0; iter < kMaxIters; ++iter) {
+      for (uint64_t v = b; v < e; ++v) {
+        const uint64_t l = prev[v - b];
+        for (Vertex u : g.neighbors(static_cast<Vertex>(v)))
+          labels.atomic_rmw(u, +[](uint64_t a, uint64_t x) { return x < a ? x : a; }, l);
+      }
+      bar.arrive_and_wait();
+      uint64_t changed = 0;
+      for (uint64_t v = b; v < e; ++v) {
+        const uint64_t l = labels.get(v);
+        if (l != prev[v - b]) {
+          prev[v - b] = l;
+          changed++;
+        }
+      }
+      global_changed.fetch_add(changed, std::memory_order_acq_rel);
+      bar.arrive_and_wait();
+      const bool done = global_changed.load(std::memory_order_acquire) == 0;
+      bar.arrive_and_wait();
+      if (t == 0 && node == 0) global_changed.store(0, std::memory_order_release);
+      bar.arrive_and_wait();
+      if (done) break;
+    }
+    for (uint64_t v = b; v < e; ++v) result[v] = labels.get(v);
+  });
+  return result;
+}
+
+std::vector<uint64_t> cc_gemini(rt::Cluster& cluster, const Csr& g,
+                                const GraphRunOptions& opt) {
+  const uint64_t n = g.n_vertices();
+  GeminiContext<uint64_t> ctx(cluster, n, ~0ull);
+  const uint32_t nodes = cluster.num_nodes();
+
+  std::vector<std::vector<uint64_t>> labels(nodes);
+  for (uint32_t i = 0; i < nodes; ++i) {
+    labels[i].resize(ctx.end(i) - ctx.begin(i));
+    for (uint64_t v = ctx.begin(i); v < ctx.end(i); ++v) labels[i][v - ctx.begin(i)] = v;
+  }
+
+  std::vector<uint64_t> result(n);
+  std::atomic<uint64_t> global_changed{0};
+
+  run_bsp(cluster, opt.threads_per_node, [&](rt::NodeId node, uint32_t t, SenseBarrier& bar) {
+    const uint64_t nb = ctx.begin(node), ne = ctx.end(node);
+    const auto [b, e] = split_range(nb, ne, opt.threads_per_node, t);
+
+    for (int iter = 0; iter < kMaxIters; ++iter) {
+      uint64_t* acc = ctx.acc(node);
+      for (uint64_t v = b; v < e; ++v) {
+        const uint64_t l = labels[node][v - nb];
+        for (Vertex u : g.neighbors(static_cast<Vertex>(v))) atomic_min(acc[u], l);
+      }
+      bar.arrive_and_wait();
+      if (t == 0) ctx.exchange_send(node);
+      bar.arrive_and_wait();
+      if (t == 0) {
+        uint64_t* reduced =
+            ctx.exchange_reduce(node, [](uint64_t a, uint64_t x) { return x < a ? x : a; });
+        uint64_t changed = 0;
+        for (uint64_t v = nb; v < ne; ++v) {
+          const uint64_t l = std::min(labels[node][v - nb], reduced[v]);
+          if (l != labels[node][v - nb]) {
+            labels[node][v - nb] = l;
+            changed++;
+          }
+        }
+        global_changed.fetch_add(changed, std::memory_order_acq_rel);
+        ctx.reset(node);
+      }
+      bar.arrive_and_wait();
+      const bool done = global_changed.load(std::memory_order_acquire) == 0;
+      bar.arrive_and_wait();
+      if (t == 0 && node == 0) global_changed.store(0, std::memory_order_release);
+      bar.arrive_and_wait();
+      if (done) break;
+    }
+    if (t == 0)
+      for (uint64_t v = nb; v < ne; ++v) result[v] = labels[node][v - nb];
+  });
+  return result;
+}
+
+}  // namespace darray::graph

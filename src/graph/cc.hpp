@@ -1,0 +1,22 @@
+// Connected components (label propagation with write_min) on the three
+// engines. The input graph must be symmetric (Csr::symmetric_from_edges).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/engine.hpp"
+#include "runtime/cluster.hpp"
+
+namespace darray::graph {
+
+std::vector<uint64_t> cc_darray(rt::Cluster& cluster, const Csr& g_sym,
+                                const GraphRunOptions& opt);
+
+std::vector<uint64_t> cc_gam(rt::Cluster& cluster, const Csr& g_sym,
+                             const GraphRunOptions& opt);
+
+std::vector<uint64_t> cc_gemini(rt::Cluster& cluster, const Csr& g_sym,
+                                const GraphRunOptions& opt);
+
+}  // namespace darray::graph

@@ -1,0 +1,63 @@
+// Compressed-sparse-row graph. Vertex ids are 32-bit (the paper's largest
+// graph, rMat24, has 2^24 vertices).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace darray::graph {
+
+using Vertex = uint32_t;
+using Edge = std::pair<Vertex, Vertex>;
+
+class Csr {
+ public:
+  Csr() = default;
+
+  static Csr from_edges(uint64_t n_vertices, std::vector<Edge> edges) {
+    Csr g;
+    g.n_ = n_vertices;
+    g.offsets_.assign(n_vertices + 1, 0);
+    for (const Edge& e : edges) {
+      DARRAY_ASSERT(e.first < n_vertices && e.second < n_vertices);
+      g.offsets_[e.first + 1]++;
+    }
+    for (uint64_t v = 0; v < n_vertices; ++v) g.offsets_[v + 1] += g.offsets_[v];
+    g.targets_.resize(edges.size());
+    std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const Edge& e : edges) g.targets_[cursor[e.first]++] = e.second;
+    return g;
+  }
+
+  // Add each edge in both directions (for connected components).
+  static Csr symmetric_from_edges(uint64_t n_vertices, const std::vector<Edge>& edges) {
+    std::vector<Edge> both;
+    both.reserve(edges.size() * 2);
+    for (const Edge& e : edges) {
+      both.push_back(e);
+      both.emplace_back(e.second, e.first);
+    }
+    return from_edges(n_vertices, std::move(both));
+  }
+
+  uint64_t n_vertices() const { return n_; }
+  uint64_t n_edges() const { return targets_.size(); }
+
+  uint64_t out_degree(Vertex v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+ private:
+  uint64_t n_ = 0;
+  std::vector<uint64_t> offsets_;
+  std::vector<Vertex> targets_;
+};
+
+}  // namespace darray::graph

@@ -1,0 +1,90 @@
+// DArray-backed distributed graph engine: the paper's §5.1 port of a
+// single-machine engine (Polymer-style) where the shared vertex arrays become
+// DArrays and the scatter phase uses the Operate interface (Fig. 8).
+//
+// BSP structure per iteration:
+//   scatter: each node scans its local vertex range and applies combined
+//            updates to neighbor state via DArray::apply
+//   barrier
+//   gather:  each node reads/settles its local vertex range (the reads force
+//            Operated → Unshared flushes, merging every node's operands)
+//   barrier
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "core/darray.hpp"
+
+namespace darray::graph {
+
+struct GraphRunOptions {
+  int iterations = 10;          // PageRank iteration count
+  bool use_pin = false;         // DArray-Pin variant (§4.1)
+  uint32_t threads_per_node = 1;
+};
+
+// Runs fn(node, thread, barrier) on threads_per_node app threads per node and
+// joins. The barrier spans every participating thread of every node.
+inline void run_bsp(rt::Cluster& cluster, uint32_t threads_per_node,
+                    const std::function<void(rt::NodeId, uint32_t, SenseBarrier&)>& fn) {
+  SenseBarrier barrier(cluster.num_nodes() * threads_per_node);
+  std::vector<std::thread> ts;
+  for (rt::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    for (uint32_t t = 0; t < threads_per_node; ++t) {
+      ts.emplace_back([&cluster, &fn, &barrier, n, t] {
+        bind_thread(cluster, n);
+        fn(n, t, barrier);
+      });
+    }
+  }
+  for (auto& t : ts) t.join();
+}
+
+// Split [begin, end) into `parts` and return part `i`.
+inline std::pair<uint64_t, uint64_t> split_range(uint64_t begin, uint64_t end, uint32_t parts,
+                                                 uint32_t i) {
+  const uint64_t len = end - begin;
+  return {begin + len * i / parts, begin + len * (i + 1) / parts};
+}
+
+// RAII chunk pin that follows a sequential scan: pins the chunk containing
+// each index the first time it is touched and releases the previous one.
+template <typename T>
+class ScanPin {
+ public:
+  ScanPin(const DArray<T>& a, PinMode mode, bool enabled, uint16_t op_id = rt::kNoOp)
+      : a_(a), mode_(mode), enabled_(enabled), op_id_(op_id) {}
+
+  ~ScanPin() { release(); }
+
+  void touch(uint64_t index) {
+    if (!enabled_) return;
+    const uint64_t chunk = index / a_.meta().chunk_elems;
+    if (chunk == cur_chunk_) return;
+    release();
+    if (a_.pin(index, mode_, op_id_)) {
+      cur_chunk_ = chunk;
+      cur_index_ = index;
+    }
+  }
+
+  void release() {
+    if (cur_chunk_ != ~0ull) {
+      a_.unpin(cur_index_);
+      cur_chunk_ = ~0ull;
+    }
+  }
+
+ private:
+  const DArray<T>& a_;
+  PinMode mode_;
+  bool enabled_;
+  uint16_t op_id_;
+  uint64_t cur_chunk_ = ~0ull;
+  uint64_t cur_index_ = 0;
+};
+
+}  // namespace darray::graph

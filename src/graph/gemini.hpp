@@ -1,0 +1,106 @@
+// Gemini-like baseline engine (Zhu et al., OSDI'16): computation-centric BSP
+// with explicit bulk message passing instead of shared memory. Each node
+// keeps a full-length local accumulator, scans its own edges purely locally,
+// then exchanges per-peer slices with one bulk one-sided WRITE per peer and
+// reduces the received slices — the dense communication mode of Gemini.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/rma_mesh.hpp"
+#include "runtime/cluster.hpp"
+
+namespace darray::graph {
+
+template <typename V>
+class GeminiContext {
+ public:
+  GeminiContext(rt::Cluster& cluster, uint64_t n, V identity)
+      : n_(n), nodes_(cluster.num_nodes()), identity_(identity) {
+    std::vector<rdma::Device*> devs;
+    for (uint32_t i = 0; i < nodes_; ++i) devs.push_back(cluster.node(i).device());
+    mesh_ = std::make_unique<net::RmaMesh>(cluster.fabric(), devs);
+
+    begin_.resize(nodes_ + 1);
+    for (uint32_t i = 0; i <= nodes_; ++i) begin_[i] = n * i / nodes_;
+
+    per_node_.resize(nodes_);
+    for (uint32_t i = 0; i < nodes_; ++i) {
+      PerNode& pn = per_node_[i];
+      pn.acc.assign(n, identity);
+      pn.acc_mr = mesh_->reg(i, pn.acc.data(), n * sizeof(V));
+      const uint64_t slice = begin_[i + 1] - begin_[i];
+      pn.recv.resize(nodes_);
+      pn.recv_mr.resize(nodes_);
+      for (uint32_t peer = 0; peer < nodes_; ++peer) {
+        if (peer == i) continue;
+        pn.recv[peer].assign(std::max<uint64_t>(1, slice), identity);
+        pn.recv_mr[peer] = mesh_->reg(i, pn.recv[peer].data(),
+                                      std::max<uint64_t>(1, slice) * sizeof(V));
+      }
+    }
+  }
+
+  uint64_t begin(uint32_t node) const { return begin_[node]; }
+  uint64_t end(uint32_t node) const { return begin_[node + 1]; }
+
+  // The node's full-length local accumulator (scatter target).
+  V* acc(uint32_t node) { return per_node_[node].acc.data(); }
+
+  // Phase 1 (per node, single thread): ship each peer its slice of my
+  // accumulator. Caller must barrier between phases.
+  void exchange_send(uint32_t me) {
+    for (uint32_t peer = 0; peer < nodes_; ++peer) {
+      if (peer == me) continue;
+      const uint64_t pb = begin_[peer], pe = begin_[peer + 1];
+      if (pb == pe) continue;
+      PerNode& mine = per_node_[me];
+      PerNode& theirs = per_node_[peer];
+      mesh_->write(me, peer, mine.acc.data() + pb, mine.acc_mr.lkey,
+                   reinterpret_cast<uint64_t>(theirs.recv[me].data()),
+                   theirs.recv_mr[me].rkey,
+                   static_cast<uint32_t>((pe - pb) * sizeof(V)));
+    }
+  }
+
+  // Phase 2 (per node, single thread): reduce received slices into my own
+  // accumulator slice with `combine`, then return a pointer to it.
+  template <typename Combine>
+  V* exchange_reduce(uint32_t me, Combine&& combine) {
+    PerNode& pn = per_node_[me];
+    const uint64_t b = begin_[me], e = begin_[me + 1];
+    for (uint32_t peer = 0; peer < nodes_; ++peer) {
+      if (peer == me) continue;
+      for (uint64_t v = b; v < e; ++v)
+        pn.acc[v] = combine(pn.acc[v], pn.recv[peer][v - b]);
+    }
+    return pn.acc.data();
+  }
+
+  // Reset the accumulator (and recv areas) to the identity for the next round.
+  void reset(uint32_t me) {
+    PerNode& pn = per_node_[me];
+    std::fill(pn.acc.begin(), pn.acc.end(), identity_);
+    for (auto& r : pn.recv) std::fill(r.begin(), r.end(), identity_);
+  }
+
+ private:
+  struct PerNode {
+    std::vector<V> acc;
+    rdma::MemoryRegion acc_mr;
+    std::vector<std::vector<V>> recv;
+    std::vector<rdma::MemoryRegion> recv_mr;
+  };
+
+  uint64_t n_;
+  uint32_t nodes_;
+  V identity_;
+  std::unique_ptr<net::RmaMesh> mesh_;
+  std::vector<uint64_t> begin_;
+  std::vector<PerNode> per_node_;
+};
+
+}  // namespace darray::graph

@@ -1,0 +1,169 @@
+#include "graph/pagerank.hpp"
+
+#include <atomic>
+
+#include "baselines/gam/gam_array.hpp"
+#include "graph/gemini.hpp"
+
+namespace darray::graph {
+
+namespace {
+
+void add_double(double& acc, double v) { acc += v; }
+
+void atomic_add(double& target, double v) {
+  std::atomic_ref<double> ref(target);
+  double old = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(old, old + v, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::vector<double> pagerank_darray(rt::Cluster& cluster, const Csr& g,
+                                    const GraphRunOptions& opt) {
+  const uint64_t n = g.n_vertices();
+  auto curr = DArray<double>::create(cluster, n);
+  auto next = DArray<double>::create(cluster, n);
+  const uint16_t add = next.register_op(&add_double, 0.0);
+  const double base = (1.0 - kDamping) / static_cast<double>(n);
+
+  std::vector<double> result(n);
+
+  run_bsp(cluster, opt.threads_per_node, [&](rt::NodeId node, uint32_t t, SenseBarrier& bar) {
+    const auto [b, e] =
+        split_range(curr.local_begin(node), curr.local_end(node), opt.threads_per_node, t);
+
+    // Init: every vertex starts at 1/n; next is already zero.
+    {
+      ScanPin<double> pin(curr, PinMode::kWrite, opt.use_pin);
+      for (uint64_t v = b; v < e; ++v) {
+        pin.touch(v);
+        curr.set(v, 1.0 / static_cast<double>(n));
+      }
+    }
+    bar.arrive_and_wait();
+
+    for (int iter = 0; iter < opt.iterations; ++iter) {
+      // Scatter: push curr[v]/deg to every out-neighbor via Operate (Fig. 8).
+      {
+        ScanPin<double> pin(curr, PinMode::kRead, opt.use_pin);
+        for (uint64_t v = b; v < e; ++v) {
+          const uint64_t deg = g.out_degree(static_cast<Vertex>(v));
+          if (deg == 0) continue;
+          pin.touch(v);
+          const double share = curr.get(v) / static_cast<double>(deg);
+          for (Vertex u : g.neighbors(static_cast<Vertex>(v))) next.apply(u, add, share);
+        }
+      }
+      bar.arrive_and_wait();
+
+      // Gather: settle local vertices; the local reads force every remote
+      // combine buffer for these chunks to flush home.
+      {
+        ScanPin<double> pin(next, PinMode::kWrite, opt.use_pin);
+        ScanPin<double> pin2(curr, PinMode::kWrite, opt.use_pin);
+        for (uint64_t v = b; v < e; ++v) {
+          pin.touch(v);
+          pin2.touch(v);
+          const double sum = next.get(v);
+          curr.set(v, base + kDamping * sum);
+          next.set(v, 0.0);
+        }
+      }
+      bar.arrive_and_wait();
+    }
+
+    // Collect this node's slice of the final ranks.
+    {
+      ScanPin<double> pin(curr, PinMode::kRead, opt.use_pin);
+      for (uint64_t v = b; v < e; ++v) {
+        pin.touch(v);
+        result[v] = curr.get(v);
+      }
+    }
+  });
+  return result;
+}
+
+std::vector<double> pagerank_gam(rt::Cluster& cluster, const Csr& g,
+                                 const GraphRunOptions& opt) {
+  const uint64_t n = g.n_vertices();
+  auto curr = gam::GamArray<double>::create(cluster, n);
+  auto next = gam::GamArray<double>::create(cluster, n);
+  const double base = (1.0 - kDamping) / static_cast<double>(n);
+  std::vector<double> result(n);
+
+  run_bsp(cluster, opt.threads_per_node, [&](rt::NodeId node, uint32_t t, SenseBarrier& bar) {
+    const auto [b, e] =
+        split_range(curr.local_begin(node), curr.local_end(node), opt.threads_per_node, t);
+    for (uint64_t v = b; v < e; ++v) curr.set(v, 1.0 / static_cast<double>(n));
+    bar.arrive_and_wait();
+
+    for (int iter = 0; iter < opt.iterations; ++iter) {
+      for (uint64_t v = b; v < e; ++v) {
+        const uint64_t deg = g.out_degree(static_cast<Vertex>(v));
+        if (deg == 0) continue;
+        const double share = curr.get(v) / static_cast<double>(deg);
+        // GAM has no Operate: every accumulation is an exclusive atomic RMW.
+        for (Vertex u : g.neighbors(static_cast<Vertex>(v)))
+          next.atomic_rmw(u, +[](double a, double x) { return a + x; }, share);
+      }
+      bar.arrive_and_wait();
+      for (uint64_t v = b; v < e; ++v) {
+        curr.set(v, base + kDamping * next.get(v));
+        next.set(v, 0.0);
+      }
+      bar.arrive_and_wait();
+    }
+    for (uint64_t v = b; v < e; ++v) result[v] = curr.get(v);
+  });
+  return result;
+}
+
+std::vector<double> pagerank_gemini(rt::Cluster& cluster, const Csr& g,
+                                    const GraphRunOptions& opt) {
+  const uint64_t n = g.n_vertices();
+  GeminiContext<double> ctx(cluster, n, 0.0);
+  const double base = (1.0 - kDamping) / static_cast<double>(n);
+  const uint32_t nodes = cluster.num_nodes();
+
+  // Per-node current-rank slice (local memory: Gemini keeps vertex state
+  // partitioned, not shared).
+  std::vector<std::vector<double>> curr(nodes);
+  for (uint32_t i = 0; i < nodes; ++i)
+    curr[i].assign(ctx.end(i) - ctx.begin(i), 1.0 / static_cast<double>(n));
+
+  std::vector<double> result(n);
+
+  run_bsp(cluster, opt.threads_per_node, [&](rt::NodeId node, uint32_t t, SenseBarrier& bar) {
+    const uint64_t nb = ctx.begin(node), ne = ctx.end(node);
+    const auto [b, e] = split_range(nb, ne, opt.threads_per_node, t);
+
+    for (int iter = 0; iter < opt.iterations; ++iter) {
+      double* acc = ctx.acc(node);
+      // Local scatter into the dense accumulator (no network).
+      for (uint64_t v = b; v < e; ++v) {
+        const uint64_t deg = g.out_degree(static_cast<Vertex>(v));
+        if (deg == 0) continue;
+        const double share = curr[node][v - nb] / static_cast<double>(deg);
+        for (Vertex u : g.neighbors(static_cast<Vertex>(v))) atomic_add(acc[u], share);
+      }
+      bar.arrive_and_wait();
+      if (t == 0) ctx.exchange_send(node);  // bulk per-peer slice WRITEs
+      bar.arrive_and_wait();
+      if (t == 0) {
+        double* reduced = ctx.exchange_reduce(node, [](double a, double x) { return a + x; });
+        for (uint64_t v = nb; v < ne; ++v) curr[node][v - nb] = base + kDamping * reduced[v];
+        ctx.reset(node);
+      }
+      bar.arrive_and_wait();
+    }
+    if (t == 0)
+      for (uint64_t v = nb; v < ne; ++v) result[v] = curr[node][v - nb];
+  });
+  return result;
+}
+
+}  // namespace darray::graph

@@ -1,0 +1,25 @@
+// PageRank on the three engines the paper compares: DArray (with optional
+// Pin), GAM-like, and Gemini-like. All run `iterations` synchronous damped
+// iterations and return the full rank vector.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/engine.hpp"
+#include "runtime/cluster.hpp"
+
+namespace darray::graph {
+
+inline constexpr double kDamping = 0.85;
+
+std::vector<double> pagerank_darray(rt::Cluster& cluster, const Csr& g,
+                                    const GraphRunOptions& opt);
+
+std::vector<double> pagerank_gam(rt::Cluster& cluster, const Csr& g,
+                                 const GraphRunOptions& opt);
+
+std::vector<double> pagerank_gemini(rt::Cluster& cluster, const Csr& g,
+                                    const GraphRunOptions& opt);
+
+}  // namespace darray::graph

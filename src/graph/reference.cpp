@@ -1,0 +1,43 @@
+#include "graph/reference.hpp"
+
+namespace darray::graph {
+
+std::vector<double> pagerank_reference(const Csr& g, int iters, double damping) {
+  const uint64_t n = g.n_vertices();
+  std::vector<double> curr(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iters; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (Vertex v = 0; v < n; ++v) {
+      const uint64_t deg = g.out_degree(v);
+      if (deg == 0) continue;
+      const double share = curr[v] / static_cast<double>(deg);
+      for (Vertex u : g.neighbors(v)) next[u] += share;
+    }
+    for (uint64_t v = 0; v < n; ++v)
+      next[v] = (1.0 - damping) / static_cast<double>(n) + damping * next[v];
+    curr.swap(next);
+  }
+  return curr;
+}
+
+std::vector<uint64_t> cc_reference(const Csr& g) {
+  const uint64_t n = g.n_vertices();
+  std::vector<uint64_t> label(n);
+  for (uint64_t v = 0; v < n; ++v) label[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Vertex v = 0; v < n; ++v) {
+      for (Vertex u : g.neighbors(v)) {
+        if (label[v] < label[u]) {
+          label[u] = label[v];
+          changed = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace darray::graph

@@ -1,0 +1,21 @@
+// Serial single-machine reference implementations used as ground truth by
+// tests and by the distributed engines' convergence checks.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace darray::graph {
+
+// Standard damped PageRank, `iters` synchronous iterations, damping 0.85.
+// Dangling vertices keep their (1-d)/n base rank, matching the distributed
+// engines here (contributions of dangling vertices are dropped, as in the
+// paper's Fig. 8 sketch).
+std::vector<double> pagerank_reference(const Csr& g, int iters, double damping = 0.85);
+
+// Connected components by label propagation to a fixed point (min label wins)
+// over a symmetric graph.
+std::vector<uint64_t> cc_reference(const Csr& g_symmetric);
+
+}  // namespace darray::graph

@@ -1,0 +1,54 @@
+#include "graph/rmat.hpp"
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace darray::graph {
+
+std::vector<Edge> rmat_edges(const RmatParams& p) {
+  const uint64_t n = uint64_t{1} << p.scale;
+  const uint64_t m = n * p.edge_factor;
+  Xoshiro256 rng(p.seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint64_t e = 0; e < m; ++e) {
+    uint64_t src = 0, dst = 0;
+    for (uint32_t bit = 0; bit < p.scale; ++bit) {
+      const double r = rng.next_double();
+      // Recursive quadrant choice with slight parameter noise, as in the
+      // original R-MAT description, to avoid exact self-similarity artifacts.
+      uint32_t quadrant;
+      if (r < p.a)
+        quadrant = 0;
+      else if (r < p.a + p.b)
+        quadrant = 1;
+      else if (r < p.a + p.b + p.c)
+        quadrant = 2;
+      else
+        quadrant = 3;
+      src = (src << 1) | (quadrant >> 1);
+      dst = (dst << 1) | (quadrant & 1);
+    }
+    edges.emplace_back(static_cast<Vertex>(src), static_cast<Vertex>(dst));
+  }
+
+  if (p.permute_vertices) {
+    // Fisher–Yates permutation of vertex labels so that hub vertices are not
+    // clustered at small ids (Graph500 does the same).
+    std::vector<Vertex> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (uint64_t i = n - 1; i > 0; --i) {
+      const uint64_t j = rng.next_below(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+    for (Edge& e : edges) {
+      e.first = perm[e.first];
+      e.second = perm[e.second];
+    }
+  }
+  return edges;
+}
+
+}  // namespace darray::graph

@@ -1,0 +1,27 @@
+// R-MAT graph generator (Chakrabarti et al., SDM'04) with the Graph500
+// parameters the paper uses: a=0.57, b=0.19, c=0.19, d=0.05. rMat24 in the
+// paper = scale 24 (2^24 vertices), edge factor 4 (2^26 edges).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace darray::graph {
+
+struct RmatParams {
+  uint32_t scale = 16;        // 2^scale vertices
+  uint32_t edge_factor = 4;   // edges = edge_factor * vertices
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  uint64_t seed = 1;
+  bool permute_vertices = true;  // Graph500-style relabeling to break locality
+};
+
+std::vector<Edge> rmat_edges(const RmatParams& p);
+
+inline Csr rmat_graph(const RmatParams& p) {
+  return Csr::from_edges(uint64_t{1} << p.scale, rmat_edges(p));
+}
+
+}  // namespace darray::graph

@@ -1,0 +1,91 @@
+#include "graph/sssp.hpp"
+
+#include <atomic>
+#include <queue>
+
+namespace darray::graph {
+
+namespace {
+void min_u64(uint64_t& acc, uint64_t v) {
+  if (v < acc) acc = v;
+}
+}  // namespace
+
+std::vector<uint64_t> sssp_reference(const Csr& g, Vertex source) {
+  // Dijkstra with the synthetic weights.
+  std::vector<uint64_t> dist(g.n_vertices(), kInfDist);
+  using Item = std::pair<uint64_t, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d != dist[v]) continue;
+    for (Vertex u : g.neighbors(v)) {
+      const uint64_t nd = d + edge_weight(v, u);
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        pq.push({nd, u});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> sssp_darray(rt::Cluster& cluster, const Csr& g, Vertex source,
+                                  const GraphRunOptions& opt) {
+  const uint64_t n = g.n_vertices();
+  auto dist = DArray<uint64_t>::create(cluster, n);
+  const uint16_t mn = dist.register_op(&min_u64, kInfDist);
+
+  std::vector<uint64_t> result(n);
+  std::atomic<uint64_t> global_changed{0};
+  constexpr int kMaxRounds = 500;  // Bellman-Ford: bounded by graph diameter
+
+  run_bsp(cluster, opt.threads_per_node, [&](rt::NodeId node, uint32_t t, SenseBarrier& bar) {
+    const auto [b, e] =
+        split_range(dist.local_begin(node), dist.local_end(node), opt.threads_per_node, t);
+    for (uint64_t v = b; v < e; ++v) dist.set(v, v == source ? 0 : kInfDist);
+    std::vector<uint64_t> prev(e - b, kInfDist);
+    std::vector<uint8_t> frontier(e - b, 0);
+    if (source >= b && source < e) {
+      prev[source - b] = 0;
+      frontier[source - b] = 1;
+    }
+    bar.arrive_and_wait();
+
+    for (int round = 0; round < kMaxRounds; ++round) {
+      // Relax only edges whose source distance changed last round.
+      for (uint64_t v = b; v < e; ++v) {
+        if (!frontier[v - b]) continue;
+        const uint64_t dv = prev[v - b];
+        for (Vertex u : g.neighbors(static_cast<Vertex>(v)))
+          dist.apply(u, mn, dv + edge_weight(static_cast<Vertex>(v), u));
+      }
+      bar.arrive_and_wait();
+      uint64_t changed = 0;
+      for (uint64_t v = b; v < e; ++v) {
+        const uint64_t dv = dist.get(v);
+        if (dv != prev[v - b]) {
+          prev[v - b] = dv;
+          frontier[v - b] = 1;
+          changed++;
+        } else {
+          frontier[v - b] = 0;
+        }
+      }
+      global_changed.fetch_add(changed, std::memory_order_acq_rel);
+      bar.arrive_and_wait();
+      const bool done = global_changed.load(std::memory_order_acquire) == 0;
+      bar.arrive_and_wait();
+      if (t == 0 && node == 0) global_changed.store(0, std::memory_order_release);
+      bar.arrive_and_wait();
+      if (done) break;
+    }
+    for (uint64_t v = b; v < e; ++v) result[v] = prev[v - b];
+  });
+  return result;
+}
+
+}  // namespace darray::graph

@@ -1,0 +1,33 @@
+// Single-source shortest paths (Bellman-Ford flavour) with write_min —
+// distances relax concurrently from every node with no locks, the same
+// pattern as the paper's PageRank sketch but with a min operator.
+//
+// Edge weights are synthesised deterministically from the endpoints (the CSR
+// carries none): weight(u, v) = 1 + mix(u, v) % 15, identical in the
+// distributed engines and the serial reference.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/engine.hpp"
+#include "runtime/cluster.hpp"
+
+namespace darray::graph {
+
+inline constexpr uint64_t kInfDist = ~0ull;
+
+inline uint64_t edge_weight(Vertex u, Vertex v) {
+  uint64_t x = (uint64_t{u} << 32) | v;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return 1 + (x % 15);
+}
+
+std::vector<uint64_t> sssp_darray(rt::Cluster& cluster, const Csr& g, Vertex source,
+                                  const GraphRunOptions& opt);
+
+std::vector<uint64_t> sssp_reference(const Csr& g, Vertex source);
+
+}  // namespace darray::graph

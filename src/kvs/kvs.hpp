@@ -1,0 +1,305 @@
+// Distributed key-value store on the distributed-array abstraction (paper
+// §5.2, Fig. 11): an entry array partitioned into buckets of 15 entries plus
+// an overflow pointer, and a byte array managed by a Memcached-style slab
+// allocator. Each 8-byte entry packs an 8-bit tag, 16-bit size and 40-bit
+// offset. Bucket chains are protected by the array's distributed R/W locks.
+//
+// The implementation is templated over the array type so the DArray-based
+// KVS and the GAM-based KVS (the paper's comparison pair, Fig. 17) share all
+// logic and differ only in the underlying memory system:
+//   using DKvs   = BasicKvs<DArray>;
+//   using GamKvs = BasicKvs<gam::GamArray>;
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/gam/gam_array.hpp"
+#include "core/darray.hpp"
+#include "kvs/slab_allocator.hpp"
+
+namespace darray::kvs {
+
+struct KvsConfig {
+  uint64_t n_main_buckets = 1 << 12;
+  uint64_t n_overflow_buckets = 1 << 10;
+  uint64_t byte_capacity = 32ull << 20;  // whole-cluster value storage
+};
+
+inline uint64_t fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <template <typename> class ArrayT>
+class BasicKvs {
+ public:
+  static constexpr uint32_t kSlots = 16;             // 15 entries + overflow ptr
+  static constexpr uint32_t kEntriesPerBucket = 15;  // paper §5.2
+
+  static BasicKvs create(rt::Cluster& cluster, const KvsConfig& cfg = {}) {
+    BasicKvs k;
+    k.impl_ = std::make_shared<Impl>();
+    Impl& im = *k.impl_;
+    im.cfg = cfg;
+    const uint64_t total_buckets = cfg.n_main_buckets + cfg.n_overflow_buckets;
+    im.entries = ArrayT<uint64_t>::create(cluster, total_buckets * kSlots);
+    im.bytes = ArrayT<uint8_t>::create(cluster, cfg.byte_capacity);
+
+    // One slab allocator per node over its local range of the byte array, and
+    // an even split of the overflow bucket space.
+    const uint32_t nodes = cluster.num_nodes();
+    im.byte_begin.resize(nodes + 1);
+    for (uint32_t i = 0; i < nodes; ++i) im.byte_begin[i] = im.bytes.local_begin(i);
+    im.byte_begin[nodes] = cfg.byte_capacity;
+    for (uint32_t i = 0; i < nodes; ++i) {
+      im.slabs.push_back(std::make_unique<SlabAllocator>(
+          im.bytes.local_begin(i), im.bytes.local_end(i) - im.bytes.local_begin(i)));
+      im.overflow_next.push_back(std::make_unique<std::atomic<uint64_t>>(
+          cfg.n_main_buckets + cfg.n_overflow_buckets * i / nodes));
+      im.overflow_limit.push_back(cfg.n_main_buckets +
+                                  cfg.n_overflow_buckets * (i + 1) / nodes);
+    }
+    return k;
+  }
+
+  // Insert or update. Returns false when the key-value pair is too large or
+  // value/overflow space is exhausted.
+  bool put(std::string_view key, std::string_view value) {
+    Impl& im = *impl_;
+    const uint64_t blob_len = 2 + key.size() + value.size();
+    if (key.size() > 0xffff || blob_len > 0xffff) return false;
+
+    const uint64_t h = fnv1a(key);
+    const uint64_t main_bucket = h % im.cfg.n_main_buckets;
+    const uint8_t tag = tag_of(h);
+    const uint64_t lock_idx = main_bucket * kSlots;
+
+    // Write the blob first (outside the bucket lock: the entry is the commit
+    // point), allocated from the caller's node for locality.
+    const rt::NodeId me = this_thread_ctx().node;
+    const uint64_t offset = im.slabs[me]->allocate(static_cast<uint32_t>(blob_len));
+    if (offset == kNullOffset) return false;
+    write_blob(offset, key, value);
+
+    im.entries.wlock(lock_idx);
+    uint64_t bucket = main_bucket;
+    int64_t empty_slot = -1;  // first free slot seen while probing the chain
+    for (;;) {
+      for (uint32_t s = 0; s < kEntriesPerBucket; ++s) {
+        const uint64_t idx = bucket * kSlots + s;
+        const uint64_t entry = im.entries.get(idx);
+        if (entry == 0) {
+          if (empty_slot < 0) empty_slot = static_cast<int64_t>(idx);
+          continue;
+        }
+        if (entry_tag(entry) != tag) continue;
+        if (key_matches(entry, key)) {
+          // Update in place: free the old blob, commit the new entry.
+          free_blob(entry);
+          im.entries.set(idx, encode(tag, blob_len, offset));
+          im.entries.unlock(lock_idx);
+          return true;
+        }
+      }
+      const uint64_t next = im.entries.get(bucket * kSlots + kSlots - 1);
+      if (next == 0) break;
+      bucket = next - 1;
+    }
+
+    if (empty_slot < 0) {
+      // Chain full: link a fresh overflow bucket and take its first slot.
+      const uint64_t ob = alloc_overflow_bucket(me);
+      if (ob == kNullOffset) {
+        im.entries.unlock(lock_idx);
+        im.slabs[me]->free(offset, static_cast<uint32_t>(blob_len));
+        return false;
+      }
+      im.entries.set(bucket * kSlots + kSlots - 1, ob + 1);
+      empty_slot = static_cast<int64_t>(ob * kSlots);
+    }
+    im.entries.set(static_cast<uint64_t>(empty_slot), encode(tag, blob_len, offset));
+    im.entries.unlock(lock_idx);
+    return true;
+  }
+
+  // Lookup (paper Fig. 11). Returns the value, or nullopt when absent.
+  std::optional<std::string> get(std::string_view key) {
+    Impl& im = *impl_;
+    const uint64_t h = fnv1a(key);
+    const uint64_t main_bucket = h % im.cfg.n_main_buckets;
+    const uint8_t tag = tag_of(h);
+    const uint64_t lock_idx = main_bucket * kSlots;
+
+    im.entries.rlock(lock_idx);
+    std::optional<std::string> result;
+    uint64_t bucket = main_bucket;
+    for (;;) {
+      for (uint32_t s = 0; s < kEntriesPerBucket && !result; ++s) {
+        const uint64_t entry = im.entries.get(bucket * kSlots + s);
+        if (entry == 0 || entry_tag(entry) != tag) continue;
+        result = read_if_match(entry, key);
+      }
+      if (result) break;
+      const uint64_t next = im.entries.get(bucket * kSlots + kSlots - 1);  // overflow ptr
+      if (next == 0) break;
+      bucket = next - 1;
+    }
+    im.entries.unlock(lock_idx);
+    return result;
+  }
+
+  // Existence probe: like get() but transfers only the key bytes for
+  // comparison, never the value.
+  bool contains(std::string_view key) {
+    Impl& im = *impl_;
+    const uint64_t h = fnv1a(key);
+    const uint64_t main_bucket = h % im.cfg.n_main_buckets;
+    const uint8_t tag = tag_of(h);
+    const uint64_t lock_idx = main_bucket * kSlots;
+
+    im.entries.rlock(lock_idx);
+    bool found = false;
+    uint64_t bucket = main_bucket;
+    for (;;) {
+      for (uint32_t s = 0; s < kEntriesPerBucket && !found; ++s) {
+        const uint64_t entry = im.entries.get(bucket * kSlots + s);
+        if (entry != 0 && entry_tag(entry) == tag && key_matches(entry, key)) found = true;
+      }
+      if (found) break;
+      const uint64_t next = im.entries.get(bucket * kSlots + kSlots - 1);
+      if (next == 0) break;
+      bucket = next - 1;
+    }
+    im.entries.unlock(lock_idx);
+    return found;
+  }
+
+  // Remove a key. Returns false when absent.
+  bool erase(std::string_view key) {
+    Impl& im = *impl_;
+    const uint64_t h = fnv1a(key);
+    const uint64_t main_bucket = h % im.cfg.n_main_buckets;
+    const uint8_t tag = tag_of(h);
+    const uint64_t lock_idx = main_bucket * kSlots;
+
+    im.entries.wlock(lock_idx);
+    bool erased = false;
+    uint64_t bucket = main_bucket;
+    for (;;) {
+      for (uint32_t s = 0; s < kEntriesPerBucket; ++s) {
+        const uint64_t idx = bucket * kSlots + s;
+        const uint64_t entry = im.entries.get(idx);
+        if (entry == 0 || entry_tag(entry) != tag) continue;
+        if (key_matches(entry, key)) {
+          free_blob(entry);
+          im.entries.set(idx, 0);
+          erased = true;
+          break;
+        }
+      }
+      if (erased) break;
+      const uint64_t next = im.entries.get(bucket * kSlots + kSlots - 1);
+      if (next == 0) break;
+      bucket = next - 1;
+    }
+    im.entries.unlock(lock_idx);
+    return erased;
+  }
+
+  uint64_t bytes_in_use() const {
+    uint64_t total = 0;
+    for (const auto& s : impl_->slabs) total += s->bytes_in_use();
+    return total;
+  }
+
+ private:
+  struct Impl {
+    KvsConfig cfg;
+    ArrayT<uint64_t> entries;
+    ArrayT<uint8_t> bytes;
+    std::vector<std::unique_ptr<SlabAllocator>> slabs;
+    std::vector<std::unique_ptr<std::atomic<uint64_t>>> overflow_next;
+    std::vector<uint64_t> overflow_limit;
+    std::vector<uint64_t> byte_begin;
+  };
+
+  static uint8_t tag_of(uint64_t h) { return static_cast<uint8_t>((h >> 56) | 0x01); }
+
+  static uint64_t encode(uint8_t tag, uint64_t size, uint64_t offset) {
+    DARRAY_ASSERT(offset < (1ull << 40));
+    return (uint64_t{tag} << 56) | (size << 40) | offset;
+  }
+  static uint8_t entry_tag(uint64_t e) { return static_cast<uint8_t>(e >> 56); }
+  static uint32_t entry_size(uint64_t e) { return static_cast<uint32_t>((e >> 40) & 0xffff); }
+  static uint64_t entry_offset(uint64_t e) { return e & ((1ull << 40) - 1); }
+
+  void write_blob(uint64_t offset, std::string_view key, std::string_view value) {
+    Impl& im = *impl_;
+    std::vector<uint8_t> blob(2 + key.size() + value.size());
+    blob[0] = static_cast<uint8_t>(key.size() & 0xff);
+    blob[1] = static_cast<uint8_t>(key.size() >> 8);
+    std::memcpy(blob.data() + 2, key.data(), key.size());
+    std::memcpy(blob.data() + 2 + key.size(), value.data(), value.size());
+    im.bytes.write_bulk(offset, blob.data(), blob.size());
+  }
+
+  bool key_matches(uint64_t entry, std::string_view key) {
+    Impl& im = *impl_;
+    const uint32_t size = entry_size(entry);
+    if (size < 2 + key.size()) return false;
+    std::vector<uint8_t> hdr(2 + key.size());
+    im.bytes.read_bulk(entry_offset(entry), hdr.data(), hdr.size());
+    const uint32_t klen = hdr[0] | (uint32_t{hdr[1]} << 8);
+    if (klen != key.size()) return false;
+    return std::memcmp(hdr.data() + 2, key.data(), key.size()) == 0;
+  }
+
+  std::optional<std::string> read_if_match(uint64_t entry, std::string_view key) {
+    Impl& im = *impl_;
+    const uint32_t size = entry_size(entry);
+    std::vector<uint8_t> blob(size);
+    im.bytes.read_bulk(entry_offset(entry), blob.data(), size);
+    if (size < 2) return std::nullopt;
+    const uint32_t klen = blob[0] | (uint32_t{blob[1]} << 8);
+    if (klen != key.size() || 2 + klen > size) return std::nullopt;
+    if (std::memcmp(blob.data() + 2, key.data(), key.size()) != 0) return std::nullopt;
+    return std::string(reinterpret_cast<char*>(blob.data()) + 2 + klen, size - 2 - klen);
+  }
+
+  void free_blob(uint64_t entry) {
+    Impl& im = *impl_;
+    const uint64_t off = entry_offset(entry);
+    // Find the owning node's allocator by the byte-array partition.
+    auto it = std::upper_bound(im.byte_begin.begin(), im.byte_begin.end(), off);
+    const size_t owner = static_cast<size_t>(it - im.byte_begin.begin() - 1);
+    im.slabs[owner]->free(off, entry_size(entry));
+  }
+
+  uint64_t alloc_overflow_bucket(rt::NodeId me) {
+    Impl& im = *impl_;
+    const size_t nodes = im.overflow_next.size();
+    // Prefer the local quota, then steal from other nodes' quotas.
+    for (size_t k = 0; k < nodes; ++k) {
+      const size_t n = (me + k) % nodes;
+      const uint64_t b = im.overflow_next[n]->fetch_add(1, std::memory_order_relaxed);
+      if (b < im.overflow_limit[n]) return b;
+      im.overflow_next[n]->store(im.overflow_limit[n], std::memory_order_relaxed);
+    }
+    return kNullOffset;
+  }
+
+  std::shared_ptr<Impl> impl_;
+};
+
+using DKvs = BasicKvs<DArray>;
+using GamKvs = BasicKvs<gam::GamArray>;
+
+}  // namespace darray::kvs

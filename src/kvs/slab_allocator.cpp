@@ -1,0 +1,63 @@
+#include "kvs/slab_allocator.hpp"
+
+#include <bit>
+#include <mutex>
+
+#include "common/assert.hpp"
+
+namespace darray::kvs {
+
+namespace {
+constexpr uint32_t kMinShift = 4;  // log2(kMinClassBytes)
+}
+
+SlabAllocator::SlabAllocator(uint64_t base, uint64_t size) : base_(base), size_(size) {
+  const uint32_t classes =
+      std::bit_width(kMaxClassBytes) - std::bit_width(kMinClassBytes) + 1;
+  free_lists_.resize(classes);
+}
+
+uint32_t SlabAllocator::class_bytes(uint32_t bytes) {
+  return std::max<uint32_t>(kMinClassBytes, std::bit_ceil(bytes));
+}
+
+uint32_t SlabAllocator::class_index(uint32_t bytes) {
+  DARRAY_ASSERT(bytes <= kMaxClassBytes);
+  const uint32_t cb = class_bytes(bytes);
+  return static_cast<uint32_t>(std::bit_width(cb)) - 1 - kMinShift;
+}
+
+uint64_t SlabAllocator::allocate(uint32_t bytes) {
+  if (bytes == 0 || bytes > kMaxClassBytes) return kNullOffset;
+  const uint32_t idx = class_index(bytes);
+  const uint32_t cb = class_bytes(bytes);
+  std::scoped_lock lk(mu_);
+  auto& fl = free_lists_[idx];
+  if (fl.empty()) {
+    // Assign a fresh page to this class and split it.
+    const uint64_t page_size = std::max<uint64_t>(kPageBytes, cb);
+    if (bump_ + page_size > size_) return kNullOffset;
+    const uint64_t page = base_ + bump_;
+    bump_ += page_size;
+    for (uint64_t off = page_size; off >= cb; off -= cb) fl.push_back(page + off - cb);
+  }
+  const uint64_t offset = fl.back();
+  fl.pop_back();
+  in_use_ += cb;
+  return offset;
+}
+
+void SlabAllocator::free(uint64_t offset, uint32_t bytes) {
+  DARRAY_ASSERT(offset != kNullOffset);
+  const uint32_t idx = class_index(bytes);
+  std::scoped_lock lk(mu_);
+  free_lists_[idx].push_back(offset);
+  in_use_ -= class_bytes(bytes);
+}
+
+uint64_t SlabAllocator::bytes_in_use() const {
+  std::scoped_lock lk(mu_);
+  return in_use_;
+}
+
+}  // namespace darray::kvs

@@ -1,0 +1,49 @@
+// Slab allocator in the style of Memcached's (paper §5.2: "We port the
+// SlabAllocator from Memcached to manage the byte array"). Manages one node's
+// range of the KVS byte array: memory is carved into fixed-size pages, each
+// page is assigned to a power-of-two size class, and freed objects return to
+// their class's free list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/spinlock.hpp"
+
+namespace darray::kvs {
+
+inline constexpr uint64_t kNullOffset = ~0ull;
+
+class SlabAllocator {
+ public:
+  static constexpr uint32_t kMinClassBytes = 16;
+  static constexpr uint32_t kMaxClassBytes = 64 * 1024;
+  static constexpr uint64_t kPageBytes = 64 * 1024;
+
+  // Manages global offsets [base, base + size).
+  SlabAllocator(uint64_t base, uint64_t size);
+
+  // Returns a global offset with at least `bytes` capacity, or kNullOffset
+  // when the region is exhausted. bytes must be <= kMaxClassBytes.
+  uint64_t allocate(uint32_t bytes);
+
+  // Return an allocation of `bytes` (the original request size) at `offset`.
+  void free(uint64_t offset, uint32_t bytes);
+
+  // Capacity actually reserved for a request of `bytes`.
+  static uint32_t class_bytes(uint32_t bytes);
+
+  uint64_t bytes_in_use() const;
+
+ private:
+  static uint32_t class_index(uint32_t bytes);
+
+  const uint64_t base_;
+  const uint64_t size_;
+  mutable SpinLock mu_;
+  uint64_t bump_ = 0;  // next unassigned page offset (relative to base_)
+  std::vector<std::vector<uint64_t>> free_lists_;  // per class, global offsets
+  uint64_t in_use_ = 0;
+};
+
+}  // namespace darray::kvs

@@ -1,0 +1,254 @@
+#include "net/comm_layer.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace darray::net {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kInvalid: return "Invalid";
+    case MsgType::kReadReq: return "ReadReq";
+    case MsgType::kWriteReq: return "WriteReq";
+    case MsgType::kOperateReq: return "OperateReq";
+    case MsgType::kWriteback: return "Writeback";
+    case MsgType::kOpFlush: return "OpFlush";
+    case MsgType::kReadData: return "ReadData";
+    case MsgType::kWriteData: return "WriteData";
+    case MsgType::kOperateResp: return "OperateResp";
+    case MsgType::kInvalidate: return "Invalidate";
+    case MsgType::kFetch: return "Fetch";
+    case MsgType::kFlushReq: return "FlushReq";
+    case MsgType::kInvAck: return "InvAck";
+    case MsgType::kFetchData: return "FetchData";
+    case MsgType::kLockAcq: return "LockAcq";
+    case MsgType::kLockGrant: return "LockGrant";
+    case MsgType::kLockRel: return "LockRel";
+    case MsgType::kMaxMsgType: break;
+  }
+  return "?";
+}
+
+namespace {
+// Largest possible payload: one OpFlushEntry per element in a chunk.
+size_t compute_max_msg_bytes(const ClusterConfig& cfg) {
+  return sizeof(MsgHeader) + size_t{cfg.chunk_elems} * sizeof(OpFlushEntry);
+}
+}  // namespace
+
+CommLayer::CommLayer(uint32_t node_id, uint32_t num_nodes, const ClusterConfig& cfg,
+                     rdma::Device* device, DispatchFn dispatch)
+    : node_id_(node_id),
+      num_nodes_(num_nodes),
+      cfg_(cfg),
+      device_(device),
+      dispatch_(std::move(dispatch)),
+      max_msg_bytes_(compute_max_msg_bytes(cfg)),
+      qp_to_peer_(num_nodes, nullptr),
+      outstanding_(num_nodes),
+      unsignaled_run_(num_nodes, 0) {
+  // Send buffers: enough that every peer QP can hold a full unsignaled run
+  // plus slack, so acquire_send_buffer rarely has to spin on the CQ.
+  send_buf_count_ = num_nodes_ * cfg_.selective_signal_interval * 2 + 32;
+  send_arena_ = std::make_unique<std::byte[]>(send_buf_count_ * max_msg_bytes_);
+  send_mr_ = device_->reg_mr(send_arena_.get(), send_buf_count_ * max_msg_bytes_);
+  send_free_.reserve(send_buf_count_);
+  for (uint32_t i = 0; i < send_buf_count_; ++i) send_free_.push_back(i);
+
+  const size_t recv_count = size_t{num_nodes_} * cfg_.qp_depth;
+  recv_arena_ = std::make_unique<std::byte[]>(recv_count * max_msg_bytes_);
+  recv_mr_ = device_->reg_mr(recv_arena_.get(), recv_count * max_msg_bytes_);
+}
+
+CommLayer::~CommLayer() { stop(); }
+
+void CommLayer::set_qp(uint32_t peer, rdma::QueuePair* qp) {
+  DARRAY_ASSERT(peer < num_nodes_ && peer != node_id_);
+  qp_to_peer_[peer] = qp;
+  if (qp->qp_num() >= qp_by_num_.size()) qp_by_num_.resize(qp->qp_num() + 1, nullptr);
+  qp_by_num_[qp->qp_num()] = qp;
+}
+
+void CommLayer::start() {
+  DARRAY_ASSERT(!started_);
+  started_ = true;
+  // Prepost the full recv ring, qp_depth buffers per peer QP.
+  size_t buf = 0;
+  for (uint32_t peer = 0; peer < num_nodes_; ++peer) {
+    if (peer == node_id_) continue;
+    rdma::QueuePair* qp = qp_to_peer_[peer];
+    DARRAY_ASSERT_MSG(qp != nullptr, "comm layer started before topology wiring");
+    for (uint32_t i = 0; i < cfg_.qp_depth; ++i, ++buf) {
+      rdma::RecvWr wr;
+      wr.addr = recv_arena_.get() + buf * max_msg_bytes_;
+      wr.length = static_cast<uint32_t>(max_msg_bytes_);
+      wr.lkey = recv_mr_.lkey;
+      wr.wr_id = reinterpret_cast<uint64_t>(wr.addr);
+      qp->post_recv(wr);
+    }
+  }
+  tx_thread_ = std::thread([this] { tx_main(); });
+  rx_thread_ = std::thread([this] { rx_main(); });
+}
+
+void CommLayer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  tx_bell_.ring();
+  rx_bell_.ring();
+  tx_thread_.join();
+  rx_thread_.join();
+  started_ = false;
+}
+
+void CommLayer::post(TxRequest req) {
+  DARRAY_ASSERT_MSG(req.dst != node_id_, "self-sends must be short-circuited in the runtime");
+  tx_queue_.push(std::move(req));
+}
+
+void CommLayer::reclaim_send_buffers() {
+  rdma::WorkCompletion wcs[32];
+  for (;;) {
+    const size_t n = send_cq_.poll(wcs);
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      const rdma::WorkCompletion& wc = wcs[i];
+      DARRAY_ASSERT_MSG(wc.status == rdma::WcStatus::kSuccess, "send failed");
+      if (wc.opcode != rdma::Opcode::kSend) continue;  // WRITEs are unsignaled
+      // A signaled completion retires every earlier unsignaled send on the
+      // same QP (per-QP FIFO) — the point of selective signaling.
+      auto& fifo = outstanding_[wc.peer_node];
+      while (!fifo.empty() && fifo.front().wr_id <= wc.wr_id) {
+        send_free_.push_back(fifo.front().buf);
+        fifo.pop_front();
+      }
+    }
+  }
+}
+
+uint32_t CommLayer::acquire_send_buffer() {
+  while (send_free_.empty()) {
+    reclaim_send_buffers();
+    if (!send_free_.empty()) break;
+    cpu_relax();
+  }
+  const uint32_t buf = send_free_.back();
+  send_free_.pop_back();
+  return buf;
+}
+
+void CommLayer::post_one(TxRequest& req) {
+  rdma::QueuePair* qp = qp_to_peer_[req.dst];
+  DARRAY_ASSERT(qp != nullptr);
+
+  // 1. Optional one-sided data WRITE; FIFO per QP orders it before the SEND.
+  if (req.has_data()) {
+    rdma::SendWr wr;
+    wr.opcode = rdma::Opcode::kWrite;
+    wr.sge = {req.data_src, req.data_len, req.data_lkey};
+    wr.remote_addr = req.data_remote_addr;
+    wr.rkey = req.data_rkey;
+    wr.signaled = false;  // source buffer release is handled via posted_flag
+    wr.wr_id = next_wr_id_++;
+    const bool ok = qp->post_send(wr);
+    DARRAY_ASSERT_MSG(ok, "data WRITE failed local validation");
+    if (req.posted_flag) {
+      req.posted_flag->store(1, std::memory_order_release);
+      req.posted_flag->notify_all();
+    }
+  }
+
+  // 2. The two-sided protocol message.
+  const uint32_t buf = acquire_send_buffer();
+  std::byte* p = send_arena_.get() + size_t{buf} * max_msg_bytes_;
+  req.hdr.src_node = static_cast<uint16_t>(node_id_);
+  req.hdr.payload_len = static_cast<uint32_t>(req.payload.size());
+  std::memcpy(p, &req.hdr, sizeof(MsgHeader));
+  if (!req.payload.empty())
+    std::memcpy(p + sizeof(MsgHeader), req.payload.data(), req.payload.size());
+
+  rdma::SendWr wr;
+  wr.opcode = rdma::Opcode::kSend;
+  wr.sge = {p, static_cast<uint32_t>(sizeof(MsgHeader) + req.payload.size()), send_mr_.lkey};
+  wr.wr_id = next_wr_id_++;
+  // Selective signaling: request a completion once per interval per QP so the
+  // signaled CQE retires the whole unsignaled run behind it.
+  uint32_t& run = unsignaled_run_[req.dst];
+  wr.signaled = ++run >= cfg_.selective_signal_interval;
+  if (wr.signaled) run = 0;
+  outstanding_[req.dst].push_back({wr.wr_id, buf});
+  const bool ok = qp->post_send(wr);
+  DARRAY_ASSERT_MSG(ok, "protocol SEND failed local validation");
+}
+
+void CommLayer::tx_main() {
+  for (;;) {
+    const uint32_t snap = tx_bell_.snapshot();
+    bool progressed = false;
+    TxRequest req;
+    while (tx_queue_.pop(req)) {
+      post_one(req);
+      progressed = true;
+    }
+    reclaim_send_buffers();
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (!progressed) tx_bell_.wait_change(snap);
+  }
+}
+
+void CommLayer::rx_main() {
+  rdma::WorkCompletion wcs[32];
+  for (;;) {
+    const uint32_t snap = rx_bell_.snapshot();
+    bool progressed = false;
+    for (;;) {
+      const size_t n = recv_cq_.poll(wcs);
+      if (n == 0) break;
+      progressed = true;
+      for (size_t i = 0; i < n; ++i) {
+        const rdma::WorkCompletion& wc = wcs[i];
+        DARRAY_ASSERT(wc.status == rdma::WcStatus::kSuccess);
+        DARRAY_ASSERT(wc.opcode == rdma::Opcode::kRecv);
+        auto* bufp = reinterpret_cast<std::byte*>(wc.wr_id);
+        RpcMessage msg;
+        std::memcpy(&msg.hdr, bufp, sizeof(MsgHeader));
+        DARRAY_ASSERT(sizeof(MsgHeader) + msg.hdr.payload_len == wc.byte_len);
+        if (msg.hdr.payload_len > 0) {
+          msg.payload.resize(msg.hdr.payload_len);
+          std::memcpy(msg.payload.data(), bufp + sizeof(MsgHeader), msg.hdr.payload_len);
+        }
+        // Repost the buffer to the QP it came from before dispatching.
+        rdma::QueuePair* qp = qp_by_num_[wc.qp_num];
+        rdma::RecvWr rwr;
+        rwr.addr = bufp;
+        rwr.length = static_cast<uint32_t>(max_msg_bytes_);
+        rwr.lkey = recv_mr_.lkey;
+        rwr.wr_id = wc.wr_id;
+        qp->post_recv(rwr);
+        DLOG_DEBUG("node %u rx %s from %u chunk=%llu", node_id_,
+                   msg_type_name(msg.hdr.type), msg.hdr.src_node,
+                   static_cast<unsigned long long>(msg.hdr.chunk));
+        dispatch_(std::move(msg));
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (!progressed) {
+      const uint64_t due = recv_cq_.next_due_in();
+      if (due == ~0ull) {
+        rx_bell_.wait_change(snap);
+      } else if (due > 0) {
+        // Latency model holdback. sleep_for has a scheduler-quantum floor far
+        // above microsecond-scale link latencies, so short waits busy-poll.
+        if (due < 20'000)
+          cpu_relax();
+        else
+          std::this_thread::sleep_for(std::chrono::nanoseconds(due));
+      }
+    }
+  }
+}
+
+}  // namespace darray::net

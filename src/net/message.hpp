@@ -1,0 +1,108 @@
+// Protocol message formats exchanged between nodes' runtime layers.
+//
+// Wire format of a two-sided message: [MsgHeader][payload bytes]. Bulk
+// application data (cache fills, writebacks) never rides in payloads — it is
+// moved by one-sided RDMA WRITE and the two-sided message is only the
+// notification, as in the paper (§4.5). Payloads carry combined Operate
+// operands and nothing else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace darray::net {
+
+enum class MsgType : uint8_t {
+  kInvalid = 0,
+
+  // --- coherence: requester → home -----------------------------------------
+  kReadReq,      // addr/rkey: where home must WRITE the chunk data
+  kWriteReq,     // addr/rkey: ditto; grants exclusive ownership
+  kOperateReq,   // op_id: join the Operated participant set (no data moves)
+  kWriteback,    // voluntary Dirty eviction; data WRITE precedes this message
+  kOpFlush,      // payload = combined (offset, operand) pairs; voluntary
+                 // eviction or reply to kFlushReq
+
+  // --- coherence: home → others ---------------------------------------------
+  kReadData,     // fill complete (data already WRITTEN into your cacheline)
+  kWriteData,    // exclusive fill complete
+  kOperateResp,  // you are now an Operated participant
+  kInvalidate,   // drop your Shared copy, then ack
+  kFetch,        // write your Dirty data back (one-sided) then kFetchData;
+                 //   aux = target state for your copy (see FetchTarget)
+  kFlushReq,     // flush your combine buffer (kOpFlush), drop the line
+
+  // --- coherence: others → home ---------------------------------------------
+  kInvAck,
+  kFetchData,    // data WRITE into home subarray precedes this message
+
+  // --- distributed reader/writer locks --------------------------------------
+  kLockAcq,      // addr = element index, aux = LockMode
+  kLockGrant,    // txn_id echoes the acquire
+  kLockRel,      // addr = element index
+
+  kMaxMsgType,
+};
+
+enum class FetchTarget : uint32_t { kInvalid = 0, kShared = 1 };
+enum class LockMode : uint32_t { kRead = 0, kWrite = 1 };
+
+struct MsgHeader {
+  MsgType type = MsgType::kInvalid;
+  uint8_t pad = 0;
+  uint16_t src_node = 0;
+  uint16_t array_id = 0;
+  uint16_t op_id = 0;
+  uint32_t txn_id = 0;      // requester-side matching (locks, diagnostics)
+  uint32_t payload_len = 0;
+  uint64_t chunk = 0;
+  uint64_t addr = 0;        // data placement address / element index for locks
+  uint32_t rkey = 0;
+  uint32_t aux = 0;         // FetchTarget / LockMode / misc
+};
+static_assert(sizeof(MsgHeader) == 40);
+
+// A parsed inbound message as delivered to a runtime thread.
+struct RpcMessage {
+  MsgHeader hdr;
+  std::vector<std::byte> payload;
+};
+
+// An outbound request handed from a runtime thread to the Tx thread: an
+// optional one-sided data WRITE followed (FIFO on the same QP) by the
+// two-sided header+payload SEND.
+struct TxRequest {
+  uint16_t dst = 0;
+  MsgHeader hdr;
+  std::vector<std::byte> payload;
+
+  // Optional preceding one-sided WRITE.
+  const std::byte* data_src = nullptr;  // must lie in the MR named by data_lkey
+  uint32_t data_len = 0;
+  uint32_t data_lkey = 0;
+  uint64_t data_remote_addr = 0;
+  uint32_t data_rkey = 0;
+
+  // Optional release hook: set to 1 by the Tx thread once the data WRITE has
+  // been posted (payload copied), letting the runtime recycle the source
+  // cacheline without a protocol-level ack.
+  std::atomic<uint32_t>* posted_flag = nullptr;
+
+  bool has_data() const { return data_src != nullptr; }
+};
+
+// Payload entry for kOpFlush: one touched element's combined operand.
+// Operands are raw element bytes, at most 8 (Operate is restricted to
+// lock-free-combinable element sizes).
+struct OpFlushEntry {
+  uint16_t offset;       // element offset within the chunk
+  uint16_t pad = 0;
+  uint32_t pad2 = 0;
+  uint64_t value_bits;   // raw little-endian element bytes, zero-extended
+};
+static_assert(sizeof(OpFlushEntry) == 16);
+
+const char* msg_type_name(MsgType t);
+
+}  // namespace darray::net

@@ -1,0 +1,70 @@
+// Completion queue for the simulated fabric. Producers are remote posting
+// threads; the consumer is the single Tx or Rx thread that owns the CQ.
+// Entries carrying a future deliver_at_ns deadline are held back on the
+// consumer side, which is how the fabric injects link latency without
+// blocking the poster.
+#pragma once
+
+#include <deque>
+#include <span>
+
+#include "common/histogram.hpp"
+#include "common/mpsc_queue.hpp"
+#include "rdma/verbs.hpp"
+
+namespace darray::rdma {
+
+class CompletionQueue {
+ public:
+  // The CQ rings `bell` on every push; pass the consumer thread's doorbell so
+  // one thread can park on several queues at once. Defaults to a private bell.
+  explicit CompletionQueue(Doorbell* bell = nullptr)
+      : bell_(bell ? bell : &own_bell_), queue_(bell_) {}
+
+  // Fabric-internal: enqueue a completion (any thread).
+  void push(WorkCompletion wc) { queue_.push(wc); }
+
+  // Consumer only. Returns the number of due completions written to `out`.
+  size_t poll(std::span<WorkCompletion> out) {
+    const uint64_t now = now_ns();
+    size_t n = 0;
+    while (n < out.size()) {
+      if (!holdback_.empty()) {
+        if (holdback_.front().deliver_at_ns > now) break;
+        out[n++] = holdback_.front();
+        holdback_.pop_front();
+        continue;
+      }
+      WorkCompletion wc;
+      if (!queue_.pop(wc)) break;
+      if (wc.deliver_at_ns > now) {
+        holdback_.push_back(wc);  // FIFO per CQ: later entries are later still
+        break;
+      }
+      out[n++] = wc;
+    }
+    return n;
+  }
+
+  // Nanoseconds until the next held-back completion is due; 0 when something
+  // may already be ready, ~0 when nothing is pending at all.
+  uint64_t next_due_in() const {
+    if (!holdback_.empty()) {
+      const uint64_t now = now_ns();
+      const uint64_t at = holdback_.front().deliver_at_ns;
+      return at > now ? at - now : 0;
+    }
+    return queue_.empty() ? ~0ull : 0;
+  }
+
+  // Wakes the consumer whenever a completion is pushed; consumers park here.
+  Doorbell& doorbell() { return *bell_; }
+
+ private:
+  Doorbell own_bell_;
+  Doorbell* bell_;
+  MpscQueue<WorkCompletion> queue_;
+  std::deque<WorkCompletion> holdback_;  // consumer-private
+};
+
+}  // namespace darray::rdma

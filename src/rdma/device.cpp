@@ -1,0 +1,45 @@
+#include "rdma/device.hpp"
+
+#include <mutex>
+
+#include "common/assert.hpp"
+
+namespace darray::rdma {
+
+MemoryRegion Device::reg_mr(void* addr, size_t length) {
+  DARRAY_ASSERT(addr != nullptr);
+  DARRAY_ASSERT(length > 0);
+  std::unique_lock lk(mu_);
+  MemoryRegion mr;
+  mr.addr = static_cast<std::byte*>(addr);
+  mr.length = length;
+  mr.lkey = next_key_++;
+  mr.rkey = mr.lkey;  // the sim uses one key space; real verbs may differ
+  mrs_.emplace(mr.lkey, mr);
+  return mr;
+}
+
+void Device::dereg_mr(uint32_t lkey) {
+  std::unique_lock lk(mu_);
+  mrs_.erase(lkey);
+}
+
+std::byte* Device::translate(uint64_t remote_addr, uint32_t rkey, size_t len) const {
+  std::shared_lock lk(mu_);
+  auto it = mrs_.find(rkey);
+  if (it == mrs_.end()) return nullptr;
+  const MemoryRegion& mr = it->second;
+  auto* p = reinterpret_cast<std::byte*>(remote_addr);
+  if (p < mr.addr || p + len > mr.addr + mr.length) return nullptr;
+  return p;
+}
+
+bool Device::validate_local(const Sge& sge) const {
+  std::shared_lock lk(mu_);
+  auto it = mrs_.find(sge.lkey);
+  if (it == mrs_.end()) return false;
+  const MemoryRegion& mr = it->second;
+  return sge.addr >= mr.addr && sge.addr + sge.length <= mr.addr + mr.length;
+}
+
+}  // namespace darray::rdma

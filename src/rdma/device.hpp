@@ -1,0 +1,38 @@
+// Per-node "RNIC": owns the registered-memory-region table and validates all
+// remote access against it, like the real NIC's MTT/MPT would.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "rdma/verbs.hpp"
+
+namespace darray::rdma {
+
+class Device {
+ public:
+  explicit Device(uint32_t node_id) : node_id_(node_id) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  uint32_t node_id() const { return node_id_; }
+
+  MemoryRegion reg_mr(void* addr, size_t length);
+  void dereg_mr(uint32_t lkey);
+
+  // Validate and translate a remote access; nullptr on rkey/bounds failure.
+  std::byte* translate(uint64_t remote_addr, uint32_t rkey, size_t len) const;
+
+  // Validate a local SGE against its lkey (posting-side check).
+  bool validate_local(const Sge& sge) const;
+
+ private:
+  const uint32_t node_id_;
+  mutable std::shared_mutex mu_;  // registration is rare; lookups are frequent
+  uint32_t next_key_ = 1;
+  std::unordered_map<uint32_t, MemoryRegion> mrs_;  // keyed by lkey (== rkey here)
+};
+
+}  // namespace darray::rdma

@@ -1,0 +1,60 @@
+// The simulated switch: creates devices, wires reliable-connected queue
+// pairs, executes transfers, injects latency, and counts traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "rdma/completion_queue.hpp"
+#include "rdma/device.hpp"
+#include "rdma/queue_pair.hpp"
+#include "rdma/verbs.hpp"
+
+namespace darray::rdma {
+
+struct FabricConfig {
+  uint64_t latency_ns = 0;     // one-way base latency per message
+  double ns_per_byte = 0.0;    // bandwidth model (100 Gbps ≈ 0.08 ns/B)
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig cfg = {}) : cfg_(cfg) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  Device* create_device(uint32_t node_id);
+
+  // Create an RC connection; returns {a-side, b-side}. The caller supplies
+  // each side's CQs (CQs may be shared across QPs, as with real verbs).
+  std::pair<QueuePair*, QueuePair*> connect(Device* a, CompletionQueue* a_send_cq,
+                                            CompletionQueue* a_recv_cq, Device* b,
+                                            CompletionQueue* b_send_cq,
+                                            CompletionQueue* b_recv_cq);
+
+  uint64_t one_way_ns(size_t bytes) const {
+    return cfg_.latency_ns + static_cast<uint64_t>(cfg_.ns_per_byte * static_cast<double>(bytes));
+  }
+
+  FabricStats stats() const;
+  void reset_stats();
+
+ private:
+  friend class QueuePair;
+
+  void count(Opcode op, size_t bytes);
+
+  FabricConfig cfg_;
+  SpinLock mu_;  // guards topology construction only
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+
+  std::atomic<uint64_t> writes_{0}, reads_{0}, sends_{0};
+  std::atomic<uint64_t> bytes_written_{0}, bytes_read_{0}, bytes_sent_{0};
+};
+
+}  // namespace darray::rdma

@@ -1,0 +1,61 @@
+// Reliable-connected queue pair for the simulated fabric.
+//
+// Threading contract (matches how the comm layer uses real QPs):
+//   - post_send: only the owning node's Tx thread
+//   - post_recv: only the owning node's Rx thread
+// The posted-receive queue is therefore produced by the local Rx thread and
+// consumed by the peer's Tx thread during its post_send — single consumer, so
+// an MPSC queue suffices.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/mpsc_queue.hpp"
+#include "rdma/verbs.hpp"
+
+namespace darray::rdma {
+
+class Device;
+class Fabric;
+class CompletionQueue;
+
+class QueuePair {
+ public:
+  QueuePair(Fabric* fabric, Device* device, CompletionQueue* send_cq,
+            CompletionQueue* recv_cq, uint32_t qp_num)
+      : fabric_(fabric),
+        device_(device),
+        send_cq_(send_cq),
+        recv_cq_(recv_cq),
+        qp_num_(qp_num) {}
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  // Post a work request toward the peer. Executes the transfer synchronously
+  // (the "DMA"), with latency surfaced through completion deadlines. Returns
+  // false only on local validation failure.
+  bool post_send(const SendWr& wr);
+
+  void post_recv(const RecvWr& wr) { posted_recvs_.push(wr); }
+
+  uint32_t qp_num() const { return qp_num_; }
+  uint32_t peer_node() const;
+  Device* device() const { return device_; }
+  CompletionQueue* send_cq() const { return send_cq_; }
+  CompletionQueue* recv_cq() const { return recv_cq_; }
+
+ private:
+  friend class Fabric;
+
+  Fabric* fabric_;
+  Device* device_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  const uint32_t qp_num_;
+  QueuePair* peer_ = nullptr;  // wired by Fabric::connect
+  MpscQueue<RecvWr> posted_recvs_;
+};
+
+}  // namespace darray::rdma

@@ -1,0 +1,80 @@
+// Verbs-shaped types for the simulated RDMA fabric.
+//
+// The API mirrors the subset of ibverbs the paper's communication layer needs:
+// registered memory regions with rkeys, reliable-connected queue pairs,
+// one-sided WRITE/READ, two-sided SEND/RECV, completion queues, and selective
+// signaling. See DESIGN.md §1 for why this substitution preserves the paper's
+// behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace darray::rdma {
+
+enum class Opcode : uint8_t { kWrite, kRead, kSend, kRecv };
+
+enum class WcStatus : uint8_t {
+  kSuccess,
+  kRemoteAccessError,  // rkey/bounds validation failed at the target
+  kRnrError,           // SEND arrived with no posted RECV buffer
+};
+
+// A registered memory region. lkey/rkey are generated on registration and
+// every remote access is validated against them, like a real RNIC would.
+struct MemoryRegion {
+  std::byte* addr = nullptr;
+  size_t length = 0;
+  uint32_t lkey = 0;
+  uint32_t rkey = 0;
+};
+
+// Scatter/gather element (single-SGE work requests only, which is all the
+// comm layer uses).
+struct Sge {
+  const std::byte* addr = nullptr;
+  uint32_t length = 0;
+  uint32_t lkey = 0;
+};
+
+struct SendWr {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  Sge sge;                    // local buffer (source for WRITE/SEND, dest for READ)
+  uint64_t remote_addr = 0;   // WRITE/READ only
+  uint32_t rkey = 0;          // WRITE/READ only
+  bool signaled = true;       // selective signaling: unsignaled → no send CQE
+};
+
+struct RecvWr {
+  uint64_t wr_id = 0;
+  std::byte* addr = nullptr;
+  uint32_t length = 0;
+  uint32_t lkey = 0;
+};
+
+struct WorkCompletion {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  WcStatus status = WcStatus::kSuccess;
+  uint32_t byte_len = 0;
+  uint32_t peer_node = 0;   // node at the other end of the QP
+  uint32_t qp_num = 0;
+  // Simulation detail: the CQ withholds this entry until this steady-clock
+  // deadline, which is how link latency is modelled (see Fabric).
+  uint64_t deliver_at_ns = 0;
+};
+
+struct FabricStats {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t sends = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_sent = 0;
+
+  uint64_t total_messages() const { return writes + reads + sends; }
+  uint64_t total_bytes() const { return bytes_written + bytes_read + bytes_sent; }
+};
+
+}  // namespace darray::rdma

@@ -1,0 +1,63 @@
+// Cluster-global metadata of one distributed array: geometry, partition, and
+// the per-node registered subarray addresses used for one-sided writebacks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "runtime/types.hpp"
+
+namespace darray::rt {
+
+struct ArrayMeta {
+  ArrayId id = 0;
+  uint64_t n_elems = 0;
+  uint32_t elem_size = 8;
+  uint32_t chunk_elems = 512;
+  uint64_t n_chunks = 0;
+
+  // Node i owns elements [elem_begin[i], elem_begin[i+1]); chunk-aligned.
+  std::vector<uint64_t> elem_begin;   // size num_nodes + 1
+  std::vector<uint64_t> chunk_begin;  // elem_begin / chunk_elems
+
+  // One-sided addressing of every node's subarray (exchanged at creation, as
+  // a real deployment would do over the control plane).
+  struct SubarrayRef {
+    uint64_t addr = 0;
+    uint32_t rkey = 0;
+  };
+  std::vector<SubarrayRef> subarrays;
+
+  ChunkId chunk_of(uint64_t index) const { return index / chunk_elems; }
+  uint32_t offset_in_chunk(uint64_t index) const {
+    return static_cast<uint32_t>(index % chunk_elems);
+  }
+  uint64_t chunk_bytes() const { return uint64_t{chunk_elems} * elem_size; }
+
+  NodeId home_of_chunk(ChunkId c) const {
+    DARRAY_ASSERT(c < n_chunks);
+    auto it = std::upper_bound(chunk_begin.begin(), chunk_begin.end(), c);
+    return static_cast<NodeId>(it - chunk_begin.begin() - 1);
+  }
+
+  // Number of elements in chunk c (the last chunk may be partial).
+  uint32_t elems_in_chunk(ChunkId c) const {
+    const uint64_t first = c * chunk_elems;
+    return static_cast<uint32_t>(std::min<uint64_t>(chunk_elems, n_elems - first));
+  }
+
+  // Remote address of chunk c's data inside its home's subarray.
+  uint64_t home_chunk_addr(ChunkId c) const {
+    const NodeId home = home_of_chunk(c);
+    const uint64_t elem0 = c * chunk_elems;
+    return subarrays[home].addr + (elem0 - elem_begin[home]) * elem_size;
+  }
+
+  // Local element range of a node.
+  uint64_t local_begin(NodeId n) const { return elem_begin[n]; }
+  uint64_t local_end(NodeId n) const { return elem_begin[n + 1]; }
+};
+
+}  // namespace darray::rt

@@ -1,0 +1,119 @@
+#include "runtime/cluster.hpp"
+
+#include <cstring>
+#include <mutex>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace darray::rt {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg), fabric_(rdma::FabricConfig{cfg.fabric_latency_ns, cfg.fabric_ns_per_byte}) {
+  DARRAY_ASSERT_MSG(cfg_.num_nodes >= 1 && cfg_.num_nodes <= 64,
+                    "cluster supports 1..64 simulated nodes");
+  DARRAY_ASSERT(cfg_.runtime_threads_per_node >= 1);
+  nodes_.reserve(cfg_.num_nodes);
+  for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
+    rdma::Device* dev = fabric_.create_device(i);
+    nodes_.push_back(std::make_unique<NodeRuntime>(this, i, dev, cfg_));
+  }
+  // Full-mesh RC connections, one QP pair per ordered node pair (Tx/Rx thread
+  // design: QP count independent of application thread count — §4.5).
+  for (NodeId a = 0; a < cfg_.num_nodes; ++a) {
+    for (NodeId b = a + 1; b < cfg_.num_nodes; ++b) {
+      net::CommLayer& ca = nodes_[a]->comm();
+      net::CommLayer& cb = nodes_[b]->comm();
+      auto [qa, qb] = fabric_.connect(nodes_[a]->device(), ca.send_cq(), ca.recv_cq(),
+                                      nodes_[b]->device(), cb.send_cq(), cb.recv_cq());
+      ca.set_qp(b, qa);
+      cb.set_qp(a, qb);
+    }
+  }
+  for (auto& n : nodes_) n->start();
+}
+
+Cluster::~Cluster() {
+  for (auto& n : nodes_) n->stop();
+}
+
+const ArrayMeta* Cluster::create_array(uint64_t n_elems, uint32_t elem_size,
+                                       std::span<const uint64_t> partition) {
+  DARRAY_ASSERT(n_elems > 0);
+  DARRAY_ASSERT_MSG(elem_size == 1 || elem_size == 2 || elem_size == 4 || elem_size == 8,
+                    "element size must be 1/2/4/8 bytes (see DESIGN.md §6)");
+  std::scoped_lock lk(create_mu_);
+  DARRAY_ASSERT_MSG(metas_.size() < kMaxArrays, "array id space exhausted");
+
+  auto meta = std::make_unique<ArrayMeta>();
+  meta->id = static_cast<ArrayId>(metas_.size());
+  meta->n_elems = n_elems;
+  meta->elem_size = elem_size;
+  meta->chunk_elems = cfg_.chunk_elems;
+  meta->n_chunks = (n_elems + cfg_.chunk_elems - 1) / cfg_.chunk_elems;
+
+  const uint32_t n = cfg_.num_nodes;
+  meta->chunk_begin.resize(n + 1);
+  meta->elem_begin.resize(n + 1);
+  if (partition.empty()) {
+    // Even chunk-granular split (paper default).
+    for (uint32_t i = 0; i <= n; ++i)
+      meta->chunk_begin[i] = meta->n_chunks * i / n;
+  } else {
+    DARRAY_ASSERT_MSG(partition.size() == n, "partition needs one offset per node");
+    DARRAY_ASSERT(partition[0] == 0);
+    for (uint32_t i = 0; i < n; ++i) {
+      DARRAY_ASSERT_MSG(partition[i] % cfg_.chunk_elems == 0,
+                        "partition offsets must be chunk-aligned");
+      meta->chunk_begin[i] = partition[i] / cfg_.chunk_elems;
+      if (i > 0) DARRAY_ASSERT(meta->chunk_begin[i] >= meta->chunk_begin[i - 1]);
+    }
+    meta->chunk_begin[n] = meta->n_chunks;
+  }
+  for (uint32_t i = 0; i <= n; ++i) {
+    meta->elem_begin[i] = std::min<uint64_t>(meta->chunk_begin[i] * cfg_.chunk_elems, n_elems);
+  }
+  meta->elem_begin[n] = n_elems;
+
+  // Per-node subarrays + MR registration (the "control plane exchange").
+  meta->subarrays.resize(n);
+  std::vector<std::unique_ptr<NodeArrayState>> states(n);
+  for (NodeId i = 0; i < n; ++i) {
+    auto st = std::make_unique<NodeArrayState>();
+    st->meta = meta.get();
+    st->node = i;
+    const uint64_t bytes =
+        std::max<uint64_t>(1, (meta->elem_begin[i + 1] - meta->elem_begin[i]) * elem_size);
+    st->subarray = std::make_unique<std::byte[]>(bytes);
+    std::memset(st->subarray.get(), 0, bytes);
+    st->subarray_mr = nodes_[i]->device()->reg_mr(st->subarray.get(), bytes);
+    meta->subarrays[i] = {reinterpret_cast<uint64_t>(st->subarray.get()),
+                          st->subarray_mr.rkey};
+    states[i] = std::move(st);
+  }
+
+  // Dentries: home chunks start writable (global Unshared), remote invalid.
+  for (NodeId i = 0; i < n; ++i) {
+    NodeArrayState& st = *states[i];
+    st.dentries = std::vector<Dentry>(meta->n_chunks);
+    st.ctl.resize(meta->n_chunks);
+    for (ChunkId c = 0; c < meta->n_chunks; ++c) {
+      Dentry& d = st.dentries[c];
+      d.owner_bell = &nodes_[i]->rt_for_chunk(c).bell();
+      if (meta->home_of_chunk(c) == i) {
+        d.is_home = true;
+        d.data.store(st.chunk_data(c), std::memory_order_relaxed);
+        d.state.store(DentryState::kWrite, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  for (NodeId i = 0; i < n; ++i) nodes_[i]->install_array(meta->id, std::move(states[i]));
+  metas_.push_back(std::move(meta));
+  DLOG_INFO("created array %u: %llu elems x %uB, %llu chunks", metas_.back()->id,
+            static_cast<unsigned long long>(n_elems), elem_size,
+            static_cast<unsigned long long>(metas_.back()->n_chunks));
+  return metas_.back().get();
+}
+
+}  // namespace darray::rt

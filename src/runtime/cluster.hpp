@@ -1,0 +1,59 @@
+// The simulated cluster: fabric, nodes, the operator registry, and collective
+// array creation. One Cluster per process stands in for the paper's testbed;
+// "nodes" are thread bundles joined by the simulated RDMA fabric.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/spinlock.hpp"
+#include "rdma/fabric.hpp"
+#include "runtime/array_meta.hpp"
+#include "runtime/node.hpp"
+#include "runtime/op_registry.hpp"
+
+namespace darray::rt {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return cfg_; }
+  rdma::Fabric& fabric() { return fabric_; }
+  uint32_t num_nodes() const { return cfg_.num_nodes; }
+  NodeRuntime& node(NodeId i) { return *nodes_[i]; }
+
+  // §4.3: register an associative + commutative operator; the returned id is
+  // valid cluster-wide.
+  uint16_t register_op(OpDesc desc) { return ops_.register_op(std::move(desc)); }
+  const OpDesc& op(uint16_t id) const { return ops_.get(id); }
+
+  // Collective array creation (paper Fig. 3 constructor). `partition` is the
+  // optional partition_offset argument: element start offset per node,
+  // chunk-aligned; empty means an even chunk-granular split.
+  const ArrayMeta* create_array(uint64_t n_elems, uint32_t elem_size,
+                                std::span<const uint64_t> partition = {});
+
+  // Cluster-wide runtime-layer counters (approximate while traffic is live).
+  RuntimeStats runtime_stats() const {
+    RuntimeStats s;
+    for (const auto& n : nodes_) s += n->runtime_stats();
+    return s;
+  }
+
+ private:
+  ClusterConfig cfg_;
+  rdma::Fabric fabric_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  OpRegistry ops_;
+  SpinLock create_mu_;
+  std::vector<std::unique_ptr<ArrayMeta>> metas_;
+};
+
+}  // namespace darray::rt

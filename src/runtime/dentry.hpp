@@ -1,0 +1,75 @@
+// Directory entry: the per-chunk, per-node state that the lock-free data
+// access path (paper Fig. 4) and the runtime management path (Fig. 5/6) meet
+// on. Application threads touch only the atomics; all state transitions are
+// made by the single runtime thread that owns the chunk.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/mpsc_queue.hpp"
+#include "runtime/types.hpp"
+
+namespace darray::rt {
+
+struct alignas(64) Dentry {
+  std::atomic<DentryState> state{DentryState::kInvalid};
+  std::atomic<bool> delay{false};   // Fig. 5 ①/④: holds off incoming accesses
+  std::atomic<uint32_t> refcnt{0};
+  std::atomic<uint16_t> op_id{kNoOp};          // valid while state==kOperated
+  std::atomic<std::byte*> data{nullptr};       // subarray chunk or cacheline
+  std::atomic<std::byte*> combine{nullptr};    // remote Operated participants
+  std::atomic<std::atomic<uint64_t>*> combine_bitmap{nullptr};
+  bool is_home = false;             // immutable after array creation
+  Doorbell* owner_bell = nullptr;   // rings the owning runtime thread
+
+  // --- application-thread side (Fig. 4) -------------------------------------
+
+  // Fig. 4 lines 6-8: wait out the delay flag, then take a reference. The
+  // caller must re-check `state` afterwards (time-of-check/time-of-use is
+  // bridged by the reference).
+  void acquire_ref() {
+    for (;;) {
+      if (delay.load(std::memory_order_acquire)) {
+        spin_wait_until(delay, [](bool v) { return !v; });
+      }
+      refcnt.fetch_add(1, std::memory_order_acq_rel);
+      // The runtime may have raised delay between our check and the
+      // increment; back out so it is never forced to wait on late arrivals.
+      if (!delay.load(std::memory_order_acquire)) return;
+      release_ref();
+    }
+  }
+
+  // Fig. 4 line 14. Wakes the runtime thread iff it is draining this chunk.
+  void release_ref() {
+    if (refcnt.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        delay.load(std::memory_order_relaxed)) {
+      refcnt.notify_all();
+      if (owner_bell) owner_bell->ring();
+    }
+  }
+
+  // --- runtime-thread side (Fig. 5/6) ----------------------------------------
+
+  // Fig. 5 ①+②: block new accessors and install the target state. The caller
+  // completes the drain once refcnt reaches zero (asynchronously — see
+  // Engine::start_drain) and then calls finish_drain().
+  void begin_drain(DentryState target) {
+    delay.store(true, std::memory_order_release);
+    state.store(target, std::memory_order_release);
+  }
+
+  bool drained() const { return refcnt.load(std::memory_order_acquire) == 0; }
+
+  // Fig. 5 ④.
+  void finish_drain() {
+    delay.store(false, std::memory_order_release);
+    delay.notify_all();
+  }
+
+  // Fig. 6: permission promotion needs no synchronisation with user threads.
+  void promote(DentryState target) { state.store(target, std::memory_order_release); }
+};
+
+}  // namespace darray::rt

@@ -1,0 +1,95 @@
+// Home-side distributed reader/writer lock table (paper Fig. 3 lines 5-7).
+// Each element's lock lives at its home node and is managed by the runtime
+// thread that owns the element's chunk, so the table needs no internal
+// locking. Writers are exclusive; waiters queue FIFO (readers at the head of
+// the queue are granted as a batch).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "runtime/types.hpp"
+
+namespace darray::rt {
+
+struct LockWaiter {
+  NodeId node = kNoNode;
+  bool write = false;
+  uint32_t txn_id = 0;              // remote waiters: echoed in the grant
+  LocalRequest* local = nullptr;    // local waiters: signalled directly
+};
+
+class LockTable {
+ public:
+  // Try to acquire; returns true if granted immediately, otherwise queues the
+  // waiter. FIFO: a new request is granted only when no one is queued ahead.
+  bool acquire(ArrayId array, uint64_t index, LockWaiter w) {
+    LockState& s = table_[key(array, index)];
+    if (s.q.empty() && compatible(s, w.write)) {
+      grant(s, w);
+      return true;
+    }
+    s.q.push_back(w);
+    return false;
+  }
+
+  // Release one hold by `node`; appends newly grantable waiters to `out`.
+  // A reader release and a writer release are distinguishable by state: if a
+  // writer holds the lock, the releasing node must be that writer.
+  void release(ArrayId array, uint64_t index, NodeId node,
+               std::deque<LockWaiter>& out) {
+    auto it = table_.find(key(array, index));
+    DARRAY_ASSERT_MSG(it != table_.end(), "release of a never-acquired lock");
+    LockState& s = it->second;
+    if (s.writer) {
+      DARRAY_ASSERT_MSG(s.writer_node == node, "writer release from non-owner");
+      s.writer = false;
+      s.writer_node = kNoNode;
+    } else {
+      DARRAY_ASSERT_MSG(s.readers > 0, "reader release with zero readers");
+      s.readers--;
+    }
+    // Hand over: one writer, or the batch of readers before the next writer.
+    while (!s.q.empty() && compatible(s, s.q.front().write)) {
+      const LockWaiter w = s.q.front();
+      s.q.pop_front();
+      grant(s, w);
+      out.push_back(w);
+      if (w.write) break;
+    }
+    if (s.readers == 0 && !s.writer && s.q.empty()) table_.erase(it);
+  }
+
+  size_t size() const { return table_.size(); }
+
+ private:
+  struct LockState {
+    uint32_t readers = 0;
+    bool writer = false;
+    NodeId writer_node = kNoNode;
+    std::deque<LockWaiter> q;
+  };
+
+  static uint64_t key(ArrayId array, uint64_t index) {
+    DARRAY_ASSERT(index < (1ull << 48));
+    return (uint64_t{array} << 48) | index;
+  }
+
+  static bool compatible(const LockState& s, bool write) {
+    return write ? (!s.writer && s.readers == 0) : !s.writer;
+  }
+
+  static void grant(LockState& s, const LockWaiter& w) {
+    if (w.write) {
+      s.writer = true;
+      s.writer_node = w.node;
+    } else {
+      s.readers++;
+    }
+  }
+
+  std::unordered_map<uint64_t, LockState> table_;
+};
+
+}  // namespace darray::rt

@@ -1,0 +1,41 @@
+#include "runtime/node.hpp"
+
+#include "common/assert.hpp"
+#include "runtime/cluster.hpp"
+
+namespace darray::rt {
+
+NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id, rdma::Device* device,
+                         const ClusterConfig& cfg)
+    : cluster_(cluster), id_(id), device_(device) {
+  comm_ = std::make_unique<net::CommLayer>(
+      id, cfg.num_nodes, cfg, device,
+      [this](net::RpcMessage&& m) { rt_for_chunk(m.hdr.chunk).submit_rpc(std::move(m)); });
+  for (uint32_t i = 0; i < cfg.runtime_threads_per_node; ++i)
+    rts_.push_back(std::make_unique<RuntimeThread>(this, i, cfg, device));
+}
+
+NodeRuntime::~NodeRuntime() { stop(); }
+
+void NodeRuntime::start() {
+  DARRAY_ASSERT(!started_);
+  started_ = true;
+  comm_->start();
+  for (auto& rt : rts_) rt->start();
+}
+
+void NodeRuntime::stop() {
+  if (!started_) return;
+  for (auto& rt : rts_) rt->stop();
+  comm_->stop();
+  started_ = false;
+}
+
+void NodeRuntime::install_array(ArrayId id, std::unique_ptr<NodeArrayState> st) {
+  DARRAY_ASSERT(id < kMaxArrays);
+  DARRAY_ASSERT(arrays_[id].load(std::memory_order_relaxed) == nullptr);
+  arrays_[id].store(st.get(), std::memory_order_release);
+  array_storage_.push_back(std::move(st));
+}
+
+}  // namespace darray::rt

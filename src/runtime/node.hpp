@@ -1,0 +1,68 @@
+// A simulated cluster node: its RNIC device, communication layer, runtime
+// threads, and per-array state.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "net/comm_layer.hpp"
+#include "runtime/array_state.hpp"
+#include "runtime/runtime_thread.hpp"
+#include "runtime/stats.hpp"
+
+namespace darray::rt {
+
+class Cluster;
+
+inline constexpr size_t kMaxArrays = 256;
+
+class NodeRuntime {
+ public:
+  NodeRuntime(Cluster* cluster, NodeId id, rdma::Device* device, const ClusterConfig& cfg);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  NodeId id() const { return id_; }
+  Cluster& cluster() { return *cluster_; }
+  net::CommLayer& comm() { return *comm_; }
+  rdma::Device* device() { return device_; }
+
+  uint32_t num_runtime_threads() const { return static_cast<uint32_t>(rts_.size()); }
+  RuntimeThread& rt(uint32_t i) { return *rts_[i]; }
+  RuntimeThread& rt_for_chunk(ChunkId c) { return *rts_[c % rts_.size()]; }
+
+  // Route an application slow-path request to the owning runtime thread.
+  void submit_local(LocalRequest* r) { rt_for_chunk(r->chunk).submit_local(r); }
+
+  void start();
+  void stop();
+
+  NodeArrayState* array_state(ArrayId id) {
+    return arrays_[id].load(std::memory_order_acquire);
+  }
+  void install_array(ArrayId id, std::unique_ptr<NodeArrayState> st);
+
+  // Aggregate counters across this node's runtime threads.
+  RuntimeStats runtime_stats() const {
+    RuntimeStats s;
+    for (const auto& rt : rts_) s += rt->stats();
+    return s;
+  }
+
+ private:
+  Cluster* cluster_;
+  const NodeId id_;
+  rdma::Device* device_;
+  std::unique_ptr<net::CommLayer> comm_;
+  std::vector<std::unique_ptr<RuntimeThread>> rts_;
+  std::array<std::atomic<NodeArrayState*>, kMaxArrays> arrays_{};
+  std::vector<std::unique_ptr<NodeArrayState>> array_storage_;
+  bool started_ = false;
+};
+
+}  // namespace darray::rt

@@ -1,0 +1,37 @@
+// Cluster-wide operator registry (§4.3): applications register associative +
+// commutative operators once and refer to them by id in apply() calls and in
+// the Operated coherence state.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "common/assert.hpp"
+#include "common/spinlock.hpp"
+#include "runtime/types.hpp"
+
+namespace darray::rt {
+
+class OpRegistry {
+ public:
+  uint16_t register_op(OpDesc desc) {
+    std::scoped_lock lk(mu_);
+    DARRAY_ASSERT_MSG(ops_.size() < kNoOp, "operator id space exhausted");
+    ops_.push_back(std::move(desc));
+    return static_cast<uint16_t>(ops_.size() - 1);
+  }
+
+  // Stable reference: the deque never relocates existing elements.
+  const OpDesc& get(uint16_t id) const {
+    DARRAY_ASSERT_MSG(id < ops_.size(), "unregistered operator id");
+    return ops_[id];
+  }
+
+  size_t size() const { return ops_.size(); }
+
+ private:
+  mutable SpinLock mu_;
+  std::deque<OpDesc> ops_;
+};
+
+}  // namespace darray::rt

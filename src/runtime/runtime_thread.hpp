@@ -1,0 +1,82 @@
+// One runtime thread (paper Fig. 2): owns a private cache region and the
+// protocol state of every chunk with (chunk % runtime_threads) == index,
+// consuming its local-request and RPC-message queues.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "common/config.hpp"
+#include "common/mpsc_queue.hpp"
+#include "net/message.hpp"
+#include "runtime/cache_region.hpp"
+#include "runtime/engine.hpp"
+
+namespace darray::rt {
+
+class NodeRuntime;
+
+class RuntimeThread {
+ public:
+  RuntimeThread(NodeRuntime* node, uint32_t index, const ClusterConfig& cfg,
+                rdma::Device* device)
+      : region_(device, cfg), engine_(node, index, &region_, &bell_) {}
+
+  RuntimeThread(const RuntimeThread&) = delete;
+  RuntimeThread& operator=(const RuntimeThread&) = delete;
+
+  void start() { thread_ = std::thread([this] { main_loop(); }); }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_release);
+    bell_.ring();
+    thread_.join();
+  }
+
+  // Application threads (Fig. 2 local-req queue).
+  void submit_local(LocalRequest* r) { local_q_.push(r); }
+
+  // Rx thread (Fig. 2 RPC-msg queue).
+  void submit_rpc(net::RpcMessage m) { rpc_q_.push(std::move(m)); }
+
+  Doorbell& bell() { return bell_; }
+
+  const RuntimeStats& stats() const { return engine_.stats(); }
+
+ private:
+  void main_loop() {
+    for (;;) {
+      const uint32_t snap = bell_.snapshot();
+      bool work = false;
+      LocalRequest* lr = nullptr;
+      while (local_q_.pop(lr)) {
+        engine_.handle_local(lr);
+        work = true;
+      }
+      net::RpcMessage m;
+      while (rpc_q_.pop(m)) {
+        engine_.handle_rpc(std::move(m));
+        work = true;
+      }
+      work |= engine_.tick();
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (!work) {
+        if (engine_.needs_poll())
+          std::this_thread::yield();  // waiting on refcounts that don't ring
+        else
+          bell_.wait_change(snap);
+      }
+    }
+  }
+
+  Doorbell bell_;
+  MpscQueue<LocalRequest*> local_q_{&bell_};
+  MpscQueue<net::RpcMessage> rpc_q_{&bell_};
+  CacheRegion region_;
+  Engine engine_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace darray::rt

@@ -1,0 +1,61 @@
+// Runtime-layer counters: single-writer per runtime thread, aggregated on
+// demand. Used by the ablation benches and by tests that assert *behaviour*
+// (e.g. "prefetch turned N demand misses into hits") rather than timing.
+#pragma once
+
+#include <cstdint>
+
+namespace darray::rt {
+
+struct RuntimeStats {
+  // interface → runtime traffic
+  uint64_t local_read_misses = 0;
+  uint64_t local_write_misses = 0;
+  uint64_t local_operate_misses = 0;
+  uint64_t prefetches_issued = 0;
+
+  // requester side
+  uint64_t fills = 0;             // kReadData/kWriteData/kOperateResp received
+  uint64_t invalidations = 0;     // kInvalidate handled
+  uint64_t fetches = 0;           // kFetch handled
+  uint64_t flush_reqs = 0;        // kFlushReq handled
+  uint64_t evict_clean = 0;       // Shared line dropped silently
+  uint64_t evict_writeback = 0;   // Dirty line written back
+  uint64_t evict_opflush = 0;     // Operated line flushed
+
+  // home side
+  uint64_t remote_reqs = 0;       // kReadReq/kWriteReq/kOperateReq served
+  uint64_t txns = 0;              // multi-party transactions started
+  uint64_t op_flushes_applied = 0;
+
+  // locks
+  uint64_t lock_acquires = 0;
+  uint64_t lock_waits = 0;        // acquires that had to queue
+
+  RuntimeStats& operator+=(const RuntimeStats& o) {
+    local_read_misses += o.local_read_misses;
+    local_write_misses += o.local_write_misses;
+    local_operate_misses += o.local_operate_misses;
+    prefetches_issued += o.prefetches_issued;
+    fills += o.fills;
+    invalidations += o.invalidations;
+    fetches += o.fetches;
+    flush_reqs += o.flush_reqs;
+    evict_clean += o.evict_clean;
+    evict_writeback += o.evict_writeback;
+    evict_opflush += o.evict_opflush;
+    remote_reqs += o.remote_reqs;
+    txns += o.txns;
+    op_flushes_applied += o.op_flushes_applied;
+    lock_acquires += o.lock_acquires;
+    lock_waits += o.lock_waits;
+    return *this;
+  }
+
+  uint64_t total_misses() const {
+    return local_read_misses + local_write_misses + local_operate_misses;
+  }
+  uint64_t total_evictions() const { return evict_clean + evict_writeback + evict_opflush; }
+};
+
+}  // namespace darray::rt

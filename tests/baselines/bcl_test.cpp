@@ -1,0 +1,76 @@
+#include "baselines/bcl/bcl_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+
+namespace darray::bcl {
+namespace {
+
+using darray::testing::run_on_nodes;
+using darray::testing::small_cfg;
+
+TEST(BclArray, LocalSetGet) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = BclArray<uint64_t>::create(cluster, 100);
+  bind_thread(cluster, 0);
+  for (uint64_t i = 0; i < 100; ++i) a.set(i, i * 2);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(a.get(i), i * 2);
+}
+
+TEST(BclArray, RemoteRoundTrip) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = BclArray<uint64_t>::create(cluster, 100);
+  std::thread w([&] {
+    bind_thread(cluster, 0);
+    a.set(75, 4242);  // element homed at node 1
+  });
+  w.join();
+  std::thread r([&] {
+    bind_thread(cluster, 1);
+    EXPECT_EQ(a.get(75), 4242u);  // local at node 1
+    a.set(10, 7);                 // remote write back to node 0
+  });
+  r.join();
+  bind_thread(cluster, 0);
+  EXPECT_EQ(a.get(10), 7u);
+}
+
+TEST(BclArray, EveryAccessIsARoundTrip) {
+  // The defining BCL property: remote accesses are never cached.
+  rt::Cluster cluster(small_cfg(2));
+  auto a = BclArray<uint64_t>::create(cluster, 100);
+  bind_thread(cluster, 0);
+  cluster.fabric().reset_stats();
+  const uint64_t remote_idx = 99;
+  for (int i = 0; i < 10; ++i) (void)a.get(remote_idx);
+  const rdma::FabricStats s = cluster.fabric().stats();
+  EXPECT_EQ(s.reads, 10u) << "each remote get must be one RDMA READ";
+  for (int i = 0; i < 5; ++i) a.set(remote_idx, 1);
+  EXPECT_EQ(cluster.fabric().stats().writes, 5u);
+}
+
+TEST(BclArray, LocalAccessTouchesNoNetwork) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = BclArray<uint64_t>::create(cluster, 100);
+  bind_thread(cluster, 0);
+  cluster.fabric().reset_stats();
+  for (uint64_t i = a.local_begin(0); i < a.local_end(0); ++i) a.set(i, i);
+  EXPECT_EQ(cluster.fabric().stats().total_messages(), 0u);
+}
+
+TEST(BclArray, ConcurrentNodesDisjointRanges) {
+  rt::Cluster cluster(small_cfg(3));
+  auto a = BclArray<uint64_t>::create(cluster, 300);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    // Each node writes the next node's range remotely.
+    const rt::NodeId peer = (n + 1) % 3;
+    for (uint64_t i = a.local_begin(peer); i < a.local_end(peer); ++i) a.set(i, i + 1);
+  });
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (uint64_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.get(i), i + 1);
+  });
+}
+
+}  // namespace
+}  // namespace darray::bcl

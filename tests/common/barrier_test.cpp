@@ -1,0 +1,42 @@
+#include "common/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace darray {
+namespace {
+
+TEST(SenseBarrier, SinglePartyNeverBlocks) {
+  SenseBarrier b(1);
+  for (int i = 0; i < 10; ++i) b.arrive_and_wait();
+}
+
+TEST(SenseBarrier, PhasesStayAligned) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SenseBarrier b(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        counter.fetch_add(1);
+        b.arrive_and_wait();
+        // After the barrier, every thread of this phase has incremented.
+        if (counter.load() < (phase + 1) * kThreads) failed.store(true);
+        b.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kPhases);
+}
+
+}  // namespace
+}  // namespace darray

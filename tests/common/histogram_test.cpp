@@ -1,0 +1,80 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace darray {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.percentile_ns(0.99), 0u);
+}
+
+TEST(Histogram, SingleSample) {
+  LatencyHistogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.mean_ns(), 1000.0);
+  // Log buckets: percentile is an upper bound within ~1/16 relative error.
+  EXPECT_GE(h.percentile_ns(0.5), 1000u);
+  EXPECT_LE(h.percentile_ns(0.5), 1100u);
+}
+
+TEST(Histogram, MeanExact) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 50.5);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  LatencyHistogram h;
+  for (uint64_t i = 0; i < 10000; ++i) h.record(i * 17 % 100000);
+  EXPECT_LE(h.percentile_ns(0.5), h.percentile_ns(0.9));
+  EXPECT_LE(h.percentile_ns(0.9), h.percentile_ns(0.99));
+  EXPECT_LE(h.percentile_ns(0.99), h.percentile_ns(1.0));
+}
+
+TEST(Histogram, PercentileApproximation) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const uint64_t p50 = h.percentile_ns(0.5);
+  EXPECT_GE(p50, 450u);
+  EXPECT_LE(p50, 560u);  // within one log bucket of 500
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.record(10);
+  a.record(20);
+  b.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean_ns(), 20.0);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(123);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_ns(0.99), 0u);
+}
+
+TEST(Histogram, LargeValuesDoNotOverflow) {
+  LatencyHistogram h;
+  h.record(~0ull);
+  h.record(1ull << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.percentile_ns(1.0), 1ull << 62);
+}
+
+TEST(NowNs, Monotonic) {
+  const uint64_t a = now_ns();
+  const uint64_t b = now_ns();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace darray

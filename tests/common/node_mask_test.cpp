@@ -1,0 +1,68 @@
+#include "common/node_mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace darray {
+namespace {
+
+TEST(NodeMask, StartsEmpty) {
+  NodeMask m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.count(), 0);
+}
+
+TEST(NodeMask, AddRemoveContains) {
+  NodeMask m;
+  m.add(3);
+  m.add(63);
+  EXPECT_TRUE(m.contains(3));
+  EXPECT_TRUE(m.contains(63));
+  EXPECT_FALSE(m.contains(4));
+  EXPECT_EQ(m.count(), 2);
+  m.remove(3);
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.count(), 1);
+}
+
+TEST(NodeMask, RemoveAbsentIsNoop) {
+  NodeMask m;
+  m.add(5);
+  m.remove(7);
+  EXPECT_EQ(m.count(), 1);
+}
+
+TEST(NodeMask, Single) {
+  NodeMask m = NodeMask::single(9);
+  EXPECT_TRUE(m.is_only(9));
+  m.add(10);
+  EXPECT_FALSE(m.is_only(9));
+}
+
+TEST(NodeMask, IterationVisitsAllInOrder) {
+  NodeMask m;
+  m.add(0);
+  m.add(7);
+  m.add(42);
+  std::vector<uint32_t> seen;
+  for (uint32_t n : m) seen.push_back(n);
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 7, 42}));
+}
+
+TEST(NodeMask, IterationOfEmpty) {
+  NodeMask m;
+  for (uint32_t n : m) FAIL() << "unexpected node " << n;
+}
+
+TEST(NodeMask, Equality) {
+  NodeMask a, b;
+  a.add(1);
+  b.add(1);
+  EXPECT_EQ(a, b);
+  b.add(2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace darray

@@ -1,0 +1,60 @@
+#include "common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace darray {
+namespace {
+
+TEST(SpscRing, CapacityRoundedToPowerOfTwo) {
+  SpscRing<int> r(5);
+  EXPECT_EQ(r.capacity(), 8u);
+}
+
+TEST(SpscRing, FillAndDrain) {
+  SpscRing<int> r(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(r.try_push(i));
+  EXPECT_FALSE(r.try_push(99)) << "ring should be full";
+  int v;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(r.try_pop(v));
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRing<int> r(4);
+  int v;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(r.try_push(round));
+    EXPECT_TRUE(r.try_push(round + 1000));
+    ASSERT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, round);
+    ASSERT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, round + 1000);
+  }
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  constexpr int kN = 100000;
+  SpscRing<int> r(64);
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) {
+      while (!r.try_push(i)) std::this_thread::yield();
+    }
+  });
+  long long sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    int v;
+    while (!r.try_pop(v)) std::this_thread::yield();
+    EXPECT_EQ(v, i);  // SPSC preserves order
+    sum += v;
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace darray

@@ -1,0 +1,71 @@
+#include "common/wait.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace darray {
+namespace {
+
+TEST(SpinWait, ReturnsImmediatelyWhenSatisfied) {
+  std::atomic<int> v{5};
+  spin_wait_until(v, [](int x) { return x == 5; });  // must not hang
+}
+
+TEST(SpinWait, WakesOnNotify) {
+  std::atomic<int> v{0};
+  std::thread t([&] {
+    v.store(1, std::memory_order_release);
+    v.notify_all();
+  });
+  spin_wait_until(v, [](int x) { return x == 1; });
+  t.join();
+}
+
+TEST(Completion, SignalThenWait) {
+  Completion c;
+  EXPECT_FALSE(c.ready());
+  c.signal();
+  EXPECT_TRUE(c.ready());
+  c.wait();  // immediate
+}
+
+TEST(Completion, WaitBlocksUntilSignal) {
+  Completion c;
+  std::thread t([&] { c.signal(); });
+  c.wait();
+  t.join();
+  EXPECT_TRUE(c.ready());
+}
+
+TEST(Completion, Reusable) {
+  Completion c;
+  c.signal();
+  c.wait();
+  c.reset();
+  EXPECT_FALSE(c.ready());
+  c.signal();
+  c.wait();
+}
+
+TEST(CountLatch, ZeroIsImmediatelyDone) {
+  CountLatch l(0);
+  l.wait();
+}
+
+TEST(CountLatch, WaitsForAll) {
+  CountLatch l(3);
+  std::atomic<int> fired{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 3; ++i)
+    ts.emplace_back([&] {
+      fired.fetch_add(1);
+      l.done();
+    });
+  l.wait();
+  EXPECT_EQ(fired.load(), 3);
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace
+}  // namespace darray

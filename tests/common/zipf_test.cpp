@@ -1,0 +1,48 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace darray {
+namespace {
+
+TEST(Zipf, InRange) {
+  ZipfGenerator z(1000, 0.99);
+  Xoshiro256 r(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.next(r), 1000u);
+}
+
+TEST(Zipf, SkewFavoursSmallIndices) {
+  ZipfGenerator z(10000, 0.99);
+  Xoshiro256 r(2);
+  int head = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) head += z.next(r) < 100;  // top 1% of keys
+  // With theta=0.99 the head is vastly overrepresented vs. uniform (~1%).
+  EXPECT_GT(head, kDraws / 4);
+}
+
+TEST(Zipf, RankFrequencyMonotonic) {
+  ZipfGenerator z(100, 0.99);
+  Xoshiro256 r(3);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 200000; ++i) counts[z.next(r)]++;
+  // Coarse rank check: item 0 >> item 10 >> item 90.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, LowSkewIsFlatter) {
+  ZipfGenerator hi(1000, 0.99), lo(1000, 0.2);
+  Xoshiro256 r1(4), r2(4);
+  int hi_head = 0, lo_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    hi_head += hi.next(r1) < 10;
+    lo_head += lo.next(r2) < 10;
+  }
+  EXPECT_GT(hi_head, lo_head * 2);
+}
+
+}  // namespace
+}  // namespace darray

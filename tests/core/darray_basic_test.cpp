@@ -1,0 +1,152 @@
+#include "core/darray.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using testing::run_on_nodes;
+using testing::small_cfg;
+
+TEST(DArrayBasic, SingleNodeSetGet) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 1000);
+  bind_thread(cluster, 0);
+  for (uint64_t i = 0; i < 1000; ++i) a.set(i, i * 3);
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(a.get(i), i * 3);
+}
+
+TEST(DArrayBasic, ZeroInitialised) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 500);
+  bind_thread(cluster, 0);
+  for (uint64_t i = 0; i < 500; ++i) EXPECT_EQ(a.get(i), 0u);
+}
+
+TEST(DArrayBasic, RemoteReadSeesHomeWrites) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 512);
+  // Node layout: node 0 owns the first half, node 1 the second.
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    for (uint64_t i = a.local_begin(n); i < a.local_end(n); ++i) a.set(i, i + 7);
+  });
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (uint64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.get(i), i + 7);
+  });
+}
+
+TEST(DArrayBasic, RemoteWriteVisibleAtHome) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 256);
+  bind_thread(cluster, 0);
+  // Node 0 writes elements homed at node 1.
+  const uint64_t idx = a.local_begin(1);
+  ASSERT_LT(idx, a.size());
+  std::thread t1([&] {
+    bind_thread(cluster, 0);
+    a.set(idx, 4242);
+  });
+  t1.join();
+  std::thread t2([&] {
+    bind_thread(cluster, 1);
+    EXPECT_EQ(a.get(idx), 4242u);
+  });
+  t2.join();
+}
+
+TEST(DArrayBasic, SmallElementTypes) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a8 = DArray<uint8_t>::create(cluster, 300);
+  auto a16 = DArray<uint16_t>::create(cluster, 300);
+  auto a32 = DArray<uint32_t>::create(cluster, 300);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    for (uint64_t i = 0; i < 300; ++i) {
+      a8.set(i, static_cast<uint8_t>(i));
+      a16.set(i, static_cast<uint16_t>(i * 5));
+      a32.set(i, static_cast<uint32_t>(i * 9));
+    }
+  });
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (uint64_t i = 0; i < 300; ++i) {
+      EXPECT_EQ(a8.get(i), static_cast<uint8_t>(i));
+      EXPECT_EQ(a16.get(i), static_cast<uint16_t>(i * 5));
+      EXPECT_EQ(a32.get(i), static_cast<uint32_t>(i * 9));
+    }
+  });
+}
+
+TEST(DArrayBasic, DoubleElements) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<double>::create(cluster, 200);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    for (uint64_t i = a.local_begin(n); i < a.local_end(n); ++i)
+      a.set(i, static_cast<double>(i) * 0.5);
+  });
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (uint64_t i = 0; i < a.size(); ++i)
+      EXPECT_DOUBLE_EQ(a.get(i), static_cast<double>(i) * 0.5);
+  });
+}
+
+TEST(DArrayBasic, PartialLastChunk) {
+  rt::Cluster cluster(small_cfg(2, /*chunk_elems=*/64));
+  auto a = DArray<uint64_t>::create(cluster, 130);  // 3 chunks: 64+64+2
+  bind_thread(cluster, 0);
+  a.set(129, 99);
+  std::thread t([&] {
+    bind_thread(cluster, 1);
+    EXPECT_EQ(a.get(129), 99u);
+    a.set(128, 77);
+  });
+  t.join();
+  EXPECT_EQ(a.get(128), 77u);
+}
+
+TEST(DArrayBasic, CustomPartition) {
+  rt::ClusterConfig cfg = small_cfg(2, 64);
+  rt::Cluster cluster(cfg);
+  // Node 0 gets only the first chunk; node 1 the rest.
+  const uint64_t offsets[] = {0, 64};
+  auto a = DArray<uint64_t>::create(cluster, 64 * 4, offsets);
+  EXPECT_EQ(a.local_end(0), 64u);
+  EXPECT_EQ(a.local_begin(1), 64u);
+  EXPECT_EQ(a.local_end(1), 64u * 4);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    for (uint64_t i = a.local_begin(n); i < a.local_end(n); ++i) a.set(i, i + 1);
+  });
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (uint64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.get(i), i + 1);
+  });
+}
+
+TEST(DArrayBasic, MultipleArraysCoexist) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 256);
+  auto b = DArray<uint64_t>::create(cluster, 256);
+  bind_thread(cluster, 0);
+  for (uint64_t i = 0; i < 256; ++i) {
+    a.set(i, i);
+    b.set(i, 1000 - i);
+  }
+  for (uint64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.get(i), i);
+    EXPECT_EQ(b.get(i), 1000 - i);
+  }
+}
+
+TEST(DArrayBasic, SixNodeSweep) {
+  rt::Cluster cluster(small_cfg(6, 64, 128));
+  auto a = DArray<uint64_t>::create(cluster, 64 * 36);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    for (uint64_t i = a.local_begin(n); i < a.local_end(n); ++i) a.set(i, i ^ 0xabc);
+  });
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (uint64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.get(i), i ^ 0xabc);
+  });
+}
+
+}  // namespace
+}  // namespace darray

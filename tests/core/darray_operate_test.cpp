@@ -1,0 +1,181 @@
+// The Operate interface and the extended coherence protocol's Operated state
+// (§4.3/§4.4): concurrent combine on multiple nodes, reduce at home, and the
+// Operated → Unshared flush on read/write.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using testing::run_on_nodes;
+using testing::small_cfg;
+
+void add_u64(uint64_t& acc, uint64_t v) { acc += v; }
+void min_d(double& acc, double v) {
+  if (v < acc) acc = v;
+}
+
+TEST(DArrayOperate, SingleNodeApply) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 100);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  bind_thread(cluster, 0);
+  a.apply(5, add, 10);
+  a.apply(5, add, 32);
+  EXPECT_EQ(a.get(5), 42u);
+}
+
+TEST(DArrayOperate, AllNodesApplySameElement) {
+  rt::Cluster cluster(small_cfg(4));
+  auto a = DArray<uint64_t>::create(cluster, 256);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  constexpr int kPerNode = 500;
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (int i = 0; i < kPerNode; ++i) a.apply(3, add, 1);
+  });
+  // The read forces Operated → Unshared: every node's combine buffer must be
+  // flushed and reduced before the value is served.
+  run_on_nodes(cluster, [&](rt::NodeId) { EXPECT_EQ(a.get(3), 4u * kPerNode); });
+}
+
+TEST(DArrayOperate, ScatteredApplies) {
+  rt::Cluster cluster(small_cfg(3, 32));
+  auto a = DArray<uint64_t>::create(cluster, 32 * 9);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    for (uint64_t i = 0; i < a.size(); ++i) a.apply(i, add, n + 1);
+  });
+  // 1 + 2 + 3 applied once per element by each node.
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (uint64_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.get(i), 6u);
+  });
+}
+
+TEST(DArrayOperate, MinOperator) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<double>::create(cluster, 64);
+  const uint16_t mn = a.register_op(&min_d, std::numeric_limits<double>::infinity());
+  std::thread init([&] {
+    bind_thread(cluster, 0);
+    a.set(0, 100.0);
+  });
+  init.join();
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    a.apply(0, mn, n == 0 ? 42.5 : 7.25);
+  });
+  std::thread check([&] {
+    bind_thread(cluster, 0);
+    EXPECT_EQ(a.get(0), 7.25);
+  });
+  check.join();
+}
+
+TEST(DArrayOperate, ApplyVisibleAfterWriteToo) {
+  // A write request must also force the flush before granting ownership.
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  std::thread t1([&] {
+    bind_thread(cluster, 1);
+    for (int i = 0; i < 100; ++i) a.apply(2, add, 1);
+  });
+  t1.join();
+  std::thread t2([&] {
+    bind_thread(cluster, 0);
+    // Read-modify-write through set: must observe all 100 increments.
+    const uint64_t v = a.get(2);
+    EXPECT_EQ(v, 100u);
+    a.set(2, v + 1);
+    EXPECT_EQ(a.get(2), 101u);
+  });
+  t2.join();
+}
+
+TEST(DArrayOperate, OperatorSwitchFlushesFirst) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  const uint16_t mx = a.register_op(
+      +[](uint64_t& acc, uint64_t v) {
+        if (v > acc) acc = v;
+      },
+      0);
+  std::thread t([&] {
+    bind_thread(cluster, 1);
+    for (int i = 0; i < 10; ++i) a.apply(1, add, 1);  // value becomes 10
+    a.apply(1, mx, 5);                                // switch op: flush, then max
+  });
+  t.join();
+  std::thread check([&] {
+    bind_thread(cluster, 0);
+    EXPECT_EQ(a.get(1), 10u);  // max(10, 5) == 10
+  });
+  check.join();
+}
+
+TEST(DArrayOperate, HomeAppliesDirectlyDuringOperated) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (int i = 0; i < 250; ++i) a.apply(0, add, 2);  // home + remote concurrently
+  });
+  run_on_nodes(cluster, [&](rt::NodeId) { EXPECT_EQ(a.get(0), 1000u); });
+}
+
+TEST(DArrayOperate, ConcurrentAppliersManyThreadsPerNode) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  testing::run_on_nodes_mt(cluster, 3, [&](rt::NodeId, uint32_t) {
+    for (int i = 0; i < 200; ++i) a.apply(7, add, 1);
+  });
+  std::thread check([&] {
+    bind_thread(cluster, 0);
+    EXPECT_EQ(a.get(7), 2u * 3 * 200);
+  });
+  check.join();
+}
+
+TEST(DArrayOperate, EvictionFlushesCombineBuffer) {
+  // Tiny cache: applied chunks get evicted, shipping combined operands home;
+  // re-applying afterwards must keep accumulating correctly.
+  rt::ClusterConfig cfg = small_cfg(2, /*chunk_elems=*/16, /*cachelines=*/8);
+  rt::Cluster cluster(cfg);
+  auto a = DArray<uint64_t>::create(cluster, 16 * 64);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  std::thread t([&] {
+    bind_thread(cluster, 1);
+    for (int sweep = 0; sweep < 3; ++sweep)
+      for (uint64_t i = a.local_begin(0); i < a.local_end(0); ++i) a.apply(i, add, 1);
+  });
+  t.join();
+  std::thread check([&] {
+    bind_thread(cluster, 0);
+    for (uint64_t i = a.local_begin(0); i < a.local_end(0); ++i) ASSERT_EQ(a.get(i), 3u);
+  });
+  check.join();
+}
+
+TEST(DArrayOperate, ApplyAfterReadAfterApply) {
+  // Operated → Unshared → Operated round trips.
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  std::thread t([&] {
+    bind_thread(cluster, 1);
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 10; ++i) a.apply(4, add, 1);
+      EXPECT_EQ(a.get(4), static_cast<uint64_t>((round + 1) * 10));
+    }
+  });
+  t.join();
+}
+
+}  // namespace
+}  // namespace darray

@@ -1,0 +1,139 @@
+// The Pin optimization hint (§4.1): pinned chunks are accessed with zero
+// atomics and their state cannot change until unpin.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using testing::small_cfg;
+
+void add_u64(uint64_t& acc, uint64_t v) { acc += v; }
+
+TEST(DArrayPin, PinnedReadSweep) {
+  rt::Cluster cluster(small_cfg(2, /*chunk_elems=*/64));
+  auto a = DArray<uint64_t>::create(cluster, 64 * 8);
+  std::thread init([&] {
+    bind_thread(cluster, 0);
+    for (uint64_t i = 0; i < a.size(); ++i) a.set(i, i * 2);
+  });
+  init.join();
+  std::thread t([&] {
+    bind_thread(cluster, 1);
+    for (uint64_t c = 0; c < 8; ++c) {
+      const uint64_t base = c * 64;
+      ASSERT_TRUE(a.pin(base, PinMode::kRead));
+      for (uint64_t i = base; i < base + 64; ++i) ASSERT_EQ(a.get(i), i * 2);
+      a.unpin(base);
+    }
+  });
+  t.join();
+}
+
+TEST(DArrayPin, PinnedWriteSweep) {
+  rt::Cluster cluster(small_cfg(2, 64));
+  auto a = DArray<uint64_t>::create(cluster, 64 * 4);
+  std::thread t([&] {
+    bind_thread(cluster, 1);
+    for (uint64_t c = 0; c < 4; ++c) {
+      const uint64_t base = c * 64;
+      ASSERT_TRUE(a.pin(base, PinMode::kWrite));
+      for (uint64_t i = base; i < base + 64; ++i) a.set(i, i + 9);
+      a.unpin(base);
+    }
+  });
+  t.join();
+  std::thread check([&] {
+    bind_thread(cluster, 0);
+    for (uint64_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.get(i), i + 9);
+  });
+  check.join();
+}
+
+TEST(DArrayPin, PinnedOperate) {
+  rt::Cluster cluster(small_cfg(2, 64));
+  auto a = DArray<uint64_t>::create(cluster, 64 * 2);
+  const uint16_t add = a.register_op(&add_u64, 0);
+  std::thread t([&] {
+    bind_thread(cluster, 1);
+    ASSERT_TRUE(a.pin(0, PinMode::kOperate, add));
+    for (int i = 0; i < 100; ++i) a.apply(5, add, 1);
+    a.unpin(0);
+  });
+  t.join();
+  std::thread check([&] {
+    bind_thread(cluster, 0);
+    EXPECT_EQ(a.get(5), 100u);
+  });
+  check.join();
+}
+
+TEST(DArrayPin, PinBlocksEvictionUnderPressure) {
+  // A pinned chunk must survive a cache sweep that evicts everything else.
+  rt::ClusterConfig cfg = small_cfg(2, /*chunk_elems=*/16, /*cachelines=*/8);
+  rt::Cluster cluster(cfg);
+  auto a = DArray<uint64_t>::create(cluster, 16 * 64);
+  std::thread init([&] {
+    bind_thread(cluster, 0);
+    for (uint64_t i = a.local_begin(0); i < a.local_end(0); ++i) a.set(i, i);
+  });
+  init.join();
+  std::thread t([&] {
+    bind_thread(cluster, 1);
+    const uint64_t pinned_base = 0;
+    ASSERT_TRUE(a.pin(pinned_base, PinMode::kRead));
+    // Thrash the cache with the rest of node 0's half.
+    for (uint64_t i = 16; i < a.local_end(0); ++i) ASSERT_EQ(a.get(i), i);
+    // Pinned chunk still readable (and was never invalidated under us).
+    for (uint64_t i = 0; i < 16; ++i) ASSERT_EQ(a.get(i), i);
+    a.unpin(pinned_base);
+  });
+  t.join();
+}
+
+TEST(DArrayPin, RepinSameChunkIsIdempotent) {
+  rt::Cluster cluster(small_cfg(1, 64));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  bind_thread(cluster, 0);
+  ASSERT_TRUE(a.pin(0, PinMode::kWrite));
+  ASSERT_TRUE(a.pin(5, PinMode::kWrite));  // same chunk
+  a.set(3, 33);
+  EXPECT_EQ(a.get(3), 33u);
+  a.unpin(0);
+}
+
+TEST(DArrayPin, PinSlotsExhaust) {
+  rt::Cluster cluster(small_cfg(1, 16));
+  auto a = DArray<uint64_t>::create(cluster, 16 * (kMaxPins + 2));
+  bind_thread(cluster, 0);
+  for (size_t i = 0; i < kMaxPins; ++i)
+    ASSERT_TRUE(a.pin(i * 16, PinMode::kRead));
+  EXPECT_FALSE(a.pin(kMaxPins * 16, PinMode::kRead));
+  for (size_t i = 0; i < kMaxPins; ++i) a.unpin(i * 16);
+  EXPECT_TRUE(a.pin(kMaxPins * 16, PinMode::kRead));
+  a.unpin(kMaxPins * 16);
+}
+
+TEST(DArrayPin, HomePinnedWrite) {
+  rt::Cluster cluster(small_cfg(2, 64));
+  auto a = DArray<uint64_t>::create(cluster, 64 * 4);
+  std::thread t([&] {
+    bind_thread(cluster, 0);
+    ASSERT_TRUE(a.pin(0, PinMode::kWrite));  // home chunk, Unshared
+    for (uint64_t i = 0; i < 64; ++i) a.set(i, i * 7);
+    a.unpin(0);
+  });
+  t.join();
+  std::thread check([&] {
+    bind_thread(cluster, 1);
+    for (uint64_t i = 0; i < 64; ++i) ASSERT_EQ(a.get(i), i * 7);
+  });
+  check.join();
+}
+
+}  // namespace
+}  // namespace darray

@@ -1,0 +1,124 @@
+// Property-based tests: randomized workloads whose final state is
+// predictable, checked against a reference model.
+//
+//  - Elements in "set mode" are written only by their designated node; the
+//    last write wins and is globally visible.
+//  - Elements in "apply mode" receive commutative adds from every node; the
+//    final value must equal the total regardless of interleaving, eviction,
+//    or flush timing.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using testing::small_cfg;
+
+void add_u64(uint64_t& a, uint64_t v) { a += v; }
+
+struct PropertyParam {
+  uint32_t nodes;
+  uint32_t chunk_elems;
+  uint32_t cachelines;  // small values force eviction/writeback mid-run
+  uint64_t elems;
+  uint64_t ops_per_node;
+};
+
+class DArrayProperty : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(DArrayProperty, RandomisedMixedWorkloadConvergesToModel) {
+  const PropertyParam p = GetParam();
+  rt::Cluster cluster(small_cfg(p.nodes, p.chunk_elems, p.cachelines));
+  auto arr = DArray<uint64_t>::create(cluster, p.elems);
+  const uint16_t add = arr.register_op(&add_u64, 0);
+
+  // element i: mode = set (owner node i % nodes) when i is even, else apply.
+  auto is_set_mode = [](uint64_t i) { return i % 2 == 0; };
+
+  // Reference: per-node op streams are deterministic (seeded by node id).
+  std::vector<uint64_t> expected(p.elems, 0);
+  std::vector<uint64_t> expected_adds(p.elems, 0);
+  for (uint32_t n = 0; n < p.nodes; ++n) {
+    Xoshiro256 rng(9000 + n);
+    for (uint64_t k = 0; k < p.ops_per_node; ++k) {
+      const uint64_t i = rng.next_below(p.elems);
+      const uint64_t val = rng.next();
+      if (is_set_mode(i)) {
+        if (i % p.nodes == n) expected[i] = val;  // owner's last write wins
+      } else {
+        expected_adds[i] += val % 100;
+      }
+    }
+  }
+
+  testing::run_on_nodes(cluster, [&](rt::NodeId n) {
+    Xoshiro256 rng(9000 + n);
+    for (uint64_t k = 0; k < p.ops_per_node; ++k) {
+      const uint64_t i = rng.next_below(p.elems);
+      const uint64_t val = rng.next();
+      if (is_set_mode(i)) {
+        if (i % p.nodes == n)
+          arr.set(i, val);
+        else
+          (void)arr.get(i);  // concurrent readers stress Shared/Dirty churn
+      } else {
+        arr.apply(i, add, val % 100);
+      }
+    }
+  });
+
+  // Single-writer elements: the owner's last write must be the final value.
+  // (Each owner's stream is sequential, so its own order is program order.)
+  testing::run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    for (uint64_t i = 0; i < p.elems; ++i) {
+      if (is_set_mode(i)) {
+        ASSERT_EQ(arr.get(i), expected[i]) << "set-mode element " << i;
+      } else {
+        ASSERT_EQ(arr.get(i), expected_adds[i]) << "apply-mode element " << i;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DArrayProperty,
+    ::testing::Values(PropertyParam{2, 64, 64, 512, 2000},    // comfortable cache
+                      PropertyParam{2, 16, 8, 1024, 2000},    // heavy eviction
+                      PropertyParam{3, 16, 8, 768, 1500},     // 3 nodes, eviction
+                      PropertyParam{4, 32, 16, 256, 1000},    // high contention
+                      PropertyParam{2, 64, 64, 64, 3000}),    // single-chunk-ish
+    [](const auto& info) {
+      const PropertyParam& p = info.param;
+      return "n" + std::to_string(p.nodes) + "c" + std::to_string(p.chunk_elems) + "l" +
+             std::to_string(p.cachelines) + "e" + std::to_string(p.elems);
+    });
+
+// Locks serialise read-modify-write across everything else going on.
+TEST(DArrayPropertyLocks, LockedCountersAlwaysExact) {
+  rt::Cluster cluster(small_cfg(3, 16, 8));
+  auto arr = DArray<uint64_t>::create(cluster, 64);
+  constexpr uint64_t kCounters = 4;
+  constexpr int kPerNode = 40;
+  testing::run_on_nodes(cluster, [&](rt::NodeId n) {
+    Xoshiro256 rng(n + 1);
+    for (int k = 0; k < kPerNode; ++k) {
+      const uint64_t c = rng.next_below(kCounters);
+      arr.wlock(c);
+      arr.set(c, arr.get(c) + 1);
+      arr.unlock(c);
+    }
+  });
+  testing::run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 1) return;
+    uint64_t total = 0;
+    for (uint64_t c = 0; c < kCounters; ++c) total += arr.get(c);
+    EXPECT_EQ(total, 3u * kPerNode);
+  });
+}
+
+}  // namespace
+}  // namespace darray

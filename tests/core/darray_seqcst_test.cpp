@@ -1,0 +1,98 @@
+// Sequential-consistency litmus tests (§4.4 claims SC: no buffered/reordered
+// reads or writes, Operate visible to subsequent reads with happens-before).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using testing::small_cfg;
+
+// Store buffering (SB): under SC, (r1, r2) == (0, 0) is forbidden.
+//   node0: x = 1; r1 = y        node1: y = 1; r2 = x
+TEST(DArraySeqCst, StoreBufferingForbidden) {
+  rt::Cluster cluster(small_cfg(2, /*chunk_elems=*/16));
+  // x and y in different chunks homed on different nodes.
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  const uint64_t x = 0, y = 40;
+  for (int round = 0; round < 30; ++round) {
+    uint64_t r1 = 99, r2 = 99;
+    std::thread t0([&] {
+      bind_thread(cluster, 0);
+      a.set(x, 1);
+      r1 = a.get(y);
+    });
+    std::thread t1([&] {
+      bind_thread(cluster, 1);
+      a.set(y, 1);
+      r2 = a.get(x);
+    });
+    t0.join();
+    t1.join();
+    EXPECT_FALSE(r1 == 0 && r2 == 0) << "SB violation in round " << round;
+    std::thread reset([&] {
+      bind_thread(cluster, 0);
+      a.set(x, 0);
+      a.set(y, 0);
+    });
+    reset.join();
+  }
+}
+
+// Peterson's algorithm needs sequential consistency to provide mutual
+// exclusion; lost increments would reveal reordering.
+TEST(DArraySeqCst, PetersonMutualExclusion) {
+  rt::Cluster cluster(small_cfg(2, /*chunk_elems=*/16));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  // flag[0]=idx0, flag[1]=idx16 (different chunks), turn=idx32, counter=idx48.
+  const uint64_t flag0 = 0, flag1 = 16, turn = 32, counter = 48;
+  constexpr int kIters = 15;
+
+  auto worker = [&](rt::NodeId me) {
+    bind_thread(cluster, me);
+    const uint64_t my_flag = me == 0 ? flag0 : flag1;
+    const uint64_t other_flag = me == 0 ? flag1 : flag0;
+    const uint64_t other = 1 - me;
+    for (int i = 0; i < kIters; ++i) {
+      a.set(my_flag, 1);
+      a.set(turn, other);
+      while (a.get(other_flag) == 1 && a.get(turn) == other) {
+      }
+      // Critical section: unprotected read-modify-write.
+      a.set(counter, a.get(counter) + 1);
+      a.set(my_flag, 0);
+    }
+  };
+  std::thread t0(worker, 0), t1(worker, 1);
+  t0.join();
+  t1.join();
+  std::thread check([&] {
+    bind_thread(cluster, 0);
+    EXPECT_EQ(a.get(counter), 2u * kIters);
+  });
+  check.join();
+}
+
+// Operate visibility: everything applied before a read must be included
+// (happens-before through the flush-all), per §4.4.
+TEST(DArraySeqCst, OperateVisibleToSubsequentReads) {
+  rt::Cluster cluster(small_cfg(3));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  const uint16_t add = a.register_op(+[](uint64_t& x, uint64_t v) { x += v; }, 0);
+  for (int round = 1; round <= 10; ++round) {
+    testing::run_on_nodes(cluster, [&](rt::NodeId) { a.apply(1, add, 1); });
+    // All applies joined (threads joined above): any node's read sees them.
+    std::thread check([&] {
+      bind_thread(cluster, (round % 3));
+      EXPECT_EQ(a.get(1), static_cast<uint64_t>(3 * round));
+    });
+    check.join();
+  }
+}
+
+}  // namespace
+}  // namespace darray

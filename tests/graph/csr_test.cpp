@@ -1,0 +1,49 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace darray::graph {
+namespace {
+
+TEST(Csr, EmptyGraph) {
+  Csr g = Csr::from_edges(5, {});
+  EXPECT_EQ(g.n_vertices(), 5u);
+  EXPECT_EQ(g.n_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.out_degree(v), 0u);
+}
+
+TEST(Csr, DegreesAndNeighbors) {
+  Csr g = Csr::from_edges(4, {{0, 1}, {0, 2}, {1, 2}, {3, 0}});
+  EXPECT_EQ(g.n_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+  EXPECT_EQ(g.out_degree(3), 1u);
+  auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<Vertex>(n0.begin(), n0.end()), (std::vector<Vertex>{1, 2}));
+  EXPECT_EQ(g.neighbors(3)[0], 0u);
+}
+
+TEST(Csr, SelfLoopsAndMultiEdgesKept) {
+  Csr g = Csr::from_edges(2, {{0, 0}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.out_degree(0), 3u);
+}
+
+TEST(Csr, SymmetricDoublesEdges) {
+  Csr g = Csr::symmetric_from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.n_edges(), 4u);
+  EXPECT_EQ(g.out_degree(1), 2u);  // from 0→1 reversed and 1→2
+  EXPECT_EQ(g.neighbors(2)[0], 1u);
+}
+
+TEST(Csr, TotalDegreeEqualsEdgeCount) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < 50; ++v) edges.push_back({v, (v * 7 + 3) % 50});
+  Csr g = Csr::from_edges(50, edges);
+  uint64_t total = 0;
+  for (Vertex v = 0; v < 50; ++v) total += g.out_degree(v);
+  EXPECT_EQ(total, g.n_edges());
+}
+
+}  // namespace
+}  // namespace darray::graph

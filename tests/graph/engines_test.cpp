@@ -1,0 +1,147 @@
+// Cross-engine equivalence: DArray (plain + Pin), GAM, and Gemini engines
+// must all match the serial reference on PageRank and Connected Components,
+// across node counts and thread counts (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include "graph/cc.hpp"
+#include "graph/pagerank.hpp"
+#include "graph/reference.hpp"
+#include "graph/rmat.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray::graph {
+namespace {
+
+Csr test_graph(uint32_t scale = 8) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 4;
+  p.seed = 3;
+  return rmat_graph(p);
+}
+
+Csr test_graph_sym(uint32_t scale = 7) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 4;
+  p.seed = 5;
+  return Csr::symmetric_from_edges(uint64_t{1} << p.scale, rmat_edges(p));
+}
+
+void expect_ranks_match(const std::vector<double>& got, const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t v = 0; v < got.size(); ++v)
+    ASSERT_NEAR(got[v], want[v], 1e-12) << "vertex " << v;
+}
+
+struct EngineParam {
+  uint32_t nodes;
+  uint32_t threads;
+  bool use_pin;
+};
+
+class PageRankEngines : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(PageRankEngines, DArrayMatchesReference) {
+  const EngineParam p = GetParam();
+  Csr g = test_graph();
+  rt::Cluster cluster(darray::testing::small_cfg(p.nodes));
+  GraphRunOptions opt;
+  opt.iterations = 5;
+  opt.threads_per_node = p.threads;
+  opt.use_pin = p.use_pin;
+  expect_ranks_match(pagerank_darray(cluster, g, opt), pagerank_reference(g, 5));
+}
+
+TEST_P(PageRankEngines, GeminiMatchesReference) {
+  const EngineParam p = GetParam();
+  Csr g = test_graph();
+  rt::Cluster cluster(darray::testing::small_cfg(p.nodes));
+  GraphRunOptions opt;
+  opt.iterations = 5;
+  opt.threads_per_node = p.threads;
+  expect_ranks_match(pagerank_gemini(cluster, g, opt), pagerank_reference(g, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PageRankEngines,
+                         ::testing::Values(EngineParam{1, 1, false},
+                                           EngineParam{2, 1, false},
+                                           EngineParam{2, 2, false},
+                                           EngineParam{3, 1, true},
+                                           EngineParam{2, 1, true}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.nodes) + "t" +
+                                  std::to_string(info.param.threads) +
+                                  (info.param.use_pin ? "pin" : "plain");
+                         });
+
+TEST(PageRankGam, MatchesReferenceSmall) {
+  // GAM is slow by design; keep this one small.
+  Csr g = test_graph(6);
+  rt::Cluster cluster(darray::testing::small_cfg(2));
+  GraphRunOptions opt;
+  opt.iterations = 3;
+  expect_ranks_match(pagerank_gam(cluster, g, opt), pagerank_reference(g, 3));
+}
+
+class CcEngines : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(CcEngines, DArrayMatchesReference) {
+  const EngineParam p = GetParam();
+  Csr g = test_graph_sym();
+  rt::Cluster cluster(darray::testing::small_cfg(p.nodes));
+  GraphRunOptions opt;
+  opt.threads_per_node = p.threads;
+  opt.use_pin = p.use_pin;
+  EXPECT_EQ(cc_darray(cluster, g, opt), cc_reference(g));
+}
+
+TEST_P(CcEngines, GeminiMatchesReference) {
+  const EngineParam p = GetParam();
+  Csr g = test_graph_sym();
+  rt::Cluster cluster(darray::testing::small_cfg(p.nodes));
+  GraphRunOptions opt;
+  opt.threads_per_node = p.threads;
+  EXPECT_EQ(cc_gemini(cluster, g, opt), cc_reference(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CcEngines,
+                         ::testing::Values(EngineParam{1, 1, false},
+                                           EngineParam{2, 1, false},
+                                           EngineParam{2, 2, false},
+                                           EngineParam{3, 1, false}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.nodes) + "t" +
+                                  std::to_string(info.param.threads);
+                         });
+
+TEST(CcGam, MatchesReferenceSmall) {
+  Csr g = test_graph_sym(6);
+  rt::Cluster cluster(darray::testing::small_cfg(2));
+  GraphRunOptions opt;
+  EXPECT_EQ(cc_gam(cluster, g, opt), cc_reference(g));
+}
+
+TEST(CcReference, DisconnectedComponents) {
+  // 0-1-2 and 3-4 as separate components, 5 isolated.
+  Csr g = Csr::symmetric_from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const auto labels = cc_reference(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(labels[5], 5u);
+}
+
+TEST(PageRankReference, RanksSumToOneIsh) {
+  Csr g = test_graph();
+  const auto ranks = pagerank_reference(g, 10);
+  double sum = 0;
+  for (double r : ranks) sum += r;
+  // Dangling vertices leak rank, so the sum is <= 1 but must stay positive.
+  EXPECT_GT(sum, 0.3);
+  EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace darray::graph

@@ -1,0 +1,67 @@
+#include "graph/gemini.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+
+namespace darray::graph {
+namespace {
+
+TEST(GeminiContext, PartitionCoversRange) {
+  rt::Cluster cluster(darray::testing::small_cfg(3));
+  GeminiContext<double> ctx(cluster, 100, 0.0);
+  EXPECT_EQ(ctx.begin(0), 0u);
+  EXPECT_EQ(ctx.end(2), 100u);
+  for (uint32_t i = 0; i + 1 < 3; ++i) EXPECT_EQ(ctx.end(i), ctx.begin(i + 1));
+}
+
+TEST(GeminiContext, ExchangeSumsContributions) {
+  rt::Cluster cluster(darray::testing::small_cfg(3));
+  const uint64_t n = 90;
+  GeminiContext<double> ctx(cluster, n, 0.0);
+  // Each node contributes node_id+1 to EVERY vertex in its accumulator.
+  for (uint32_t node = 0; node < 3; ++node) {
+    double* acc = ctx.acc(node);
+    for (uint64_t v = 0; v < n; ++v) acc[v] = static_cast<double>(node + 1);
+  }
+  for (uint32_t node = 0; node < 3; ++node) ctx.exchange_send(node);
+  for (uint32_t node = 0; node < 3; ++node) {
+    double* reduced = ctx.exchange_reduce(node, [](double a, double x) { return a + x; });
+    for (uint64_t v = ctx.begin(node); v < ctx.end(node); ++v)
+      ASSERT_EQ(reduced[v], 6.0) << "vertex " << v;  // 1+2+3
+  }
+}
+
+TEST(GeminiContext, MinIdentityUntouchedSlotsStayIdentity) {
+  rt::Cluster cluster(darray::testing::small_cfg(2));
+  GeminiContext<uint64_t> ctx(cluster, 40, ~0ull);
+  ctx.acc(1)[3] = 7;  // node 1 lowers vertex 3 (owned by node 0)
+  ctx.exchange_send(0);
+  ctx.exchange_send(1);
+  uint64_t* reduced =
+      ctx.exchange_reduce(0, [](uint64_t a, uint64_t x) { return x < a ? x : a; });
+  EXPECT_EQ(reduced[3], 7u);
+  EXPECT_EQ(reduced[4], ~0ull);
+}
+
+TEST(GeminiContext, ResetRestoresIdentity) {
+  rt::Cluster cluster(darray::testing::small_cfg(2));
+  GeminiContext<double> ctx(cluster, 20, 0.0);
+  ctx.acc(0)[5] = 9.0;
+  ctx.reset(0);
+  EXPECT_EQ(ctx.acc(0)[5], 0.0);
+}
+
+TEST(GeminiContext, ExchangeGoesOverTheFabric) {
+  rt::Cluster cluster(darray::testing::small_cfg(2));
+  GeminiContext<double> ctx(cluster, 64, 0.0);
+  cluster.fabric().reset_stats();
+  ctx.exchange_send(0);
+  ctx.exchange_send(1);
+  const rdma::FabricStats s = cluster.fabric().stats();
+  EXPECT_EQ(s.writes, 2u) << "one bulk WRITE per peer per node";
+  EXPECT_EQ(s.bytes_written, 2u * 32 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace darray::graph

@@ -1,0 +1,73 @@
+#include "graph/rmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace darray::graph {
+namespace {
+
+TEST(Rmat, EdgeCountMatchesParams) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  const auto edges = rmat_edges(p);
+  EXPECT_EQ(edges.size(), (1u << 10) * 8u);
+}
+
+TEST(Rmat, VerticesInRange) {
+  RmatParams p;
+  p.scale = 8;
+  for (const Edge& e : rmat_edges(p)) {
+    EXPECT_LT(e.first, 1u << 8);
+    EXPECT_LT(e.second, 1u << 8);
+  }
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  RmatParams p;
+  p.scale = 8;
+  p.seed = 77;
+  EXPECT_EQ(rmat_edges(p), rmat_edges(p));
+}
+
+TEST(Rmat, DifferentSeedsDiffer) {
+  RmatParams a, b;
+  a.scale = b.scale = 8;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(rmat_edges(a), rmat_edges(b));
+}
+
+TEST(Rmat, PowerLawSkew) {
+  // R-MAT(0.57,...) produces hubs: the max out-degree should far exceed the
+  // mean (edge_factor).
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 4;
+  Csr g = rmat_graph(p);
+  uint64_t max_deg = 0;
+  for (Vertex v = 0; v < g.n_vertices(); ++v) max_deg = std::max(max_deg, g.out_degree(v));
+  EXPECT_GT(max_deg, 10u * p.edge_factor);
+}
+
+TEST(Rmat, PermutationPreservesDegreeDistribution) {
+  RmatParams a;
+  a.scale = 8;
+  a.permute_vertices = false;
+  RmatParams b = a;
+  b.permute_vertices = true;
+  Csr ga = Csr::from_edges(1 << 8, rmat_edges(a));
+  Csr gb = Csr::from_edges(1 << 8, rmat_edges(b));
+  std::vector<uint64_t> da, db;
+  for (Vertex v = 0; v < (1u << 8); ++v) {
+    da.push_back(ga.out_degree(v));
+    db.push_back(gb.out_degree(v));
+  }
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  EXPECT_EQ(da, db);
+}
+
+}  // namespace
+}  // namespace darray::graph

@@ -1,0 +1,127 @@
+// BFS and SSSP (write_min applications beyond the paper's PR/CC pair),
+// validated against serial references across engines and node counts.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/rmat.hpp"
+#include "graph/sssp.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray::graph {
+namespace {
+
+Csr chain(uint64_t n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Csr::from_edges(n, edges);
+}
+
+Csr random_sym(uint32_t scale, uint64_t seed) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 4;
+  p.seed = seed;
+  return Csr::symmetric_from_edges(uint64_t{1} << scale, rmat_edges(p));
+}
+
+TEST(BfsReference, ChainDistances) {
+  Csr g = chain(10);
+  const auto d = bfs_reference(g, 0);
+  for (uint64_t v = 0; v < 10; ++v) EXPECT_EQ(d[v], v);
+  const auto d3 = bfs_reference(g, 3);
+  EXPECT_EQ(d3[2], kUnreached) << "chain is directed";
+  EXPECT_EQ(d3[9], 6u);
+}
+
+TEST(BfsReference, UnreachableVertices) {
+  Csr g = Csr::from_edges(5, {{0, 1}, {3, 4}});
+  const auto d = bfs_reference(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreached);
+  EXPECT_EQ(d[3], kUnreached);
+}
+
+struct TraversalParam {
+  uint32_t nodes;
+  uint32_t threads;
+};
+
+class BfsEngines : public ::testing::TestWithParam<TraversalParam> {};
+
+TEST_P(BfsEngines, DArrayMatchesReference) {
+  const auto p = GetParam();
+  Csr g = random_sym(7, 11);
+  rt::Cluster cluster(darray::testing::small_cfg(p.nodes));
+  GraphRunOptions opt;
+  opt.threads_per_node = p.threads;
+  EXPECT_EQ(bfs_darray(cluster, g, 0, opt), bfs_reference(g, 0));
+}
+
+TEST_P(BfsEngines, GeminiMatchesReference) {
+  const auto p = GetParam();
+  Csr g = random_sym(7, 13);
+  rt::Cluster cluster(darray::testing::small_cfg(p.nodes));
+  GraphRunOptions opt;
+  opt.threads_per_node = p.threads;
+  EXPECT_EQ(bfs_gemini(cluster, g, 5, opt), bfs_reference(g, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BfsEngines,
+                         ::testing::Values(TraversalParam{1, 1}, TraversalParam{2, 1},
+                                           TraversalParam{2, 2}, TraversalParam{3, 1}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.nodes) + "t" +
+                                  std::to_string(info.param.threads);
+                         });
+
+TEST(SsspReference, WeightedChain) {
+  Csr g = chain(6);
+  const auto d = sssp_reference(g, 0);
+  uint64_t expect = 0;
+  EXPECT_EQ(d[0], 0u);
+  for (Vertex v = 0; v + 1 < 6; ++v) {
+    expect += edge_weight(v, v + 1);
+    EXPECT_EQ(d[v + 1], expect);
+  }
+}
+
+TEST(SsspReference, PrefersCheaperPath) {
+  // Two routes 0→3: direct vs through 1,2; Dijkstra must take the cheaper.
+  Csr g = Csr::from_edges(4, {{0, 3}, {0, 1}, {1, 2}, {2, 3}});
+  const auto d = sssp_reference(g, 0);
+  const uint64_t direct = edge_weight(0, 3);
+  const uint64_t via = edge_weight(0, 1) + edge_weight(1, 2) + edge_weight(2, 3);
+  EXPECT_EQ(d[3], std::min(direct, via));
+}
+
+class SsspEngines : public ::testing::TestWithParam<TraversalParam> {};
+
+TEST_P(SsspEngines, DArrayMatchesReference) {
+  const auto p = GetParam();
+  Csr g = random_sym(7, 17);
+  rt::Cluster cluster(darray::testing::small_cfg(p.nodes));
+  GraphRunOptions opt;
+  opt.threads_per_node = p.threads;
+  EXPECT_EQ(sssp_darray(cluster, g, 0, opt), sssp_reference(g, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SsspEngines,
+                         ::testing::Values(TraversalParam{1, 1}, TraversalParam{2, 1},
+                                           TraversalParam{3, 2}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.nodes) + "t" +
+                                  std::to_string(info.param.threads);
+                         });
+
+TEST(EdgeWeight, DeterministicAndBounded) {
+  for (Vertex u = 0; u < 50; ++u)
+    for (Vertex v = 0; v < 50; ++v) {
+      const uint64_t w = edge_weight(u, v);
+      EXPECT_GE(w, 1u);
+      EXPECT_LE(w, 15u);
+      EXPECT_EQ(w, edge_weight(u, v));
+    }
+}
+
+}  // namespace
+}  // namespace darray::graph

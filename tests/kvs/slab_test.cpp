@@ -1,0 +1,116 @@
+#include "kvs/slab_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace darray::kvs {
+namespace {
+
+TEST(Slab, ClassBytesRounding) {
+  EXPECT_EQ(SlabAllocator::class_bytes(1), 16u);
+  EXPECT_EQ(SlabAllocator::class_bytes(16), 16u);
+  EXPECT_EQ(SlabAllocator::class_bytes(17), 32u);
+  EXPECT_EQ(SlabAllocator::class_bytes(100), 128u);
+  EXPECT_EQ(SlabAllocator::class_bytes(65536), 65536u);
+}
+
+TEST(Slab, AllocationsWithinRegionAndDisjoint) {
+  SlabAllocator s(1000, 1 << 20);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t off = s.allocate(100);
+    ASSERT_NE(off, kNullOffset);
+    EXPECT_GE(off, 1000u);
+    EXPECT_LE(off + 128, 1000u + (1 << 20));
+    EXPECT_TRUE(seen.insert(off).second) << "duplicate allocation";
+    // No overlap with any other allocation of the same class.
+    for (uint64_t other : seen) {
+      if (other != off) {
+        EXPECT_GE(std::max(off, other) - std::min(off, other), 128u);
+      }
+    }
+  }
+}
+
+TEST(Slab, FreeEnablesReuse) {
+  SlabAllocator s(0, SlabAllocator::kPageBytes);  // exactly one page
+  std::vector<uint64_t> offs;
+  for (;;) {
+    const uint64_t o = s.allocate(1000);  // class 1024: 64 objects per page
+    if (o == kNullOffset) break;
+    offs.push_back(o);
+  }
+  EXPECT_EQ(offs.size(), SlabAllocator::kPageBytes / 1024);
+  s.free(offs[0], 1000);
+  EXPECT_EQ(s.allocate(1000), offs[0]);
+}
+
+TEST(Slab, ExhaustionReturnsNull) {
+  SlabAllocator s(0, 1024);  // smaller than a page
+  EXPECT_EQ(s.allocate(100), kNullOffset);
+}
+
+TEST(Slab, ZeroAndOversizeRejected) {
+  SlabAllocator s(0, 1 << 20);
+  EXPECT_EQ(s.allocate(0), kNullOffset);
+  EXPECT_EQ(s.allocate(SlabAllocator::kMaxClassBytes + 1), kNullOffset);
+}
+
+TEST(Slab, BytesInUseTracksAllocations) {
+  SlabAllocator s(0, 1 << 20);
+  EXPECT_EQ(s.bytes_in_use(), 0u);
+  const uint64_t a = s.allocate(100);  // class 128
+  EXPECT_EQ(s.bytes_in_use(), 128u);
+  const uint64_t b = s.allocate(17);  // class 32
+  EXPECT_EQ(s.bytes_in_use(), 160u);
+  s.free(a, 100);
+  EXPECT_EQ(s.bytes_in_use(), 32u);
+  s.free(b, 17);
+  EXPECT_EQ(s.bytes_in_use(), 0u);
+}
+
+TEST(Slab, DifferentClassesDoNotOverlap) {
+  SlabAllocator s(0, 4 << 20);
+  struct Alloc {
+    uint64_t off;
+    uint32_t cap;
+  };
+  std::vector<Alloc> allocs;
+  for (uint32_t sz : {10u, 100u, 1000u, 10000u, 60000u}) {
+    for (int i = 0; i < 5; ++i) {
+      const uint64_t o = s.allocate(sz);
+      ASSERT_NE(o, kNullOffset);
+      allocs.push_back({o, SlabAllocator::class_bytes(sz)});
+    }
+  }
+  for (size_t i = 0; i < allocs.size(); ++i)
+    for (size_t j = i + 1; j < allocs.size(); ++j) {
+      const bool disjoint = allocs[i].off + allocs[i].cap <= allocs[j].off ||
+                            allocs[j].off + allocs[j].cap <= allocs[i].off;
+      EXPECT_TRUE(disjoint) << i << " vs " << j;
+    }
+}
+
+TEST(Slab, ThreadSafety) {
+  SlabAllocator s(0, 8 << 20);
+  std::vector<std::thread> ts;
+  std::vector<std::vector<uint64_t>> per_thread(4);
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&s, &v = per_thread[static_cast<size_t>(t)]] {
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t o = s.allocate(64);
+        ASSERT_NE(o, kNullOffset);
+        v.push_back(o);
+      }
+    });
+  for (auto& t : ts) t.join();
+  std::set<uint64_t> all;
+  for (const auto& v : per_thread)
+    for (uint64_t o : v) EXPECT_TRUE(all.insert(o).second) << "duplicate under contention";
+}
+
+}  // namespace
+}  // namespace darray::kvs

@@ -1,0 +1,65 @@
+#include "kvs/ycsb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kvs/kvs.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray::kvs {
+namespace {
+
+TEST(YcsbUnit, KeyFormat) {
+  EXPECT_EQ(ycsb_key(0), "user0");
+  EXPECT_EQ(ycsb_key(123456), "user123456");
+  EXPECT_NE(ycsb_key(1), ycsb_key(10));
+}
+
+TEST(YcsbUnit, ValueSizedAndTagged) {
+  const std::string v = ycsb_value(42, 100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.substr(0, 6), "val42:");
+  EXPECT_EQ(v.back(), 'x');
+}
+
+TEST(YcsbUnit, LoadInsertsEveryKey) {
+  rt::Cluster cluster(darray::testing::small_cfg(2));
+  auto kvs = DKvs::create(cluster, KvsConfig{1 << 8, 1 << 6, 8 << 20});
+  YcsbConfig cfg;
+  cfg.n_keys = 300;
+  ycsb_load(cluster, kvs, cfg);
+  bind_thread(cluster, 0);
+  for (uint64_t k = 0; k < cfg.n_keys; ++k)
+    ASSERT_TRUE(kvs.contains(ycsb_key(k))) << k;
+}
+
+TEST(YcsbUnit, GetRatioRespectedApproximately) {
+  rt::Cluster cluster(darray::testing::small_cfg(2));
+  auto kvs = DKvs::create(cluster, KvsConfig{1 << 8, 1 << 6, 8 << 20});
+  YcsbConfig cfg;
+  cfg.n_keys = 200;
+  cfg.ops_per_thread = 1000;
+  cfg.threads_per_node = 1;
+  cfg.get_ratio = 0.8;
+  ycsb_load(cluster, kvs, cfg);
+  YcsbResult r = run_ycsb(cluster, kvs, cfg);
+  const double ratio = static_cast<double>(r.gets) / static_cast<double>(r.gets + r.puts);
+  EXPECT_NEAR(ratio, 0.8, 0.05);
+  EXPECT_EQ(r.misses, 0u);
+}
+
+TEST(YcsbUnit, PureGetWorkloadHasNoPuts) {
+  rt::Cluster cluster(darray::testing::small_cfg(2));
+  auto kvs = DKvs::create(cluster, KvsConfig{1 << 8, 1 << 6, 8 << 20});
+  YcsbConfig cfg;
+  cfg.n_keys = 100;
+  cfg.ops_per_thread = 200;
+  cfg.get_ratio = 1.0;
+  ycsb_load(cluster, kvs, cfg);
+  YcsbResult r = run_ycsb(cluster, kvs, cfg);
+  EXPECT_EQ(r.puts, 0u);
+  EXPECT_GT(r.kops, 0.0);
+  EXPECT_GT(r.elapsed_s, 0.0);
+}
+
+}  // namespace
+}  // namespace darray::kvs

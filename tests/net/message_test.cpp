@@ -1,0 +1,72 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+namespace darray::net {
+namespace {
+
+TEST(Message, HeaderIsFixedSize) {
+  // The wire format depends on this layout; catch accidental growth.
+  EXPECT_EQ(sizeof(MsgHeader), 40u);
+  EXPECT_EQ(sizeof(OpFlushEntry), 16u);
+}
+
+TEST(Message, TypeNamesUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (int t = 1; t < static_cast<int>(MsgType::kMaxMsgType); ++t) {
+    const char* name = msg_type_name(static_cast<MsgType>(t));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "missing name for type " << t;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(Message, HeaderRoundTripsThroughBytes) {
+  MsgHeader h;
+  h.type = MsgType::kOpFlush;
+  h.src_node = 7;
+  h.array_id = 3;
+  h.op_id = 11;
+  h.txn_id = 0xabcd;
+  h.payload_len = 48;
+  h.chunk = 1234567;
+  h.addr = 0xdeadbeefcafeull;
+  h.rkey = 99;
+  h.aux = 1;
+  std::byte buf[sizeof(MsgHeader)];
+  std::memcpy(buf, &h, sizeof(h));
+  MsgHeader out;
+  std::memcpy(&out, buf, sizeof(out));
+  EXPECT_EQ(out.type, h.type);
+  EXPECT_EQ(out.src_node, h.src_node);
+  EXPECT_EQ(out.chunk, h.chunk);
+  EXPECT_EQ(out.addr, h.addr);
+  EXPECT_EQ(out.payload_len, h.payload_len);
+}
+
+TEST(Message, TxRequestDataFlag) {
+  TxRequest t;
+  EXPECT_FALSE(t.has_data());
+  std::byte b;
+  t.data_src = &b;
+  EXPECT_TRUE(t.has_data());
+}
+
+TEST(Message, OpFlushEntryPacksOffsetsAndBits) {
+  OpFlushEntry e;
+  e.offset = 511;
+  e.value_bits = 0x1122334455667788ull;
+  std::byte buf[sizeof(e)];
+  std::memcpy(buf, &e, sizeof(e));
+  OpFlushEntry out;
+  std::memcpy(&out, buf, sizeof(out));
+  EXPECT_EQ(out.offset, 511);
+  EXPECT_EQ(out.value_bits, 0x1122334455667788ull);
+}
+
+}  // namespace
+}  // namespace darray::net

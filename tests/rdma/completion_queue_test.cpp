@@ -1,0 +1,67 @@
+#include "rdma/completion_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace darray::rdma {
+namespace {
+
+WorkCompletion wc_at(uint64_t wr_id, uint64_t deliver_at = 0) {
+  WorkCompletion wc;
+  wc.wr_id = wr_id;
+  wc.deliver_at_ns = deliver_at;
+  return wc;
+}
+
+TEST(CompletionQueue, EmptyPollReturnsZero) {
+  CompletionQueue cq;
+  WorkCompletion out[4];
+  EXPECT_EQ(cq.poll(out), 0u);
+  EXPECT_EQ(cq.next_due_in(), ~0ull);
+}
+
+TEST(CompletionQueue, DeliversDueEntriesInOrder) {
+  CompletionQueue cq;
+  for (uint64_t i = 0; i < 5; ++i) cq.push(wc_at(i));
+  WorkCompletion out[8];
+  ASSERT_EQ(cq.poll(out), 5u);
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ(out[i].wr_id, i);
+}
+
+TEST(CompletionQueue, RespectsBatchLimit) {
+  CompletionQueue cq;
+  for (uint64_t i = 0; i < 10; ++i) cq.push(wc_at(i));
+  WorkCompletion out[3];
+  EXPECT_EQ(cq.poll(out), 3u);
+  EXPECT_EQ(cq.poll(out), 3u);
+  EXPECT_EQ(out[0].wr_id, 3u);
+}
+
+TEST(CompletionQueue, HoldsBackFutureEntries) {
+  CompletionQueue cq;
+  cq.push(wc_at(1, now_ns() + 50'000'000));  // 50 ms in the future
+  WorkCompletion out[1];
+  EXPECT_EQ(cq.poll(out), 0u);
+  const uint64_t due = cq.next_due_in();
+  EXPECT_GT(due, 0u);
+  EXPECT_LE(due, 50'000'000u);
+}
+
+TEST(CompletionQueue, FutureEntryBlocksLaterOnes) {
+  // FIFO per CQ: an undue head must not be overtaken.
+  CompletionQueue cq;
+  cq.push(wc_at(1, now_ns() + 30'000'000));
+  cq.push(wc_at(2, 0));
+  WorkCompletion out[2];
+  EXPECT_EQ(cq.poll(out), 0u);
+}
+
+TEST(CompletionQueue, ExternalDoorbellRungOnPush) {
+  Doorbell bell;
+  CompletionQueue cq(&bell);
+  const uint32_t snap = bell.snapshot();
+  cq.push(wc_at(1));
+  EXPECT_NE(bell.snapshot(), snap);
+}
+
+}  // namespace
+}  // namespace darray::rdma

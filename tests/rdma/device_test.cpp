@@ -1,0 +1,68 @@
+#include "rdma/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace darray::rdma {
+namespace {
+
+TEST(Device, RegisterAndTranslate) {
+  Device dev(0);
+  std::vector<std::byte> buf(1024);
+  MemoryRegion mr = dev.reg_mr(buf.data(), buf.size());
+  EXPECT_NE(mr.lkey, 0u);
+
+  std::byte* p = dev.translate(reinterpret_cast<uint64_t>(buf.data()), mr.rkey, 1024);
+  EXPECT_EQ(p, buf.data());
+  p = dev.translate(reinterpret_cast<uint64_t>(buf.data() + 512), mr.rkey, 512);
+  EXPECT_EQ(p, buf.data() + 512);
+}
+
+TEST(Device, TranslateRejectsOutOfBounds) {
+  Device dev(0);
+  std::vector<std::byte> buf(1024);
+  MemoryRegion mr = dev.reg_mr(buf.data(), buf.size());
+  // One byte past the end.
+  EXPECT_EQ(dev.translate(reinterpret_cast<uint64_t>(buf.data() + 1), mr.rkey, 1024), nullptr);
+  // Before the start.
+  EXPECT_EQ(dev.translate(reinterpret_cast<uint64_t>(buf.data()) - 8, mr.rkey, 8), nullptr);
+}
+
+TEST(Device, TranslateRejectsBadRkey) {
+  Device dev(0);
+  std::vector<std::byte> buf(64);
+  MemoryRegion mr = dev.reg_mr(buf.data(), buf.size());
+  EXPECT_EQ(dev.translate(reinterpret_cast<uint64_t>(buf.data()), mr.rkey + 77, 8), nullptr);
+}
+
+TEST(Device, DeregisterInvalidatesKey) {
+  Device dev(0);
+  std::vector<std::byte> buf(64);
+  MemoryRegion mr = dev.reg_mr(buf.data(), buf.size());
+  dev.dereg_mr(mr.lkey);
+  EXPECT_EQ(dev.translate(reinterpret_cast<uint64_t>(buf.data()), mr.rkey, 8), nullptr);
+}
+
+TEST(Device, ValidateLocalSge) {
+  Device dev(0);
+  std::vector<std::byte> buf(128);
+  MemoryRegion mr = dev.reg_mr(buf.data(), buf.size());
+  EXPECT_TRUE(dev.validate_local({buf.data(), 128, mr.lkey}));
+  EXPECT_FALSE(dev.validate_local({buf.data(), 129, mr.lkey}));
+  EXPECT_FALSE(dev.validate_local({buf.data(), 8, mr.lkey + 1}));
+}
+
+TEST(Device, MultipleRegionsIndependent) {
+  Device dev(0);
+  std::vector<std::byte> a(64), b(64);
+  MemoryRegion ma = dev.reg_mr(a.data(), 64);
+  MemoryRegion mb = dev.reg_mr(b.data(), 64);
+  EXPECT_NE(ma.rkey, mb.rkey);
+  // a's address under b's key is invalid.
+  EXPECT_EQ(dev.translate(reinterpret_cast<uint64_t>(a.data()), mb.rkey, 8), nullptr);
+  EXPECT_NE(dev.translate(reinterpret_cast<uint64_t>(b.data()), mb.rkey, 8), nullptr);
+}
+
+}  // namespace
+}  // namespace darray::rdma

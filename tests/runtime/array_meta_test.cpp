@@ -1,0 +1,92 @@
+#include "runtime/array_meta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace darray::rt {
+namespace {
+
+ArrayMeta make_meta(uint64_t n_elems, uint32_t nodes, uint32_t chunk_elems = 512,
+                    uint32_t elem_size = 8) {
+  ArrayMeta m;
+  m.n_elems = n_elems;
+  m.elem_size = elem_size;
+  m.chunk_elems = chunk_elems;
+  m.n_chunks = (n_elems + chunk_elems - 1) / chunk_elems;
+  m.chunk_begin.resize(nodes + 1);
+  m.elem_begin.resize(nodes + 1);
+  for (uint32_t i = 0; i <= nodes; ++i) {
+    m.chunk_begin[i] = m.n_chunks * i / nodes;
+    m.elem_begin[i] = std::min<uint64_t>(m.chunk_begin[i] * chunk_elems, n_elems);
+  }
+  m.elem_begin[nodes] = n_elems;
+  m.subarrays.resize(nodes);
+  return m;
+}
+
+TEST(ArrayMeta, ChunkAndOffset) {
+  ArrayMeta m = make_meta(10000, 4);
+  EXPECT_EQ(m.chunk_of(0), 0u);
+  EXPECT_EQ(m.chunk_of(511), 0u);
+  EXPECT_EQ(m.chunk_of(512), 1u);
+  EXPECT_EQ(m.offset_in_chunk(512), 0u);
+  EXPECT_EQ(m.offset_in_chunk(515), 3u);
+}
+
+TEST(ArrayMeta, HomeCoversAllChunksMonotonically) {
+  ArrayMeta m = make_meta(512 * 40, 6);
+  NodeId prev = 0;
+  for (ChunkId c = 0; c < m.n_chunks; ++c) {
+    const NodeId h = m.home_of_chunk(c);
+    ASSERT_LT(h, 6u);
+    ASSERT_GE(h, prev);
+    prev = h;
+    // Consistency with elem_begin:
+    const uint64_t e = c * m.chunk_elems;
+    EXPECT_GE(e, m.elem_begin[h]);
+    EXPECT_LT(e, m.elem_begin[h + 1]);
+  }
+}
+
+TEST(ArrayMeta, EvenSplitIsBalanced) {
+  ArrayMeta m = make_meta(512 * 12, 4);
+  for (uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(m.chunk_begin[i + 1] - m.chunk_begin[i], 3u);
+}
+
+TEST(ArrayMeta, PartialLastChunk) {
+  ArrayMeta m = make_meta(1000, 2);  // 2 chunks: 512 + 488
+  EXPECT_EQ(m.n_chunks, 2u);
+  EXPECT_EQ(m.elems_in_chunk(0), 512u);
+  EXPECT_EQ(m.elems_in_chunk(1), 488u);
+}
+
+TEST(ArrayMeta, SingleNodeOwnsEverything) {
+  ArrayMeta m = make_meta(5000, 1);
+  for (ChunkId c = 0; c < m.n_chunks; ++c) EXPECT_EQ(m.home_of_chunk(c), 0u);
+  EXPECT_EQ(m.local_begin(0), 0u);
+  EXPECT_EQ(m.local_end(0), 5000u);
+}
+
+TEST(ArrayMeta, HomeChunkAddr) {
+  ArrayMeta m = make_meta(512 * 4, 2);
+  m.subarrays[0] = {1000, 1};
+  m.subarrays[1] = {9000, 2};
+  EXPECT_EQ(m.home_chunk_addr(0), 1000u);
+  EXPECT_EQ(m.home_chunk_addr(1), 1000u + 512 * 8);
+  EXPECT_EQ(m.home_chunk_addr(2), 9000u);
+  EXPECT_EQ(m.home_chunk_addr(3), 9000u + 512 * 8);
+}
+
+TEST(ArrayMeta, MoreNodesThanChunks) {
+  ArrayMeta m = make_meta(100, 4);  // one chunk, four nodes
+  EXPECT_EQ(m.n_chunks, 1u);
+  // Under the n_chunks*i/nodes split, the single chunk falls to the last
+  // node; the earlier nodes own empty ranges.
+  EXPECT_EQ(m.home_of_chunk(0), 3u);
+  for (uint32_t i = 0; i < 3; ++i) EXPECT_EQ(m.local_begin(i), m.local_end(i));
+  EXPECT_EQ(m.local_begin(3), 0u);
+  EXPECT_EQ(m.local_end(3), 100u);
+}
+
+}  // namespace
+}  // namespace darray::rt

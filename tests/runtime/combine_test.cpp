@@ -1,0 +1,144 @@
+#include "runtime/combine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace darray::rt {
+namespace {
+
+OpDesc add64_op() {
+  OpDesc d;
+  d.fn = [](void* acc, const void* operand) {
+    *static_cast<uint64_t*>(acc) += *static_cast<const uint64_t*>(operand);
+  };
+  d.identity_bits = 0;
+  d.elem_size = 8;
+  return d;
+}
+
+OpDesc min_double_op() {
+  OpDesc d;
+  d.fn = [](void* acc, const void* operand) {
+    double a, b;
+    std::memcpy(&a, acc, 8);
+    std::memcpy(&b, operand, 8);
+    a = std::min(a, b);
+    std::memcpy(acc, &a, 8);
+  };
+  double inf = std::numeric_limits<double>::infinity();
+  std::memcpy(&d.identity_bits, &inf, 8);
+  d.elem_size = 8;
+  return d;
+}
+
+TEST(AtomicApply, Add64) {
+  OpDesc op = add64_op();
+  alignas(8) uint64_t v = 10;
+  uint64_t operand = 32;
+  atomic_apply(reinterpret_cast<std::byte*>(&v), op, &operand);
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(AtomicApply, Add32) {
+  OpDesc op;
+  op.fn = [](void* acc, const void* operand) {
+    *static_cast<uint32_t*>(acc) += *static_cast<const uint32_t*>(operand);
+  };
+  op.elem_size = 4;
+  alignas(4) uint32_t v = 1;
+  uint32_t operand = 2;
+  atomic_apply(reinterpret_cast<std::byte*>(&v), op, &operand);
+  EXPECT_EQ(v, 3u);
+}
+
+TEST(AtomicApply, ConcurrentAddsAllLand) {
+  OpDesc op = add64_op();
+  alignas(8) uint64_t v = 0;
+  constexpr int kThreads = 4;
+  constexpr int kPer = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&] {
+      uint64_t one = 1;
+      for (int i = 0; i < kPer; ++i)
+        atomic_apply(reinterpret_cast<std::byte*>(&v), op, &one);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(v, static_cast<uint64_t>(kThreads) * kPer);
+}
+
+struct CombineFixture {
+  static constexpr uint32_t kElems = 128;
+  alignas(8) std::byte slots[kElems * 8];
+  std::atomic<uint64_t> bitmap[(kElems + 63) / 64];
+  CombineView view{slots, bitmap, kElems};
+};
+
+TEST(CombineBuffer, ResetSeedsIdentity) {
+  CombineFixture f;
+  OpDesc op = min_double_op();
+  f.view.reset(op);
+  for (uint32_t i = 0; i < CombineFixture::kElems; ++i) {
+    double d;
+    std::memcpy(&d, f.view.slot(i), 8);
+    EXPECT_EQ(d, std::numeric_limits<double>::infinity());
+    EXPECT_FALSE(f.view.touched(i));
+  }
+}
+
+TEST(CombineBuffer, CombineMarksAndAccumulates) {
+  CombineFixture f;
+  OpDesc op = add64_op();
+  f.view.reset(op);
+  uint64_t five = 5, seven = 7;
+  combine_into(f.view, 3, op, &five);
+  combine_into(f.view, 3, op, &seven);
+  EXPECT_TRUE(f.view.touched(3));
+  EXPECT_FALSE(f.view.touched(2));
+  uint64_t got;
+  std::memcpy(&got, f.view.slot(3), 8);
+  EXPECT_EQ(got, 12u);
+}
+
+TEST(CombineBuffer, MinCombines) {
+  CombineFixture f;
+  OpDesc op = min_double_op();
+  f.view.reset(op);
+  double a = 4.5, b = 2.25, c = 9.0;
+  combine_into(f.view, 0, op, &a);
+  combine_into(f.view, 0, op, &b);
+  combine_into(f.view, 0, op, &c);
+  double got;
+  std::memcpy(&got, f.view.slot(0), 8);
+  EXPECT_EQ(got, 2.25);
+}
+
+TEST(CombineBuffer, ConcurrentCombinesEquivalentToSum) {
+  CombineFixture f;
+  OpDesc op = add64_op();
+  f.view.reset(op);
+  constexpr int kThreads = 4;
+  constexpr int kPer = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        uint64_t inc = 1;
+        combine_into(f.view, static_cast<uint32_t>((t + i) % CombineFixture::kElems), op, &inc);
+      }
+    });
+  for (auto& t : ts) t.join();
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < CombineFixture::kElems; ++i) {
+    uint64_t v;
+    std::memcpy(&v, f.view.slot(i), 8);
+    total += v;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kPer);
+}
+
+}  // namespace
+}  // namespace darray::rt

@@ -1,0 +1,116 @@
+#include "runtime/lock_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace darray::rt {
+namespace {
+
+LockWaiter reader(NodeId n, uint32_t txn = 0) { return {n, false, txn, nullptr}; }
+LockWaiter writer(NodeId n, uint32_t txn = 0) { return {n, true, txn, nullptr}; }
+
+TEST(LockTable, ReadersShare) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 5, reader(0)));
+  EXPECT_TRUE(t.acquire(0, 5, reader(1)));
+  EXPECT_TRUE(t.acquire(0, 5, reader(2)));
+}
+
+TEST(LockTable, WriterExcludesWriter) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 5, writer(0)));
+  EXPECT_FALSE(t.acquire(0, 5, writer(1)));
+}
+
+TEST(LockTable, WriterExcludesReader) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 5, writer(0)));
+  EXPECT_FALSE(t.acquire(0, 5, reader(1)));
+}
+
+TEST(LockTable, ReaderExcludesWriter) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 5, reader(0)));
+  EXPECT_FALSE(t.acquire(0, 5, writer(1)));
+}
+
+TEST(LockTable, DistinctIndicesIndependent) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 1, writer(0)));
+  EXPECT_TRUE(t.acquire(0, 2, writer(1)));
+  EXPECT_TRUE(t.acquire(1, 1, writer(2)));  // different array, same index
+}
+
+TEST(LockTable, ReleaseGrantsQueuedWriter) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 9, writer(0)));
+  EXPECT_FALSE(t.acquire(0, 9, writer(1, 111)));
+  std::deque<LockWaiter> grants;
+  t.release(0, 9, 0, grants);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].node, 1u);
+  EXPECT_EQ(grants[0].txn_id, 111u);
+  // The grantee now holds it.
+  EXPECT_FALSE(t.acquire(0, 9, reader(2)));
+}
+
+TEST(LockTable, ReleaseGrantsReaderBatch) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 9, writer(0)));
+  EXPECT_FALSE(t.acquire(0, 9, reader(1)));
+  EXPECT_FALSE(t.acquire(0, 9, reader(2)));
+  EXPECT_FALSE(t.acquire(0, 9, writer(3)));
+  std::deque<LockWaiter> grants;
+  t.release(0, 9, 0, grants);
+  ASSERT_EQ(grants.size(), 2u);  // both readers, but not the writer behind them
+  EXPECT_FALSE(grants[0].write);
+  EXPECT_FALSE(grants[1].write);
+}
+
+TEST(LockTable, WriterWaitsForAllReaders) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 9, reader(0)));
+  EXPECT_TRUE(t.acquire(0, 9, reader(1)));
+  EXPECT_FALSE(t.acquire(0, 9, writer(2)));
+  std::deque<LockWaiter> grants;
+  t.release(0, 9, 0, grants);
+  EXPECT_TRUE(grants.empty()) << "writer granted while a reader still holds";
+  t.release(0, 9, 1, grants);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_TRUE(grants[0].write);
+}
+
+TEST(LockTable, FifoPreventsReaderOvertake) {
+  // A reader arriving after a queued writer must queue behind it.
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 9, reader(0)));
+  EXPECT_FALSE(t.acquire(0, 9, writer(1)));
+  EXPECT_FALSE(t.acquire(0, 9, reader(2)));
+  std::deque<LockWaiter> grants;
+  t.release(0, 9, 0, grants);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_TRUE(grants[0].write);
+  grants.clear();
+  t.release(0, 9, 1, grants);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_FALSE(grants[0].write);
+}
+
+TEST(LockTable, TableShrinksWhenFree) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire(0, 9, writer(0)));
+  EXPECT_EQ(t.size(), 1u);
+  std::deque<LockWaiter> grants;
+  t.release(0, 9, 0, grants);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(LockTable, ReacquireAfterFullRelease) {
+  LockTable t;
+  std::deque<LockWaiter> grants;
+  EXPECT_TRUE(t.acquire(0, 9, writer(0)));
+  t.release(0, 9, 0, grants);
+  EXPECT_TRUE(t.acquire(0, 9, writer(1)));
+}
+
+}  // namespace
+}  // namespace darray::rt

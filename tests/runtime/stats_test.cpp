@@ -1,0 +1,118 @@
+// Runtime-layer counters: assert the *behavioural* claims of the paper's
+// design through the telemetry rather than timing.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray::rt {
+namespace {
+
+using darray::testing::small_cfg;
+
+void add_u64(uint64_t& a, uint64_t v) { a += v; }
+
+TEST(RuntimeStats, AccumulateAndAdd) {
+  RuntimeStats a, b;
+  a.fills = 3;
+  a.evict_clean = 1;
+  b.fills = 4;
+  b.evict_writeback = 2;
+  a += b;
+  EXPECT_EQ(a.fills, 7u);
+  EXPECT_EQ(a.total_evictions(), 3u);
+}
+
+TEST(RuntimeStats, FastPathHitsProduceNoMisses) {
+  rt::Cluster cluster(small_cfg(2));
+  auto arr = darray::DArray<uint64_t>::create(cluster, 256);
+  std::thread t([&] {
+    darray::bind_thread(cluster, 0);
+    for (int rep = 0; rep < 10; ++rep)
+      for (uint64_t i = arr.local_begin(0); i < arr.local_end(0); ++i) (void)arr.get(i);
+  });
+  t.join();
+  EXPECT_EQ(cluster.runtime_stats().total_misses(), 0u)
+      << "home accesses with full permission never enter the slow path";
+}
+
+TEST(RuntimeStats, MissesAreChunkGranular) {
+  rt::Cluster cluster(small_cfg(2, /*chunk_elems=*/64, /*cachelines=*/256));
+  auto arr = darray::DArray<uint64_t>::create(cluster, 64 * 16);
+  std::thread t([&] {
+    darray::bind_thread(cluster, 1);
+    for (uint64_t i = arr.local_begin(0); i < arr.local_end(0); ++i) (void)arr.get(i);
+  });
+  t.join();
+  const RuntimeStats s = cluster.runtime_stats();
+  const uint64_t chunks = (arr.local_end(0) - arr.local_begin(0)) / 64;
+  EXPECT_GE(s.local_read_misses, 1u);  // prefetch absorbs most sequential misses
+  EXPECT_LE(s.local_read_misses, 2 * chunks);
+  EXPECT_GE(s.fills + 0, chunks);  // every chunk filled exactly once (+prefetch)
+}
+
+TEST(RuntimeStats, PrefetchIssuedOnSequentialMisses) {
+  rt::ClusterConfig cfg = small_cfg(2, 64, 256);
+  cfg.prefetch_chunks = 2;
+  rt::Cluster cluster(cfg);
+  auto arr = darray::DArray<uint64_t>::create(cluster, 64 * 16);
+  std::thread t([&] {
+    darray::bind_thread(cluster, 1);
+    for (uint64_t i = arr.local_begin(0); i < arr.local_end(0); ++i) (void)arr.get(i);
+  });
+  t.join();
+  EXPECT_GT(cluster.runtime_stats().prefetches_issued, 0u);
+}
+
+TEST(RuntimeStats, PrefetchDisabledIssuesNone) {
+  rt::ClusterConfig cfg = small_cfg(2, 64, 256);
+  cfg.prefetch_chunks = 0;
+  rt::Cluster cluster(cfg);
+  auto arr = darray::DArray<uint64_t>::create(cluster, 64 * 8);
+  std::thread t([&] {
+    darray::bind_thread(cluster, 1);
+    for (uint64_t i = arr.local_begin(0); i < arr.local_end(0); ++i) (void)arr.get(i);
+  });
+  t.join();
+  EXPECT_EQ(cluster.runtime_stats().prefetches_issued, 0u);
+}
+
+TEST(RuntimeStats, EvictionKindsMatchUsage) {
+  rt::Cluster cluster(small_cfg(2, /*chunk_elems=*/16, /*cachelines=*/8));
+  auto arr = darray::DArray<uint64_t>::create(cluster, 16 * 64);
+  const uint16_t add = arr.register_op(&add_u64, 0);
+  std::thread t([&] {
+    darray::bind_thread(cluster, 1);
+    // Read sweep: clean evictions.
+    for (uint64_t i = arr.local_begin(0); i < arr.local_end(0); ++i) (void)arr.get(i);
+    // Write sweep: writeback evictions.
+    for (uint64_t i = arr.local_begin(0); i < arr.local_end(0); ++i) arr.set(i, i);
+    // Operate sweep: op-flush evictions.
+    for (uint64_t i = arr.local_begin(0); i < arr.local_end(0); ++i) arr.apply(i, add, 1);
+  });
+  t.join();
+  const RuntimeStats s = cluster.runtime_stats();
+  EXPECT_GT(s.evict_clean, 0u);
+  EXPECT_GT(s.evict_writeback, 0u);
+  EXPECT_GT(s.evict_opflush, 0u);
+}
+
+TEST(RuntimeStats, LockWaitsUnderContention) {
+  rt::Cluster cluster(small_cfg(2));
+  auto arr = darray::DArray<uint64_t>::create(cluster, 64);
+  darray::testing::run_on_nodes_mt(cluster, 2, [&](rt::NodeId, uint32_t) {
+    for (int k = 0; k < 25; ++k) {
+      arr.wlock(0);
+      arr.set(0, arr.get(0) + 1);
+      arr.unlock(0);
+    }
+  });
+  const RuntimeStats s = cluster.runtime_stats();
+  EXPECT_GT(s.lock_acquires, 0u);
+  EXPECT_GT(s.lock_waits, 0u) << "four threads on one lock must queue sometimes";
+}
+
+}  // namespace
+}  // namespace darray::rt

@@ -1,0 +1,52 @@
+// Shared helpers for cluster-based tests: small configurations sized for a
+// one-core host and a helper that runs one bound application thread per node.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/context.hpp"
+#include "runtime/cluster.hpp"
+
+namespace darray::testing {
+
+inline rt::ClusterConfig small_cfg(uint32_t nodes, uint32_t chunk_elems = 64,
+                                   uint32_t cachelines = 64) {
+  rt::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.chunk_elems = chunk_elems;
+  cfg.cachelines_per_region = cachelines;
+  cfg.qp_depth = 64;
+  return cfg;
+}
+
+// Run fn(node) on one application thread per node, in parallel, and join.
+inline void run_on_nodes(rt::Cluster& cluster,
+                         const std::function<void(rt::NodeId)>& fn) {
+  std::vector<std::thread> ts;
+  for (rt::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    ts.emplace_back([&cluster, &fn, n] {
+      bind_thread(cluster, n);
+      fn(n);
+    });
+  }
+  for (auto& t : ts) t.join();
+}
+
+// Run fn(node, thread) with `threads` application threads per node.
+inline void run_on_nodes_mt(rt::Cluster& cluster, uint32_t threads,
+                            const std::function<void(rt::NodeId, uint32_t)>& fn) {
+  std::vector<std::thread> ts;
+  for (rt::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    for (uint32_t t = 0; t < threads; ++t) {
+      ts.emplace_back([&cluster, &fn, n, t] {
+        bind_thread(cluster, n);
+        fn(n, t);
+      });
+    }
+  }
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace darray::testing
