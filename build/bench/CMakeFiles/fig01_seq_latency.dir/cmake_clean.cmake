@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_seq_latency.dir/fig01_seq_latency.cpp.o"
+  "CMakeFiles/fig01_seq_latency.dir/fig01_seq_latency.cpp.o.d"
+  "fig01_seq_latency"
+  "fig01_seq_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_seq_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

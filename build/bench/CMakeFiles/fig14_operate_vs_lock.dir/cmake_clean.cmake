@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_operate_vs_lock.dir/fig14_operate_vs_lock.cpp.o"
+  "CMakeFiles/fig14_operate_vs_lock.dir/fig14_operate_vs_lock.cpp.o.d"
+  "fig14_operate_vs_lock"
+  "fig14_operate_vs_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_operate_vs_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

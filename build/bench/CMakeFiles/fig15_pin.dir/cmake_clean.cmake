@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pin.dir/fig15_pin.cpp.o"
+  "CMakeFiles/fig15_pin.dir/fig15_pin.cpp.o.d"
+  "fig15_pin"
+  "fig15_pin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_graph.dir/fig16_graph.cpp.o"
+  "CMakeFiles/fig16_graph.dir/fig16_graph.cpp.o.d"
+  "fig16_graph"
+  "fig16_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

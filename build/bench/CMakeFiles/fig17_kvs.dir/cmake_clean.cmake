@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_kvs.dir/fig17_kvs.cpp.o"
+  "CMakeFiles/fig17_kvs.dir/fig17_kvs.cpp.o.d"
+  "fig17_kvs"
+  "fig17_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_random_latency.dir/fig18_random_latency.cpp.o"
+  "CMakeFiles/fig18_random_latency.dir/fig18_random_latency.cpp.o.d"
+  "fig18_random_latency"
+  "fig18_random_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_random_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fastpath.dir/micro_fastpath.cpp.o"
+  "CMakeFiles/micro_fastpath.dir/micro_fastpath.cpp.o.d"
+  "micro_fastpath"
+  "micro_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs_demo.dir/kvs_demo.cpp.o"
+  "CMakeFiles/kvs_demo.dir/kvs_demo.cpp.o.d"
+  "kvs_demo"
+  "kvs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darray_common.dir/histogram.cpp.o"
+  "CMakeFiles/darray_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/darray_common.dir/logging.cpp.o"
+  "CMakeFiles/darray_common.dir/logging.cpp.o.d"
+  "CMakeFiles/darray_common.dir/zipf.cpp.o"
+  "CMakeFiles/darray_common.dir/zipf.cpp.o.d"
+  "libdarray_common.a"
+  "libdarray_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darray_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/darray_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/darray_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/cc.cpp" "src/graph/CMakeFiles/darray_graph.dir/cc.cpp.o" "gcc" "src/graph/CMakeFiles/darray_graph.dir/cc.cpp.o.d"
+  "/root/repo/src/graph/pagerank.cpp" "src/graph/CMakeFiles/darray_graph.dir/pagerank.cpp.o" "gcc" "src/graph/CMakeFiles/darray_graph.dir/pagerank.cpp.o.d"
+  "/root/repo/src/graph/reference.cpp" "src/graph/CMakeFiles/darray_graph.dir/reference.cpp.o" "gcc" "src/graph/CMakeFiles/darray_graph.dir/reference.cpp.o.d"
+  "/root/repo/src/graph/rmat.cpp" "src/graph/CMakeFiles/darray_graph.dir/rmat.cpp.o" "gcc" "src/graph/CMakeFiles/darray_graph.dir/rmat.cpp.o.d"
+  "/root/repo/src/graph/sssp.cpp" "src/graph/CMakeFiles/darray_graph.dir/sssp.cpp.o" "gcc" "src/graph/CMakeFiles/darray_graph.dir/sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/darray_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/darray_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/darray_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/darray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

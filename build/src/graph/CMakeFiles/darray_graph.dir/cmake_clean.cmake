@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darray_graph.dir/bfs.cpp.o"
+  "CMakeFiles/darray_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/darray_graph.dir/cc.cpp.o"
+  "CMakeFiles/darray_graph.dir/cc.cpp.o.d"
+  "CMakeFiles/darray_graph.dir/pagerank.cpp.o"
+  "CMakeFiles/darray_graph.dir/pagerank.cpp.o.d"
+  "CMakeFiles/darray_graph.dir/reference.cpp.o"
+  "CMakeFiles/darray_graph.dir/reference.cpp.o.d"
+  "CMakeFiles/darray_graph.dir/rmat.cpp.o"
+  "CMakeFiles/darray_graph.dir/rmat.cpp.o.d"
+  "CMakeFiles/darray_graph.dir/sssp.cpp.o"
+  "CMakeFiles/darray_graph.dir/sssp.cpp.o.d"
+  "libdarray_graph.a"
+  "libdarray_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darray_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdarray_graph.a"
+)

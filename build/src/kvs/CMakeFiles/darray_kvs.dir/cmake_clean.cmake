@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darray_kvs.dir/slab_allocator.cpp.o"
+  "CMakeFiles/darray_kvs.dir/slab_allocator.cpp.o.d"
+  "libdarray_kvs.a"
+  "libdarray_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darray_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

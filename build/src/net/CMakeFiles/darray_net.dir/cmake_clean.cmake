@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darray_net.dir/comm_layer.cpp.o"
+  "CMakeFiles/darray_net.dir/comm_layer.cpp.o.d"
+  "libdarray_net.a"
+  "libdarray_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darray_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darray_rdma.dir/device.cpp.o"
+  "CMakeFiles/darray_rdma.dir/device.cpp.o.d"
+  "CMakeFiles/darray_rdma.dir/fabric.cpp.o"
+  "CMakeFiles/darray_rdma.dir/fabric.cpp.o.d"
+  "libdarray_rdma.a"
+  "libdarray_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darray_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darray_runtime.dir/cache_region.cpp.o"
+  "CMakeFiles/darray_runtime.dir/cache_region.cpp.o.d"
+  "CMakeFiles/darray_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/darray_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/darray_runtime.dir/engine.cpp.o"
+  "CMakeFiles/darray_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/darray_runtime.dir/node.cpp.o"
+  "CMakeFiles/darray_runtime.dir/node.cpp.o.d"
+  "libdarray_runtime.a"
+  "libdarray_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darray_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/barrier_test.cpp" "tests/CMakeFiles/test_common.dir/common/barrier_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/barrier_test.cpp.o.d"
+  "/root/repo/tests/common/histogram_test.cpp" "tests/CMakeFiles/test_common.dir/common/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/histogram_test.cpp.o.d"
+  "/root/repo/tests/common/node_mask_test.cpp" "tests/CMakeFiles/test_common.dir/common/node_mask_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/node_mask_test.cpp.o.d"
+  "/root/repo/tests/common/queue_test.cpp" "tests/CMakeFiles/test_common.dir/common/queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/queue_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/spsc_ring_test.cpp" "tests/CMakeFiles/test_common.dir/common/spsc_ring_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/spsc_ring_test.cpp.o.d"
+  "/root/repo/tests/common/wait_test.cpp" "tests/CMakeFiles/test_common.dir/common/wait_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/wait_test.cpp.o.d"
+  "/root/repo/tests/common/zipf_test.cpp" "tests/CMakeFiles/test_common.dir/common/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/darray_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/darray_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/darray_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/darray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

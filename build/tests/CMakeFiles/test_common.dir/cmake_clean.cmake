@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/barrier_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/barrier_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/histogram_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/histogram_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/node_mask_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/node_mask_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/queue_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/queue_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/spsc_ring_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/spsc_ring_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/wait_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/wait_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/zipf_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/zipf_test.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/darray_basic_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_basic_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_basic_test.cpp.o.d"
+  "/root/repo/tests/core/darray_bulk_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_bulk_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_bulk_test.cpp.o.d"
+  "/root/repo/tests/core/darray_coherence_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_coherence_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_coherence_test.cpp.o.d"
+  "/root/repo/tests/core/darray_lock_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_lock_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_lock_test.cpp.o.d"
+  "/root/repo/tests/core/darray_multirt_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_multirt_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_multirt_test.cpp.o.d"
+  "/root/repo/tests/core/darray_operate_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_operate_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_operate_test.cpp.o.d"
+  "/root/repo/tests/core/darray_pin_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_pin_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_pin_test.cpp.o.d"
+  "/root/repo/tests/core/darray_property_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_property_test.cpp.o.d"
+  "/root/repo/tests/core/darray_seqcst_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_seqcst_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_seqcst_test.cpp.o.d"
+  "/root/repo/tests/core/darray_stats_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_stats_test.cpp.o.d"
+  "/root/repo/tests/core/darray_stress_test.cpp" "tests/CMakeFiles/test_darray.dir/core/darray_stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_darray.dir/core/darray_stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/darray_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/darray_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/darray_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/darray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_darray.dir/core/darray_basic_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_basic_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_bulk_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_bulk_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_coherence_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_coherence_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_lock_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_lock_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_multirt_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_multirt_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_operate_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_operate_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_pin_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_pin_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_property_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_property_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_seqcst_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_seqcst_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_stats_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_stats_test.cpp.o.d"
+  "CMakeFiles/test_darray.dir/core/darray_stress_test.cpp.o"
+  "CMakeFiles/test_darray.dir/core/darray_stress_test.cpp.o.d"
+  "test_darray"
+  "test_darray.pdb"
+  "test_darray[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_darray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/csr_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/csr_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/engines_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/engines_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/gemini_ctx_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/gemini_ctx_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/rmat_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/rmat_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/traversal_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/traversal_test.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

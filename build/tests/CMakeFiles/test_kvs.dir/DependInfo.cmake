@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kvs/kvs_test.cpp" "tests/CMakeFiles/test_kvs.dir/kvs/kvs_test.cpp.o" "gcc" "tests/CMakeFiles/test_kvs.dir/kvs/kvs_test.cpp.o.d"
+  "/root/repo/tests/kvs/slab_test.cpp" "tests/CMakeFiles/test_kvs.dir/kvs/slab_test.cpp.o" "gcc" "tests/CMakeFiles/test_kvs.dir/kvs/slab_test.cpp.o.d"
+  "/root/repo/tests/kvs/ycsb_unit_test.cpp" "tests/CMakeFiles/test_kvs.dir/kvs/ycsb_unit_test.cpp.o" "gcc" "tests/CMakeFiles/test_kvs.dir/kvs/ycsb_unit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvs/CMakeFiles/darray_kvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/darray_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/darray_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/darray_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/darray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

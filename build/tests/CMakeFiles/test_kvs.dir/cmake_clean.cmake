@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvs.dir/kvs/kvs_test.cpp.o"
+  "CMakeFiles/test_kvs.dir/kvs/kvs_test.cpp.o.d"
+  "CMakeFiles/test_kvs.dir/kvs/slab_test.cpp.o"
+  "CMakeFiles/test_kvs.dir/kvs/slab_test.cpp.o.d"
+  "CMakeFiles/test_kvs.dir/kvs/ycsb_unit_test.cpp.o"
+  "CMakeFiles/test_kvs.dir/kvs/ycsb_unit_test.cpp.o.d"
+  "test_kvs"
+  "test_kvs.pdb"
+  "test_kvs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

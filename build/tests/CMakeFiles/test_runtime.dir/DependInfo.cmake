@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/array_meta_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/array_meta_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/array_meta_test.cpp.o.d"
+  "/root/repo/tests/runtime/cache_region_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/cache_region_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/cache_region_test.cpp.o.d"
+  "/root/repo/tests/runtime/combine_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/combine_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/combine_test.cpp.o.d"
+  "/root/repo/tests/runtime/dentry_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/dentry_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/dentry_test.cpp.o.d"
+  "/root/repo/tests/runtime/lock_table_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/lock_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/lock_table_test.cpp.o.d"
+  "/root/repo/tests/runtime/protocol_states_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/protocol_states_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/protocol_states_test.cpp.o.d"
+  "/root/repo/tests/runtime/stats_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/darray_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/darray_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/darray_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/darray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/array_meta_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/array_meta_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/cache_region_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/cache_region_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/combine_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/combine_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/dentry_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/dentry_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/lock_table_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/lock_table_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/protocol_states_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/protocol_states_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/stats_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/stats_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
