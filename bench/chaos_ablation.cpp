@@ -1,0 +1,77 @@
+// Chaos ablation: the same sequential darray workload with the fault
+// injector off and under three seeded fault plans. Reports ns/op plus the
+// fabric's fault/recovery counters, so two claims are checkable at a glance:
+//   1. injector off  → every fault counter is exactly zero and latency
+//      matches the baseline figures (the chaos path costs nothing when cold);
+//   2. injector on   → faults are injected and recovered transparently, with
+//      latency degrading in proportion to the plan, never diverging.
+#include "bench/bench_util.hpp"
+#include "chaos/fault_plan.hpp"
+#include "core/darray.hpp"
+
+using namespace darray;
+using namespace darray::bench;
+
+namespace {
+
+chaos::FaultPlan ablation_plan(uint64_t seed) {
+  chaos::FaultPlan p;
+  p.seed = seed;
+  p.p_wc_error = 0.01;
+  p.p_rnr = 0.01;
+  p.rnr_window_ns = 100'000;
+  p.p_delay = 0.05;
+  p.delay_min_ns = 5'000;
+  p.delay_max_ns = 50'000;
+  return p;
+}
+
+struct Sample {
+  std::string label;
+  double ns_per_op;
+  rdma::FabricStats stats;
+};
+
+Sample run_case(const std::string& label, const chaos::FaultPlan* plan) {
+  rt::ClusterConfig cfg = bench_cfg(max_nodes());
+  cfg.fault_plan = plan;
+  rt::Cluster cluster(cfg);
+  const uint64_t total = elems_per_node() * cluster.num_nodes();
+  auto arr = DArray<uint64_t>::create(cluster, total);
+  const double ns = measure_avg_ns(cluster, total, [&](rt::NodeId, uint64_t i) {
+    arr.set(i, i);
+    volatile uint64_t v = arr.get(i);
+    (void)v;
+  });
+  return {label, ns, cluster.fabric().stats()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Chaos ablation: seq set+get under seeded fault plans ===\n");
+  std::printf("array: %llu elems/node, %u nodes, 1 thread/node\n",
+              static_cast<unsigned long long>(elems_per_node()), max_nodes());
+
+  const chaos::FaultPlan p1 = ablation_plan(1), p7 = ablation_plan(7), p42 = ablation_plan(42);
+  Sample rows[] = {
+      run_case("off", nullptr),
+      run_case("seed-1", &p1),
+      run_case("seed-7", &p7),
+      run_case("seed-42", &p42),
+  };
+
+  std::printf("\n%-10s%12s%12s%12s%10s%12s\n", "plan", "ns/op", "wc_errors",
+              "rnr_events", "retries", "flushed_wrs");
+  for (const Sample& r : rows) {
+    std::printf("%-10s%12.1f%12llu%12llu%10llu%12llu\n", r.label.c_str(), r.ns_per_op,
+                static_cast<unsigned long long>(r.stats.wc_errors),
+                static_cast<unsigned long long>(r.stats.rnr_events),
+                static_cast<unsigned long long>(r.stats.retries),
+                static_cast<unsigned long long>(r.stats.flushed_wrs));
+  }
+
+  std::printf("\nexpected shape: 'off' row all-zero counters at baseline latency;\n"
+              "seeded rows show nonzero faults with bounded latency inflation.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "chaos/fault_injector.hpp"
+
+#include <mutex>
+
+namespace darray::chaos {
+
+uint64_t FaultInjector::epoch(uint64_t now) {
+  uint64_t e = epoch_ns_.load(std::memory_order_acquire);
+  if (e != 0) return e;
+  uint64_t expected = 0;
+  if (epoch_ns_.compare_exchange_strong(expected, now, std::memory_order_acq_rel))
+    return now;
+  return expected;
+}
+
+FaultInjector::QpStream& FaultInjector::stream(uint32_t qp_num) {
+  std::scoped_lock lk(mu_);
+  if (qp_num >= streams_.size()) streams_.resize(qp_num + 1);
+  if (!streams_[qp_num]) {
+    // splitmix inside Xoshiro256's constructor decorrelates adjacent seeds.
+    streams_[qp_num] =
+        std::make_unique<QpStream>(plan_.seed + 0x9e3779b97f4a7c15ull * (qp_num + 1));
+  }
+  return *streams_[qp_num];
+}
+
+FaultDecision FaultInjector::decide(uint32_t qp_num, uint32_t src_node,
+                                    uint32_t dst_node, rdma::Opcode op,
+                                    uint64_t now) {
+  FaultDecision d;
+  const uint64_t elapsed = now - epoch(now);
+
+  // Scheduled node outages dominate the probabilistic faults.
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.node != src_node && w.node != dst_node) continue;
+    if (elapsed < w.start_ns || elapsed >= w.end_ns()) continue;
+    if (w.blackhole) {
+      blackholed_.fetch_add(1, std::memory_order_relaxed);
+      d.status = rdma::WcStatus::kRetryExceeded;
+      return d;
+    }
+    // Pause: hold the WR until the window closes.
+    d.extra_latency_ns += w.end_ns() - elapsed;
+    paused_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  QpStream& s = stream(qp_num);
+
+  if (op == rdma::Opcode::kSend) {
+    if (now < s.rnr_until_ns) {
+      rnr_rejections_.fetch_add(1, std::memory_order_relaxed);
+      d.status = rdma::WcStatus::kRnrError;
+      return d;
+    }
+    if (plan_.p_rnr > 0.0 && s.rng.next_double() < plan_.p_rnr) {
+      s.rnr_until_ns = now + plan_.rnr_window_ns;
+      rnr_rejections_.fetch_add(1, std::memory_order_relaxed);
+      d.status = rdma::WcStatus::kRnrError;
+      return d;
+    }
+  }
+
+  if (plan_.p_wc_error > 0.0 && s.rng.next_double() < plan_.p_wc_error) {
+    wc_errors_.fetch_add(1, std::memory_order_relaxed);
+    d.status = (s.rng.next() & 1) ? rdma::WcStatus::kRemoteAccessError
+                                  : rdma::WcStatus::kRetryExceeded;
+    return d;
+  }
+
+  if (plan_.p_delay > 0.0 && s.rng.next_double() < plan_.p_delay) {
+    const uint64_t span = plan_.delay_max_ns > plan_.delay_min_ns
+                              ? plan_.delay_max_ns - plan_.delay_min_ns
+                              : 0;
+    d.extra_latency_ns +=
+        plan_.delay_min_ns + (span ? s.rng.next_below(span + 1) : 0);
+    delays_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+FaultCounters FaultInjector::counters() const {
+  FaultCounters c;
+  c.wc_errors = wc_errors_.load(std::memory_order_relaxed);
+  c.rnr_rejections = rnr_rejections_.load(std::memory_order_relaxed);
+  c.delays = delays_.load(std::memory_order_relaxed);
+  c.blackholed = blackholed_.load(std::memory_order_relaxed);
+  c.paused = paused_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace darray::chaos

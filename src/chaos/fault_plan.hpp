@@ -1,0 +1,56 @@
+// Declarative description of the faults a chaos run should inject. A plan is
+// pure data: the same plan (same seed) drives the same per-QP decision
+// sequences in FaultInjector, so failing runs can be replayed by seed.
+//
+// All probabilities are per posted work request. Off-by-default: a
+// default-constructed plan injects nothing and `enabled()` is false.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace darray::chaos {
+
+// One node-scoped outage, relative to the injector's epoch (the first WR the
+// injector sees). While the window is open, every WR posted from or toward
+// `node` is affected: a paused node's traffic is delayed until the window
+// closes; a blackholed node's traffic completes with kRetryExceeded (the
+// transport gave up, as RC does when retry_cnt is exhausted).
+struct FaultWindow {
+  uint32_t node = 0;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  bool blackhole = false;  // false = pause (delay), true = drop with error
+
+  uint64_t end_ns() const { return start_ns + duration_ns; }
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  // Completion-with-error: the WR does not execute and completes with an
+  // error status (drawn errors alternate between kRemoteAccessError and
+  // kRetryExceeded), which moves the posting QP to the ERROR state.
+  double p_wc_error = 0.0;
+
+  // Transient RNR backpressure: with probability p_rnr a SEND opens an RNR
+  // window on its QP; every SEND on that QP completes with kRnrError until
+  // the window closes. Posted RECVs are not consumed.
+  double p_rnr = 0.0;
+  uint64_t rnr_window_ns = 200'000;
+
+  // Per-link latency spike, uniform in [delay_min_ns, delay_max_ns], added on
+  // top of the fabric's base latency/bandwidth model.
+  double p_delay = 0.0;
+  uint64_t delay_min_ns = 0;
+  uint64_t delay_max_ns = 0;
+
+  // Scheduled node outages (pause / blackhole).
+  std::vector<FaultWindow> windows;
+
+  bool enabled() const {
+    return p_wc_error > 0.0 || p_rnr > 0.0 || p_delay > 0.0 || !windows.empty();
+  }
+};
+
+}  // namespace darray::chaos

@@ -6,6 +6,10 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace darray::chaos {
+struct FaultPlan;
+}
+
 namespace darray {
 
 struct ClusterConfig {
@@ -29,6 +33,20 @@ struct ClusterConfig {
   double fabric_ns_per_byte = 0.0;
   uint32_t qp_depth = 1024;          // send/recv queue depth per QP
   uint32_t selective_signal_interval = 16;  // signal 1 of every r sends (§4.5)
+
+  // --- fault injection & recovery -------------------------------------------
+  // Chaos plan consulted by the fabric on every posted WR. Non-owning; the
+  // caller keeps the plan alive for the cluster's lifetime. nullptr (or a
+  // plan with nothing enabled) leaves the fault path entirely cold.
+  const chaos::FaultPlan* fault_plan = nullptr;
+  // Comm-layer recovery: bounded exponential backoff between re-post rounds
+  // for a peer whose QP errored, a per-request post-attempt budget, and a
+  // per-request wall-clock deadline after which the request is failed to the
+  // error handler instead of retried.
+  uint32_t comm_max_attempts = 64;
+  uint64_t comm_backoff_base_ns = 20'000;       // first retry delay
+  uint64_t comm_backoff_cap_ns = 2'000'000;     // backoff ceiling
+  uint64_t comm_deadline_ns = 10'000'000'000;   // 10 s per request
 
   // --- derived --------------------------------------------------------------
   size_t chunk_bytes(size_t elem_size) const { return size_t{chunk_elems} * elem_size; }

@@ -1,6 +1,7 @@
 #include "net/comm_layer.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/assert.hpp"
@@ -33,7 +34,9 @@ const char* msg_type_name(MsgType t) {
 }
 
 namespace {
-// Largest possible payload: one OpFlushEntry per element in a chunk.
+// Largest possible payload: one OpFlushEntry per element in a chunk. Also an
+// upper bound on a staged data WRITE (a chunk of ≤8-byte elements), which is
+// what lets chaos mode stage WRITE payloads in the same arena.
 size_t compute_max_msg_bytes(const ClusterConfig& cfg) {
   return sizeof(MsgHeader) + size_t{cfg.chunk_elems} * sizeof(OpFlushEntry);
 }
@@ -49,10 +52,15 @@ CommLayer::CommLayer(uint32_t node_id, uint32_t num_nodes, const ClusterConfig& 
       max_msg_bytes_(compute_max_msg_bytes(cfg)),
       qp_to_peer_(num_nodes, nullptr),
       outstanding_(num_nodes),
-      unsignaled_run_(num_nodes, 0) {
+      recovery_(num_nodes),
+      unsignaled_run_(num_nodes, 0),
+      parked_recvs_(num_nodes) {
   // Send buffers: enough that every peer QP can hold a full unsignaled run
-  // plus slack, so acquire_send_buffer rarely has to spin on the CQ.
+  // plus slack, so acquire_send_buffer rarely has to spin on the CQ. Chaos
+  // mode also stages WRITE payloads here and parks whole requests across
+  // backoff windows, so give it a deeper pool.
   send_buf_count_ = num_nodes_ * cfg_.selective_signal_interval * 2 + 32;
+  if (cfg_.fault_plan != nullptr) send_buf_count_ *= 4;
   send_arena_ = std::make_unique<std::byte[]>(send_buf_count_ * max_msg_bytes_);
   send_mr_ = device_->reg_mr(send_arena_.get(), send_buf_count_ * max_msg_bytes_);
   send_free_.reserve(send_buf_count_);
@@ -81,6 +89,7 @@ void CommLayer::start() {
     if (peer == node_id_) continue;
     rdma::QueuePair* qp = qp_to_peer_[peer];
     DARRAY_ASSERT_MSG(qp != nullptr, "comm layer started before topology wiring");
+    chaos_ = qp->fabric().fault_injector() != nullptr;
     for (uint32_t i = 0; i < cfg_.qp_depth; ++i, ++buf) {
       rdma::RecvWr wr;
       wr.addr = recv_arena_.get() + buf * max_msg_bytes_;
@@ -109,6 +118,70 @@ void CommLayer::post(TxRequest req) {
   tx_queue_.push(std::move(req));
 }
 
+void CommLayer::fail(const CommError& err) {
+  dropped_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (error_fn_) {
+    error_fn_(err);
+    return;
+  }
+  DLOG_ERROR("node %u: unrecoverable comm failure to peer %u (%s, %s after %u attempts)",
+             node_id_, err.peer, err.reason, rdma::wc_status_name(err.status),
+             err.attempts);
+  std::abort();
+}
+
+void CommLayer::fail_entry(uint32_t peer, Outstanding& e, const char* reason) {
+  release_buf(e.buf);
+  CommError err;
+  err.peer = peer;
+  err.opcode = e.op;
+  err.status = e.last_status;
+  err.attempts = e.attempts;
+  err.reason = reason;
+  fail(err);
+}
+
+uint64_t CommLayer::backoff_ns(uint32_t attempts) const {
+  const uint32_t shift = attempts < 20 ? attempts : 20;
+  const uint64_t d = cfg_.comm_backoff_base_ns << shift;
+  return d < cfg_.comm_backoff_cap_ns ? d : cfg_.comm_backoff_cap_ns;
+}
+
+void CommLayer::handle_error_cqe(const rdma::WorkCompletion& wc) {
+  const uint32_t peer = wc.peer_node;
+  auto& fifo = outstanding_[peer];
+  auto& rec = recovery_[peer];
+  // Per-QP FIFO: everything ahead of the failed WR completed successfully.
+  while (!fifo.empty() && fifo.front().wr_id < wc.wr_id) {
+    release_buf(fifo.front().buf);
+    fifo.pop_front();
+  }
+  if (fifo.empty() || fifo.front().wr_id != wc.wr_id) {
+    // The failed WR was never tracked — a zero-copy WRITE posted outside
+    // chaos mode (its source cacheline may already be recycled). Nothing to
+    // replay from: surface as unrecoverable.
+    CommError err;
+    err.peer = peer;
+    err.opcode = wc.opcode;
+    err.status = wc.status;
+    err.reason = "untracked WR failed";
+    fail(err);
+    return;
+  }
+  Outstanding e = std::move(fifo.front());
+  fifo.pop_front();
+  e.last_status = wc.status;
+  if (wc.status != rdma::WcStatus::kFlushError) {
+    // The entry that actually failed (flushed ones never ran) arms the
+    // backoff clock for the whole peer.
+    rec.next_attempt_ns = now_ns() + backoff_ns(e.attempts);
+    DLOG_DEBUG("node %u: wr %llu to peer %u failed (%s), retry #%u backing off",
+               node_id_, static_cast<unsigned long long>(wc.wr_id), peer,
+               rdma::wc_status_name(wc.status), e.attempts);
+  }
+  rec.moved.push_back(std::move(e));
+}
+
 void CommLayer::reclaim_send_buffers() {
   rdma::WorkCompletion wcs[32];
   for (;;) {
@@ -116,13 +189,15 @@ void CommLayer::reclaim_send_buffers() {
     if (n == 0) break;
     for (size_t i = 0; i < n; ++i) {
       const rdma::WorkCompletion& wc = wcs[i];
-      DARRAY_ASSERT_MSG(wc.status == rdma::WcStatus::kSuccess, "send failed");
-      if (wc.opcode != rdma::Opcode::kSend) continue;  // WRITEs are unsignaled
-      // A signaled completion retires every earlier unsignaled send on the
-      // same QP (per-QP FIFO) — the point of selective signaling.
+      if (wc.status != rdma::WcStatus::kSuccess) {
+        handle_error_cqe(wc);
+        continue;
+      }
+      // A signaled completion retires every earlier entry on the same QP
+      // (per-QP FIFO) — the point of selective signaling.
       auto& fifo = outstanding_[wc.peer_node];
       while (!fifo.empty() && fifo.front().wr_id <= wc.wr_id) {
-        send_free_.push_back(fifo.front().buf);
+        release_buf(fifo.front().buf);
         fifo.pop_front();
       }
     }
@@ -132,6 +207,9 @@ void CommLayer::reclaim_send_buffers() {
 uint32_t CommLayer::acquire_send_buffer() {
   while (send_free_.empty()) {
     reclaim_send_buffers();
+    // Recovery may be holding every buffer across a backoff window; keep it
+    // moving or this wait never ends.
+    pump_retries(now_ns());
     if (!send_free_.empty()) break;
     cpu_relax();
   }
@@ -140,46 +218,184 @@ uint32_t CommLayer::acquire_send_buffer() {
   return buf;
 }
 
-void CommLayer::post_one(TxRequest& req) {
-  rdma::QueuePair* qp = qp_to_peer_[req.dst];
-  DARRAY_ASSERT(qp != nullptr);
+void CommLayer::post_entry(uint32_t peer, Outstanding e) {
+  rdma::QueuePair* qp = qp_to_peer_[peer];
+  rdma::SendWr wr;
+  wr.wr_id = e.wr_id;
+  wr.opcode = e.op;
+  wr.sge = {buf_ptr(e.buf), e.len, send_mr_.lkey};
+  wr.remote_addr = e.remote_addr;
+  wr.rkey = e.rkey;
+  wr.signaled = true;  // recovery wants prompt retirement, not batching
+  outstanding_[peer].push_back(std::move(e));
+  const bool ok = qp->post_send(wr);
+  DARRAY_ASSERT_MSG(ok, "retry post failed local validation");
+}
 
-  // 1. Optional one-sided data WRITE; FIFO per QP orders it before the SEND.
-  if (req.has_data()) {
-    rdma::SendWr wr;
-    wr.opcode = rdma::Opcode::kWrite;
-    wr.sge = {req.data_src, req.data_len, req.data_lkey};
-    wr.remote_addr = req.data_remote_addr;
-    wr.rkey = req.data_rkey;
-    wr.signaled = false;  // source buffer release is handled via posted_flag
-    wr.wr_id = next_wr_id_++;
-    const bool ok = qp->post_send(wr);
-    DARRAY_ASSERT_MSG(ok, "data WRITE failed local validation");
-    if (req.posted_flag) {
-      req.posted_flag->store(1, std::memory_order_release);
-      req.posted_flag->notify_all();
+void CommLayer::pump_retries(uint64_t now) {
+  for (uint32_t peer = 0; peer < num_nodes_; ++peer) {
+    auto& rec = recovery_[peer];
+    if (rec.moved.empty() && rec.retry.empty()) continue;
+    // Wait until the errored QP has flushed everything back to us — replaying
+    // while CQEs are still inbound would reorder the stream.
+    if (!outstanding_[peer].empty()) continue;
+    if (!rec.moved.empty()) {
+      // Failed/flushed entries predate anything staged in retry.
+      rec.retry.insert(rec.retry.begin(), std::make_move_iterator(rec.moved.begin()),
+                       std::make_move_iterator(rec.moved.end()));
+      rec.moved.clear();
+    }
+    if (now < rec.next_attempt_ns) continue;
+    rdma::QueuePair* qp = qp_to_peer_[peer];
+    qp->reset();  // ERROR → RTS; no-op when already RTS
+    while (!rec.retry.empty()) {
+      Outstanding e = std::move(rec.retry.front());
+      rec.retry.pop_front();
+      if (e.attempts >= cfg_.comm_max_attempts) {
+        fail_entry(peer, e, "retry attempts exhausted");
+        continue;
+      }
+      if (now > e.deadline_ns) {
+        fail_entry(peer, e, "request deadline exceeded");
+        continue;
+      }
+      if (e.attempts > 0) qp->fabric().count_retry();
+      e.attempts++;
+      e.wr_id = next_wr_id_++;
+      post_entry(peer, std::move(e));
+      // Failed again (or a fresh injected fault): stop replaying — everything
+      // just posted flows back through error/flush CQEs in order.
+      if (qp->state() == rdma::QpState::kError) break;
     }
   }
+}
 
-  // 2. The two-sided protocol message.
+uint64_t CommLayer::retry_due_in(uint64_t now) const {
+  uint64_t best = ~0ull;
+  for (uint32_t peer = 0; peer < num_nodes_; ++peer) {
+    const auto& rec = recovery_[peer];
+    if (rec.moved.empty() && rec.retry.empty()) continue;
+    if (!outstanding_[peer].empty()) continue;  // waiting on CQEs, not time
+    const uint64_t due = rec.next_attempt_ns > now ? rec.next_attempt_ns - now : 0;
+    if (due < best) best = due;
+  }
+  return best;
+}
+
+uint32_t CommLayer::stage_send_msg(TxRequest& req) {
   const uint32_t buf = acquire_send_buffer();
-  std::byte* p = send_arena_.get() + size_t{buf} * max_msg_bytes_;
+  std::byte* p = buf_ptr(buf);
   req.hdr.src_node = static_cast<uint16_t>(node_id_);
   req.hdr.payload_len = static_cast<uint32_t>(req.payload.size());
   std::memcpy(p, &req.hdr, sizeof(MsgHeader));
   if (!req.payload.empty())
     std::memcpy(p + sizeof(MsgHeader), req.payload.data(), req.payload.size());
+  return buf;
+}
+
+void CommLayer::stage_request(TxRequest& req, uint64_t now) {
+  auto& rec = recovery_[req.dst];
+  if (req.has_data()) {
+    DARRAY_ASSERT(req.data_len <= max_msg_bytes_);
+    Outstanding e;
+    e.buf = acquire_send_buffer();
+    e.len = req.data_len;
+    e.op = rdma::Opcode::kWrite;
+    e.remote_addr = req.data_remote_addr;
+    e.rkey = req.data_rkey;
+    e.deadline_ns = now + cfg_.comm_deadline_ns;
+    std::memcpy(buf_ptr(e.buf), req.data_src, req.data_len);
+    // Payload captured: the source cacheline may be recycled.
+    if (req.posted_flag) {
+      req.posted_flag->store(1, std::memory_order_release);
+      req.posted_flag->notify_all();
+    }
+    rec.retry.push_back(std::move(e));
+  }
+  Outstanding e;
+  e.buf = stage_send_msg(req);
+  e.len = static_cast<uint32_t>(sizeof(MsgHeader) + req.payload.size());
+  e.op = rdma::Opcode::kSend;
+  e.deadline_ns = now + cfg_.comm_deadline_ns;
+  rec.retry.push_back(std::move(e));
+}
+
+void CommLayer::post_one(TxRequest& req) {
+  rdma::QueuePair* qp = qp_to_peer_[req.dst];
+  DARRAY_ASSERT(qp != nullptr);
+  const uint64_t now = now_ns();
+  auto& rec = recovery_[req.dst];
+
+  // Recovery in progress for this peer: new requests queue up behind the
+  // replay so the peer still sees one FIFO stream.
+  if (qp->state() == rdma::QpState::kError || !rec.moved.empty() || !rec.retry.empty()) {
+    stage_request(req, now);
+    return;
+  }
+
+  // 1. Optional one-sided data WRITE; FIFO per QP orders it before the SEND.
+  if (req.has_data()) {
+    if (chaos_) {
+      // Under fault injection the WRITE must be replayable after its source
+      // cacheline is recycled, so stage the payload like a SEND's.
+      DARRAY_ASSERT(req.data_len <= max_msg_bytes_);
+      Outstanding e;
+      e.buf = acquire_send_buffer();
+      e.len = req.data_len;
+      e.op = rdma::Opcode::kWrite;
+      e.remote_addr = req.data_remote_addr;
+      e.rkey = req.data_rkey;
+      e.attempts = 1;
+      e.deadline_ns = now + cfg_.comm_deadline_ns;
+      e.wr_id = next_wr_id_++;
+      std::memcpy(buf_ptr(e.buf), req.data_src, req.data_len);
+      if (req.posted_flag) {
+        req.posted_flag->store(1, std::memory_order_release);
+        req.posted_flag->notify_all();
+      }
+      post_entry(req.dst, std::move(e));
+      if (qp->state() == rdma::QpState::kError) {
+        // The WRITE just drew a fault; the SEND must line up behind it.
+        stage_request(req, now);
+        return;
+      }
+    } else {
+      rdma::SendWr wr;
+      wr.opcode = rdma::Opcode::kWrite;
+      wr.sge = {req.data_src, req.data_len, req.data_lkey};
+      wr.remote_addr = req.data_remote_addr;
+      wr.rkey = req.data_rkey;
+      wr.signaled = false;  // source buffer release is handled via posted_flag
+      wr.wr_id = next_wr_id_++;
+      const bool ok = qp->post_send(wr);
+      DARRAY_ASSERT_MSG(ok, "data WRITE failed local validation");
+      if (req.posted_flag) {
+        req.posted_flag->store(1, std::memory_order_release);
+        req.posted_flag->notify_all();
+      }
+    }
+  }
+
+  // 2. The two-sided protocol message.
+  Outstanding e;
+  e.buf = stage_send_msg(req);
+  e.len = static_cast<uint32_t>(sizeof(MsgHeader) + req.payload.size());
+  e.op = rdma::Opcode::kSend;
+  e.attempts = 1;
+  e.deadline_ns = now + cfg_.comm_deadline_ns;
+  e.wr_id = next_wr_id_++;
 
   rdma::SendWr wr;
   wr.opcode = rdma::Opcode::kSend;
-  wr.sge = {p, static_cast<uint32_t>(sizeof(MsgHeader) + req.payload.size()), send_mr_.lkey};
-  wr.wr_id = next_wr_id_++;
+  wr.sge = {buf_ptr(e.buf), e.len, send_mr_.lkey};
+  wr.wr_id = e.wr_id;
   // Selective signaling: request a completion once per interval per QP so the
-  // signaled CQE retires the whole unsignaled run behind it.
+  // signaled CQE retires the whole unsignaled run behind it. (Errors are
+  // always signaled by the fabric, so recovery still sees every failure.)
   uint32_t& run = unsignaled_run_[req.dst];
   wr.signaled = ++run >= cfg_.selective_signal_interval;
   if (wr.signaled) run = 0;
-  outstanding_[req.dst].push_back({wr.wr_id, buf});
+  outstanding_[req.dst].push_back(std::move(e));
   const bool ok = qp->post_send(wr);
   DARRAY_ASSERT_MSG(ok, "protocol SEND failed local validation");
 }
@@ -194,8 +410,24 @@ void CommLayer::tx_main() {
       progressed = true;
     }
     reclaim_send_buffers();
+    pump_retries(now_ns());
     if (stop_.load(std::memory_order_acquire)) break;
-    if (!progressed) tx_bell_.wait_change(snap);
+    if (!progressed) {
+      // Completions may be held back by the latency model, and retries wait
+      // out their backoff window; neither rings the bell again, so bound the
+      // park by whichever is due first.
+      uint64_t due = send_cq_.next_due_in();
+      const uint64_t rdue = retry_due_in(now_ns());
+      if (rdue < due) due = rdue;
+      if (due == ~0ull) {
+        tx_bell_.wait_change(snap);
+      } else if (due > 0) {
+        if (due < 20'000)
+          cpu_relax();
+        else
+          std::this_thread::sleep_for(std::chrono::nanoseconds(due));
+      }
+    }
   }
 }
 
@@ -210,8 +442,20 @@ void CommLayer::rx_main() {
       progressed = true;
       for (size_t i = 0; i < n; ++i) {
         const rdma::WorkCompletion& wc = wcs[i];
-        DARRAY_ASSERT(wc.status == rdma::WcStatus::kSuccess);
         DARRAY_ASSERT(wc.opcode == rdma::Opcode::kRecv);
+        if (wc.status == rdma::WcStatus::kFlushError) {
+          // Our QP errored and flushed its recv ring. Park the buffer; it is
+          // reposted once the Tx side has reset the QP (reposting now would
+          // just flush again).
+          rdma::RecvWr rwr;
+          rwr.addr = reinterpret_cast<std::byte*>(wc.wr_id);
+          rwr.length = static_cast<uint32_t>(max_msg_bytes_);
+          rwr.lkey = recv_mr_.lkey;
+          rwr.wr_id = wc.wr_id;
+          parked_recvs_[wc.peer_node].push_back(rwr);
+          continue;
+        }
+        DARRAY_ASSERT(wc.status == rdma::WcStatus::kSuccess);
         auto* bufp = reinterpret_cast<std::byte*>(wc.wr_id);
         RpcMessage msg;
         std::memcpy(&msg.hdr, bufp, sizeof(MsgHeader));
@@ -234,9 +478,27 @@ void CommLayer::rx_main() {
         dispatch_(std::move(msg));
       }
     }
+    // Re-arm parked recv buffers once their QP is back in RTS. A lost race
+    // (the QP errors again mid-repost) just parks them again via flush CQEs.
+    bool any_parked = false;
+    for (uint32_t peer = 0; peer < num_nodes_; ++peer) {
+      auto& parked = parked_recvs_[peer];
+      if (parked.empty()) continue;
+      rdma::QueuePair* qp = qp_to_peer_[peer];
+      if (qp->state() != rdma::QpState::kRts) {
+        any_parked = true;
+        continue;
+      }
+      for (const rdma::RecvWr& r : parked) qp->post_recv(r);
+      parked.clear();
+      progressed = true;
+    }
     if (stop_.load(std::memory_order_acquire)) break;
     if (!progressed) {
-      const uint64_t due = recv_cq_.next_due_in();
+      uint64_t due = recv_cq_.next_due_in();
+      // Parked buffers wait on the Tx thread's QP reset, which rings no bell
+      // here — poll for it.
+      if (any_parked && due > 20'000) due = 20'000;
       if (due == ~0ull) {
         rx_bell_.wait_change(snap);
       } else if (due > 0) {

@@ -4,6 +4,17 @@
 // parsed RPC messages to the runtime. Dedicated networking threads mean the
 // QP count is nodes² × 1, independent of the number of application/runtime
 // threads — the paper's n²·c (c = networking threads) instead of n²·t.
+//
+// Fault recovery (see docs/chaos.md): a completion-with-error moves the QP to
+// ERROR and the Tx thread becomes the recovery driver for that peer. The
+// fabric never half-executes a WR — an error status means no bytes moved — so
+// re-posting is exactly-once. Ordering is preserved end to end: the error
+// flushes everything behind the failed WR, the Tx thread collects failed and
+// flushed requests into a per-peer retry queue in original order, stages any
+// new requests for that peer behind them, and after a bounded-exponential
+// backoff resets the QP and replays the queue front to back. Requests that
+// exhaust their attempt budget or wall-clock deadline are handed to the error
+// handler (default: fail-stop) instead of retried.
 #pragma once
 
 #include <cstdint>
@@ -23,11 +34,24 @@
 
 namespace darray::net {
 
+// An unrecoverable communication failure, delivered on the Tx thread.
+struct CommError {
+  uint32_t peer = 0;
+  rdma::Opcode opcode = rdma::Opcode::kSend;
+  rdma::WcStatus status = rdma::WcStatus::kSuccess;
+  uint32_t attempts = 0;
+  const char* reason = "";
+};
+
 class CommLayer {
  public:
   // `dispatch` is invoked on the Rx thread for every inbound message; it must
   // only route (push to a runtime queue), never block.
   using DispatchFn = std::function<void(RpcMessage&&)>;
+  // Invoked on the Tx thread when a request is abandoned (retry budget or
+  // deadline exhausted, or an untracked WR failed). The handler must not
+  // block; with no handler installed the comm layer fail-stops.
+  using ErrorFn = std::function<void(const CommError&)>;
 
   CommLayer(uint32_t node_id, uint32_t num_nodes, const ClusterConfig& cfg,
             rdma::Device* device, DispatchFn dispatch);
@@ -43,6 +67,9 @@ class CommLayer {
   // Topology wiring (before start()).
   void set_qp(uint32_t peer, rdma::QueuePair* qp);
 
+  // Optional; before start().
+  void set_error_handler(ErrorFn fn) { error_fn_ = std::move(fn); }
+
   void start();
   void stop();
 
@@ -51,18 +78,67 @@ class CommLayer {
 
   size_t max_msg_bytes() const { return max_msg_bytes_; }
 
+  // Requests abandoned after exhausting recovery (diagnostics / tests).
+  uint64_t dropped_requests() const {
+    return dropped_requests_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static constexpr uint32_t kNoBuf = ~0u;
+
+  // One posted (or to-be-posted) WR the Tx thread may have to replay. SENDs
+  // always reference a send-arena buffer; WRITEs do too in chaos mode (the
+  // payload is staged so the source cacheline can be recycled immediately),
+  // while outside chaos mode WRITEs stay zero-copy/unsignaled and untracked.
+  struct Outstanding {
+    uint64_t wr_id = 0;
+    uint32_t buf = kNoBuf;      // send-arena buffer index
+    uint32_t len = 0;
+    rdma::Opcode op = rdma::Opcode::kSend;
+    uint64_t remote_addr = 0;   // WRITE only
+    uint32_t rkey = 0;          // WRITE only
+    uint32_t attempts = 0;      // post attempts so far
+    uint64_t deadline_ns = 0;
+    rdma::WcStatus last_status = rdma::WcStatus::kSuccess;
+  };
+
+  // Per-peer recovery state (Tx-private). `moved` receives failed/flushed
+  // entries in CQE order while their QP drains; once the outstanding FIFO is
+  // empty they are prepended to `retry` (they predate anything staged there)
+  // and replayed after the backoff expires.
+  struct PeerRecovery {
+    std::deque<Outstanding> moved;
+    std::deque<Outstanding> retry;
+    uint64_t next_attempt_ns = 0;
+  };
+
   void tx_main();
   void rx_main();
   void post_one(TxRequest& req);
+  void stage_request(TxRequest& req, uint64_t now);
+  void post_entry(uint32_t peer, Outstanding e);
   void reclaim_send_buffers();
+  void handle_error_cqe(const rdma::WorkCompletion& wc);
+  void pump_retries(uint64_t now);
+  void fail_entry(uint32_t peer, Outstanding& e, const char* reason);
+  void fail(const CommError& err);
+  uint64_t retry_due_in(uint64_t now) const;
+  uint64_t backoff_ns(uint32_t attempts) const;
   uint32_t acquire_send_buffer();  // may poll the send CQ until one frees up
+  uint32_t stage_send_msg(TxRequest& req);  // copy header+payload into a buffer
+  void release_buf(uint32_t buf) {
+    if (buf != kNoBuf) send_free_.push_back(buf);
+  }
+  std::byte* buf_ptr(uint32_t buf) {
+    return send_arena_.get() + size_t{buf} * max_msg_bytes_;
+  }
 
   const uint32_t node_id_;
   const uint32_t num_nodes_;
   const ClusterConfig cfg_;
   rdma::Device* device_;
   DispatchFn dispatch_;
+  ErrorFn error_fn_;
   const size_t max_msg_bytes_;
 
   Doorbell tx_bell_;
@@ -80,17 +156,20 @@ class CommLayer {
   rdma::MemoryRegion send_mr_;
   uint32_t send_buf_count_ = 0;
   std::vector<uint32_t> send_free_;                  // Tx-private
-  struct Outstanding {
-    uint64_t wr_id;
-    uint32_t buf;
-  };
   std::vector<std::deque<Outstanding>> outstanding_; // per peer
+  std::vector<PeerRecovery> recovery_;               // per peer, Tx-private
   std::vector<uint32_t> unsignaled_run_;             // per peer, for signaling
   uint64_t next_wr_id_ = 1;
+  bool chaos_ = false;  // fabric has a fault injector (latched at start())
 
   // Recv-side buffers: preposted per QP, reposted by Rx after parsing.
+  // Buffers flushed by a QP error are parked (Rx-private) until the Tx side
+  // resets the QP, then reposted.
   std::unique_ptr<std::byte[]> recv_arena_;
   rdma::MemoryRegion recv_mr_;
+  std::vector<std::vector<rdma::RecvWr>> parked_recvs_;  // per peer, Rx-private
+
+  std::atomic<uint64_t> dropped_requests_{0};
 
   std::thread tx_thread_;
   std::thread rx_thread_;

@@ -17,8 +17,19 @@ enum class Opcode : uint8_t { kWrite, kRead, kSend, kRecv };
 enum class WcStatus : uint8_t {
   kSuccess,
   kRemoteAccessError,  // rkey/bounds validation failed at the target
-  kRnrError,           // SEND arrived with no posted RECV buffer
+  kRnrError,           // SEND found no posted RECV (RNR retries exhausted)
+  kRetryExceeded,      // transport retries exhausted (unreachable/blackholed peer)
+  kFlushError,         // WR flushed because the QP was in the ERROR state
 };
+
+const char* wc_status_name(WcStatus s);
+
+// QP state machine (the subset of the verbs RESET/INIT/RTR/RTS/ERR machine
+// the simulation needs): Fabric::connect hands out QPs already in RTS; any
+// completion-with-error moves the QP to ERROR, where outstanding and newly
+// posted WRs flush with kFlushError; reset() models the teardown/reconnect
+// cycle back to RTS.
+enum class QpState : uint8_t { kRts, kError };
 
 // A registered memory region. lkey/rkey are generated on registration and
 // every remote access is validated against them, like a real RNIC would.
@@ -73,8 +84,18 @@ struct FabricStats {
   uint64_t bytes_read = 0;
   uint64_t bytes_sent = 0;
 
+  // Fault/recovery activity. wc_errors counts completions with a non-success,
+  // non-flush status (kRemoteAccessError/kRnrError/kRetryExceeded, injected or
+  // genuine); rnr_events is the kRnrError subset; flushed_wrs counts WRs
+  // flushed through an ERROR-state QP; retries counts comm-layer re-posts.
+  uint64_t wc_errors = 0;
+  uint64_t rnr_events = 0;
+  uint64_t retries = 0;
+  uint64_t flushed_wrs = 0;
+
   uint64_t total_messages() const { return writes + reads + sends; }
   uint64_t total_bytes() const { return bytes_written + bytes_read + bytes_sent; }
+  uint64_t total_faults() const { return wc_errors + flushed_wrs; }
 };
 
 }  // namespace darray::rdma

@@ -1,8 +1,10 @@
 #include "runtime/cluster.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 
+#include "chaos/fault_plan.hpp"
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 
@@ -13,6 +15,12 @@ Cluster::Cluster(ClusterConfig cfg)
   DARRAY_ASSERT_MSG(cfg_.num_nodes >= 1 && cfg_.num_nodes <= 64,
                     "cluster supports 1..64 simulated nodes");
   DARRAY_ASSERT(cfg_.runtime_threads_per_node >= 1);
+  // Fault injection: attach before any device/QP exists so every WR ever
+  // posted consults the injector. A null or all-zero plan costs nothing.
+  if (cfg_.fault_plan != nullptr && cfg_.fault_plan->enabled()) {
+    injector_ = std::make_unique<chaos::FaultInjector>(*cfg_.fault_plan);
+    fabric_.set_fault_injector(injector_.get());
+  }
   nodes_.reserve(cfg_.num_nodes);
   for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
     rdma::Device* dev = fabric_.create_device(i);
@@ -35,6 +43,21 @@ Cluster::Cluster(ClusterConfig cfg)
 
 Cluster::~Cluster() {
   for (auto& n : nodes_) n->stop();
+}
+
+void Cluster::handle_comm_error(uint32_t node, const net::CommError& err) {
+  comm_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (comm_error_fn_) {
+    comm_error_fn_(node, err);
+    return;
+  }
+  // Fail-stop: a dropped protocol message would wedge the coherence protocol
+  // (a requester parks forever on a reply that never comes), so dying loudly
+  // here beats hanging silently there.
+  DLOG_ERROR("node %u: abandoning message to peer %u (%s, %s after %u attempts) — "
+             "fail-stop; install a comm error handler to override",
+             node, err.peer, err.reason, rdma::wc_status_name(err.status), err.attempts);
+  std::abort();
 }
 
 const ArrayMeta* Cluster::create_array(uint64_t n_elems, uint32_t elem_size,

@@ -3,12 +3,15 @@
 // "nodes" are thread bundles joined by the simulated RDMA fabric.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "chaos/fault_injector.hpp"
 #include "common/config.hpp"
 #include "common/spinlock.hpp"
+#include "net/comm_layer.hpp"
 #include "rdma/fabric.hpp"
 #include "runtime/array_meta.hpp"
 #include "runtime/node.hpp"
@@ -47,13 +50,31 @@ class Cluster {
     return s;
   }
 
+  // Present iff cfg.fault_plan named an enabled plan at construction.
+  chaos::FaultInjector* fault_injector() { return injector_.get(); }
+
+  // Unrecoverable comm failures (retry/deadline budget exhausted) land here,
+  // on the failing node's Tx thread. Default: log + abort (fail-stop) — the
+  // coherence protocol cannot survive a dropped message. Override before
+  // traffic for tests/harnesses that expect losses. The handler must not
+  // block.
+  using CommErrorFn = std::function<void(uint32_t node, const net::CommError&)>;
+  void set_comm_error_handler(CommErrorFn fn) { comm_error_fn_ = std::move(fn); }
+  void handle_comm_error(uint32_t node, const net::CommError& err);
+  uint64_t comm_error_count() const {
+    return comm_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   ClusterConfig cfg_;
   rdma::Fabric fabric_;
+  std::unique_ptr<chaos::FaultInjector> injector_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   OpRegistry ops_;
   SpinLock create_mu_;
   std::vector<std::unique_ptr<ArrayMeta>> metas_;
+  CommErrorFn comm_error_fn_;
+  std::atomic<uint64_t> comm_errors_{0};
 };
 
 }  // namespace darray::rt

@@ -11,6 +11,8 @@ NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id, rdma::Device* device,
   comm_ = std::make_unique<net::CommLayer>(
       id, cfg.num_nodes, cfg, device,
       [this](net::RpcMessage&& m) { rt_for_chunk(m.hdr.chunk).submit_rpc(std::move(m)); });
+  comm_->set_error_handler(
+      [this](const net::CommError& err) { cluster_->handle_comm_error(id_, err); });
   for (uint32_t i = 0; i < cfg.runtime_threads_per_node; ++i)
     rts_.push_back(std::make_unique<RuntimeThread>(this, i, cfg, device));
 }

@@ -1,0 +1,168 @@
+#include "chaos/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace darray::chaos {
+namespace {
+
+using rdma::Opcode;
+using rdma::WcStatus;
+
+// Replay a fixed WR schedule against an injector and record the decisions.
+std::vector<FaultDecision> replay(FaultInjector& inj, uint32_t qp, size_t n,
+                                  uint64_t start_ns = 1'000, uint64_t step_ns = 500) {
+  std::vector<FaultDecision> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Opcode op = (i % 3 == 0) ? Opcode::kSend : Opcode::kWrite;
+    out.push_back(inj.decide(qp, 0, 1, op, start_ns + i * step_ns));
+  }
+  return out;
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.p_wc_error = 0.1;
+  plan.p_rnr = 0.05;
+  plan.p_delay = 0.2;
+  plan.delay_min_ns = 100;
+  plan.delay_max_ns = 5'000;
+
+  FaultInjector a(plan), b(plan);
+  const auto da = replay(a, 3, 2'000);
+  const auto db = replay(b, 3, 2'000);
+  ASSERT_EQ(da.size(), db.size());
+  size_t faults = 0;
+  for (size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].status, db[i].status) << "at WR " << i;
+    EXPECT_EQ(da[i].extra_latency_ns, db[i].extra_latency_ns) << "at WR " << i;
+    if (da[i].faulted()) ++faults;
+  }
+  // With these probabilities a 2000-WR schedule faults with near certainty.
+  EXPECT_GT(faults, 0u);
+  EXPECT_EQ(a.counters().total(), b.counters().total());
+}
+
+TEST(FaultInjector, QpStreamsAreIndependent) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.p_wc_error = 0.1;
+  FaultInjector a(plan), b(plan);
+  // Interleaving traffic on another QP must not perturb QP 5's sequence.
+  const auto da = replay(a, 5, 500);
+  for (size_t i = 0; i < 500; ++i) (void)b.decide(9, 2, 3, Opcode::kWrite, 1'000 + i);
+  const auto db = replay(b, 5, 500);
+  for (size_t i = 0; i < da.size(); ++i) EXPECT_EQ(da[i].status, db[i].status);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultPlan p1, p2;
+  p1.seed = 1;
+  p2.seed = 2;
+  p1.p_wc_error = p2.p_wc_error = 0.1;
+  FaultInjector a(p1), b(p2);
+  const auto da = replay(a, 0, 1'000);
+  const auto db = replay(b, 0, 1'000);
+  size_t differing = 0;
+  for (size_t i = 0; i < da.size(); ++i)
+    if (da[i].status != db[i].status) ++differing;
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultInjector, DisabledPlanInjectsNothing) {
+  FaultPlan plan;  // all zero
+  EXPECT_FALSE(plan.enabled());
+  FaultInjector inj(plan);
+  const auto d = replay(inj, 0, 1'000);
+  for (const auto& dec : d) {
+    EXPECT_EQ(dec.status, WcStatus::kSuccess);
+    EXPECT_EQ(dec.extra_latency_ns, 0u);
+  }
+  EXPECT_EQ(inj.counters().total(), 0u);
+}
+
+TEST(FaultInjector, RnrWindowRejectsSendsUntilItCloses) {
+  FaultPlan plan;
+  plan.p_rnr = 1.0;  // first SEND opens a window deterministically
+  plan.rnr_window_ns = 10'000;
+  FaultInjector inj(plan);
+
+  EXPECT_EQ(inj.decide(0, 0, 1, Opcode::kSend, 1'000).status, WcStatus::kRnrError);
+  // Inside the window: rejected without a fresh draw.
+  EXPECT_EQ(inj.decide(0, 0, 1, Opcode::kSend, 5'000).status, WcStatus::kRnrError);
+  // One-sided traffic is not receiver-limited.
+  EXPECT_EQ(inj.decide(0, 0, 1, Opcode::kWrite, 6'000).status, WcStatus::kSuccess);
+  EXPECT_EQ(inj.decide(0, 0, 1, Opcode::kRead, 7'000).status, WcStatus::kSuccess);
+  // Another QP is unaffected.
+  EXPECT_EQ(inj.decide(1, 1, 0, Opcode::kWrite, 8'000).status, WcStatus::kSuccess);
+  EXPECT_EQ(inj.counters().rnr_rejections, 2u);
+}
+
+TEST(FaultInjector, BlackholeWindowDropsTraffic) {
+  FaultPlan plan;
+  FaultWindow w;
+  w.node = 1;
+  w.start_ns = 1'000;
+  w.duration_ns = 10'000;
+  w.blackhole = true;
+  plan.windows.push_back(w);
+  ASSERT_TRUE(plan.enabled());
+  FaultInjector inj(plan);
+
+  const uint64_t epoch = 50'000;  // first decide() pins the epoch
+  // Before the window opens.
+  EXPECT_EQ(inj.decide(0, 0, 1, Opcode::kWrite, epoch).status, WcStatus::kSuccess);
+  // Inside: traffic from or toward node 1 is dropped with kRetryExceeded.
+  EXPECT_EQ(inj.decide(0, 0, 1, Opcode::kWrite, epoch + 2'000).status,
+            WcStatus::kRetryExceeded);
+  EXPECT_EQ(inj.decide(1, 1, 0, Opcode::kSend, epoch + 2'000).status,
+            WcStatus::kRetryExceeded);
+  // Unrelated nodes are untouched.
+  EXPECT_EQ(inj.decide(2, 2, 3, Opcode::kWrite, epoch + 2'000).status,
+            WcStatus::kSuccess);
+  // After the window closes.
+  EXPECT_EQ(inj.decide(0, 0, 1, Opcode::kWrite, epoch + 20'000).status,
+            WcStatus::kSuccess);
+  EXPECT_EQ(inj.counters().blackholed, 2u);
+}
+
+TEST(FaultInjector, PauseWindowDelaysUntilItCloses) {
+  FaultPlan plan;
+  FaultWindow w;
+  w.node = 0;
+  w.start_ns = 0;
+  w.duration_ns = 10'000;
+  w.blackhole = false;
+  plan.windows.push_back(w);
+  FaultInjector inj(plan);
+
+  // Pin the epoch with traffic between unrelated nodes.
+  const uint64_t epoch = 1'000;
+  EXPECT_EQ(inj.decide(5, 2, 3, Opcode::kWrite, epoch).status, WcStatus::kSuccess);
+  const FaultDecision d = inj.decide(0, 0, 1, Opcode::kWrite, epoch + 4'000);
+  EXPECT_EQ(d.status, WcStatus::kSuccess);
+  // Held until the window closes: 10'000 - 4'000 elapsed.
+  EXPECT_EQ(d.extra_latency_ns, 6'000u);
+  EXPECT_EQ(inj.counters().paused, 1u);
+}
+
+TEST(FaultInjector, DelaysFallWithinConfiguredRange) {
+  FaultPlan plan;
+  plan.p_delay = 1.0;
+  plan.delay_min_ns = 2'000;
+  plan.delay_max_ns = 9'000;
+  FaultInjector inj(plan);
+  for (int i = 0; i < 200; ++i) {
+    const FaultDecision d = inj.decide(0, 0, 1, Opcode::kWrite, 1'000 + i);
+    EXPECT_EQ(d.status, WcStatus::kSuccess);
+    EXPECT_GE(d.extra_latency_ns, 2'000u);
+    EXPECT_LE(d.extra_latency_ns, 9'000u);
+  }
+  EXPECT_EQ(inj.counters().delays, 200u);
+}
+
+}  // namespace
+}  // namespace darray::chaos

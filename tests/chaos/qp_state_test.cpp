@@ -1,0 +1,262 @@
+// QP state machine semantics: error transitions, flush-with-error of
+// outstanding and newly posted WRs, reset/reconnect, and how injected faults
+// surface as completions.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "chaos/fault_injector.hpp"
+#include "rdma/fabric.hpp"
+
+namespace darray::rdma {
+namespace {
+
+struct Wired {
+  Fabric fabric;
+  Device* da;
+  Device* db;
+  CompletionQueue a_send, a_recv, b_send, b_recv;
+  QueuePair* qa;
+  QueuePair* qb;
+
+  explicit Wired(FabricConfig cfg = {}) : fabric(cfg) {
+    da = fabric.create_device(0);
+    db = fabric.create_device(1);
+    auto [x, y] = fabric.connect(da, &a_send, &a_recv, db, &b_send, &b_recv);
+    qa = x;
+    qb = y;
+  }
+};
+
+// A fabric whose SENDs fail fast on an empty ring instead of waiting out the
+// (100 ms default) RNR absorption budget.
+FabricConfig fast_rnr() {
+  FabricConfig cfg;
+  cfg.rnr_retry_budget_ns = 1'000;
+  return cfg;
+}
+
+RecvWr recv_into(std::vector<std::byte>& buf, const MemoryRegion& mr, uint64_t id) {
+  RecvWr r;
+  r.addr = buf.data();
+  r.length = static_cast<uint32_t>(buf.size());
+  r.lkey = mr.lkey;
+  r.wr_id = id;
+  return r;
+}
+
+TEST(QpState, StartsInRtsAndErrorFlushesPostedRecvs) {
+  Wired w;
+  EXPECT_EQ(w.qb->state(), QpState::kRts);
+  std::vector<std::byte> buf(64);
+  MemoryRegion mr = w.db->reg_mr(buf.data(), buf.size());
+  for (uint64_t i = 1; i <= 3; ++i) w.qb->post_recv(recv_into(buf, mr, i));
+
+  w.qb->set_error();
+  EXPECT_EQ(w.qb->state(), QpState::kError);
+
+  WorkCompletion wcs[8];
+  ASSERT_EQ(w.b_recv.poll(wcs), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(wcs[i].status, WcStatus::kFlushError);
+    EXPECT_EQ(wcs[i].opcode, Opcode::kRecv);
+    EXPECT_EQ(wcs[i].wr_id, i + 1);
+  }
+  EXPECT_EQ(w.fabric.stats().flushed_wrs, 3u);
+  // Flushes are accounted separately from completion errors.
+  EXPECT_EQ(w.fabric.stats().wc_errors, 0u);
+}
+
+TEST(QpState, PostsOnErroredQpFlushImmediately) {
+  Wired w;
+  w.qa->set_error();
+
+  std::vector<std::byte> src(32);
+  MemoryRegion ms = w.da->reg_mr(src.data(), src.size());
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.sge = {src.data(), 32, ms.lkey};
+  wr.wr_id = 9;
+  wr.signaled = false;  // errors are signaled regardless
+  ASSERT_TRUE(w.qa->post_send(wr));
+
+  WorkCompletion wc;
+  ASSERT_EQ(w.a_send.poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kFlushError);
+  EXPECT_EQ(wc.wr_id, 9u);
+  // Nothing was transferred.
+  EXPECT_EQ(w.fabric.stats().sends, 0u);
+
+  std::vector<std::byte> rbuf(32);
+  MemoryRegion mr = w.da->reg_mr(rbuf.data(), rbuf.size());
+  w.qa->post_recv(recv_into(rbuf, mr, 10));
+  ASSERT_EQ(w.a_recv.poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kFlushError);
+  EXPECT_EQ(wc.wr_id, 10u);
+}
+
+TEST(QpState, ResetRestoresTraffic) {
+  Wired w;
+  w.qa->set_error();
+  EXPECT_TRUE(w.qa->reset());
+  EXPECT_FALSE(w.qa->reset());  // already RTS
+  EXPECT_EQ(w.qa->state(), QpState::kRts);
+
+  // Post-reset the QP carries traffic again.
+  std::vector<std::byte> src(16), dst(16);
+  MemoryRegion ms = w.da->reg_mr(src.data(), 16);
+  MemoryRegion md = w.db->reg_mr(dst.data(), 16);
+  std::memset(src.data(), 0x5C, 16);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {src.data(), 16, ms.lkey};
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = md.rkey;
+  wr.wr_id = 1;
+  ASSERT_TRUE(w.qa->post_send(wr));
+  WorkCompletion wc;
+  ASSERT_EQ(w.a_send.poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(std::memcmp(src.data(), dst.data(), 16), 0);
+}
+
+TEST(QpState, BadRkeyErrorsTheQpAndFlushesFollowers) {
+  Wired w;
+  std::vector<std::byte> src(64), dst(64);
+  MemoryRegion ms = w.da->reg_mr(src.data(), 64);
+  (void)w.db->reg_mr(dst.data(), 64);
+
+  SendWr bad;
+  bad.opcode = Opcode::kWrite;
+  bad.sge = {src.data(), 64, ms.lkey};
+  bad.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  bad.rkey = 0xBAD;
+  bad.wr_id = 1;
+  ASSERT_TRUE(w.qa->post_send(bad));
+  EXPECT_EQ(w.qa->state(), QpState::kError);
+
+  // The next WR — perfectly valid — flushes instead of overtaking.
+  SendWr good = bad;
+  good.rkey = 0;  // never executed anyway
+  good.wr_id = 2;
+  ASSERT_TRUE(w.qa->post_send(good));
+
+  WorkCompletion wcs[4];
+  ASSERT_EQ(w.a_send.poll(wcs), 2u);
+  EXPECT_EQ(wcs[0].wr_id, 1u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(wcs[1].wr_id, 2u);
+  EXPECT_EQ(wcs[1].status, WcStatus::kFlushError);
+
+  const FabricStats s = w.fabric.stats();
+  EXPECT_EQ(s.wc_errors, 1u);
+  EXPECT_EQ(s.flushed_wrs, 1u);
+  EXPECT_EQ(s.writes, 0u);
+}
+
+TEST(QpState, RnrExhaustionErrorsTheQp) {
+  Wired w(fast_rnr());
+  std::vector<std::byte> src(32);
+  MemoryRegion ms = w.da->reg_mr(src.data(), 32);
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.sge = {src.data(), 32, ms.lkey};
+  wr.wr_id = 1;
+  ASSERT_TRUE(w.qa->post_send(wr));  // no RECV posted at b — RNR
+
+  WorkCompletion wc;
+  ASSERT_EQ(w.a_send.poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kRnrError);
+  EXPECT_EQ(w.qa->state(), QpState::kError);
+  const FabricStats s = w.fabric.stats();
+  EXPECT_EQ(s.rnr_events, 1u);
+  EXPECT_EQ(s.wc_errors, 1u);  // RNR is a completion error too
+}
+
+TEST(QpState, RnrAbsorptionWaitsForLateRecv) {
+  Wired w;  // default 100 ms budget
+  std::vector<std::byte> src(32), dst(32);
+  MemoryRegion ms = w.da->reg_mr(src.data(), 32);
+  MemoryRegion md = w.db->reg_mr(dst.data(), 32);
+  std::memset(src.data(), 0x11, 32);
+
+  // Re-arm the ring from another thread while the SEND is waiting out its
+  // RNR-NAK budget.
+  std::thread rearm([&] { w.qb->post_recv(recv_into(dst, md, 77)); });
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.sge = {src.data(), 32, ms.lkey};
+  wr.wr_id = 1;
+  wr.signaled = true;
+  ASSERT_TRUE(w.qa->post_send(wr));
+  rearm.join();
+
+  WorkCompletion wc;
+  ASSERT_EQ(w.a_send.poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(w.qa->state(), QpState::kRts);
+  ASSERT_EQ(w.b_recv.poll({&wc, 1}), 1u);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), 32), 0);
+}
+
+TEST(QpState, InjectedErrorCompletesWithoutTransfer) {
+  chaos::FaultPlan plan;
+  plan.p_wc_error = 1.0;  // every WR fails
+  chaos::FaultInjector inj(plan);
+  Wired w;
+  w.fabric.set_fault_injector(&inj);
+
+  std::vector<std::byte> src(64), dst(64);
+  MemoryRegion ms = w.da->reg_mr(src.data(), 64);
+  MemoryRegion md = w.db->reg_mr(dst.data(), 64);
+  std::memset(src.data(), 0x3D, 64);
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.sge = {src.data(), 64, ms.lkey};
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = md.rkey;
+  wr.wr_id = 1;
+  wr.signaled = false;
+  ASSERT_TRUE(w.qa->post_send(wr));
+
+  WorkCompletion wc;
+  ASSERT_EQ(w.a_send.poll({&wc, 1}), 1u);
+  EXPECT_NE(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(w.qa->state(), QpState::kError);
+  // The injected error preceded the transfer: destination untouched.
+  std::vector<std::byte> zeros(64);
+  EXPECT_EQ(std::memcmp(dst.data(), zeros.data(), 64), 0);
+  EXPECT_EQ(w.fabric.stats().writes, 0u);
+  EXPECT_EQ(w.fabric.stats().wc_errors, 1u);
+  EXPECT_EQ(inj.counters().wc_errors, 1u);
+}
+
+TEST(QpState, NoInjectorMeansZeroFaultCounters) {
+  Wired w;
+  std::vector<std::byte> src(64), dst(64);
+  MemoryRegion ms = w.da->reg_mr(src.data(), 64);
+  MemoryRegion md = w.db->reg_mr(dst.data(), 64);
+  for (uint64_t i = 0; i < 50; ++i) {
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.sge = {src.data(), 64, ms.lkey};
+    wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+    wr.rkey = md.rkey;
+    wr.wr_id = i;
+    ASSERT_TRUE(w.qa->post_send(wr));
+  }
+  const FabricStats s = w.fabric.stats();
+  EXPECT_EQ(s.writes, 50u);
+  EXPECT_EQ(s.wc_errors, 0u);
+  EXPECT_EQ(s.rnr_events, 0u);
+  EXPECT_EQ(s.retries, 0u);
+  EXPECT_EQ(s.flushed_wrs, 0u);
+  EXPECT_EQ(s.total_faults(), 0u);
+}
+
+}  // namespace
+}  // namespace darray::rdma

@@ -46,13 +46,38 @@ TEST(CompletionQueue, HoldsBackFutureEntries) {
   EXPECT_LE(due, 50'000'000u);
 }
 
-TEST(CompletionQueue, FutureEntryBlocksLaterOnes) {
-  // FIFO per CQ: an undue head must not be overtaken.
+TEST(CompletionQueue, UndueEntryDoesNotBlockDueOnes) {
+  // Shared-CQ contract: an entry held back for the future (e.g. a
+  // chaos-delayed WR on one QP) must not head-of-line-block due completions
+  // from other QPs sharing the CQ.
   CompletionQueue cq;
   cq.push(wc_at(1, now_ns() + 30'000'000));
   cq.push(wc_at(2, 0));
   WorkCompletion out[2];
+  ASSERT_EQ(cq.poll(out), 1u);
+  EXPECT_EQ(out[0].wr_id, 2u);
+  // The delayed entry stays held back.
   EXPECT_EQ(cq.poll(out), 0u);
+  EXPECT_GT(cq.next_due_in(), 0u);
+}
+
+TEST(CompletionQueue, HoldbackEmitsByDeadlineOrder) {
+  // Entries already due emit in push order; held-back entries emit sorted by
+  // deadline once due, with push order as the tiebreak (stable insert).
+  CompletionQueue cq;
+  const uint64_t now = now_ns();
+  cq.push(wc_at(1, now + 3'000'000));
+  cq.push(wc_at(2, now + 1'000'000));
+  cq.push(wc_at(3, now + 1'000'000));
+  WorkCompletion out[4];
+  ASSERT_EQ(cq.poll(out), 0u);
+  // Wait until all three deadlines have passed.
+  while (now_ns() < now + 3'000'000) {
+  }
+  ASSERT_EQ(cq.poll(out), 3u);
+  EXPECT_EQ(out[0].wr_id, 2u);
+  EXPECT_EQ(out[1].wr_id, 3u);
+  EXPECT_EQ(out[2].wr_id, 1u);
 }
 
 TEST(CompletionQueue, ExternalDoorbellRungOnPush) {
