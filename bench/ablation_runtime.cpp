@@ -4,6 +4,8 @@
 // counters that explain it.
 #include "bench/bench_util.hpp"
 #include "core/darray.hpp"
+#include "net/payload_buf.hpp"
+#include "rdma/verbs.hpp"
 
 using namespace darray;
 using namespace darray::bench;
@@ -13,6 +15,7 @@ namespace {
 struct Result {
   double mops;
   rt::RuntimeStats stats;
+  rdma::FabricStats fabric;
 };
 
 // Remote sequential read sweep — the workload most sensitive to the cache
@@ -29,7 +32,7 @@ Result sweep(rt::ClusterConfig cfg) {
         volatile uint64_t v = arr.get(base + i);
         (void)v;
       });
-  return {mops, cluster.runtime_stats()};
+  return {mops, cluster.runtime_stats(), cluster.fabric().stats()};
 }
 
 void print_result(uint64_t x, const Result& r) {
@@ -78,6 +81,29 @@ int main() {
     rt::ClusterConfig cfg = bench_cfg(2);
     cfg.selective_signal_interval = sig;
     print_result(sig, sweep(cfg));
+  }
+
+  // Small-message engine (docs/perf.md): per-peer SEND coalescing packs
+  // protocol messages into shared wire SENDs, doorbell batching posts runs of
+  // WRs with one call, and PayloadBuf keeps Tx/Rx payloads out of the heap.
+  std::printf("\n(e) small-message coalescing — docs/perf.md, default on\n"
+              "%-12s%12s%12s%12s%12s%12s%12s\n", "max_frames", "Mops/s", "sends",
+              "coalesced", "batchposts", "pool_hits", "pool_miss");
+  for (uint32_t frames : {0u, 2u, 8u, 32u}) {  // 0 = coalescing disabled
+    rt::ClusterConfig cfg = bench_cfg(2);
+    cfg.coalesce_enabled = frames > 0;
+    if (frames > 0) cfg.coalesce_max_frames = frames;
+    const net::PayloadPoolStats before = net::payload_pool_stats();
+    const Result r = sweep(cfg);
+    const net::PayloadPoolStats after = net::payload_pool_stats();
+    std::printf("%-12llu%12.3f%12llu%12llu%12llu%12llu%12llu\n",
+                static_cast<unsigned long long>(frames), r.mops,
+                static_cast<unsigned long long>(r.fabric.sends),
+                static_cast<unsigned long long>(r.fabric.coalesced_frames),
+                static_cast<unsigned long long>(r.fabric.batched_posts),
+                static_cast<unsigned long long>(after.hits - before.hits),
+                static_cast<unsigned long long>(after.misses - before.misses));
+    std::fflush(stdout);
   }
 
   std::printf("\nreading: larger chunks amortise misses until eviction pressure bites;\n"

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <thread>
@@ -41,6 +42,9 @@ inline rt::ClusterConfig bench_cfg(uint32_t nodes) {
   cfg.num_nodes = nodes;
   cfg.fabric_latency_ns = env_u64("DARRAY_BENCH_LAT_NS", 1000);  // ~2 µs RTT, as the paper
   cfg.cachelines_per_region = 512;
+  // Before/after switch for the small-message engine (docs/perf.md): the
+  // off-config reproduces the pre-coalescing wire behaviour exactly.
+  cfg.coalesce_enabled = env_u64("DARRAY_BENCH_COALESCE", 1) != 0;
   return cfg;
 }
 
@@ -99,6 +103,87 @@ inline void print_row(uint64_t x, const std::vector<double>& vals, const char* f
   std::printf("\n");
   std::fflush(stdout);  // long sweeps: show each point as it lands
 }
+
+// --- machine-readable reports (--json) ---------------------------------------
+// `<bench> --json` switches a harness into report mode: each recorded metric
+// is repeated DARRAY_BENCH_REPS times (default 3) and the median and p99
+// (max, at small rep counts) land in BENCH_<name>.json in the working
+// directory, so before/after runs diff mechanically instead of by eyeball.
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+inline uint32_t bench_reps() { return static_cast<uint32_t>(env_u64("DARRAY_BENCH_REPS", 3)); }
+
+class JsonReport {
+ public:
+  // `name` is the bench binary's short name; disabled reports swallow add()
+  // calls so harness code stays unconditional.
+  JsonReport(std::string name, bool enabled) : name_(std::move(name)), enabled_(enabled) {}
+
+  // Records a metric measured `reps.size()` times. Returns the median.
+  double add(const std::string& config, const std::string& metric, const std::string& unit,
+             std::vector<double> reps) {
+    std::sort(reps.begin(), reps.end());
+    const double median = reps[reps.size() / 2];
+    const double p99 = reps[static_cast<size_t>(
+        static_cast<double>(reps.size() - 1) * 0.99 + 0.5)];
+    if (enabled_) entries_.push_back({config, metric, unit, median, p99, std::move(reps)});
+    return median;
+  }
+
+  // Runs fn() bench_reps() times and records the samples.
+  double measure(const std::string& config, const std::string& metric,
+                 const std::string& unit, const std::function<double()>& fn) {
+    std::vector<double> reps;
+    const uint32_t n = enabled_ ? bench_reps() : 1;
+    reps.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) reps.push_back(fn());
+    return add(config, metric, unit, std::move(reps));
+  }
+
+  // Writes BENCH_<name>.json; returns false (with a message) on I/O failure.
+  bool write() const {
+    if (!enabled_) return true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "json report: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"reps\": %u,\n  \"results\": [\n",
+                 name_.c_str(), bench_reps());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"metric\": \"%s\", \"unit\": \"%s\", "
+                   "\"median\": %.4f, \"p99\": %.4f, \"samples\": [",
+                   e.config.c_str(), e.metric.c_str(), e.unit.c_str(), e.median, e.p99);
+      for (size_t j = 0; j < e.reps.size(); ++j)
+        std::fprintf(f, "%s%.4f", j ? ", " : "", e.reps[j]);
+      std::fprintf(f, "]}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("json report: wrote %s (%zu results)\n", path.c_str(), entries_.size());
+    return true;
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  struct Entry {
+    std::string config, metric, unit;
+    double median, p99;
+    std::vector<double> reps;
+  };
+  std::string name_;
+  bool enabled_;
+  std::vector<Entry> entries_;
+};
 
 // The paper's scalability ratio: speedup at the largest point divided by the
 // resource factor, i.e. (T_max / T_1) / (x_max / x_1).

@@ -61,14 +61,17 @@ int main() {
       run_case("seed-42", &p42),
   };
 
-  std::printf("\n%-10s%12s%12s%12s%10s%12s\n", "plan", "ns/op", "wc_errors",
-              "rnr_events", "retries", "flushed_wrs");
+  std::printf("\n%-10s%12s%12s%12s%10s%12s%12s%12s\n", "plan", "ns/op", "wc_errors",
+              "rnr_events", "retries", "flushed_wrs", "coalesced", "batchposts");
   for (const Sample& r : rows) {
-    std::printf("%-10s%12.1f%12llu%12llu%10llu%12llu\n", r.label.c_str(), r.ns_per_op,
+    std::printf("%-10s%12.1f%12llu%12llu%10llu%12llu%12llu%12llu\n", r.label.c_str(),
+                r.ns_per_op,
                 static_cast<unsigned long long>(r.stats.wc_errors),
                 static_cast<unsigned long long>(r.stats.rnr_events),
                 static_cast<unsigned long long>(r.stats.retries),
-                static_cast<unsigned long long>(r.stats.flushed_wrs));
+                static_cast<unsigned long long>(r.stats.flushed_wrs),
+                static_cast<unsigned long long>(r.stats.coalesced_frames),
+                static_cast<unsigned long long>(r.stats.batched_posts));
   }
 
   std::printf("\nexpected shape: 'off' row all-zero counters at baseline latency;\n"

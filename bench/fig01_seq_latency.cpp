@@ -52,9 +52,27 @@ double bcl_seq_ns(uint32_t nodes) {
   });
 }
 
+// --json: record the distributed rows (the only ones the message path can
+// move) for both coalesce configs, off first as the pre-engine baseline.
+int json_main() {
+  JsonReport report("fig01_seq_latency", true);
+  const uint32_t dist_nodes = max_nodes();
+  for (const bool coalesce : {false, true}) {
+    setenv("DARRAY_BENCH_COALESCE", coalesce ? "1" : "0", 1);
+    const std::string cfg = coalesce ? "coalesce_on" : "coalesce_off";
+    report.measure(cfg, "darray_dist_seq", "ns/op",
+                   [&] { return darray_seq_ns(dist_nodes, false); });
+    report.measure(cfg, "darray_pin_dist_seq", "ns/op",
+                   [&] { return darray_seq_ns(dist_nodes, true); });
+    report.measure(cfg, "gam_dist_seq", "ns/op", [&] { return gam_seq_ns(dist_nodes); });
+  }
+  return report.write() ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--json")) return json_main();
   const uint32_t dist_nodes = max_nodes();
   std::printf("=== Figure 1: avg latency of 8-byte sequential access (ns/op) ===\n");
   std::printf("array: %llu elems/node; distributed = %u nodes, 1 thread/node\n",

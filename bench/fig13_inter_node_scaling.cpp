@@ -85,9 +85,28 @@ void panel(const char* title, Op op, const std::vector<uint64_t>& node_counts) {
   std::printf("   (paper: DArray .82/.76/.87, GAM .72/.68/.73, BCL .52/.52)\n");
 }
 
+// --json: DArray throughput at the largest node count per op, for both
+// coalesce configs (off first = pre-engine baseline). The largest point has
+// the most inter-node protocol traffic, so it is where coalescing shows.
+int json_main() {
+  JsonReport report("fig13_inter_node_scaling", true);
+  const uint32_t nodes = max_nodes();
+  for (const bool coalesce : {false, true}) {
+    setenv("DARRAY_BENCH_COALESCE", coalesce ? "1" : "0", 1);
+    const std::string cfg = coalesce ? "coalesce_on" : "coalesce_off";
+    report.measure(cfg, "darray_read", "Mops/s", [&] { return run("darray", nodes, Op::kRead); });
+    report.measure(cfg, "darray_write", "Mops/s",
+                   [&] { return run("darray", nodes, Op::kWrite); });
+    report.measure(cfg, "darray_operate", "Mops/s",
+                   [&] { return run("darray", nodes, Op::kOperate); });
+  }
+  return report.write() ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--json")) return json_main();
   std::vector<uint64_t> node_counts;
   for (uint64_t n = 1; n <= max_nodes(); ++n) node_counts.push_back(n);
 

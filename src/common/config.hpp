@@ -34,6 +34,18 @@ struct ClusterConfig {
   uint32_t qp_depth = 1024;          // send/recv queue depth per QP
   uint32_t selective_signal_interval = 16;  // signal 1 of every r sends (§4.5)
 
+  // --- small-message engine (docs/perf.md) ----------------------------------
+  // Per-peer SEND coalescing: the Tx thread packs every protocol message it
+  // finds queued for the same peer into one wire SEND (kBatch framing) and
+  // rings the NIC doorbell once per peer per drain pass. Off restores the
+  // one-SEND-per-message pre-coalescing path exactly.
+  bool coalesce_enabled = true;
+  uint32_t coalesce_max_frames = 32;   // frames per wire batch (cap)
+  // Deadline cutoff: an open batch older than this is flushed even while the
+  // drain pass is still finding work, so a latency-sensitive singleton is
+  // never held behind a long burst.
+  uint64_t coalesce_flush_ns = 20'000;
+
   // --- fault injection & recovery -------------------------------------------
   // Chaos plan consulted by the fabric on every posted WR. Non-owning; the
   // caller keeps the plan alive for the cluster's lifetime. nullptr (or a

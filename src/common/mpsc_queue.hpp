@@ -18,21 +18,41 @@ namespace darray {
 // Eventcount-style wakeup channel. One consumer may wait on one doorbell fed
 // by any number of queues: producers ring after pushing; the consumer
 // snapshots, drains everything, and only parks if the snapshot is unchanged.
+//
+// ring() skips the notify syscall while the consumer is known-awake: a
+// consumer that is draining will observe the bumped sequence on its next
+// snapshot without being woken, so hot-path producers pay one atomic
+// increment and one load, no futex. The waiter flag uses Dekker-style seq_cst
+// ordering: the consumer publishes waiting_ before re-checking seq_, the
+// producer bumps seq_ before reading waiting_, so at least one side always
+// sees the other and the wakeup cannot be lost.
 class Doorbell {
  public:
   void ring() {
-    seq_.fetch_add(1, std::memory_order_release);
-    seq_.notify_one();
+    seq_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiting_.load(std::memory_order_seq_cst)) seq_.notify_one();
   }
 
   uint32_t snapshot() const { return seq_.load(std::memory_order_acquire); }
 
   void wait_change(uint32_t old) const {
-    spin_wait_until(seq_, [old](uint32_t v) { return v != old; });
+    for (int i = 0; i < kSpinBudget; ++i) {
+      if (seq_.load(std::memory_order_acquire) != old) return;
+      cpu_relax();
+    }
+    waiting_.store(true, std::memory_order_seq_cst);
+    for (;;) {
+      const uint32_t v = seq_.load(std::memory_order_seq_cst);
+      if (v != old) break;
+      seq_.wait(v, std::memory_order_acquire);
+    }
+    waiting_.store(false, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<uint32_t> seq_{0};
+  // Single-consumer; mutable so parking keeps the observer-style const API.
+  mutable std::atomic<bool> waiting_{false};
 };
 
 // T must be default-constructible (for the stub node) and movable.

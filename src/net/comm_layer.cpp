@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
@@ -28,6 +29,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kLockAcq: return "LockAcq";
     case MsgType::kLockGrant: return "LockGrant";
     case MsgType::kLockRel: return "LockRel";
+    case MsgType::kBatch: return "Batch";
     case MsgType::kMaxMsgType: break;
   }
   return "?";
@@ -53,18 +55,21 @@ CommLayer::CommLayer(uint32_t node_id, uint32_t num_nodes, const ClusterConfig& 
       qp_to_peer_(num_nodes, nullptr),
       outstanding_(num_nodes),
       recovery_(num_nodes),
+      txb_(num_nodes),
       unsignaled_run_(num_nodes, 0),
       parked_recvs_(num_nodes) {
   // Send buffers: enough that every peer QP can hold a full unsignaled run
-  // plus slack, so acquire_send_buffer rarely has to spin on the CQ. Chaos
-  // mode also stages WRITE payloads here and parks whole requests across
-  // backoff windows, so give it a deeper pool.
+  // plus an open coalescing batch and slack, so acquire_send_buffer rarely
+  // has to park on the CQ. Chaos mode also stages WRITE payloads here and
+  // parks whole requests across backoff windows, so give it a deeper pool.
   send_buf_count_ = num_nodes_ * cfg_.selective_signal_interval * 2 + 32;
   if (cfg_.fault_plan != nullptr) send_buf_count_ *= 4;
   send_arena_ = std::make_unique<std::byte[]>(send_buf_count_ * max_msg_bytes_);
   send_mr_ = device_->reg_mr(send_arena_.get(), send_buf_count_ * max_msg_bytes_);
   send_free_.reserve(send_buf_count_);
   for (uint32_t i = 0; i < send_buf_count_; ++i) send_free_.push_back(i);
+  post_wrs_.reserve(64);
+  rx_scratch_.reserve(cfg_.coalesce_max_frames);
 
   const size_t recv_count = size_t{num_nodes_} * cfg_.qp_depth;
   recv_arena_ = std::make_unique<std::byte[]>(recv_count * max_msg_bytes_);
@@ -119,7 +124,7 @@ void CommLayer::post(TxRequest req) {
 }
 
 void CommLayer::fail(const CommError& err) {
-  dropped_requests_.fetch_add(1, std::memory_order_relaxed);
+  dropped_requests_.fetch_add(err.frames, std::memory_order_relaxed);
   if (error_fn_) {
     error_fn_(err);
     return;
@@ -137,6 +142,7 @@ void CommLayer::fail_entry(uint32_t peer, Outstanding& e, const char* reason) {
   err.opcode = e.op;
   err.status = e.last_status;
   err.attempts = e.attempts;
+  err.frames = e.frames;
   err.reason = reason;
   fail(err);
 }
@@ -205,13 +211,38 @@ void CommLayer::reclaim_send_buffers() {
 }
 
 uint32_t CommLayer::acquire_send_buffer() {
-  while (send_free_.empty()) {
+  if (send_free_.empty()) {
     reclaim_send_buffers();
-    // Recovery may be holding every buffer across a backoff window; keep it
-    // moving or this wait never ends.
+    pump_retries(now_ns());
+  }
+  if (send_free_.empty() && !in_flush_) {
+    // Sealed-but-unposted batches may be holding every buffer; post them so
+    // their signaled completions can come back and retire the arena.
+    flush_all();
+    reclaim_send_buffers();
+  }
+  while (send_free_.empty()) {
+    // Park on the Tx doorbell with the send CQ armed (CQE arrivals ring the
+    // bell), bounded by the earliest completion holdback or retry backoff —
+    // recovery may be holding every buffer across a backoff window, and
+    // nothing rings the bell when it expires.
+    const uint32_t snap = tx_bell_.snapshot();
+    reclaim_send_buffers();
     pump_retries(now_ns());
     if (!send_free_.empty()) break;
-    cpu_relax();
+    uint64_t due = send_cq_.next_due_in();
+    const uint64_t rdue = retry_due_in(now_ns());
+    if (rdue < due) due = rdue;
+    if (due == ~0ull) {
+      tx_bell_.wait_change(snap);
+    } else if (due > 0) {
+      // sleep_for has a scheduler-quantum floor far above microsecond-scale
+      // link latencies, so short waits busy-poll.
+      if (due < 20'000)
+        cpu_relax();
+      else
+        std::this_thread::sleep_for(std::chrono::nanoseconds(due));
+    }
   }
   const uint32_t buf = send_free_.back();
   send_free_.pop_back();
@@ -320,6 +351,224 @@ void CommLayer::stage_request(TxRequest& req, uint64_t now) {
   rec.retry.push_back(std::move(e));
 }
 
+// --- coalescing Tx engine ----------------------------------------------------
+
+void CommLayer::seal_batch(uint32_t peer) {
+  TxBatch& b = txb_[peer];
+  if (b.buf == kNoBuf) return;
+  PendingWr p;
+  std::byte* base = buf_ptr(b.buf);
+  if (b.frames == 1) {
+    // Singleton: strip the reserved envelope slot so the wire image is
+    // byte-identical to the uncoalesced format.
+    std::memmove(base, base + sizeof(MsgHeader), b.bytes - sizeof(MsgHeader));
+    p.e.len = b.bytes - static_cast<uint32_t>(sizeof(MsgHeader));
+  } else {
+    write_batch_header(base, static_cast<uint16_t>(node_id_), b.frames,
+                       b.bytes - sizeof(MsgHeader));
+    p.e.len = b.bytes;
+    qp_to_peer_[peer]->fabric().count_coalesced(b.frames);
+  }
+  p.e.buf = b.buf;
+  p.e.op = rdma::Opcode::kSend;
+  p.e.frames = static_cast<uint16_t>(b.frames);
+  p.e.deadline_ns = b.open_ns + cfg_.comm_deadline_ns;
+  p.tracked = true;
+  p.wr.opcode = rdma::Opcode::kSend;
+  p.wr.sge = {base, p.e.len, send_mr_.lkey};
+  b.wrs.push_back(std::move(p));
+  b.buf = kNoBuf;
+  b.bytes = 0;
+  b.frames = 0;
+}
+
+void CommLayer::append_frame(uint32_t peer, TxRequest& req, uint64_t now) {
+  req.hdr.src_node = static_cast<uint16_t>(node_id_);
+  req.hdr.payload_len = static_cast<uint32_t>(req.payload.size());
+  const size_t fb = frame_bytes(req.payload.size());
+  TxBatch& b = txb_[peer];
+
+  // A frame too large to share a buffer with the kBatch envelope goes out
+  // alone in the plain wire format.
+  if (sizeof(MsgHeader) + fb > max_msg_bytes_) {
+    DARRAY_ASSERT(fb <= max_msg_bytes_);
+    seal_batch(peer);
+    PendingWr p;
+    p.e.buf = acquire_send_buffer();
+    p.e.len = static_cast<uint32_t>(fb);
+    p.e.op = rdma::Opcode::kSend;
+    p.e.deadline_ns = now + cfg_.comm_deadline_ns;
+    write_frame(buf_ptr(p.e.buf), req.hdr, req.payload.data(), req.payload.size());
+    p.tracked = true;
+    p.wr.opcode = rdma::Opcode::kSend;
+    p.wr.sge = {buf_ptr(p.e.buf), p.e.len, send_mr_.lkey};
+    txb_[peer].wrs.push_back(std::move(p));
+    return;
+  }
+
+  if (b.buf != kNoBuf &&
+      (b.bytes + fb > max_msg_bytes_ || b.frames >= cfg_.coalesce_max_frames))
+    seal_batch(peer);
+  if (b.buf == kNoBuf) {
+    b.buf = acquire_send_buffer();
+    b.bytes = sizeof(MsgHeader);  // reserved kBatch envelope slot
+    b.frames = 0;
+    b.open_ns = now;
+  }
+  write_frame(buf_ptr(b.buf) + b.bytes, req.hdr, req.payload.data(), req.payload.size());
+  b.bytes += static_cast<uint32_t>(fb);
+  b.frames++;
+}
+
+void CommLayer::enqueue_tx(TxRequest& req) {
+  const uint32_t peer = req.dst;
+  rdma::QueuePair* qp = qp_to_peer_[peer];
+  DARRAY_ASSERT(qp != nullptr);
+  const uint64_t now = now_ns();
+  auto& rec = recovery_[peer];
+
+  // Recovery in progress for this peer: everything staged but unposted lines
+  // up in the retry queue first, then this request behind it, so the peer
+  // still sees one FIFO stream.
+  if (qp->state() == rdma::QpState::kError || !rec.moved.empty() || !rec.retry.empty()) {
+    stage_pending(peer);
+    stage_request(req, now);
+    return;
+  }
+
+  if (req.has_data()) {
+    // Wire order: frames already packed precede the WRITE, and the WRITE
+    // precedes this request's notification SEND — so seal the open batch
+    // before appending the WRITE to the pending run.
+    seal_batch(peer);
+    PendingWr p;
+    p.wr.opcode = rdma::Opcode::kWrite;
+    p.wr.remote_addr = req.data_remote_addr;
+    p.wr.rkey = req.data_rkey;
+    if (chaos_) {
+      // Under fault injection the WRITE must be replayable after its source
+      // cacheline is recycled, so stage the payload like a SEND's.
+      DARRAY_ASSERT(req.data_len <= max_msg_bytes_);
+      p.e.buf = acquire_send_buffer();
+      p.e.len = req.data_len;
+      p.e.op = rdma::Opcode::kWrite;
+      p.e.remote_addr = req.data_remote_addr;
+      p.e.rkey = req.data_rkey;
+      p.e.deadline_ns = now + cfg_.comm_deadline_ns;
+      std::memcpy(buf_ptr(p.e.buf), req.data_src, req.data_len);
+      p.wr.sge = {buf_ptr(p.e.buf), req.data_len, send_mr_.lkey};
+      p.tracked = true;
+      // Payload captured: the source cacheline may be recycled.
+      if (req.posted_flag) {
+        req.posted_flag->store(1, std::memory_order_release);
+        req.posted_flag->notify_all();
+      }
+    } else {
+      // Zero-copy: the source must stay live until the WR is actually posted,
+      // so the release hook fires at flush time.
+      p.wr.sge = {req.data_src, req.data_len, req.data_lkey};
+      p.wr.signaled = false;
+      p.posted_flag = req.posted_flag;
+    }
+    txb_[peer].wrs.push_back(std::move(p));
+  }
+
+  append_frame(peer, req, now);
+}
+
+void CommLayer::flush_peer(uint32_t peer, bool seal_open) {
+  TxBatch& b = txb_[peer];
+  if (seal_open) seal_batch(peer);
+  if (b.wrs.empty()) return;
+  const bool was_in_flush = in_flush_;
+  in_flush_ = true;
+  rdma::QueuePair* qp = qp_to_peer_[peer];
+  auto& rec = recovery_[peer];
+  if (qp->state() == rdma::QpState::kError || !rec.moved.empty() || !rec.retry.empty()) {
+    stage_pending(peer);
+    in_flush_ = was_in_flush;
+    return;
+  }
+  // Assign wr_ids and signaling in post order, enter tracked entries into the
+  // outstanding FIFO, then ring the doorbell once with the whole run.
+  post_wrs_.clear();
+  uint32_t& run = unsignaled_run_[peer];
+  for (PendingWr& p : b.wrs) {
+    p.wr.wr_id = next_wr_id_++;
+    if (p.tracked) {
+      if (p.e.op == rdma::Opcode::kSend) {
+        // Selective signaling: request a completion once per interval per QP
+        // so the signaled CQE retires the whole unsignaled run behind it.
+        // (Errors are always signaled by the fabric.)
+        p.wr.signaled = ++run >= cfg_.selective_signal_interval;
+        if (p.wr.signaled) run = 0;
+      }  // chaos-staged WRITEs stay signaled for prompt retirement
+      p.e.wr_id = p.wr.wr_id;
+      p.e.attempts = 1;
+      outstanding_[peer].push_back(p.e);
+    }
+    post_wrs_.push_back(p.wr);
+  }
+  const bool ok = qp->post_send(std::span<const rdma::SendWr>(post_wrs_));
+  DARRAY_ASSERT_MSG(ok, "doorbell-batched post failed local validation");
+  // The fabric executes transfers at post time, so zero-copy sources are
+  // consumed: release them.
+  for (PendingWr& p : b.wrs) {
+    if (p.posted_flag) {
+      p.posted_flag->store(1, std::memory_order_release);
+      p.posted_flag->notify_all();
+    }
+  }
+  b.wrs.clear();
+  in_flush_ = was_in_flush;
+}
+
+void CommLayer::flush_all() {
+  for (uint32_t peer = 0; peer < num_nodes_; ++peer) flush_peer(peer);
+}
+
+void CommLayer::flush_due(uint64_t now) {
+  for (uint32_t peer = 0; peer < num_nodes_; ++peer) {
+    TxBatch& b = txb_[peer];
+    if (b.buf != kNoBuf && now - b.open_ns >= cfg_.coalesce_flush_ns)
+      flush_peer(peer, /*seal_open=*/true);
+    else if (!b.wrs.empty())
+      flush_peer(peer, /*seal_open=*/false);  // post full batches, keep packing
+  }
+}
+
+void CommLayer::stage_pending(uint32_t peer) {
+  seal_batch(peer);
+  TxBatch& b = txb_[peer];
+  if (b.wrs.empty()) return;
+  const bool was_in_flush = in_flush_;
+  in_flush_ = true;
+  auto& rec = recovery_[peer];
+  const uint64_t now = now_ns();
+  for (PendingWr& p : b.wrs) {
+    if (!p.tracked) {
+      // Zero-copy WRITE whose source is still live: capture the payload into
+      // the arena so it can be replayed, then release the source.
+      p.e.buf = acquire_send_buffer();
+      p.e.len = p.wr.sge.length;
+      p.e.op = rdma::Opcode::kWrite;
+      p.e.remote_addr = p.wr.remote_addr;
+      p.e.rkey = p.wr.rkey;
+      p.e.deadline_ns = now + cfg_.comm_deadline_ns;
+      std::memcpy(buf_ptr(p.e.buf), p.wr.sge.addr, p.wr.sge.length);
+      if (p.posted_flag) {
+        p.posted_flag->store(1, std::memory_order_release);
+        p.posted_flag->notify_all();
+      }
+    }
+    rec.retry.push_back(std::move(p.e));
+  }
+  b.wrs.clear();
+  in_flush_ = was_in_flush;
+}
+
+// --- legacy immediate-post path (cfg.coalesce_enabled == false) --------------
+
 void CommLayer::post_one(TxRequest& req) {
   rdma::QueuePair* qp = qp_to_peer_[req.dst];
   DARRAY_ASSERT(qp != nullptr);
@@ -401,14 +650,23 @@ void CommLayer::post_one(TxRequest& req) {
 }
 
 void CommLayer::tx_main() {
+  const bool coalesce = cfg_.coalesce_enabled;
   for (;;) {
     const uint32_t snap = tx_bell_.snapshot();
     bool progressed = false;
     TxRequest req;
+    uint32_t drained = 0;
     while (tx_queue_.pop(req)) {
-      post_one(req);
+      if (coalesce)
+        enqueue_tx(req);
+      else
+        post_one(req);
       progressed = true;
+      // Long drains must not hold frames past the coalescing deadline.
+      if (coalesce && (++drained & 63u) == 0) flush_due(now_ns());
     }
+    // Drain pass over: ring each peer's doorbell once with everything staged.
+    if (coalesce) flush_all();
     reclaim_send_buffers();
     pump_retries(now_ns());
     if (stop_.load(std::memory_order_acquire)) break;
@@ -457,12 +715,28 @@ void CommLayer::rx_main() {
         }
         DARRAY_ASSERT(wc.status == rdma::WcStatus::kSuccess);
         auto* bufp = reinterpret_cast<std::byte*>(wc.wr_id);
-        RpcMessage msg;
-        std::memcpy(&msg.hdr, bufp, sizeof(MsgHeader));
-        DARRAY_ASSERT(sizeof(MsgHeader) + msg.hdr.payload_len == wc.byte_len);
-        if (msg.hdr.payload_len > 0) {
-          msg.payload.resize(msg.hdr.payload_len);
-          std::memcpy(msg.payload.data(), bufp + sizeof(MsgHeader), msg.hdr.payload_len);
+        MsgHeader hdr;
+        std::memcpy(&hdr, bufp, sizeof(MsgHeader));
+        DARRAY_ASSERT(sizeof(MsgHeader) + hdr.payload_len == wc.byte_len);
+        rx_scratch_.clear();
+        if (hdr.type == MsgType::kBatch) {
+          // Coalesced SEND: unpack every frame (copying payloads out of the
+          // recv ring) so the buffer can be reposted before dispatch.
+          BatchReader r(bufp + sizeof(MsgHeader), hdr.payload_len, hdr.aux);
+          MsgHeader fh;
+          const std::byte* fp = nullptr;
+          while (r.next(fh, fp)) {
+            RpcMessage m;
+            m.hdr = fh;
+            if (fh.payload_len > 0) m.payload.assign(fp, fh.payload_len);
+            rx_scratch_.push_back(std::move(m));
+          }
+          DARRAY_ASSERT_MSG(r.valid(), "malformed coalesced batch image");
+        } else {
+          RpcMessage m;
+          m.hdr = hdr;
+          if (hdr.payload_len > 0) m.payload.assign(bufp + sizeof(MsgHeader), hdr.payload_len);
+          rx_scratch_.push_back(std::move(m));
         }
         // Repost the buffer to the QP it came from before dispatching.
         rdma::QueuePair* qp = qp_by_num_[wc.qp_num];
@@ -472,10 +746,13 @@ void CommLayer::rx_main() {
         rwr.lkey = recv_mr_.lkey;
         rwr.wr_id = wc.wr_id;
         qp->post_recv(rwr);
-        DLOG_DEBUG("node %u rx %s from %u chunk=%llu", node_id_,
-                   msg_type_name(msg.hdr.type), msg.hdr.src_node,
-                   static_cast<unsigned long long>(msg.hdr.chunk));
-        dispatch_(std::move(msg));
+        for (RpcMessage& m : rx_scratch_) {
+          DLOG_DEBUG("node %u rx %s from %u chunk=%llu", node_id_,
+                     msg_type_name(m.hdr.type), m.hdr.src_node,
+                     static_cast<unsigned long long>(m.hdr.chunk));
+          dispatch_(std::move(m));
+        }
+        rx_scratch_.clear();
       }
     }
     // Re-arm parked recv buffers once their QP is back in RTS. A lost race

@@ -5,6 +5,14 @@
 // QP count is nodes² × 1, independent of the number of application/runtime
 // threads — the paper's n²·c (c = networking threads) instead of n²·t.
 //
+// Small-message engine (docs/perf.md): with cfg.coalesce_enabled the Tx
+// thread packs every protocol message it finds queued for the same peer into
+// one wire SEND (kBatch framing, bytes/frames/deadline cutoffs) and defers
+// posting so each drain pass rings each peer QP's doorbell once with a span
+// of work requests. The Rx thread unpacks frames in place and dispatches
+// each. Payloads ride in pooled PayloadBufs, so the steady-state Tx/Rx path
+// performs no heap allocation.
+//
 // Fault recovery (see docs/chaos.md): a completion-with-error moves the QP to
 // ERROR and the Tx thread becomes the recovery driver for that peer. The
 // fabric never half-executes a WR — an error status means no bytes moved — so
@@ -12,9 +20,10 @@
 // flushes everything behind the failed WR, the Tx thread collects failed and
 // flushed requests into a per-peer retry queue in original order, stages any
 // new requests for that peer behind them, and after a bounded-exponential
-// backoff resets the QP and replays the queue front to back. Requests that
-// exhaust their attempt budget or wall-clock deadline are handed to the error
-// handler (default: fail-stop) instead of retried.
+// backoff resets the QP and replays the queue front to back. A coalesced
+// batch is one WR, so replay keeps its frames contiguous and in order.
+// Requests that exhaust their attempt budget or wall-clock deadline are
+// handed to the error handler (default: fail-stop) instead of retried.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +49,7 @@ struct CommError {
   rdma::Opcode opcode = rdma::Opcode::kSend;
   rdma::WcStatus status = rdma::WcStatus::kSuccess;
   uint32_t attempts = 0;
+  uint32_t frames = 1;  // protocol messages lost (a dropped batch loses several)
   const char* reason = "";
 };
 
@@ -87,7 +97,8 @@ class CommLayer {
   static constexpr uint32_t kNoBuf = ~0u;
 
   // One posted (or to-be-posted) WR the Tx thread may have to replay. SENDs
-  // always reference a send-arena buffer; WRITEs do too in chaos mode (the
+  // always reference a send-arena buffer (a coalesced batch is one entry
+  // covering `frames` protocol messages); WRITEs do too in chaos mode (the
   // payload is staged so the source cacheline can be recycled immediately),
   // while outside chaos mode WRITEs stay zero-copy/unsignaled and untracked.
   struct Outstanding {
@@ -98,6 +109,7 @@ class CommLayer {
     uint64_t remote_addr = 0;   // WRITE only
     uint32_t rkey = 0;          // WRITE only
     uint32_t attempts = 0;      // post attempts so far
+    uint16_t frames = 1;        // protocol messages carried (batch SENDs > 1)
     uint64_t deadline_ns = 0;
     rdma::WcStatus last_status = rdma::WcStatus::kSuccess;
   };
@@ -112,9 +124,41 @@ class CommLayer {
     uint64_t next_attempt_ns = 0;
   };
 
+  // A sealed work request awaiting its doorbell-batched post. Tracked
+  // entries (SENDs, chaos-staged WRITEs) enter the outstanding FIFO at post
+  // time; untracked zero-copy WRITEs carry the posted_flag to release their
+  // source once actually posted.
+  struct PendingWr {
+    rdma::SendWr wr;
+    Outstanding e;
+    bool tracked = false;
+    std::atomic<uint32_t>* posted_flag = nullptr;
+  };
+
+  // Per-peer Tx coalescing state: the open pack buffer (frames written
+  // behind a reserved kBatch-envelope slot) plus sealed-but-unposted WRs for
+  // this drain pass.
+  struct TxBatch {
+    uint32_t buf = kNoBuf;
+    uint32_t bytes = 0;     // used bytes, including the reserved envelope slot
+    uint32_t frames = 0;
+    uint64_t open_ns = 0;   // when the first frame was staged
+    std::vector<PendingWr> wrs;
+  };
+
   void tx_main();
   void rx_main();
+  // Legacy immediate-post path (coalescing off; byte- and WR-identical to the
+  // pre-coalescing engine).
   void post_one(TxRequest& req);
+  // Coalescing path: stage the request into the per-peer batch state.
+  void enqueue_tx(TxRequest& req);
+  void append_frame(uint32_t peer, TxRequest& req, uint64_t now);
+  void seal_batch(uint32_t peer);
+  void flush_peer(uint32_t peer, bool seal_open = true);
+  void flush_all();
+  void flush_due(uint64_t now);
+  void stage_pending(uint32_t peer);
   void stage_request(TxRequest& req, uint64_t now);
   void post_entry(uint32_t peer, Outstanding e);
   void reclaim_send_buffers();
@@ -124,7 +168,7 @@ class CommLayer {
   void fail(const CommError& err);
   uint64_t retry_due_in(uint64_t now) const;
   uint64_t backoff_ns(uint32_t attempts) const;
-  uint32_t acquire_send_buffer();  // may poll the send CQ until one frees up
+  uint32_t acquire_send_buffer();  // parks on the Tx doorbell when exhausted
   uint32_t stage_send_msg(TxRequest& req);  // copy header+payload into a buffer
   void release_buf(uint32_t buf) {
     if (buf != kNoBuf) send_free_.push_back(buf);
@@ -158,9 +202,12 @@ class CommLayer {
   std::vector<uint32_t> send_free_;                  // Tx-private
   std::vector<std::deque<Outstanding>> outstanding_; // per peer
   std::vector<PeerRecovery> recovery_;               // per peer, Tx-private
+  std::vector<TxBatch> txb_;                         // per peer, Tx-private
+  std::vector<rdma::SendWr> post_wrs_;               // flush scratch, Tx-private
   std::vector<uint32_t> unsignaled_run_;             // per peer, for signaling
   uint64_t next_wr_id_ = 1;
-  bool chaos_ = false;  // fabric has a fault injector (latched at start())
+  bool chaos_ = false;     // fabric has a fault injector (latched at start())
+  bool in_flush_ = false;  // Tx-private: guards acquire→flush reentrancy
 
   // Recv-side buffers: preposted per QP, reposted by Rx after parsing.
   // Buffers flushed by a QP error are parked (Rx-private) until the Tx side
@@ -168,6 +215,7 @@ class CommLayer {
   std::unique_ptr<std::byte[]> recv_arena_;
   rdma::MemoryRegion recv_mr_;
   std::vector<std::vector<rdma::RecvWr>> parked_recvs_;  // per peer, Rx-private
+  std::vector<RpcMessage> rx_scratch_;                   // Rx-private
 
   std::atomic<uint64_t> dropped_requests_{0};
 

@@ -5,11 +5,22 @@
 // moved by one-sided RDMA WRITE and the two-sided message is only the
 // notification, as in the paper (§4.5). Payloads carry combined Operate
 // operands and nothing else.
+//
+// Coalesced wire format (docs/perf.md): when the Tx thread packs several
+// protocol messages for the same peer into one SEND, the wire image is
+//   [MsgHeader type=kBatch, aux=frame count, payload_len=frame bytes]
+//   [frame 0][frame 1]...
+// where each frame is itself [MsgHeader][payload]. A batch of one frame is
+// sent bare (no kBatch envelope), so singletons are byte-identical to the
+// uncoalesced format. kBatch never reaches the runtime: the Rx thread
+// unpacks frames and dispatches each as its own RpcMessage.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
+#include <cstring>
+
+#include "net/payload_buf.hpp"
 
 namespace darray::net {
 
@@ -42,6 +53,10 @@ enum class MsgType : uint8_t {
   kLockGrant,    // txn_id echoes the acquire
   kLockRel,      // addr = element index
 
+  // --- transport-internal ----------------------------------------------------
+  kBatch,        // coalesced SEND envelope; aux = frame count (Rx unpacks,
+                 // never delivered to the runtime)
+
   kMaxMsgType,
 };
 
@@ -66,7 +81,7 @@ static_assert(sizeof(MsgHeader) == 40);
 // A parsed inbound message as delivered to a runtime thread.
 struct RpcMessage {
   MsgHeader hdr;
-  std::vector<std::byte> payload;
+  PayloadBuf payload;
 };
 
 // An outbound request handed from a runtime thread to the Tx thread: an
@@ -75,7 +90,7 @@ struct RpcMessage {
 struct TxRequest {
   uint16_t dst = 0;
   MsgHeader hdr;
-  std::vector<std::byte> payload;
+  PayloadBuf payload;
 
   // Optional preceding one-sided WRITE.
   const std::byte* data_src = nullptr;  // must lie in the MR named by data_lkey
@@ -104,5 +119,70 @@ struct OpFlushEntry {
 static_assert(sizeof(OpFlushEntry) == 16);
 
 const char* msg_type_name(MsgType t);
+
+// --- batch framing -----------------------------------------------------------
+// Shared between the comm layer's Tx packer, the Rx unpacker, and the framing
+// unit tests, so pack and unpack can never drift apart.
+
+// Bytes one frame occupies on the wire.
+inline size_t frame_bytes(size_t payload_len) { return sizeof(MsgHeader) + payload_len; }
+
+// Writes one [MsgHeader][payload] frame at `dst` (caller sized the buffer;
+// hdr.payload_len must already equal `payload_len`). Returns the frame size.
+inline size_t write_frame(std::byte* dst, const MsgHeader& hdr, const std::byte* payload,
+                          size_t payload_len) {
+  std::memcpy(dst, &hdr, sizeof(MsgHeader));
+  if (payload_len) std::memcpy(dst + sizeof(MsgHeader), payload, payload_len);
+  return sizeof(MsgHeader) + payload_len;
+}
+
+// Writes the kBatch envelope header for `frames` frames spanning
+// `frame_bytes_total` bytes, at the start of the wire buffer.
+inline void write_batch_header(std::byte* dst, uint16_t src_node, uint32_t frames,
+                               size_t frame_bytes_total) {
+  MsgHeader bh;
+  bh.type = MsgType::kBatch;
+  bh.src_node = src_node;
+  bh.aux = frames;
+  bh.payload_len = static_cast<uint32_t>(frame_bytes_total);
+  std::memcpy(dst, &bh, sizeof(MsgHeader));
+}
+
+// Iterates the frames of a batch payload (the bytes after the kBatch header).
+// next() returns false when all frames were consumed or the image is
+// malformed; valid() distinguishes the two after the loop.
+class BatchReader {
+ public:
+  BatchReader(const std::byte* frames, size_t len, uint32_t count)
+      : p_(frames), end_(frames + len), remaining_(count) {}
+
+  // On success fills hdr and points payload at the in-place frame bytes.
+  bool next(MsgHeader& hdr, const std::byte*& payload) {
+    if (remaining_ == 0) return false;
+    if (p_ + sizeof(MsgHeader) > end_) {
+      malformed_ = true;
+      return false;
+    }
+    std::memcpy(&hdr, p_, sizeof(MsgHeader));
+    if (p_ + sizeof(MsgHeader) + hdr.payload_len > end_) {
+      malformed_ = true;
+      return false;
+    }
+    payload = p_ + sizeof(MsgHeader);
+    p_ += sizeof(MsgHeader) + hdr.payload_len;
+    --remaining_;
+    return true;
+  }
+
+  // True iff every advertised frame was parsed and the image was fully
+  // consumed with no trailing bytes.
+  bool valid() const { return !malformed_ && remaining_ == 0 && p_ == end_; }
+
+ private:
+  const std::byte* p_;
+  const std::byte* end_;
+  uint32_t remaining_;
+  bool malformed_ = false;
+};
 
 }  // namespace darray::net

@@ -1,0 +1,66 @@
+#include "net/payload_buf.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "common/spinlock.hpp"
+
+namespace darray::net {
+
+namespace {
+
+constexpr size_t kPoolMaxBlocks = 256;  // freelist cap: 4 MiB resident
+
+struct Pool {
+  SpinLock mu;
+  std::vector<std::byte*> free;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+};
+
+// Intentionally leaked: payload buffers live inside static fixtures in some
+// benches, so the pool must outlive every static destructor.
+Pool& pool() {
+  static Pool* p = new Pool;
+  return *p;
+}
+
+}  // namespace
+
+std::byte* payload_pool_acquire() {
+  Pool& p = pool();
+  {
+    std::scoped_lock lk(p.mu);
+    if (!p.free.empty()) {
+      std::byte* b = p.free.back();
+      p.free.pop_back();
+      p.hits.fetch_add(1, std::memory_order_relaxed);
+      return b;
+    }
+  }
+  p.misses.fetch_add(1, std::memory_order_relaxed);
+  return new std::byte[kPayloadPoolBlockBytes];
+}
+
+void payload_pool_release(std::byte* b) {
+  Pool& p = pool();
+  {
+    std::scoped_lock lk(p.mu);
+    if (p.free.size() < kPoolMaxBlocks) {
+      p.free.push_back(b);
+      return;
+    }
+  }
+  delete[] b;
+}
+
+PayloadPoolStats payload_pool_stats() {
+  Pool& p = pool();
+  PayloadPoolStats s;
+  s.hits = p.hits.load(std::memory_order_relaxed);
+  s.misses = p.misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace darray::net

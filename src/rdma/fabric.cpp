@@ -93,6 +93,8 @@ FabricStats Fabric::stats() const {
   s.rnr_events = rnr_events_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   s.flushed_wrs = flushed_wrs_.load(std::memory_order_relaxed);
+  s.coalesced_frames = coalesced_frames_.load(std::memory_order_relaxed);
+  s.batched_posts = batched_posts_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -100,9 +102,17 @@ void Fabric::reset_stats() {
   writes_ = reads_ = sends_ = 0;
   bytes_written_ = bytes_read_ = bytes_sent_ = 0;
   wc_errors_ = rnr_events_ = retries_ = flushed_wrs_ = 0;
+  coalesced_frames_ = batched_posts_ = 0;
 }
 
 uint32_t QueuePair::peer_node() const { return peer_->device_->node_id(); }
+
+bool QueuePair::post_send(std::span<const SendWr> wrs) {
+  if (wrs.size() > 1) fabric_->batched_posts_.fetch_add(1, std::memory_order_relaxed);
+  bool ok = true;
+  for (const SendWr& wr : wrs) ok = post_send(wr) && ok;
+  return ok;
+}
 
 // Success completions are clamped monotone so per-QP FIFO survives the
 // sorted-holdback CQ. Error completions are NOT clamped: they deliver at

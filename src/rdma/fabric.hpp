@@ -63,6 +63,11 @@ class Fabric {
   // in a single place alongside the error counters.
   void count_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
 
+  // Comm-layer hook: n protocol frames were packed into one wire SEND.
+  void count_coalesced(uint64_t n) {
+    coalesced_frames_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   FabricStats stats() const;
   void reset_stats();
 
@@ -81,6 +86,7 @@ class Fabric {
   std::atomic<uint64_t> writes_{0}, reads_{0}, sends_{0};
   std::atomic<uint64_t> bytes_written_{0}, bytes_read_{0}, bytes_sent_{0};
   std::atomic<uint64_t> wc_errors_{0}, rnr_events_{0}, retries_{0}, flushed_wrs_{0};
+  std::atomic<uint64_t> coalesced_frames_{0}, batched_posts_{0};
 };
 
 }  // namespace darray::rdma

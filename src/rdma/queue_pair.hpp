@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 
 #include "common/mpsc_queue.hpp"
 #include "common/spinlock.hpp"
@@ -46,6 +47,14 @@ class QueuePair {
   // false only on local validation failure; transport-level failures surface
   // as error completions (which move the QP to ERROR).
   bool post_send(const SendWr& wr);
+
+  // Doorbell-batched posting: submit a run of work requests with one call
+  // (one doorbell ring on real hardware). WRs execute in span order, so
+  // per-QP FIFO is exactly as if each were posted individually — chaos-mode
+  // retry replay stays frame-exact. Returns false if any WR failed local
+  // validation (the rest are still attempted, as verbs does with a bad_wr
+  // chain cut).
+  bool post_send(std::span<const SendWr> wrs);
 
   // Post a receive buffer. On an ERROR-state QP the buffer flushes straight
   // back through the recv CQ with kFlushError.

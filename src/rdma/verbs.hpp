@@ -93,6 +93,13 @@ struct FabricStats {
   uint64_t retries = 0;
   uint64_t flushed_wrs = 0;
 
+  // Small-message engine activity (docs/perf.md). coalesced_frames counts
+  // protocol messages that shared a multi-frame wire SEND (singletons are not
+  // counted); batched_posts counts doorbell-batched post calls that carried
+  // more than one WR.
+  uint64_t coalesced_frames = 0;
+  uint64_t batched_posts = 0;
+
   uint64_t total_messages() const { return writes + reads + sends; }
   uint64_t total_bytes() const { return bytes_written + bytes_read + bytes_sent; }
   uint64_t total_faults() const { return wc_errors + flushed_wrs; }

@@ -869,10 +869,10 @@ void Engine::on_flush_req(NodeArrayState& as, ChunkId c, const net::RpcMessage& 
 // Operate flush plumbing
 // ---------------------------------------------------------------------------
 
-std::vector<std::byte> Engine::build_flush_payload(const NodeArrayState& as, ChunkId c,
-                                                   CacheLine* line) const {
+net::PayloadBuf Engine::build_flush_payload(const NodeArrayState& as, ChunkId c,
+                                            CacheLine* line) const {
   const uint32_t elems = as.meta->elems_in_chunk(c);
-  std::vector<std::byte> payload;
+  net::PayloadBuf payload;
   const uint32_t words = (as.meta->chunk_elems + 63) / 64;
   for (uint32_t w = 0; w < words; ++w) {
     uint64_t bits = line->bitmap[w].load(std::memory_order_acquire);
@@ -883,9 +883,7 @@ std::vector<std::byte> Engine::build_flush_payload(const NodeArrayState& as, Chu
       net::OpFlushEntry e;
       e.offset = static_cast<uint16_t>(off);
       std::memcpy(&e.value_bits, line->combine_slots + size_t{off} * 8, 8);
-      const size_t pos = payload.size();
-      payload.resize(pos + sizeof(e));
-      std::memcpy(payload.data() + pos, &e, sizeof(e));
+      payload.append(&e, sizeof(e));
     }
   }
   return payload;
@@ -894,13 +892,13 @@ std::vector<std::byte> Engine::build_flush_payload(const NodeArrayState& as, Chu
 void Engine::send_combine_flush(NodeArrayState& as, ChunkId c, ChunkCtl& ctl,
                                 uint16_t op_id) {
   const NodeId home = as.meta->home_of_chunk(c);
-  std::vector<std::byte> payload = build_flush_payload(as, c, ctl.line);
+  net::PayloadBuf payload = build_flush_payload(as, c, ctl.line);
   ctl.combine_valid = false;
   send_msg(home, MsgType::kOpFlush, as.meta->id, c, op_id, 0, 0, 0, 0, std::move(payload));
 }
 
 void Engine::apply_flush_payload(NodeArrayState& as, ChunkId c, uint16_t op_id,
-                                 const std::vector<std::byte>& payload) {
+                                 const net::PayloadBuf& payload) {
   if (payload.empty()) return;
   const OpDesc& op = node_->cluster().op(op_id);
   std::byte* base = as.chunk_data(c);
@@ -1099,7 +1097,7 @@ void Engine::start_drain(Dentry& d, DentryState target, std::function<void()> th
 
 void Engine::send_msg(NodeId dst, MsgType type, ArrayId array, ChunkId chunk, uint16_t op,
                       uint64_t addr, uint32_t rkey, uint32_t aux, uint32_t txn,
-                      std::vector<std::byte> payload) {
+                      net::PayloadBuf payload) {
   DARRAY_ASSERT_MSG(dst != self_, "self messages must be handled locally");
   net::TxRequest t;
   t.dst = static_cast<uint16_t>(dst);

@@ -85,10 +85,10 @@ class Engine {
   void issue_prefetches(const NodeArrayState& as, ChunkId after);
 
   // --- flush/apply helpers -------------------------------------------------------
-  std::vector<std::byte> build_flush_payload(const NodeArrayState& as, ChunkId c,
-                                             CacheLine* line) const;
+  net::PayloadBuf build_flush_payload(const NodeArrayState& as, ChunkId c,
+                                      CacheLine* line) const;
   void apply_flush_payload(NodeArrayState& as, ChunkId c, uint16_t op_id,
-                           const std::vector<std::byte>& payload);
+                           const net::PayloadBuf& payload);
   void send_combine_flush(NodeArrayState& as, ChunkId c, ChunkCtl& ctl, uint16_t op_id);
 
   // --- locks -----------------------------------------------------------------
@@ -108,7 +108,7 @@ class Engine {
   void send_msg(NodeId dst, net::MsgType type, ArrayId array, ChunkId chunk,
                 uint16_t op = kNoOp, uint64_t addr = 0, uint32_t rkey = 0,
                 uint32_t aux = 0, uint32_t txn = 0,
-                std::vector<std::byte> payload = {});
+                net::PayloadBuf payload = {});
   void send_chunk_data(NodeArrayState& as, ChunkId c, NodeId dst, net::MsgType type,
                        uint64_t raddr, uint32_t rkey);
 

@@ -214,7 +214,10 @@ TEST(CommLayerRetry, CleanLinkKeepsFaultCountersAtZero) {
   }
   h.wait_for(kEach);
   const rdma::FabricStats s = h.fabric.stats();
-  EXPECT_EQ(s.sends, static_cast<uint64_t>(kEach));
+  // Coalescing may pack several messages per wire SEND, so bound rather than
+  // pin the SEND count; every message must still arrive exactly once.
+  EXPECT_GE(s.sends, 1u);
+  EXPECT_LE(s.sends, static_cast<uint64_t>(kEach));
   EXPECT_EQ(s.wc_errors, 0u);
   EXPECT_EQ(s.rnr_events, 0u);
   EXPECT_EQ(s.retries, 0u);
