@@ -21,6 +21,7 @@
 #include "common/barrier.hpp"
 #include "common/histogram.hpp"
 #include "core/context.hpp"
+#include "obs/stats_registry.hpp"
 #include "runtime/cluster.hpp"
 
 namespace darray::bench {
@@ -145,6 +146,13 @@ class JsonReport {
     return add(config, metric, unit, std::move(reps));
   }
 
+  // Attaches a StatsRegistry snapshot (typically cluster.stats() from the last
+  // measured configuration) to the report under a "stats" block, so counter
+  // regressions diff alongside the throughput numbers.
+  void set_stats(obs::StatsSnapshot snap) {
+    if (enabled_) stats_ = std::move(snap);
+  }
+
   // Writes BENCH_<name>.json; returns false (with a message) on I/O failure.
   bool write() const {
     if (!enabled_) return true;
@@ -154,8 +162,10 @@ class JsonReport {
       std::fprintf(stderr, "json report: cannot open %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"reps\": %u,\n  \"results\": [\n",
-                 name_.c_str(), bench_reps());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"reps\": %u,\n", name_.c_str(),
+                 bench_reps());
+    std::fprintf(f, "  \"stats\": %s,\n", stats_.to_json("  ").c_str());
+    std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       std::fprintf(f,
@@ -183,6 +193,7 @@ class JsonReport {
   std::string name_;
   bool enabled_;
   std::vector<Entry> entries_;
+  obs::StatsSnapshot stats_;
 };
 
 // The paper's scalability ratio: speedup at the largest point divided by the

@@ -5,9 +5,13 @@
 //      matches the baseline figures (the chaos path costs nothing when cold);
 //   2. injector on   → faults are injected and recovered transparently, with
 //      latency degrading in proportion to the plan, never diverging.
+#include <unordered_map>
+#include <unordered_set>
+
 #include "bench/bench_util.hpp"
 #include "chaos/fault_plan.hpp"
 #include "core/darray.hpp"
+#include "obs/trace.hpp"
 
 using namespace darray;
 using namespace darray::bench;
@@ -46,9 +50,88 @@ Sample run_case(const std::string& label, const chaos::FaultPlan* plan) {
   return {label, ns, cluster.fabric().stats()};
 }
 
+// --trace: one seeded run with op tracing on, dumped to JSON, then an
+// attribution pass over the merged trace: every injected RNR whose work
+// request carried a correlation id is walked back to the kOpBegin event of
+// the DArray op that posted it. Exits nonzero if no RNR retry could be
+// attributed (the observability chain broke somewhere between layers).
+int trace_main() {
+  std::printf("=== Chaos ablation (--trace): RNR retry → DArray op attribution ===\n");
+  if (!obs::tracing_enabled()) {
+    // DARRAY_TRACING=0 build: nothing to attribute, and pretending otherwise
+    // would mask a misconfigured CI job.
+    obs::set_tracing(true);
+    if (!obs::tracing_enabled()) {
+      std::printf("tracing is compiled out (DARRAY_TRACING=0); nothing to do\n");
+      return 1;
+    }
+    obs::set_tracing(false);
+  }
+  const chaos::FaultPlan plan = ablation_plan(7);
+  obs::reset_trace();
+  {
+    rt::ClusterConfig cfg = bench_cfg(max_nodes());
+    cfg.fault_plan = &plan;
+    cfg.tracing_enabled = true;
+    // Attribution needs the whole run retained: a fault injected early in the
+    // run must still find its op's kOpBegin at dump time, so size the rings
+    // to cover every event instead of keeping only the newest window.
+    cfg.trace_ring_events = 1u << 18;
+    rt::Cluster cluster(cfg);
+    const uint64_t total = elems_per_node() * cluster.num_nodes();
+    auto arr = DArray<uint64_t>::create(cluster, total);
+    measure_avg_ns(cluster, total, [&](rt::NodeId, uint64_t i) {
+      arr.set(i, i);
+      volatile uint64_t v = arr.get(i);
+      (void)v;
+    });
+    const auto snap = cluster.stats();
+    std::printf("run done: %llu rnr injections, %llu retries, %llu trace events\n",
+                static_cast<unsigned long long>(snap.value_or("chaos.rnr_rejections")),
+                static_cast<unsigned long long>(snap.value_or("fabric.retries")),
+                static_cast<unsigned long long>(snap.value_or("trace.recorded")));
+  }  // cluster (and every recording thread) joined: the rings are quiescent
+  obs::set_tracing(false);
+
+  const char* path = "TRACE_chaos_ablation.json";
+  if (!obs::dump_trace_json(path)) return 1;
+  std::printf("trace dumped to %s\n", path);
+
+  const std::vector<obs::TraceEvent> evs = obs::collect_trace();
+  std::unordered_map<uint64_t, const obs::TraceEvent*> begin_of;
+  std::unordered_set<uint64_t> retried;
+  for (const obs::TraceEvent& e : evs) {
+    if (e.ev == obs::Ev::kOpBegin) begin_of[e.corr] = &e;
+    if (e.ev == obs::Ev::kRetry && e.corr != 0) retried.insert(e.corr);
+  }
+  int attributed = 0, printed = 0;
+  for (const obs::TraceEvent& e : evs) {
+    if (e.ev != obs::Ev::kFault || e.corr == 0) continue;
+    if (static_cast<rdma::WcStatus>(e.kind) != rdma::WcStatus::kRnrError) continue;
+    if (!retried.count(e.corr)) continue;  // faulted but never re-posted (yet)
+    const auto it = begin_of.find(e.corr);
+    if (it == begin_of.end()) continue;  // origin wrapped out of its ring
+    ++attributed;
+    if (printed < 5) {
+      const obs::TraceEvent& b = *it->second;
+      std::printf("  rnr on node %u (peer %u, wr %llu) <- %s(index %llu) on node %u "
+                  "[corr %llx]\n",
+                  e.node, e.a, static_cast<unsigned long long>(e.b),
+                  obs::op_kind_name(static_cast<obs::OpKind>(b.kind)),
+                  static_cast<unsigned long long>(b.b), b.node,
+                  static_cast<unsigned long long>(e.corr));
+      ++printed;
+    }
+  }
+  std::printf("%d injected RNR retr%s attributed to originating DArray ops\n", attributed,
+              attributed == 1 ? "y" : "ies");
+  return attributed > 0 ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--trace")) return trace_main();
   std::printf("=== Chaos ablation: seq set+get under seeded fault plans ===\n");
   std::printf("array: %llu elems/node, %u nodes, 1 thread/node\n",
               static_cast<unsigned long long>(elems_per_node()), max_nodes());

@@ -26,7 +26,7 @@ Point run(uint32_t nodes, bool use_operate) {
   rt::Cluster cluster(bench_cfg(nodes));
   const uint64_t total = elems_per_node() * nodes;
   auto arr = DArray<uint64_t>::create(cluster, total);
-  const uint16_t add = arr.register_op(&add_fn, 0);
+  const auto add = arr.register_op(&add_fn, 0);
   // The lock path is slow by design (that is the figure's point); keep its
   // default op count small enough to finish on an oversubscribed host.
   const uint64_t ops = use_operate ? env_u64("DARRAY_BENCH_OP_OPS", 20000)
@@ -49,9 +49,8 @@ Point run(uint32_t nodes, bool use_operate) {
         if (use_operate) {
           arr.apply(k, add, 1);
         } else {
-          arr.wlock(k);
+          auto g = arr.scoped_wlock(k);
           arr.set(k, arr.get(k) + 1);
-          arr.unlock(k);
         }
       });
   return {mops, static_cast<double>(nodes) / mops};  // per-thread avg latency in µs

@@ -258,6 +258,9 @@ int json_main() {
   std::printf("payload pool: %llu hits, %llu misses\n",
               static_cast<unsigned long long>(ps.hits),
               static_cast<unsigned long long>(ps.misses));
+  // Unified counters from the fixture cluster ride along in the report, so
+  // counter drift (extra misses, lost coalescing) diffs with the numbers.
+  report.set_stats(Fixture::get().cluster.stats());
   return report.write() ? 0 : 1;
 }
 

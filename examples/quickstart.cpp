@@ -24,8 +24,10 @@ int main() {
   std::printf("created DArray with %llu elements over %u nodes\n",
               static_cast<unsigned long long>(arr.size()), cluster.num_nodes());
 
-  // 3. Register an associative+commutative operator for the Operate API.
-  const uint16_t add = arr.register_op(+[](double& acc, double v) { acc += v; }, 0.0);
+  // 3. Register an associative+commutative operator for the Operate API. The
+  //    handle is typed: applying it through a non-double array won't compile.
+  const OpHandle<double> add =
+      arr.register_op(+[](double& acc, double v) { acc += v; }, 0.0);
 
   // 4. Each node's application thread writes its local range, then applies
   //    concurrent write_adds to a shared "counter" element — no locks needed.
@@ -42,17 +44,21 @@ int main() {
       // combined locally and reduced at the home node (§4.3 of the paper).
       for (int k = 0; k < 1000; ++k) arr.apply(0, add, 1.0);
 
-      // Distributed writer lock protecting a read-modify-write.
-      arr.wlock(1);
-      arr.set(1, arr.get(1) + 10.0);
-      arr.unlock(1);
+      // Distributed writer lock protecting a read-modify-write; the guard
+      // releases on scope exit (even if an exception unwinds through it).
+      {
+        auto g = arr.scoped_wlock(1);
+        arr.set(1, arr.get(1) + 10.0);
+      }
 
-      // Pin a remote chunk and sweep it with zero atomics (§4.1).
+      // Pin a remote chunk and sweep it with zero atomics (§4.1), pulling the
+      // elements out in one bounds-checked bulk read.
       const uint64_t remote = arr.local_begin((n + 1) % cluster.num_nodes());
-      if (arr.pin(remote, PinMode::kRead)) {
+      if (auto p = arr.scoped_pin(remote, PinMode::kRead)) {
+        double vals[64];
+        arr.get_range(remote, vals);
         double sum = 0;
-        for (uint64_t i = remote; i < remote + 64; ++i) sum += arr.get(i);
-        arr.unpin(remote);
+        for (double v : vals) sum += v;
         std::printf("node %u pinned-read sum over 64 remote elems: %.0f\n", n, sum);
       }
     });

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a bench_util --json report.
+
+Checks that the report is well-formed, carries a non-empty StatsRegistry
+block (the observability plane is wired into the harness), and — when a
+baseline report is given — that throughput metrics have not regressed beyond
+a tolerance. Used by the CI bench-smoke job; run it locally the same way:
+
+    bench/micro_fastpath --json report.json
+    scripts/check_bench_report.py report.json \
+        --baseline BENCH_micro_fastpath.json --tolerance 0.05
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def index_results(report):
+    return {(r["config"], r["metric"]): r for r in report.get("results", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="fresh --json report to validate")
+    ap.add_argument("--baseline", help="committed report to compare against")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed fractional regression (default 0.05)")
+    ap.add_argument("--require-stats", action="store_true", default=True,
+                    help="fail unless the report embeds a non-empty stats block")
+    args = ap.parse_args()
+
+    report = load(args.report)
+    failures = []
+
+    for key in ("bench", "reps", "results"):
+        if key not in report:
+            failures.append(f"report is missing the '{key}' field")
+    if not report.get("results"):
+        failures.append("report has no results")
+
+    # The StatsRegistry block: present, a dict, and carrying at least the
+    # fabric + runtime counter families.
+    stats = report.get("stats")
+    if not isinstance(stats, dict) or not stats:
+        failures.append("report has no embedded StatsRegistry block "
+                        "('stats' missing or empty)")
+    else:
+        for family in ("fabric.", "runtime."):
+            if not any(name.startswith(family) for name in stats):
+                failures.append(f"stats block has no {family}* counters")
+        bad = [k for k, v in stats.items() if not isinstance(v, int) or v < 0]
+        if bad:
+            failures.append(f"stats entries are not non-negative ints: {bad}")
+
+    if args.baseline:
+        base = index_results(load(args.baseline))
+        fresh = index_results(report)
+        for key, b in sorted(base.items()):
+            f = fresh.get(key)
+            if f is None:
+                failures.append(f"metric {key} present in baseline but absent "
+                                "from the fresh report")
+                continue
+            if f["unit"] != b["unit"]:
+                failures.append(f"metric {key} changed unit: "
+                                f"{b['unit']} -> {f['unit']}")
+                continue
+            # Higher-is-better units regress downward; latency units upward.
+            higher_is_better = "/s" in b["unit"]
+            bm, fm = float(b["median"]), float(f["median"])
+            if bm <= 0:
+                continue
+            delta = (bm - fm) / bm if higher_is_better else (fm - bm) / bm
+            tag = (f"{key[0]}/{key[1]}: baseline {bm:g} {b['unit']}, "
+                   f"fresh {fm:g} ({delta:+.1%})")
+            if delta > args.tolerance:
+                failures.append("REGRESSION " + tag)
+            else:
+                print("ok " + tag)
+
+    if failures:
+        for f in failures:
+            print("FAIL:", f, file=sys.stderr)
+        return 1
+    print(f"report {args.report}: stats block present "
+          f"({len(stats)} counters), all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

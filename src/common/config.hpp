@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace darray::chaos {
 struct FaultPlan;
@@ -60,8 +61,47 @@ struct ClusterConfig {
   uint64_t comm_backoff_cap_ns = 2'000'000;     // backoff ceiling
   uint64_t comm_deadline_ns = 10'000'000'000;   // 10 s per request
 
+  // --- observability (docs/observability.md) --------------------------------
+  // Runtime switch for the obs trace ring. With the DARRAY_TRACING compile
+  // option off this flag is ignored; with it on but this flag false the only
+  // per-event cost is one relaxed load + branch.
+  bool tracing_enabled = false;
+  // Per-thread trace ring capacity in events (rounded up to a power of two).
+  // 0 keeps the built-in default (or DARRAY_TRACE_RING from the environment).
+  uint32_t trace_ring_events = 0;
+
   // --- derived --------------------------------------------------------------
   size_t chunk_bytes(size_t elem_size) const { return size_t{chunk_elems} * elem_size; }
+
+  // Returns an empty string when the configuration is usable, otherwise a
+  // description of the first problem found. Cluster's constructor calls this
+  // and fail-stops on error; call it yourself to surface the message cleanly.
+  std::string validate() const {
+    if (num_nodes < 1 || num_nodes > 64)
+      return "num_nodes must be in [1, 64], got " + std::to_string(num_nodes);
+    if (runtime_threads_per_node < 1)
+      return "runtime_threads_per_node must be >= 1";
+    if (chunk_elems == 0) return "chunk_elems must be > 0";
+    if (cachelines_per_region == 0) return "cachelines_per_region must be > 0";
+    if (!(low_watermark >= 0.0 && low_watermark <= 1.0))
+      return "low_watermark must be in [0, 1]";
+    if (!(high_watermark >= 0.0 && high_watermark <= 1.0))
+      return "high_watermark must be in [0, 1]";
+    if (low_watermark > high_watermark)
+      return "low_watermark must not exceed high_watermark";
+    if (qp_depth == 0) return "qp_depth must be > 0";
+    if (selective_signal_interval == 0)
+      return "selective_signal_interval must be > 0";
+    if (selective_signal_interval > qp_depth)
+      return "selective_signal_interval must not exceed qp_depth (the CQ could "
+             "never retire a full unsignaled run)";
+    if (coalesce_enabled && coalesce_max_frames == 0)
+      return "coalesce_max_frames must be > 0 when coalescing is enabled";
+    if (comm_max_attempts == 0) return "comm_max_attempts must be > 0";
+    if (comm_backoff_base_ns > comm_backoff_cap_ns)
+      return "comm_backoff_base_ns must not exceed comm_backoff_cap_ns";
+    return {};
+  }
 };
 
 }  // namespace darray

@@ -2,21 +2,29 @@
 //
 //   DArray<double> a = DArray<double>::create(cluster, n);        // constructor
 //   a.get(i); a.set(i, v);                                        // Read/Write
-//   a.rlock(i); a.wlock(i); a.unlock(i);                          // R/W locks
-//   uint16_t op = a.register_op(+[](double& x, double d){x+=d;}, 0.0);
-//   a.apply(i, op, 0.5);                                          // Operate
-//   a.pin(i, PinMode::kRead); ...; a.unpin(i);                    // hint
+//   { auto g = a.scoped_wlock(i); ... }                           // R/W locks
+//   auto add = a.register_op(+[](double& x, double d){x+=d;}, 0.0);
+//   a.apply(i, add, 0.5);                                         // Operate
+//   { auto p = a.scoped_pin(i, PinMode::kRead); ... }             // hint
+//
+// The raw verbs (rlock/wlock/unlock, pin/unpin) remain for code that manages
+// lifetimes itself; the scoped_* guards are the recommended form. Every op is
+// traced as a span (obs/trace.hpp) when tracing is enabled: the correlation
+// id minted at the API boundary rides the LocalRequest into the runtime and
+// across the wire, so a slow get() can be attributed layer by layer.
 //
 // The handle is a cheap value type; every call uses the calling thread's
 // bound node (see context.hpp). Element types must be trivially copyable and
 // 1/2/4/8 bytes (DESIGN.md §6).
 #pragma once
 
+#include <concepts>
 #include <cstring>
 #include <span>
 #include <type_traits>
 
 #include "core/context.hpp"
+#include "obs/trace.hpp"
 #include "runtime/array_meta.hpp"
 #include "runtime/combine.hpp"
 #include "runtime/node.hpp"
@@ -24,6 +32,57 @@
 namespace darray {
 
 using rt::PinMode;
+
+template <typename T>
+class DArray;
+
+// Typed operator id from DArray<T>::register_op. Binding the element type at
+// registration makes a cross-array apply() with the wrong element type a
+// compile error instead of a silent bit-reinterpretation.
+template <typename T>
+class OpHandle {
+ public:
+  OpHandle() = default;
+  uint16_t id() const { return id_; }
+
+  // Transitional shim: lets a handle flow into code still typed uint16_t
+  // (`uint16_t op = a.register_op(...)`). Will be removed one release after
+  // the typed API lands — migrate to `auto`.
+  operator uint16_t() const { return id_; }
+
+ private:
+  friend class DArray<T>;
+  explicit OpHandle(uint16_t id) : id_(id) {}
+  uint16_t id_ = rt::kNoOp;
+};
+
+namespace api_detail {
+
+// RAII trace span for one public-API op: mints the correlation id and records
+// kOpBegin/kOpEnd. With tracing compiled out or disabled, corr stays 0 and
+// both ends cost one branch on a cached bool.
+struct OpSpan {
+  uint64_t corr = 0;
+  obs::OpKind kind;
+  uint16_t node;
+  uint64_t index;
+
+  OpSpan(obs::OpKind k, uint32_t node_id, uint32_t array, uint64_t idx)
+      : kind(k), node(static_cast<uint16_t>(node_id)), index(idx) {
+    if (obs::tracing_enabled()) {
+      corr = obs::new_corr_id();
+      obs::record(obs::Ev::kOpBegin, corr, static_cast<uint8_t>(kind), node, array, index);
+    }
+  }
+  ~OpSpan() {
+    if (corr != 0)
+      obs::record(obs::Ev::kOpEnd, corr, static_cast<uint8_t>(kind), node, 0, index);
+  }
+  OpSpan(const OpSpan&) = delete;
+  OpSpan& operator=(const OpSpan&) = delete;
+};
+
+}  // namespace api_detail
 
 template <typename T>
 class DArray {
@@ -57,6 +116,7 @@ class DArray {
 
   T get(uint64_t index) const {
     ThreadCtx& ctx = this_thread_ctx();
+    api_detail::OpSpan span(obs::OpKind::kGet, ctx.node, meta_->id, index);
     const rt::ChunkId c = meta_->chunk_of(index);
     const uint32_t off = meta_->offset_in_chunk(index);
     if (const PinEntry* p = ctx.find_pin(meta_->id, c)) {
@@ -73,11 +133,13 @@ class DArray {
     d.release_ref();
     // Slow path: the runtime performs the read at grant time and returns the
     // value — one miss, one completed access, no retry loop.
-    return from_bits(miss(ctx, rt::LocalRequest::Kind::kRead, c, index));
+    return from_bits(miss(ctx, rt::LocalRequest::Kind::kRead, c, index, rt::kNoOp, 0,
+                          span.corr));
   }
 
   void set(uint64_t index, T value) const {
     ThreadCtx& ctx = this_thread_ctx();
+    api_detail::OpSpan span(obs::OpKind::kSet, ctx.node, meta_->id, index);
     const rt::ChunkId c = meta_->chunk_of(index);
     const uint32_t off = meta_->offset_in_chunk(index);
     if (const PinEntry* p = ctx.find_pin(meta_->id, c)) {
@@ -93,7 +155,8 @@ class DArray {
       return;
     }
     d.release_ref();
-    miss(ctx, rt::LocalRequest::Kind::kWrite, c, index, rt::kNoOp, to_bits(value));
+    miss(ctx, rt::LocalRequest::Kind::kWrite, c, index, rt::kNoOp, to_bits(value),
+         span.corr);
   }
 
   // --- bulk transfers ---------------------------------------------------------
@@ -111,6 +174,34 @@ class DArray {
     bulk_op(index, count, [&](std::byte* base, uint32_t off, uint64_t n, uint64_t done) {
       std::memcpy(base + size_t{off} * sizeof(T), src + done, n * sizeof(T));
     }, /*write=*/true);
+  }
+
+  // Span-typed range accessors: the bounds-checked face of read_bulk /
+  // write_bulk. Copy out.size() (src.size()) elements starting at `first`,
+  // acquiring each covered chunk once; atomicity is per chunk.
+
+  void get_range(uint64_t first, std::span<T> out) const {
+    DARRAY_ASSERT_MSG(out.size() <= size() && first <= size() - out.size(),
+                      "get_range() past the end of the array");
+    ThreadCtx& ctx = this_thread_ctx();
+    api_detail::OpSpan span(obs::OpKind::kGetRange, ctx.node, meta_->id, first);
+    bulk_op(first, out.size(),
+            [&](std::byte* base, uint32_t off, uint64_t n, uint64_t done) {
+              std::memcpy(out.data() + done, base + size_t{off} * sizeof(T), n * sizeof(T));
+            },
+            /*write=*/false, span.corr);
+  }
+
+  void set_range(uint64_t first, std::span<const T> src) const {
+    DARRAY_ASSERT_MSG(src.size() <= size() && first <= size() - src.size(),
+                      "set_range() past the end of the array");
+    ThreadCtx& ctx = this_thread_ctx();
+    api_detail::OpSpan span(obs::OpKind::kSetRange, ctx.node, meta_->id, first);
+    bulk_op(first, src.size(),
+            [&](std::byte* base, uint32_t off, uint64_t n, uint64_t done) {
+              std::memcpy(base + size_t{off} * sizeof(T), src.data() + done, n * sizeof(T));
+            },
+            /*write=*/true, span.corr);
   }
 
   // Set every element of [begin, end) to `value` (chunk-at-a-time).
@@ -145,8 +236,10 @@ class DArray {
   // --- Operate (§4.3) ---------------------------------------------------------
 
   // Register an associative + commutative operator; `identity` seeds combine
-  // buffers (0 for add, numeric_limits::max() for min, ...).
-  uint16_t register_op(void (*fn)(T& acc, T operand), T identity) const {
+  // buffers (0 for add, numeric_limits::max() for min, ...). The returned
+  // handle is valid cluster-wide and carries the element type, so applying it
+  // through a differently-typed array fails to compile.
+  OpHandle<T> register_op(void (*fn)(T& acc, T operand), T identity) const {
     rt::OpDesc desc;
     desc.fn = [fn](void* acc, const void* operand) {
       T tmp;
@@ -156,11 +249,23 @@ class DArray {
     desc.identity_bits = 0;
     std::memcpy(&desc.identity_bits, &identity, sizeof(T));
     desc.elem_size = sizeof(T);
-    return cluster_->register_op(std::move(desc));
+    return OpHandle<T>(cluster_->register_op(std::move(desc)));
   }
+
+  void apply(uint64_t index, OpHandle<T> op, T operand) const {
+    apply(index, op.id(), operand);
+  }
+
+  // A handle registered for a different element type is a bug, not a
+  // conversion: this exact-match template outcompetes the uint16_t overload
+  // (which would otherwise accept the handle through its shim) and is deleted.
+  template <typename U, typename V>
+    requires(!std::same_as<U, T>)
+  void apply(uint64_t index, OpHandle<U> op, V operand) const = delete;
 
   void apply(uint64_t index, uint16_t op_id, T operand) const {
     ThreadCtx& ctx = this_thread_ctx();
+    api_detail::OpSpan span(obs::OpKind::kApply, ctx.node, meta_->id, index);
     const rt::ChunkId c = meta_->chunk_of(index);
     const uint32_t off = meta_->offset_in_chunk(index);
     const rt::OpDesc& op = cluster_->op(op_id);
@@ -195,14 +300,70 @@ class DArray {
       return;
     }
     d.release_ref();
-    miss(ctx, rt::LocalRequest::Kind::kOperate, c, index, op_id, to_bits(operand));
+    miss(ctx, rt::LocalRequest::Kind::kOperate, c, index, op_id, to_bits(operand),
+         span.corr);
   }
 
   // --- Concurrency control -----------------------------------------------------
 
-  void rlock(uint64_t index) const { lock_op(index, rt::LocalRequest::Kind::kLockAcq, false); }
-  void wlock(uint64_t index) const { lock_op(index, rt::LocalRequest::Kind::kLockAcq, true); }
-  void unlock(uint64_t index) const { lock_op(index, rt::LocalRequest::Kind::kLockRel, false); }
+  void rlock(uint64_t index) const {
+    lock_op(index, rt::LocalRequest::Kind::kLockAcq, false, obs::OpKind::kRlock);
+  }
+  void wlock(uint64_t index) const {
+    lock_op(index, rt::LocalRequest::Kind::kLockAcq, true, obs::OpKind::kWlock);
+  }
+  void unlock(uint64_t index) const {
+    lock_op(index, rt::LocalRequest::Kind::kLockRel, false, obs::OpKind::kUnlock);
+  }
+
+  // Move-only RAII guards over the raw lock/pin verbs: release on scope exit
+  // (including exceptional exit), or early via unlock()/release(). The guard
+  // holds a copy of this handle, so it may outlive the DArray object (though
+  // not the cluster) like any other handle copy.
+  class ScopedLock {
+   public:
+    ScopedLock(ScopedLock&& o) noexcept : a_(o.a_), index_(o.index_), held_(o.held_) {
+      o.held_ = false;
+    }
+    ScopedLock& operator=(ScopedLock&& o) noexcept {
+      if (this != &o) {
+        unlock();
+        a_ = o.a_;
+        index_ = o.index_;
+        held_ = o.held_;
+        o.held_ = false;
+      }
+      return *this;
+    }
+    ScopedLock(const ScopedLock&) = delete;
+    ScopedLock& operator=(const ScopedLock&) = delete;
+    ~ScopedLock() { unlock(); }
+
+    uint64_t index() const { return index_; }
+    bool held() const { return held_; }
+    void unlock() {
+      if (held_) {
+        held_ = false;
+        a_.unlock(index_);
+      }
+    }
+
+   private:
+    friend class DArray;
+    ScopedLock(const DArray& a, uint64_t index) : a_(a), index_(index), held_(true) {}
+    DArray a_;
+    uint64_t index_;
+    bool held_;
+  };
+
+  [[nodiscard]] ScopedLock scoped_rlock(uint64_t index) const {
+    rlock(index);
+    return ScopedLock(*this, index);
+  }
+  [[nodiscard]] ScopedLock scoped_wlock(uint64_t index) const {
+    wlock(index);
+    return ScopedLock(*this, index);
+  }
 
   // --- Optimization hint (§4.1 Pin) ----------------------------------------------
 
@@ -211,6 +372,7 @@ class DArray {
   // the thread's pin slots (kMaxPins) are exhausted.
   bool pin(uint64_t index, PinMode mode, uint16_t op_id = rt::kNoOp) const {
     ThreadCtx& ctx = this_thread_ctx();
+    api_detail::OpSpan span(obs::OpKind::kPin, ctx.node, meta_->id, index);
     const rt::ChunkId c = meta_->chunk_of(index);
     if (ctx.find_pin(meta_->id, c)) return true;  // already pinned by this thread
     PinEntry* slot = ctx.free_pin_slot();
@@ -232,6 +394,7 @@ class DArray {
     r.chunk = c;
     r.index = index;
     r.op_id = op_id;
+    r.trace_id = span.corr;
     ctx.cluster->node(ctx.node).submit_local(&r);
     r.done.wait();
     record_pin(slot, d, c, r.granted);
@@ -240,6 +403,7 @@ class DArray {
 
   void unpin(uint64_t index) const {
     ThreadCtx& ctx = this_thread_ctx();
+    api_detail::OpSpan span(obs::OpKind::kUnpin, ctx.node, meta_->id, index);
     const rt::ChunkId c = meta_->chunk_of(index);
     PinEntry* p = ctx.find_pin(meta_->id, c);
     DARRAY_ASSERT_MSG(p != nullptr, "unpin() of a chunk this thread never pinned");
@@ -247,10 +411,57 @@ class DArray {
     p->dentry->release_ref();
   }
 
+  // Move-only pin guard. Pinning can fail (the thread's pin slots are a fixed
+  // budget), so the guard is truthy only when it actually holds a pin; ops
+  // fall back to the normal path when it doesn't.
+  class ScopedPin {
+   public:
+    ScopedPin(ScopedPin&& o) noexcept : a_(o.a_), index_(o.index_), held_(o.held_) {
+      o.held_ = false;
+    }
+    ScopedPin& operator=(ScopedPin&& o) noexcept {
+      if (this != &o) {
+        release();
+        a_ = o.a_;
+        index_ = o.index_;
+        held_ = o.held_;
+        o.held_ = false;
+      }
+      return *this;
+    }
+    ScopedPin(const ScopedPin&) = delete;
+    ScopedPin& operator=(const ScopedPin&) = delete;
+    ~ScopedPin() { release(); }
+
+    explicit operator bool() const { return held_; }
+    bool pinned() const { return held_; }
+    uint64_t index() const { return index_; }
+    void release() {
+      if (held_) {
+        held_ = false;
+        a_.unpin(index_);
+      }
+    }
+
+   private:
+    friend class DArray;
+    ScopedPin(const DArray& a, uint64_t index, bool held)
+        : a_(a), index_(index), held_(held) {}
+    DArray a_;
+    uint64_t index_;
+    bool held_;
+  };
+
+  [[nodiscard]] ScopedPin scoped_pin(uint64_t index, PinMode mode,
+                                     uint16_t op_id = rt::kNoOp) const {
+    return ScopedPin(*this, index, pin(index, mode, op_id));
+  }
+
  private:
   // Visit [index, index+count) chunk by chunk with the chunk reference held.
   template <typename Fn>
-  void bulk_op(uint64_t index, uint64_t count, Fn&& fn, bool write) const {
+  void bulk_op(uint64_t index, uint64_t count, Fn&& fn, bool write,
+               uint64_t corr = 0) const {
     ThreadCtx& ctx = this_thread_ctx();
     uint64_t done = 0;
     while (done < count) {
@@ -281,6 +492,7 @@ class DArray {
       r.array = meta_->id;
       r.chunk = c;
       r.index = i;
+      r.trace_id = corr;
       ctx.cluster->node(ctx.node).submit_local(&r);
       r.done.wait();
       fn(d.data.load(std::memory_order_acquire), off, in_chunk, done);
@@ -317,7 +529,7 @@ class DArray {
   // Submit a slow-path access; the runtime performs it at grant time. For
   // kRead the returned bits are the element value.
   uint64_t miss(ThreadCtx& ctx, rt::LocalRequest::Kind kind, rt::ChunkId c, uint64_t index,
-                uint16_t op_id = rt::kNoOp, uint64_t operand = 0) const {
+                uint16_t op_id = rt::kNoOp, uint64_t operand = 0, uint64_t corr = 0) const {
     rt::LocalRequest r;
     r.kind = kind;
     r.array = meta_->id;
@@ -325,6 +537,7 @@ class DArray {
     r.index = index;
     r.op_id = op_id;
     r.operand = operand;
+    r.trace_id = corr;
     ctx.cluster->node(ctx.node).submit_local(&r);
     r.done.wait();
     return r.operand;
@@ -342,14 +555,17 @@ class DArray {
     slot->dentry = &d;
   }
 
-  void lock_op(uint64_t index, rt::LocalRequest::Kind kind, bool write) const {
+  void lock_op(uint64_t index, rt::LocalRequest::Kind kind, bool write,
+               obs::OpKind span_kind) const {
     ThreadCtx& ctx = this_thread_ctx();
+    api_detail::OpSpan span(span_kind, ctx.node, meta_->id, index);
     rt::LocalRequest r;
     r.kind = kind;
     r.lock_write = write ? 1 : 0;
     r.array = meta_->id;
     r.chunk = meta_->chunk_of(index);
     r.index = index;
+    r.trace_id = span.corr;
     ctx.cluster->node(ctx.node).submit_local(&r);
     r.done.wait();
   }

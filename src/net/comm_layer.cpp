@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace darray::net {
 
@@ -180,7 +181,12 @@ void CommLayer::handle_error_cqe(const rdma::WorkCompletion& wc) {
   if (wc.status != rdma::WcStatus::kFlushError) {
     // The entry that actually failed (flushed ones never ran) arms the
     // backoff clock for the whole peer.
-    rec.next_attempt_ns = now_ns() + backoff_ns(e.attempts);
+    const uint64_t backoff = backoff_ns(e.attempts);
+    rec.next_attempt_ns = now_ns() + backoff;
+    obs::trace(obs::Ev::kFault, e.trace, static_cast<uint8_t>(wc.status),
+               static_cast<uint16_t>(node_id_), peer, wc.wr_id);
+    obs::trace(obs::Ev::kBackoff, e.trace, static_cast<uint8_t>(e.op),
+               static_cast<uint16_t>(node_id_), peer, backoff);
     DLOG_DEBUG("node %u: wr %llu to peer %u failed (%s), retry #%u backing off",
                node_id_, static_cast<unsigned long long>(wc.wr_id), peer,
                rdma::wc_status_name(wc.status), e.attempts);
@@ -203,7 +209,10 @@ void CommLayer::reclaim_send_buffers() {
       // (per-QP FIFO) — the point of selective signaling.
       auto& fifo = outstanding_[wc.peer_node];
       while (!fifo.empty() && fifo.front().wr_id <= wc.wr_id) {
-        release_buf(fifo.front().buf);
+        const Outstanding& front = fifo.front();
+        obs::trace(obs::Ev::kWrComplete, front.trace, static_cast<uint8_t>(front.op),
+                   static_cast<uint16_t>(node_id_), wc.peer_node, front.wr_id);
+        release_buf(front.buf);
         fifo.pop_front();
       }
     }
@@ -258,6 +267,8 @@ void CommLayer::post_entry(uint32_t peer, Outstanding e) {
   wr.remote_addr = e.remote_addr;
   wr.rkey = e.rkey;
   wr.signaled = true;  // recovery wants prompt retirement, not batching
+  obs::trace(obs::Ev::kWrPost, e.trace, static_cast<uint8_t>(e.op),
+             static_cast<uint16_t>(node_id_), peer, e.wr_id);
   outstanding_[peer].push_back(std::move(e));
   const bool ok = qp->post_send(wr);
   DARRAY_ASSERT_MSG(ok, "retry post failed local validation");
@@ -290,7 +301,11 @@ void CommLayer::pump_retries(uint64_t now) {
         fail_entry(peer, e, "request deadline exceeded");
         continue;
       }
-      if (e.attempts > 0) qp->fabric().count_retry();
+      if (e.attempts > 0) {
+        qp->fabric().count_retry();
+        obs::trace(obs::Ev::kRetry, e.trace, static_cast<uint8_t>(e.op),
+                   static_cast<uint16_t>(node_id_), peer, e.attempts);
+      }
       e.attempts++;
       e.wr_id = next_wr_id_++;
       post_entry(peer, std::move(e));
@@ -335,6 +350,7 @@ void CommLayer::stage_request(TxRequest& req, uint64_t now) {
     e.remote_addr = req.data_remote_addr;
     e.rkey = req.data_rkey;
     e.deadline_ns = now + cfg_.comm_deadline_ns;
+    e.trace = req.hdr.trace;
     std::memcpy(buf_ptr(e.buf), req.data_src, req.data_len);
     // Payload captured: the source cacheline may be recycled.
     if (req.posted_flag) {
@@ -348,6 +364,7 @@ void CommLayer::stage_request(TxRequest& req, uint64_t now) {
   e.len = static_cast<uint32_t>(sizeof(MsgHeader) + req.payload.size());
   e.op = rdma::Opcode::kSend;
   e.deadline_ns = now + cfg_.comm_deadline_ns;
+  e.trace = req.hdr.trace;
   rec.retry.push_back(std::move(e));
 }
 
@@ -373,6 +390,7 @@ void CommLayer::seal_batch(uint32_t peer) {
   p.e.op = rdma::Opcode::kSend;
   p.e.frames = static_cast<uint16_t>(b.frames);
   p.e.deadline_ns = b.open_ns + cfg_.comm_deadline_ns;
+  p.e.trace = b.trace;
   p.tracked = true;
   p.wr.opcode = rdma::Opcode::kSend;
   p.wr.sge = {base, p.e.len, send_mr_.lkey};
@@ -380,6 +398,7 @@ void CommLayer::seal_batch(uint32_t peer) {
   b.buf = kNoBuf;
   b.bytes = 0;
   b.frames = 0;
+  b.trace = 0;
 }
 
 void CommLayer::append_frame(uint32_t peer, TxRequest& req, uint64_t now) {
@@ -398,6 +417,7 @@ void CommLayer::append_frame(uint32_t peer, TxRequest& req, uint64_t now) {
     p.e.len = static_cast<uint32_t>(fb);
     p.e.op = rdma::Opcode::kSend;
     p.e.deadline_ns = now + cfg_.comm_deadline_ns;
+    p.e.trace = req.hdr.trace;
     write_frame(buf_ptr(p.e.buf), req.hdr, req.payload.data(), req.payload.size());
     p.tracked = true;
     p.wr.opcode = rdma::Opcode::kSend;
@@ -418,6 +438,7 @@ void CommLayer::append_frame(uint32_t peer, TxRequest& req, uint64_t now) {
   write_frame(buf_ptr(b.buf) + b.bytes, req.hdr, req.payload.data(), req.payload.size());
   b.bytes += static_cast<uint32_t>(fb);
   b.frames++;
+  if (b.trace == 0) b.trace = req.hdr.trace;
 }
 
 void CommLayer::enqueue_tx(TxRequest& req) {
@@ -455,6 +476,7 @@ void CommLayer::enqueue_tx(TxRequest& req) {
       p.e.remote_addr = req.data_remote_addr;
       p.e.rkey = req.data_rkey;
       p.e.deadline_ns = now + cfg_.comm_deadline_ns;
+      p.e.trace = req.hdr.trace;
       std::memcpy(buf_ptr(p.e.buf), req.data_src, req.data_len);
       p.wr.sge = {buf_ptr(p.e.buf), req.data_len, send_mr_.lkey};
       p.tracked = true;
@@ -505,6 +527,8 @@ void CommLayer::flush_peer(uint32_t peer, bool seal_open) {
       }  // chaos-staged WRITEs stay signaled for prompt retirement
       p.e.wr_id = p.wr.wr_id;
       p.e.attempts = 1;
+      obs::trace(obs::Ev::kWrPost, p.e.trace, static_cast<uint8_t>(p.e.op),
+                 static_cast<uint16_t>(node_id_), peer, p.e.wr_id);
       outstanding_[peer].push_back(p.e);
     }
     post_wrs_.push_back(p.wr);
@@ -597,6 +621,7 @@ void CommLayer::post_one(TxRequest& req) {
       e.attempts = 1;
       e.deadline_ns = now + cfg_.comm_deadline_ns;
       e.wr_id = next_wr_id_++;
+      e.trace = req.hdr.trace;
       std::memcpy(buf_ptr(e.buf), req.data_src, req.data_len);
       if (req.posted_flag) {
         req.posted_flag->store(1, std::memory_order_release);
@@ -633,6 +658,7 @@ void CommLayer::post_one(TxRequest& req) {
   e.attempts = 1;
   e.deadline_ns = now + cfg_.comm_deadline_ns;
   e.wr_id = next_wr_id_++;
+  e.trace = req.hdr.trace;
 
   rdma::SendWr wr;
   wr.opcode = rdma::Opcode::kSend;
@@ -644,6 +670,8 @@ void CommLayer::post_one(TxRequest& req) {
   uint32_t& run = unsignaled_run_[req.dst];
   wr.signaled = ++run >= cfg_.selective_signal_interval;
   if (wr.signaled) run = 0;
+  obs::trace(obs::Ev::kWrPost, e.trace, static_cast<uint8_t>(e.op),
+             static_cast<uint16_t>(node_id_), req.dst, e.wr_id);
   outstanding_[req.dst].push_back(std::move(e));
   const bool ok = qp->post_send(wr);
   DARRAY_ASSERT_MSG(ok, "protocol SEND failed local validation");

@@ -111,6 +111,8 @@ class CommLayer {
     uint32_t attempts = 0;      // post attempts so far
     uint16_t frames = 1;        // protocol messages carried (batch SENDs > 1)
     uint64_t deadline_ns = 0;
+    uint64_t trace = 0;         // obs correlation id (first traced frame for a
+                                //   batch), so retries attribute to their op
     rdma::WcStatus last_status = rdma::WcStatus::kSuccess;
   };
 
@@ -143,6 +145,7 @@ class CommLayer {
     uint32_t bytes = 0;     // used bytes, including the reserved envelope slot
     uint32_t frames = 0;
     uint64_t open_ns = 0;   // when the first frame was staged
+    uint64_t trace = 0;     // first traced frame in the open batch
     std::vector<PendingWr> wrs;
   };
 

@@ -75,8 +75,10 @@ struct MsgHeader {
   uint64_t addr = 0;        // data placement address / element index for locks
   uint32_t rkey = 0;
   uint32_t aux = 0;         // FetchTarget / LockMode / misc
+  uint64_t trace = 0;       // obs correlation id; rides the wire so a home
+                            //   node's work is attributed to the remote op
 };
-static_assert(sizeof(MsgHeader) == 40);
+static_assert(sizeof(MsgHeader) == 48);
 
 // A parsed inbound message as delivered to a runtime thread.
 struct RpcMessage {

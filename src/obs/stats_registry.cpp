@@ -1,0 +1,57 @@
+#include "obs/stats_registry.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace darray::obs {
+
+void StatsSnapshot::add_histogram(const std::string& prefix, const LatencyHistogram& h) {
+  add(prefix + ".count", h.count());
+  add(prefix + ".mean_ns", static_cast<uint64_t>(h.mean_ns()));
+  add(prefix + ".p50_ns", h.percentile_ns(0.50));
+  add(prefix + ".p99_ns", h.percentile_ns(0.99));
+}
+
+const uint64_t* StatsSnapshot::find(std::string_view name) const {
+  for (const StatEntry& e : entries)
+    if (e.name == name) return &e.value;
+  return nullptr;
+}
+
+uint64_t StatsSnapshot::value_or(std::string_view name, uint64_t def) const {
+  const uint64_t* v = find(name);
+  return v ? *v : def;
+}
+
+std::string StatsSnapshot::to_json(const char* line_prefix) const {
+  std::string out = "{";
+  char buf[32];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    out += line_prefix;
+    out += "  \"";
+    out += entries[i].name;
+    out += "\": ";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(entries[i].value));
+    out += buf;
+  }
+  out += "\n";
+  out += line_prefix;
+  out += "}";
+  return out;
+}
+
+void StatsRegistry::add_source(Source src) {
+  std::lock_guard lk(mu_);
+  sources_.push_back(std::move(src));
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  StatsSnapshot s;
+  std::lock_guard lk(mu_);
+  for (const Source& src : sources_) src(s);
+  return s;
+}
+
+}  // namespace darray::obs

@@ -1,0 +1,58 @@
+// One stats plane over many layers: the scattered counters (FabricStats, the
+// runtime cache/combine counters, payload-pool hits, chaos fault counters,
+// trace-ring totals) register as named sources and a single snapshot() walks
+// them all. Names are dotted — "fabric.sends", "runtime.local_read_misses",
+// "pool.hits", "chaos.rnr_rejections" — so reports and tools can group by
+// prefix. Counter values are monotonic per source; a snapshot taken while
+// traffic is live is a consistent *sample* (each counter read once, fields of
+// one source read together), not an atomic cut across layers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/spinlock.hpp"
+
+namespace darray::obs {
+
+struct StatEntry {
+  std::string name;
+  uint64_t value = 0;
+};
+
+// Percentile summary of one LatencyHistogram, flattened so snapshots stay a
+// plain name→value list (".count", ".mean_ns", ".p50_ns", ".p99_ns").
+struct StatsSnapshot {
+  std::vector<StatEntry> entries;
+
+  void add(std::string name, uint64_t value) { entries.push_back({std::move(name), value}); }
+  void add_histogram(const std::string& prefix, const LatencyHistogram& h);
+
+  const uint64_t* find(std::string_view name) const;
+  uint64_t value_or(std::string_view name, uint64_t def = 0) const;
+
+  // {"a.b": 1, "a.c": 2, ...} — one entry per line, each line prefixed with
+  // `line_prefix` (so reports can indent the block they embed it in).
+  std::string to_json(const char* line_prefix = "") const;
+};
+
+class StatsRegistry {
+ public:
+  using Source = std::function<void(StatsSnapshot&)>;
+
+  // Sources run in registration order at every snapshot(). A source must be
+  // callable from any thread and must not block on the data path it observes.
+  void add_source(Source src);
+
+  StatsSnapshot snapshot() const;
+
+ private:
+  mutable SpinLock mu_;
+  std::vector<Source> sources_;
+};
+
+}  // namespace darray::obs

@@ -1,0 +1,165 @@
+// Cross-layer op tracing: lock-free per-thread rings of typed span events,
+// stamped with a monotonic clock and a correlation id that rides a DArray op
+// from the public API through LocalRequest, the runtime engine, the comm
+// layer, and (via MsgHeader) across the simulated wire. A slow get() can then
+// be attributed — cacheline miss vs. directory hop vs. Tx coalescing delay
+// vs. injected fault — by filtering the merged trace on its correlation id.
+//
+// Two gates, so the disabled path costs one branch on a cached bool:
+//  - compile time: build with DARRAY_TRACING=0 and every record site folds to
+//    nothing (tracing_enabled() is constexpr false);
+//  - run time:     set_tracing(true) flips a relaxed atomic<bool>; every
+//    record site is `if (tracing_enabled()) record(...)`.
+//
+// Rings are single-writer (the owning thread) and wrap: the newest events
+// win, drops are counted. Readers may scan concurrently — slots are relaxed
+// atomic words, so a live scan can observe a torn event but never UB; exact
+// dumps require the writers to be quiescent (tests join workers first).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#ifndef DARRAY_TRACING
+#define DARRAY_TRACING 1
+#endif
+
+namespace darray::obs {
+
+enum class Ev : uint8_t {
+  kOpBegin = 0,    // kind = OpKind, a = array id, b = element index
+  kOpEnd,          // kind = OpKind, b = element index
+  kMiss,           // kind = LocalRequest::Kind, a = chunk, b = index
+  kDirReq,         // kind = MsgType, a = chunk, b = home node
+  kDirResp,        // kind = MsgType, a = chunk, b = src node
+  kCombineFlush,   // a = chunk, b = flushed entries
+  kWrPost,         // kind = Opcode, a = peer, b = wr_id
+  kWrComplete,     // kind = Opcode, a = peer, b = wr_id
+  kRetry,          // a = peer, b = attempt number
+  kBackoff,        // a = peer, b = backoff ns
+  kFault,          // kind = WcStatus, a = peer, b = wr_id
+  kMaxEv,
+};
+
+// API-level op discriminator for kOpBegin/kOpEnd.
+enum class OpKind : uint8_t {
+  kGet = 0,
+  kSet,
+  kApply,
+  kRlock,
+  kWlock,
+  kUnlock,
+  kPin,
+  kUnpin,
+  kGetRange,
+  kSetRange,
+  kMaxOpKind,
+};
+
+const char* ev_name(Ev e);
+const char* op_kind_name(OpKind k);
+
+// One decoded event. Stored packed (4 machine words) inside the rings.
+struct TraceEvent {
+  uint64_t ts_ns = 0;
+  uint64_t corr = 0;   // 0 = not attributed to an API-level op
+  Ev ev = Ev::kOpBegin;
+  uint8_t kind = 0;    // per-Ev discriminator, see the enum comments above
+  uint16_t node = 0;   // recording node (0xffff when unknown/raw transport)
+  uint32_t a = 0;
+  uint64_t b = 0;
+};
+
+inline constexpr uint16_t kNoTraceNode = 0xffff;
+
+// Single-writer wrapping event ring. Standalone so tests can exercise
+// wraparound at tiny capacities; threads get one lazily via record().
+class TraceRing {
+ public:
+  explicit TraceRing(size_t min_capacity);
+
+  void push(const TraceEvent& e);
+
+  uint64_t pushed() const { return head_.load(std::memory_order_acquire); }
+  uint64_t dropped() const {
+    const uint64_t h = pushed();
+    return h > cap_ ? h - cap_ : 0;
+  }
+  size_t capacity() const { return cap_; }
+
+  // Retained events, oldest first (at most capacity()).
+  std::vector<TraceEvent> collect() const;
+  void reset() { head_.store(0, std::memory_order_release); }
+
+ private:
+  size_t cap_;  // power of two
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;  // 4 words per slot
+  std::atomic<uint64_t> head_{0};
+};
+
+#if DARRAY_TRACING
+
+namespace detail {
+extern std::atomic<bool> g_trace_on;
+}
+
+// The hot-path gate: one relaxed load + branch when tracing is compiled in.
+inline bool tracing_enabled() {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on);
+
+// Nonzero, unique across threads (thread slot in the top bits, a per-thread
+// sequence in the low bits).
+uint64_t new_corr_id();
+
+// Appends to the calling thread's ring (registered on first use). Call only
+// under tracing_enabled() — the helper below wraps the check.
+void record(Ev ev, uint64_t corr, uint8_t kind, uint16_t node, uint32_t a, uint64_t b);
+
+#else  // DARRAY_TRACING == 0: every site folds away.
+
+inline constexpr bool tracing_enabled() { return false; }
+inline void set_tracing(bool) {}
+inline uint64_t new_corr_id() { return 0; }
+inline void record(Ev, uint64_t, uint8_t, uint16_t, uint32_t, uint64_t) {}
+
+#endif  // DARRAY_TRACING
+
+// The one-liner used at every instrumentation site.
+inline void trace(Ev ev, uint64_t corr, uint8_t kind = 0, uint16_t node = kNoTraceNode,
+                  uint32_t a = 0, uint64_t b = 0) {
+  if (tracing_enabled()) record(ev, corr, kind, node, a, b);
+}
+
+struct TraceTotals {
+  uint64_t recorded = 0;  // events ever pushed, across all rings
+  uint64_t retained = 0;  // events currently held
+  uint64_t dropped = 0;   // overwritten by wraparound
+  uint64_t rings = 0;     // per-thread rings registered
+};
+
+// These are defined (as cheap no-ops where sensible) even with tracing
+// compiled out, so dump tools and stats sources build unconditionally.
+TraceTotals trace_totals();
+
+// Overrides the per-thread ring capacity for rings created after the call
+// (existing rings keep their size). 0 restores the default / DARRAY_TRACE_RING
+// environment override. Set before starting traffic.
+void set_trace_ring_capacity(size_t events);
+
+// All rings merged, sorted by timestamp. Exact only while writers are
+// quiescent; a live collect is a best-effort sample.
+std::vector<TraceEvent> collect_trace();
+
+// Line-oriented JSON dump (one event object per line — see
+// docs/observability.md for the schema). Returns false on I/O failure.
+bool dump_trace_json(const char* path);
+
+// Clears every ring and the drop counters. Quiescent use only.
+void reset_trace();
+
+}  // namespace darray::obs

@@ -7,20 +7,30 @@
 #include "chaos/fault_plan.hpp"
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "net/payload_buf.hpp"
+#include "obs/trace.hpp"
 
 namespace darray::rt {
 
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(cfg), fabric_(rdma::FabricConfig{cfg.fabric_latency_ns, cfg.fabric_ns_per_byte}) {
-  DARRAY_ASSERT_MSG(cfg_.num_nodes >= 1 && cfg_.num_nodes <= 64,
-                    "cluster supports 1..64 simulated nodes");
-  DARRAY_ASSERT(cfg_.runtime_threads_per_node >= 1);
+  if (const std::string err = cfg_.validate(); !err.empty()) {
+    DLOG_ERROR("invalid ClusterConfig: %s", err.c_str());
+    std::abort();
+  }
+  // Observability: size the trace rings and flip the runtime gate before any
+  // node thread spins up, so the first traced op lands in a ring of the
+  // configured size. With DARRAY_TRACING=0 both calls are no-ops.
+  if (cfg_.trace_ring_events != 0)
+    obs::set_trace_ring_capacity(cfg_.trace_ring_events);
+  if (cfg_.tracing_enabled) obs::set_tracing(true);
   // Fault injection: attach before any device/QP exists so every WR ever
   // posted consults the injector. A null or all-zero plan costs nothing.
   if (cfg_.fault_plan != nullptr && cfg_.fault_plan->enabled()) {
     injector_ = std::make_unique<chaos::FaultInjector>(*cfg_.fault_plan);
     fabric_.set_fault_injector(injector_.get());
   }
+  register_default_stats_sources();
   nodes_.reserve(cfg_.num_nodes);
   for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
     rdma::Device* dev = fabric_.create_device(i);
@@ -43,6 +53,69 @@ Cluster::Cluster(ClusterConfig cfg)
 
 Cluster::~Cluster() {
   for (auto& n : nodes_) n->stop();
+}
+
+// The default sources: one per layer, each flattening its counter struct
+// under a dotted prefix. Captures `this`; the registry dies with the cluster.
+void Cluster::register_default_stats_sources() {
+  stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+    const rdma::FabricStats f = fabric_.stats();
+    s.add("fabric.writes", f.writes);
+    s.add("fabric.reads", f.reads);
+    s.add("fabric.sends", f.sends);
+    s.add("fabric.bytes_written", f.bytes_written);
+    s.add("fabric.bytes_read", f.bytes_read);
+    s.add("fabric.bytes_sent", f.bytes_sent);
+    s.add("fabric.wc_errors", f.wc_errors);
+    s.add("fabric.rnr_events", f.rnr_events);
+    s.add("fabric.retries", f.retries);
+    s.add("fabric.flushed_wrs", f.flushed_wrs);
+    s.add("fabric.coalesced_frames", f.coalesced_frames);
+    s.add("fabric.batched_posts", f.batched_posts);
+  });
+  stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+    const RuntimeStats r = runtime_stats();
+    s.add("runtime.local_read_misses", r.local_read_misses);
+    s.add("runtime.local_write_misses", r.local_write_misses);
+    s.add("runtime.local_operate_misses", r.local_operate_misses);
+    s.add("runtime.prefetches_issued", r.prefetches_issued);
+    s.add("runtime.fills", r.fills);
+    s.add("runtime.invalidations", r.invalidations);
+    s.add("runtime.fetches", r.fetches);
+    s.add("runtime.flush_reqs", r.flush_reqs);
+    s.add("runtime.evict_clean", r.evict_clean);
+    s.add("runtime.evict_writeback", r.evict_writeback);
+    s.add("runtime.evict_opflush", r.evict_opflush);
+    s.add("runtime.remote_reqs", r.remote_reqs);
+    s.add("runtime.txns", r.txns);
+    s.add("runtime.op_flushes_applied", r.op_flushes_applied);
+    s.add("runtime.lock_acquires", r.lock_acquires);
+    s.add("runtime.lock_waits", r.lock_waits);
+  });
+  stats_registry_.add_source([](obs::StatsSnapshot& s) {
+    const net::PayloadPoolStats p = net::payload_pool_stats();
+    s.add("pool.hits", p.hits);
+    s.add("pool.misses", p.misses);
+  });
+  stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+    s.add("comm.dropped_requests", comm_error_count());
+  });
+  stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+    if (injector_ == nullptr) return;  // chaos.* only when a plan is armed
+    const chaos::FaultCounters c = injector_->counters();
+    s.add("chaos.wc_errors", c.wc_errors);
+    s.add("chaos.rnr_rejections", c.rnr_rejections);
+    s.add("chaos.delays", c.delays);
+    s.add("chaos.blackholed", c.blackholed);
+    s.add("chaos.paused", c.paused);
+  });
+  stats_registry_.add_source([](obs::StatsSnapshot& s) {
+    const obs::TraceTotals t = obs::trace_totals();
+    s.add("trace.recorded", t.recorded);
+    s.add("trace.retained", t.retained);
+    s.add("trace.dropped", t.dropped);
+    s.add("trace.rings", t.rings);
+  });
 }
 
 void Cluster::handle_comm_error(uint32_t node, const net::CommError& err) {

@@ -12,6 +12,7 @@
 #include "common/config.hpp"
 #include "common/spinlock.hpp"
 #include "net/comm_layer.hpp"
+#include "obs/stats_registry.hpp"
 #include "rdma/fabric.hpp"
 #include "runtime/array_meta.hpp"
 #include "runtime/node.hpp"
@@ -53,6 +54,13 @@ class Cluster {
   // Present iff cfg.fault_plan named an enabled plan at construction.
   chaos::FaultInjector* fault_injector() { return injector_.get(); }
 
+  // Unified observability: every layer's counters under dotted names
+  // (fabric.*, runtime.*, pool.*, chaos.*, comm.*, trace.*). snapshot() is
+  // safe while traffic is live; values are then approximate per-counter.
+  obs::StatsSnapshot stats() const { return stats_registry_.snapshot(); }
+  // Extend with harness-specific sources (add_source) before reporting.
+  obs::StatsRegistry& stats_registry() { return stats_registry_; }
+
   // Unrecoverable comm failures (retry/deadline budget exhausted) land here,
   // on the failing node's Tx thread. Default: log + abort (fail-stop) — the
   // coherence protocol cannot survive a dropped message. Override before
@@ -66,8 +74,11 @@ class Cluster {
   }
 
  private:
+  void register_default_stats_sources();
+
   ClusterConfig cfg_;
   rdma::Fabric fabric_;
+  obs::StatsRegistry stats_registry_;
   std::unique_ptr<chaos::FaultInjector> injector_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   OpRegistry ops_;

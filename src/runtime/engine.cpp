@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/combine.hpp"
 #include "runtime/node.hpp"
@@ -62,11 +63,13 @@ Engine::HomeReq Engine::make_home_req(PendingReq req) const {
   if (req.is_local()) {
     h.src = self_;
     h.op = req.local->op_id;
+    h.trace = req.local->trace_id;
   } else {
     h.src = req.msg.hdr.src_node;
     h.op = req.msg.hdr.op_id;
     h.raddr = req.msg.hdr.addr;
     h.rkey = req.msg.hdr.rkey;
+    h.trace = req.msg.hdr.trace;
   }
   h.orig = std::move(req);
   return h;
@@ -100,6 +103,8 @@ void Engine::handle_local(LocalRequest* r) {
       break;
     default: break;
   }
+  obs::trace(obs::Ev::kMiss, r->trace_id, static_cast<uint8_t>(r->kind),
+             static_cast<uint16_t>(self_), static_cast<uint32_t>(r->chunk), r->index);
   NodeArrayState& as = state_of(r->array);
   const ChunkId c = r->chunk;
   if (is_home(as, c)) {
@@ -322,7 +327,7 @@ void Engine::home_unshared(NodeArrayState& as, ChunkId c, HomeReq req) {
         ChunkCtl& ctl2 = as.ctl[c];
         ctl2.g = GlobalState::kShared;
         ctl2.sharers.add(req.src);
-        send_chunk_data(as, c, req.src, MsgType::kReadData, req.raddr, req.rkey);
+        send_chunk_data(as, c, req.src, MsgType::kReadData, req.raddr, req.rkey, req.trace);
         ctl2.busy = false;
         pump(as, c);
       });
@@ -333,7 +338,7 @@ void Engine::home_unshared(NodeArrayState& as, ChunkId c, HomeReq req) {
         ChunkCtl& ctl2 = as.ctl[c];
         ctl2.g = GlobalState::kDirty;
         ctl2.owner = req.src;
-        send_chunk_data(as, c, req.src, MsgType::kWriteData, req.raddr, req.rkey);
+        send_chunk_data(as, c, req.src, MsgType::kWriteData, req.raddr, req.rkey, req.trace);
         ctl2.busy = false;
         pump(as, c);
       });
@@ -346,7 +351,8 @@ void Engine::home_unshared(NodeArrayState& as, ChunkId c, HomeReq req) {
         ctl2.g = GlobalState::kOperated;
         ctl2.g_op = req.op;
         ctl2.op_nodes = NodeMask::single(req.src);
-        send_msg(req.src, MsgType::kOperateResp, as.meta->id, c, req.op);
+        send_msg(req.src, MsgType::kOperateResp, as.meta->id, c, req.op, 0, 0, 0, 0,
+                 req.trace);
         ctl2.busy = false;
         pump(as, c);
       });
@@ -364,7 +370,7 @@ void Engine::home_shared(NodeArrayState& as, ChunkId c, HomeReq req) {
       return;
     }
     ctl.sharers.add(req.src);
-    send_chunk_data(as, c, req.src, MsgType::kReadData, req.raddr, req.rkey);
+    send_chunk_data(as, c, req.src, MsgType::kReadData, req.raddr, req.rkey, req.trace);
     return;
   }
 
@@ -372,7 +378,8 @@ void Engine::home_shared(NodeArrayState& as, ChunkId c, HomeReq req) {
   ctl.busy = true;
   ctl.awaiting = ctl.sharers;
   if (req.src != self_) ctl.awaiting.remove(req.src);
-  for (NodeId n : ctl.awaiting) send_msg(n, MsgType::kInvalidate, as.meta->id, c);
+  for (NodeId n : ctl.awaiting)
+    send_msg(n, MsgType::kInvalidate, as.meta->id, c, kNoOp, 0, 0, 0, 0, req.trace);
 
   const bool operate = req.kind == AccessKind::kOperate;
   ctl.txn_then = [this, &as, c, req = std::move(req), operate] {
@@ -387,7 +394,8 @@ void Engine::home_shared(NodeArrayState& as, ChunkId c, HomeReq req) {
         complete_local(as, c, req.orig);
       } else {
         ctl2.op_nodes.add(req.src);
-        send_msg(req.src, MsgType::kOperateResp, as.meta->id, c, req.op);
+        send_msg(req.src, MsgType::kOperateResp, as.meta->id, c, req.op, 0, 0, 0, 0,
+                 req.trace);
       }
     } else if (req.src == self_) {
       ctl2.g = GlobalState::kUnshared;
@@ -396,7 +404,7 @@ void Engine::home_shared(NodeArrayState& as, ChunkId c, HomeReq req) {
     } else {
       ctl2.g = GlobalState::kDirty;
       ctl2.owner = req.src;
-      send_chunk_data(as, c, req.src, MsgType::kWriteData, req.raddr, req.rkey);
+      send_chunk_data(as, c, req.src, MsgType::kWriteData, req.raddr, req.rkey, req.trace);
     }
   };
 
@@ -433,7 +441,7 @@ void Engine::home_dirty(NodeArrayState& as, ChunkId c, HomeReq req) {
   const uint32_t target = req.kind == AccessKind::kRead
                               ? static_cast<uint32_t>(net::FetchTarget::kShared)
                               : static_cast<uint32_t>(net::FetchTarget::kInvalid);
-  send_msg(prev_owner, MsgType::kFetch, as.meta->id, c, kNoOp, 0, 0, target);
+  send_msg(prev_owner, MsgType::kFetch, as.meta->id, c, kNoOp, 0, 0, target, 0, req.trace);
 
   ctl.txn_then = [this, &as, c, req = std::move(req), prev_owner] {
     ChunkCtl& ctl2 = as.ctl[c];
@@ -449,7 +457,8 @@ void Engine::home_dirty(NodeArrayState& as, ChunkId c, HomeReq req) {
           complete_local(as, c, req.orig);
         } else {
           ctl2.sharers.add(req.src);
-          send_chunk_data(as, c, req.src, MsgType::kReadData, req.raddr, req.rkey);
+          send_chunk_data(as, c, req.src, MsgType::kReadData, req.raddr, req.rkey,
+                          req.trace);
         }
         return;
       }
@@ -461,7 +470,8 @@ void Engine::home_dirty(NodeArrayState& as, ChunkId c, HomeReq req) {
         } else {
           ctl2.g = GlobalState::kDirty;
           ctl2.owner = req.src;
-          send_chunk_data(as, c, req.src, MsgType::kWriteData, req.raddr, req.rkey);
+          send_chunk_data(as, c, req.src, MsgType::kWriteData, req.raddr, req.rkey,
+                          req.trace);
         }
         return;
       }
@@ -475,7 +485,8 @@ void Engine::home_dirty(NodeArrayState& as, ChunkId c, HomeReq req) {
           complete_local(as, c, req.orig);
         } else {
           ctl2.op_nodes.add(req.src);
-          send_msg(req.src, MsgType::kOperateResp, as.meta->id, c, req.op);
+          send_msg(req.src, MsgType::kOperateResp, as.meta->id, c, req.op, 0, 0, 0, 0,
+                   req.trace);
         }
         return;
       }
@@ -494,7 +505,7 @@ void Engine::home_operated(NodeArrayState& as, ChunkId c, HomeReq req) {
       return;
     }
     ctl.op_nodes.add(req.src);
-    send_msg(req.src, MsgType::kOperateResp, as.meta->id, c, req.op);
+    send_msg(req.src, MsgType::kOperateResp, as.meta->id, c, req.op, 0, 0, 0, 0, req.trace);
     return;
   }
 
@@ -503,7 +514,8 @@ void Engine::home_operated(NodeArrayState& as, ChunkId c, HomeReq req) {
   // request under Unshared.
   ctl.busy = true;
   ctl.awaiting = ctl.op_nodes;
-  for (NodeId n : ctl.awaiting) send_msg(n, MsgType::kFlushReq, as.meta->id, c, ctl.g_op);
+  for (NodeId n : ctl.awaiting)
+    send_msg(n, MsgType::kFlushReq, as.meta->id, c, ctl.g_op, 0, 0, 0, 0, req.trace);
 
   ctl.self_drain_pending = true;
   start_drain(d, DentryState::kInvalid, [this, &as, c] {
@@ -660,21 +672,31 @@ void Engine::try_issue_remote(NodeArrayState& as, ChunkId c) {
   }
 
   const NodeId home = as.meta->home_of_chunk(c);
-  const auto issue = [this, &as, c, home](LocalRequest::Kind kind, uint16_t op) {
+  const auto issue = [this, &as, c, home](LocalRequest::Kind kind, uint16_t op,
+                                          uint64_t trace) {
     ChunkCtl& ctl2 = as.ctl[c];
     ctl2.outstanding = true;
+    const auto dir_req = [&](MsgType type) {
+      obs::trace(obs::Ev::kDirReq, trace, static_cast<uint8_t>(type),
+                 static_cast<uint16_t>(self_), static_cast<uint32_t>(c), home);
+    };
     switch (kind) {
       case LocalRequest::Kind::kRead:
       case LocalRequest::Kind::kPrefetch:
+        dir_req(MsgType::kReadReq);
         send_msg(home, MsgType::kReadReq, as.meta->id, c, kNoOp,
-                 reinterpret_cast<uint64_t>(ctl2.line->data), region_->data_rkey());
+                 reinterpret_cast<uint64_t>(ctl2.line->data), region_->data_rkey(), 0, 0,
+                 trace);
         return;
       case LocalRequest::Kind::kWrite:
+        dir_req(MsgType::kWriteReq);
         send_msg(home, MsgType::kWriteReq, as.meta->id, c, kNoOp,
-                 reinterpret_cast<uint64_t>(ctl2.line->data), region_->data_rkey());
+                 reinterpret_cast<uint64_t>(ctl2.line->data), region_->data_rkey(), 0, 0,
+                 trace);
         return;
       case LocalRequest::Kind::kOperate:
-        send_msg(home, MsgType::kOperateReq, as.meta->id, c, op);
+        dir_req(MsgType::kOperateReq);
+        send_msg(home, MsgType::kOperateReq, as.meta->id, c, op, 0, 0, 0, 0, trace);
         return;
       default:
         DARRAY_UNREACHABLE("bad issue kind");
@@ -689,13 +711,14 @@ void Engine::try_issue_remote(NodeArrayState& as, ChunkId c) {
                                   ? DentryState::kPendingOperate
                                   : DentryState::kPendingRead;
   const auto op = head->op_id;
+  const uint64_t trace = head->trace_id;
   if (s == DentryState::kInvalid) {
     d.promote(pending);  // nothing accessible: no drain needed
-    issue(kind, op);
+    issue(kind, op, trace);
   } else {
     // Upgrade (kRead → W/O) or conversion out of kOperated: drain current
     // accessors first, then ask home.
-    start_drain(d, pending, [issue, kind, op] { issue(kind, op); });
+    start_drain(d, pending, [issue, kind, op, trace] { issue(kind, op, trace); });
   }
 
   // Demand reads (including read pins — the sequential-scan hint) trigger
@@ -748,6 +771,8 @@ void Engine::on_fill(NodeArrayState& as, ChunkId c, const net::RpcMessage& m) {
   DARRAY_ASSERT(ctl.outstanding);
   DARRAY_ASSERT(ctl.line != nullptr);
   ctl.outstanding = false;
+  obs::trace(obs::Ev::kDirResp, m.hdr.trace, static_cast<uint8_t>(m.hdr.type),
+             static_cast<uint16_t>(self_), static_cast<uint32_t>(c), m.hdr.src_node);
 
   d.data.store(ctl.line->data, std::memory_order_release);
   switch (m.hdr.type) {
@@ -779,9 +804,10 @@ void Engine::on_invalidate(NodeArrayState& as, ChunkId c, const net::RpcMessage&
   ChunkCtl& ctl = as.ctl[c];
   Dentry& d = as.dentries[c];
   const NodeId home = m.hdr.src_node;
+  const uint64_t trace = m.hdr.trace;
   const DentryState s = d.state.load(std::memory_order_acquire);
   if (s == DentryState::kRead) {
-    start_drain(d, DentryState::kInvalid, [this, &as, c, home] {
+    start_drain(d, DentryState::kInvalid, [this, &as, c, home, trace] {
       ChunkCtl& ctl2 = as.ctl[c];
       Dentry& d2 = as.dentries[c];
       d2.data.store(nullptr, std::memory_order_release);
@@ -789,7 +815,7 @@ void Engine::on_invalidate(NodeArrayState& as, ChunkId c, const net::RpcMessage&
         region_->free(ctl2.line);
         ctl2.line = nullptr;
       }
-      send_msg(home, MsgType::kInvAck, as.meta->id, c);
+      send_msg(home, MsgType::kInvAck, as.meta->id, c, kNoOp, 0, 0, 0, 0, trace);
       try_issue_remote(as, c);  // requests parked while we were draining
     });
     return;
@@ -798,7 +824,7 @@ void Engine::on_invalidate(NodeArrayState& as, ChunkId c, const net::RpcMessage&
   // request is queued behind the home's transaction): ack immediately.
   DARRAY_ASSERT(s != DentryState::kWrite && s != DentryState::kOperated);
   (void)ctl;
-  send_msg(home, MsgType::kInvAck, as.meta->id, c);
+  send_msg(home, MsgType::kInvAck, as.meta->id, c, kNoOp, 0, 0, 0, 0, trace);
 }
 
 void Engine::on_fetch(NodeArrayState& as, ChunkId c, const net::RpcMessage& m) {
@@ -810,14 +836,16 @@ void Engine::on_fetch(NodeArrayState& as, ChunkId c, const net::RpcMessage& m) {
     return;
   }
   const bool keep = m.hdr.aux == static_cast<uint32_t>(net::FetchTarget::kShared);
+  const uint64_t trace = m.hdr.trace;
   const DentryState target = keep ? DentryState::kRead : DentryState::kInvalid;
-  start_drain(d, target, [this, &as, c, home, keep] {
+  start_drain(d, target, [this, &as, c, home, keep, trace] {
     ChunkCtl& ctl = as.ctl[c];
     net::TxRequest t;
     t.dst = static_cast<uint16_t>(home);
     t.hdr.type = MsgType::kFetchData;
     t.hdr.array_id = as.meta->id;
     t.hdr.chunk = c;
+    t.hdr.trace = trace;
     t.data_src = ctl.line->data;
     t.data_len = as.meta->elems_in_chunk(c) * as.meta->elem_size;
     t.data_lkey = region_->data_lkey();
@@ -842,14 +870,15 @@ void Engine::on_flush_req(NodeArrayState& as, ChunkId c, const net::RpcMessage& 
   const DentryState s = d.state.load(std::memory_order_acquire);
   if (s == DentryState::kOperated) {
     const uint16_t op_id = d.op_id.load(std::memory_order_acquire);
-    start_drain(d, DentryState::kInvalid, [this, &as, c, op_id] {
+    const uint64_t trace = m.hdr.trace;
+    start_drain(d, DentryState::kInvalid, [this, &as, c, op_id, trace] {
       ChunkCtl& ctl2 = as.ctl[c];
       Dentry& d2 = as.dentries[c];
       d2.data.store(nullptr, std::memory_order_release);
       d2.combine.store(nullptr, std::memory_order_release);
       d2.combine_bitmap.store(nullptr, std::memory_order_release);
       d2.op_id.store(kNoOp, std::memory_order_release);
-      send_combine_flush(as, c, ctl2, op_id);
+      send_combine_flush(as, c, ctl2, op_id, trace);
       region_->free(ctl2.line);
       ctl2.line = nullptr;
       try_issue_remote(as, c);  // requests parked while we were draining
@@ -859,7 +888,7 @@ void Engine::on_flush_req(NodeArrayState& as, ChunkId c, const net::RpcMessage& 
   if (ctl.combine_valid) {
     // We are mid-upgrade (kPending*): the line is being reused as the fill
     // target but its combine area still holds our unflushed operands.
-    send_combine_flush(as, c, ctl, m.hdr.op_id);
+    send_combine_flush(as, c, ctl, m.hdr.op_id, m.hdr.trace);
     return;
   }
   // A voluntary OpFlush from us is already in flight; home counts that one.
@@ -890,11 +919,14 @@ net::PayloadBuf Engine::build_flush_payload(const NodeArrayState& as, ChunkId c,
 }
 
 void Engine::send_combine_flush(NodeArrayState& as, ChunkId c, ChunkCtl& ctl,
-                                uint16_t op_id) {
+                                uint16_t op_id, uint64_t trace) {
   const NodeId home = as.meta->home_of_chunk(c);
   net::PayloadBuf payload = build_flush_payload(as, c, ctl.line);
   ctl.combine_valid = false;
-  send_msg(home, MsgType::kOpFlush, as.meta->id, c, op_id, 0, 0, 0, 0, std::move(payload));
+  obs::trace(obs::Ev::kCombineFlush, trace, 0, static_cast<uint16_t>(self_),
+             static_cast<uint32_t>(c), payload.size() / sizeof(net::OpFlushEntry));
+  send_msg(home, MsgType::kOpFlush, as.meta->id, c, op_id, 0, 0, 0, 0, trace,
+           std::move(payload));
 }
 
 void Engine::apply_flush_payload(NodeArrayState& as, ChunkId c, uint16_t op_id,
@@ -922,7 +954,7 @@ void Engine::local_lock_acquire(LocalRequest* r) {
   stats_.lock_acquires++;
   if (home == self_) {
     if (locks_.acquire(r->array, r->index,
-                       LockWaiter{self_, r->lock_write != 0, 0, r})) {
+                       LockWaiter{self_, r->lock_write != 0, 0, r, r->trace_id})) {
       r->done.signal();
     } else {
       stats_.lock_waits++;
@@ -932,7 +964,7 @@ void Engine::local_lock_acquire(LocalRequest* r) {
   const uint32_t txn = next_txn_++;
   pending_locks_[txn] = r;
   send_msg(home, MsgType::kLockAcq, r->array, r->chunk, kNoOp, r->index, 0,
-           r->lock_write, txn);
+           r->lock_write, txn, r->trace_id);
 }
 
 void Engine::local_lock_release(LocalRequest* r) {
@@ -943,7 +975,8 @@ void Engine::local_lock_release(LocalRequest* r) {
     locks_.release(r->array, r->index, self_, grants);
     deliver_lock_grants(r->array, r->index, grants);
   } else {
-    send_msg(home, MsgType::kLockRel, r->array, r->chunk, kNoOp, r->index);
+    send_msg(home, MsgType::kLockRel, r->array, r->chunk, kNoOp, r->index, 0, 0, 0,
+             r->trace_id);
   }
   r->done.signal();
 }
@@ -953,9 +986,10 @@ void Engine::rpc_lock(const net::RpcMessage& m) {
     case MsgType::kLockAcq: {
       const bool write = m.hdr.aux != 0;
       if (locks_.acquire(m.hdr.array_id, m.hdr.addr,
-                         LockWaiter{m.hdr.src_node, write, m.hdr.txn_id, nullptr})) {
+                         LockWaiter{m.hdr.src_node, write, m.hdr.txn_id, nullptr,
+                                    m.hdr.trace})) {
         send_msg(m.hdr.src_node, MsgType::kLockGrant, m.hdr.array_id, m.hdr.chunk, kNoOp,
-                 m.hdr.addr, 0, 0, m.hdr.txn_id);
+                 m.hdr.addr, 0, 0, m.hdr.txn_id, m.hdr.trace);
       } else {
         stats_.lock_waits++;
       }
@@ -987,7 +1021,8 @@ void Engine::deliver_lock_grants(ArrayId array, uint64_t index,
     if (w.local) {
       w.local->done.signal();
     } else {
-      send_msg(w.node, MsgType::kLockGrant, array, c, kNoOp, index, 0, 0, w.txn_id);
+      send_msg(w.node, MsgType::kLockGrant, array, c, kNoOp, index, 0, 0, w.txn_id,
+               w.trace);
     }
   }
 }
@@ -1097,7 +1132,7 @@ void Engine::start_drain(Dentry& d, DentryState target, std::function<void()> th
 
 void Engine::send_msg(NodeId dst, MsgType type, ArrayId array, ChunkId chunk, uint16_t op,
                       uint64_t addr, uint32_t rkey, uint32_t aux, uint32_t txn,
-                      net::PayloadBuf payload) {
+                      uint64_t trace, net::PayloadBuf payload) {
   DARRAY_ASSERT_MSG(dst != self_, "self messages must be handled locally");
   net::TxRequest t;
   t.dst = static_cast<uint16_t>(dst);
@@ -1109,17 +1144,19 @@ void Engine::send_msg(NodeId dst, MsgType type, ArrayId array, ChunkId chunk, ui
   t.hdr.rkey = rkey;
   t.hdr.aux = aux;
   t.hdr.txn_id = txn;
+  t.hdr.trace = trace;
   t.payload = std::move(payload);
   node_->comm().post(std::move(t));
 }
 
 void Engine::send_chunk_data(NodeArrayState& as, ChunkId c, NodeId dst, MsgType type,
-                             uint64_t raddr, uint32_t rkey) {
+                             uint64_t raddr, uint32_t rkey, uint64_t trace) {
   net::TxRequest t;
   t.dst = static_cast<uint16_t>(dst);
   t.hdr.type = type;
   t.hdr.array_id = as.meta->id;
   t.hdr.chunk = c;
+  t.hdr.trace = trace;
   t.data_src = as.chunk_data(c);
   t.data_len = as.meta->elems_in_chunk(c) * as.meta->elem_size;
   t.data_lkey = as.subarray_mr.lkey;

@@ -56,6 +56,7 @@ class Engine {
     uint16_t op = kNoOp;
     uint64_t raddr = 0;  // requester cacheline address (remote src only)
     uint32_t rkey = 0;
+    uint64_t trace = 0;  // obs correlation id of the originating op
     PendingReq orig;
   };
 
@@ -89,7 +90,8 @@ class Engine {
                                       CacheLine* line) const;
   void apply_flush_payload(NodeArrayState& as, ChunkId c, uint16_t op_id,
                            const net::PayloadBuf& payload);
-  void send_combine_flush(NodeArrayState& as, ChunkId c, ChunkCtl& ctl, uint16_t op_id);
+  void send_combine_flush(NodeArrayState& as, ChunkId c, ChunkCtl& ctl, uint16_t op_id,
+                          uint64_t trace = 0);
 
   // --- locks -----------------------------------------------------------------
   void local_lock_acquire(LocalRequest* r);
@@ -107,10 +109,10 @@ class Engine {
   // --- messaging ---------------------------------------------------------------
   void send_msg(NodeId dst, net::MsgType type, ArrayId array, ChunkId chunk,
                 uint16_t op = kNoOp, uint64_t addr = 0, uint32_t rkey = 0,
-                uint32_t aux = 0, uint32_t txn = 0,
+                uint32_t aux = 0, uint32_t txn = 0, uint64_t trace = 0,
                 net::PayloadBuf payload = {});
   void send_chunk_data(NodeArrayState& as, ChunkId c, NodeId dst, net::MsgType type,
-                       uint64_t raddr, uint32_t rkey);
+                       uint64_t raddr, uint32_t rkey, uint64_t trace = 0);
 
   NodeArrayState& state_of(ArrayId id) const;
   bool is_home(const NodeArrayState& as, ChunkId c) const;

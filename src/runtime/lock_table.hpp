@@ -18,6 +18,7 @@ struct LockWaiter {
   bool write = false;
   uint32_t txn_id = 0;              // remote waiters: echoed in the grant
   LocalRequest* local = nullptr;    // local waiters: signalled directly
+  uint64_t trace = 0;               // obs correlation id, echoed in the grant
 };
 
 class LockTable {

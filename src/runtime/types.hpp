@@ -75,6 +75,7 @@ struct LocalRequest {
   ChunkId chunk = 0;
   uint64_t index = 0;   // element index
   uint64_t operand = 0; // in: value bits for kWrite/kOperate; out: kRead result
+  uint64_t trace_id = 0;  // obs correlation id of the originating API op
   DentryState granted = DentryState::kInvalid;  // out: kPin
   Completion done;
 };

@@ -1,0 +1,128 @@
+// scoped_rlock / scoped_wlock / scoped_pin RAII guards: release on scope
+// exit (including exception unwinds), move-only ownership transfer, and the
+// typed OpHandle returned by register_op.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using testing::run_on_nodes;
+using testing::small_cfg;
+
+TEST(DArrayGuard, WlockGuardReleasesOnScopeExit) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  bind_thread(cluster, 0);
+  {
+    auto g = a.scoped_wlock(3);
+    EXPECT_TRUE(g.held());
+    EXPECT_EQ(g.index(), 3u);
+  }
+  // Released: re-acquiring immediately must not deadlock.
+  a.wlock(3);
+  a.unlock(3);
+}
+
+TEST(DArrayGuard, GuardReleasesWhenAnExceptionUnwinds) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  bind_thread(cluster, 0);
+  EXPECT_THROW(
+      {
+        auto g = a.scoped_wlock(5);
+        a.set(5, 1);
+        throw std::runtime_error("unwind through the guard");
+      },
+      std::runtime_error);
+  // The unwind released the writer lock; a second writer gets it.
+  auto g = a.scoped_wlock(5);
+  EXPECT_TRUE(g.held());
+}
+
+TEST(DArrayGuard, EarlyUnlockIsIdempotent) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  bind_thread(cluster, 0);
+  auto g = a.scoped_rlock(1);
+  g.unlock();
+  EXPECT_FALSE(g.held());
+  g.unlock();  // second unlock is a no-op, not a double release
+  a.wlock(1);  // lock is actually free (readers would block a writer)
+  a.unlock(1);
+}
+
+TEST(DArrayGuard, MoveTransfersOwnership) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  bind_thread(cluster, 0);
+  auto g1 = a.scoped_wlock(2);
+  auto g2 = std::move(g1);
+  EXPECT_FALSE(g1.held());  // NOLINT(bugprone-use-after-move): probing the moved-from state
+  EXPECT_TRUE(g2.held());
+  g2.unlock();
+  // Move-assignment releases the destination's lock before stealing.
+  auto ga = a.scoped_wlock(10);
+  auto gb = a.scoped_wlock(11);
+  ga = std::move(gb);
+  EXPECT_EQ(ga.index(), 11u);
+  a.wlock(10);  // 10 was released by the assignment
+  a.unlock(10);
+}
+
+TEST(DArrayGuard, WlockGuardExcludesOtherNodes) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 128);
+  constexpr int kPerNode = 40;
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    for (int i = 0; i < kPerNode; ++i) {
+      auto g = a.scoped_wlock(2);
+      a.set(2, a.get(2) + 1);
+    }
+  });
+  bind_thread(cluster, 0);
+  EXPECT_EQ(a.get(2), static_cast<uint64_t>(2 * kPerNode));
+}
+
+TEST(DArrayGuard, ScopedPinHoldsAndReleases) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  bind_thread(cluster, 0);
+  {
+    auto p = a.scoped_pin(0, PinMode::kRead);
+    ASSERT_TRUE(p);
+    EXPECT_TRUE(p.pinned());
+    (void)a.get(0);
+  }
+  // Released: pinning the same chunk again succeeds from a clean slate.
+  auto p2 = a.scoped_pin(0, PinMode::kWrite);
+  ASSERT_TRUE(p2);
+  a.set(0, 9);
+  p2.release();
+  EXPECT_FALSE(p2.pinned());
+  EXPECT_EQ(a.get(0), 9u);
+}
+
+TEST(DArrayOpHandle, TypedHandleAppliesAndShimsToUint16) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  bind_thread(cluster, 0);
+  const OpHandle<uint64_t> add =
+      a.register_op(+[](uint64_t& acc, uint64_t v) { acc += v; }, 0);
+  a.apply(7, add, 5);
+  // Transitional shim: the handle still flows into uint16_t-typed code.
+  const uint16_t raw = add;
+  EXPECT_EQ(raw, add.id());
+  a.apply(7, raw, 5);
+  EXPECT_EQ(a.get(7), 10u);
+}
+
+}  // namespace
+}  // namespace darray

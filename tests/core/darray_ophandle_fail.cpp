@@ -1,0 +1,19 @@
+// Compile-fail probe: applying an OpHandle<uint64_t> to a DArray<double> must
+// be rejected at compile time by the deleted cross-type apply overload. This
+// file is NOT part of the default build; ctest builds it expecting failure
+// (see tests/CMakeLists.txt, WILL_FAIL).
+#include "core/darray.hpp"
+#include "runtime/cluster.hpp"
+
+int main() {
+  darray::rt::ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  darray::rt::Cluster cluster(cfg);
+  auto ints = darray::DArray<uint64_t>::create(cluster, 64);
+  auto doubles = darray::DArray<double>::create(cluster, 64);
+  darray::bind_thread(cluster, 0);
+  const darray::OpHandle<uint64_t> add =
+      ints.register_op(+[](uint64_t& a, uint64_t v) { a += v; }, 0);
+  doubles.apply(0, add, 1.0);  // must not compile: handle is typed to uint64_t
+  return 0;
+}

@@ -1,0 +1,109 @@
+// get_range / set_range: span-based bulk accessors must agree with the
+// per-element API across chunk boundaries and node partition boundaries.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using testing::run_on_nodes;
+using testing::small_cfg;
+
+TEST(DArrayRange, RoundTripWithinOneChunk) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 256);
+  bind_thread(cluster, 0);
+  std::vector<uint64_t> in(16);
+  std::iota(in.begin(), in.end(), 100);
+  a.set_range(8, std::span<const uint64_t>(in));
+  std::vector<uint64_t> out(16, 0);
+  a.get_range(8, std::span<uint64_t>(out));
+  EXPECT_EQ(out, in);
+  for (uint64_t i = 0; i < in.size(); ++i) EXPECT_EQ(a.get(8 + i), in[i]);
+}
+
+TEST(DArrayRange, CrossesChunkBoundaries) {
+  // small_cfg uses chunk_elems = 64: a range of 200 starting at 40 spans
+  // four chunks (40..239).
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 512);
+  bind_thread(cluster, 0);
+  std::vector<uint64_t> in(200);
+  std::iota(in.begin(), in.end(), 1);
+  a.set_range(40, std::span<const uint64_t>(in));
+  // Neighbours on both sides are untouched.
+  EXPECT_EQ(a.get(39), 0u);
+  EXPECT_EQ(a.get(240), 0u);
+  std::vector<uint64_t> out(200, 0);
+  a.get_range(40, std::span<uint64_t>(out));
+  EXPECT_EQ(out, in);
+  for (uint64_t i : {0ull, 23ull, 64ull, 127ull, 128ull, 199ull})
+    EXPECT_EQ(a.get(40 + i), in[i]) << "element " << i;
+}
+
+TEST(DArrayRange, CrossesNodePartitionBoundary) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 1024);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    // Node 1's partition starts at local_begin(1); straddle it.
+    const uint64_t boundary = a.local_begin(1);
+    ASSERT_GT(boundary, 96u);
+    std::vector<uint64_t> in(192);
+    std::iota(in.begin(), in.end(), 7);
+    a.set_range(boundary - 96, std::span<const uint64_t>(in));
+    std::vector<uint64_t> out(192, 0);
+    a.get_range(boundary - 96, std::span<uint64_t>(out));
+    EXPECT_EQ(out, in);
+  });
+  // The writes are visible element-wise from the other node too.
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 1) return;
+    const uint64_t boundary = a.local_begin(1);
+    for (uint64_t i = 0; i < 192; ++i)
+      EXPECT_EQ(a.get(boundary - 96 + i), 7 + i) << "element " << i;
+  });
+}
+
+TEST(DArrayRange, EmptySpanIsANoOp) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 64);
+  bind_thread(cluster, 0);
+  a.set(0, 5);
+  a.set_range(0, std::span<const uint64_t>());
+  std::span<uint64_t> empty;
+  a.get_range(0, empty);
+  EXPECT_EQ(a.get(0), 5u);
+}
+
+TEST(DArrayRange, ConcurrentDisjointRangesLandIntact) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 1024);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    // Each node writes the *other* node's half in 128-element strides.
+    const uint64_t base = a.local_begin(1 - n);
+    std::vector<uint64_t> in(128);
+    for (uint64_t s = 0; s < 4; ++s) {
+      std::iota(in.begin(), in.end(), base + s * 1000);
+      a.set_range(base + s * 128, std::span<const uint64_t>(in));
+    }
+  });
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    const uint64_t base = a.local_begin(n);  // written by the peer
+    std::vector<uint64_t> out(128);
+    for (uint64_t s = 0; s < 4; ++s) {
+      a.get_range(base + s * 128, std::span<uint64_t>(out));
+      for (uint64_t i = 0; i < 128; ++i)
+        EXPECT_EQ(out[i], base + s * 1000 + i) << "stride " << s << " elt " << i;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace darray

@@ -188,11 +188,11 @@ TEST(Coalesce, BurstSharesWireSends) {
 
 TEST(Coalesce, ByteCutoffSplitsAtMaxMsgBytes) {
   ClusterConfig cfg;
-  cfg.chunk_elems = 8;  // max_msg_bytes = 40 + 8*16 = 168
+  cfg.chunk_elems = 8;  // max_msg_bytes = 48 + 8*16 = 176
   Harness h(cfg);
-  ASSERT_EQ(h.c0->max_msg_bytes(), 168u);
-  // Header-only frames are 40 B; envelope (40) + 3 frames = 160 ≤ 168, a 4th
-  // would need 200 → batches of exactly 3.
+  ASSERT_EQ(h.c0->max_msg_bytes(), 176u);
+  // Header-only frames are 48 B; envelope (48) + 2 frames = 144 ≤ 176, a 3rd
+  // would need 192 → batches of exactly 2.
   constexpr int kMsgs = 7;
   for (int i = 0; i < kMsgs; ++i) h.c0->post(inv_ack(1, static_cast<uint64_t>(i)));
   h.start();
@@ -202,16 +202,16 @@ TEST(Coalesce, ByteCutoffSplitsAtMaxMsgBytes) {
   for (int i = 0; i < kMsgs; ++i)
     EXPECT_EQ(h.inbox1[static_cast<size_t>(i)].hdr.chunk, static_cast<uint64_t>(i));
   const rdma::FabricStats s = h.fabric.stats();
-  // [3][3][1]: two multi-frame batches plus a bare singleton.
-  EXPECT_EQ(s.sends, 3u);
+  // [2][2][2][1]: three multi-frame batches plus a bare singleton.
+  EXPECT_EQ(s.sends, 4u);
   EXPECT_EQ(s.coalesced_frames, 6u);
 }
 
 TEST(Coalesce, OversizeFrameGoesOutAloneInPlainFormat) {
   ClusterConfig cfg;
-  cfg.chunk_elems = 8;  // max_msg_bytes = 168
+  cfg.chunk_elems = 8;  // max_msg_bytes = 176
   Harness h(cfg);
-  // A max-size payload (128 B → 168 B frame) cannot share a buffer with the
+  // A max-size payload (128 B → 176 B frame) cannot share a buffer with the
   // envelope; it must ship bare, between its neighbours, in order.
   TxRequest big;
   big.dst = 1;

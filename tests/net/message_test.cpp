@@ -11,7 +11,7 @@ namespace {
 
 TEST(Message, HeaderIsFixedSize) {
   // The wire format depends on this layout; catch accidental growth.
-  EXPECT_EQ(sizeof(MsgHeader), 40u);
+  EXPECT_EQ(sizeof(MsgHeader), 48u);
   EXPECT_EQ(sizeof(OpFlushEntry), 16u);
 }
 

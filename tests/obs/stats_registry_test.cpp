@@ -1,0 +1,100 @@
+// StatsRegistry / StatsSnapshot: naming, lookup, JSON shape, and snapshot
+// consistency while sources are being bumped and registered concurrently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/histogram.hpp"
+#include "obs/stats_registry.hpp"
+
+namespace darray::obs {
+namespace {
+
+TEST(StatsSnapshot, AddFindValueOr) {
+  StatsSnapshot s;
+  s.add("fabric.sends", 12);
+  s.add("pool.hits", 0);
+  ASSERT_NE(s.find("fabric.sends"), nullptr);
+  EXPECT_EQ(*s.find("fabric.sends"), 12u);
+  EXPECT_EQ(s.find("fabric.nope"), nullptr);
+  EXPECT_EQ(s.value_or("pool.hits", 99), 0u);
+  EXPECT_EQ(s.value_or("missing", 99), 99u);
+}
+
+TEST(StatsSnapshot, HistogramFlattensToPercentileEntries) {
+  LatencyHistogram h;
+  for (uint64_t i = 1; i <= 100; ++i) h.record(i * 1000);
+  StatsSnapshot s;
+  s.add_histogram("op.get", h);
+  EXPECT_EQ(s.value_or("op.get.count"), 100u);
+  EXPECT_GT(s.value_or("op.get.mean_ns"), 0u);
+  EXPECT_GT(s.value_or("op.get.p99_ns"), s.value_or("op.get.p50_ns"));
+}
+
+TEST(StatsSnapshot, ToJsonIsWellFormed) {
+  StatsSnapshot s;
+  s.add("a.x", 1);
+  s.add("a.y", 2);
+  EXPECT_EQ(s.to_json(), "{\n  \"a.x\": 1,\n  \"a.y\": 2\n}");
+  // Empty snapshots still produce a valid object.
+  EXPECT_EQ(StatsSnapshot{}.to_json(), "{\n}");
+}
+
+TEST(StatsRegistry, SourcesRunInRegistrationOrder) {
+  StatsRegistry reg;
+  reg.add_source([](StatsSnapshot& s) { s.add("first", 1); });
+  reg.add_source([](StatsSnapshot& s) { s.add("second", 2); });
+  const StatsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.entries.size(), 2u);
+  EXPECT_EQ(s.entries[0].name, "first");
+  EXPECT_EQ(s.entries[1].name, "second");
+}
+
+// Snapshots taken while counters advance and new sources register must stay
+// internally consistent: every registered source contributes exactly once,
+// and a monotonic counter never appears to run backwards across snapshots.
+TEST(StatsRegistry, SnapshotConsistentUnderConcurrentOps) {
+  StatsRegistry reg;
+  std::atomic<uint64_t> counter{0};
+  reg.add_source([&](StatsSnapshot& s) {
+    s.add("test.counter", counter.load(std::memory_order_relaxed));
+  });
+
+  std::atomic<bool> stop{false};
+  std::thread bump([&] {
+    while (!stop.load(std::memory_order_relaxed))
+      counter.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::thread registrar([&] {
+    for (int i = 0; i < 100; ++i)
+      reg.add_source([](StatsSnapshot& s) { s.add("test.extra", 7); });
+  });
+
+  uint64_t last = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const StatsSnapshot s = reg.snapshot();
+    const uint64_t v = s.value_or("test.counter", ~0ull);
+    ASSERT_NE(v, ~0ull);          // the counter source always reports
+    EXPECT_GE(v, last);           // monotonic across snapshots
+    last = v;
+    for (const StatEntry& e : s.entries) {
+      if (e.name == "test.extra") {
+        EXPECT_EQ(e.value, 7u);
+      }
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  bump.join();
+  registrar.join();
+
+  // All 100 late sources made it in; each contributes exactly one entry.
+  const StatsSnapshot fin = reg.snapshot();
+  size_t extras = 0;
+  for (const StatEntry& e : fin.entries)
+    if (e.name == "test.extra") ++extras;
+  EXPECT_EQ(extras, 100u);
+}
+
+}  // namespace
+}  // namespace darray::obs

@@ -1,0 +1,108 @@
+// TraceRing mechanics: wraparound, drop accounting, collect ordering, and the
+// process-wide gate/corr-id helpers.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace darray::obs {
+namespace {
+
+TraceEvent ev(uint64_t ts, uint64_t b) {
+  TraceEvent e;
+  e.ts_ns = ts;
+  e.corr = 7;
+  e.ev = Ev::kWrPost;
+  e.kind = 3;
+  e.node = 1;
+  e.a = 42;
+  e.b = b;
+  return e;
+}
+
+TEST(TraceRing, CapacityRoundsToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1).capacity(), 2u);
+  EXPECT_EQ(TraceRing(3).capacity(), 4u);
+  EXPECT_EQ(TraceRing(4).capacity(), 4u);
+  EXPECT_EQ(TraceRing(5).capacity(), 8u);
+}
+
+TEST(TraceRing, CollectBelowCapacityKeepsEverythingInOrder) {
+  TraceRing r(8);
+  for (uint64_t i = 0; i < 5; ++i) r.push(ev(100 + i, i));
+  EXPECT_EQ(r.pushed(), 5u);
+  EXPECT_EQ(r.dropped(), 0u);
+  const std::vector<TraceEvent> got = r.collect();
+  ASSERT_EQ(got.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[i].ts_ns, 100 + i);
+    EXPECT_EQ(got[i].b, i);
+    EXPECT_EQ(got[i].corr, 7u);
+    EXPECT_EQ(got[i].ev, Ev::kWrPost);
+    EXPECT_EQ(got[i].kind, 3u);
+    EXPECT_EQ(got[i].node, 1u);
+    EXPECT_EQ(got[i].a, 42u);
+  }
+}
+
+TEST(TraceRing, WraparoundKeepsTheNewestAndCountsDrops) {
+  TraceRing r(4);
+  ASSERT_EQ(r.capacity(), 4u);
+  for (uint64_t i = 0; i < 11; ++i) r.push(ev(i, i));
+  EXPECT_EQ(r.pushed(), 11u);
+  EXPECT_EQ(r.dropped(), 7u);  // 11 pushed - 4 retained
+  const std::vector<TraceEvent> got = r.collect();
+  ASSERT_EQ(got.size(), 4u);
+  // The survivors are the last 4, oldest first.
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(got[i].b, 7 + i);
+}
+
+TEST(TraceRing, ResetForgetsHistory) {
+  TraceRing r(4);
+  for (uint64_t i = 0; i < 9; ++i) r.push(ev(i, i));
+  r.reset();
+  EXPECT_EQ(r.pushed(), 0u);
+  EXPECT_EQ(r.dropped(), 0u);
+  EXPECT_TRUE(r.collect().empty());
+  r.push(ev(1, 1));
+  EXPECT_EQ(r.collect().size(), 1u);
+}
+
+#if DARRAY_TRACING
+
+TEST(TraceGate, RuntimeFlagGatesRecording) {
+  set_tracing(false);
+  EXPECT_FALSE(tracing_enabled());
+  const uint64_t before = trace_totals().recorded;
+  trace(Ev::kMiss, 1, 0, 0, 0, 0);  // gated off: must not record
+  EXPECT_EQ(trace_totals().recorded, before);
+  set_tracing(true);
+  trace(Ev::kMiss, 1, 0, 0, 0, 0);
+  EXPECT_EQ(trace_totals().recorded, before + 1);
+  set_tracing(false);
+}
+
+TEST(TraceGate, CorrIdsAreUniqueAcrossThreads) {
+  std::vector<std::vector<uint64_t>> per_thread(4);
+  std::vector<std::thread> ts;
+  for (size_t t = 0; t < per_thread.size(); ++t) {
+    ts.emplace_back([&ids = per_thread[t]] {
+      for (int i = 0; i < 1000; ++i) ids.push_back(new_corr_id());
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::unordered_set<uint64_t> all;
+  for (const auto& ids : per_thread)
+    for (uint64_t id : ids) {
+      EXPECT_NE(id, 0u);  // 0 is reserved for "not attributed"
+      EXPECT_TRUE(all.insert(id).second) << "duplicate corr id " << id;
+    }
+}
+
+#endif  // DARRAY_TRACING
+
+}  // namespace
+}  // namespace darray::obs

@@ -1,0 +1,188 @@
+// darray-trace: offline reader for trace dumps produced by
+// obs::dump_trace_json (bench/chaos_ablation --trace, or any harness calling
+// the dump API). The dump is line-oriented — one event object per line — so
+// this parses with sscanf instead of pulling in a JSON library.
+//
+//   darray-trace TRACE.json              summary: event counts, span stats
+//   darray-trace TRACE.json --slowest N  top N slowest API op spans
+//   darray-trace TRACE.json --corr HEX   every event of one correlation id
+//
+// Exit status: 0 on success, 1 on a malformed/unreadable dump.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace {
+
+using darray::obs::Ev;
+using darray::obs::OpKind;
+
+struct Rec {
+  uint64_t t = 0;
+  uint64_t c = 0;
+  std::string ev;
+  uint32_t k = 0;
+  uint32_t node = 0;
+  uint32_t a = 0;
+  uint64_t b = 0;
+};
+
+bool parse_dump(const char* path, std::vector<Rec>& out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) {
+    std::fprintf(stderr, "darray-trace: cannot open %s\n", path);
+    return false;
+  }
+  char line[512];
+  while (std::fgets(line, sizeof(line), f)) {
+    const char* p = std::strstr(line, "{\"t\":");
+    if (!p) continue;  // header / closing lines
+    Rec r;
+    char ev[32] = {0};
+    const int n = std::sscanf(p,
+                              "{\"t\": %" SCNu64 ", \"c\": %" SCNu64
+                              ", \"ev\": \"%31[^\"]\", \"k\": %u, \"node\": %u, "
+                              "\"a\": %u, \"b\": %" SCNu64 "}",
+                              &r.t, &r.c, ev, &r.k, &r.node, &r.a, &r.b);
+    if (n != 7) {
+      std::fprintf(stderr, "darray-trace: malformed event line: %s", line);
+      std::fclose(f);
+      return false;
+    }
+    r.ev = ev;
+    out.push_back(std::move(r));
+  }
+  std::fclose(f);
+  return true;
+}
+
+struct Span {
+  uint64_t corr = 0;
+  uint64_t begin_ns = 0;
+  uint64_t end_ns = 0;
+  uint32_t kind = 0;
+  uint32_t node = 0;
+  uint64_t index = 0;
+  uint64_t events = 0;  // events carrying this corr, ends included
+};
+
+const char* kind_name(uint32_t k) {
+  return darray::obs::op_kind_name(static_cast<OpKind>(k));
+}
+
+// Pair kOpBegin/kOpEnd per correlation id and count the events in between.
+std::vector<Span> build_spans(const std::vector<Rec>& evs) {
+  std::unordered_map<uint64_t, Span> by_corr;
+  for (const Rec& r : evs) {
+    if (r.c == 0) continue;
+    Span& s = by_corr[r.c];
+    s.corr = r.c;
+    s.events++;
+    if (r.ev == "op_begin") {
+      s.begin_ns = r.t;
+      s.kind = r.k;
+      s.node = r.node;
+      s.index = r.b;
+    } else if (r.ev == "op_end") {
+      s.end_ns = r.t;
+    }
+  }
+  std::vector<Span> spans;
+  spans.reserve(by_corr.size());
+  for (auto& [corr, s] : by_corr)
+    if (s.begin_ns != 0 && s.end_ns >= s.begin_ns) spans.push_back(s);
+  return spans;
+}
+
+int cmd_summary(const std::vector<Rec>& evs) {
+  std::map<std::string, uint64_t> counts;
+  for (const Rec& r : evs) counts[r.ev]++;
+  std::printf("%zu events\n\nby type:\n", evs.size());
+  for (const auto& [name, n] : counts)
+    std::printf("  %-14s %10" PRIu64 "\n", name.c_str(), n);
+
+  const std::vector<Span> spans = build_spans(evs);
+  if (spans.empty()) {
+    std::printf("\nno complete op spans (begin+end pairs) in the dump\n");
+    return 0;
+  }
+  // Per-op-kind latency: count, mean, max over the completed spans.
+  struct Agg {
+    uint64_t n = 0, sum = 0, max = 0;
+  };
+  std::map<std::string, Agg> by_kind;
+  for (const Span& s : spans) {
+    Agg& a = by_kind[kind_name(s.kind)];
+    const uint64_t d = s.end_ns - s.begin_ns;
+    a.n++;
+    a.sum += d;
+    a.max = std::max(a.max, d);
+  }
+  std::printf("\ncompleted op spans: %zu\n", spans.size());
+  std::printf("  %-11s %9s %12s %12s\n", "op", "count", "mean_ns", "max_ns");
+  for (const auto& [name, a] : by_kind)
+    std::printf("  %-11s %9" PRIu64 " %12" PRIu64 " %12" PRIu64 "\n", name.c_str(), a.n,
+                a.sum / a.n, a.max);
+  return 0;
+}
+
+int cmd_slowest(const std::vector<Rec>& evs, size_t top_n) {
+  std::vector<Span> spans = build_spans(evs);
+  std::sort(spans.begin(), spans.end(), [](const Span& x, const Span& y) {
+    return x.end_ns - x.begin_ns > y.end_ns - y.begin_ns;
+  });
+  if (spans.size() > top_n) spans.resize(top_n);
+  std::printf("%-11s %6s %12s %12s %8s  %s\n", "op", "node", "index", "ns", "events",
+              "corr");
+  for (const Span& s : spans)
+    std::printf("%-11s %6u %12" PRIu64 " %12" PRIu64 " %8" PRIu64 "  %" PRIx64 "\n",
+                kind_name(s.kind), s.node, s.index, s.end_ns - s.begin_ns, s.events,
+                s.corr);
+  return 0;
+}
+
+int cmd_corr(const std::vector<Rec>& evs, uint64_t corr) {
+  uint64_t t0 = 0;
+  size_t n = 0;
+  for (const Rec& r : evs) {
+    if (r.c != corr) continue;
+    if (t0 == 0) t0 = r.t;
+    std::printf("%+12" PRId64 " ns  %-14s node=%u k=%u a=%u b=%" PRIu64 "\n",
+                static_cast<int64_t>(r.t - t0), r.ev.c_str(), r.node, r.k, r.a, r.b);
+    ++n;
+  }
+  if (n == 0) {
+    std::fprintf(stderr, "darray-trace: no events with corr %" PRIx64 "\n", corr);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: darray-trace TRACE.json [--slowest N | --corr HEXID]\n");
+    return 1;
+  }
+  std::vector<Rec> evs;
+  if (!parse_dump(argv[1], evs)) return 1;
+  // Dumps are merged/sorted already, but tolerate hand-edited files.
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Rec& x, const Rec& y) { return x.t < y.t; });
+
+  if (argc >= 4 && std::strcmp(argv[2], "--slowest") == 0)
+    return cmd_slowest(evs, std::strtoull(argv[3], nullptr, 10));
+  if (argc >= 4 && std::strcmp(argv[2], "--corr") == 0)
+    return cmd_corr(evs, std::strtoull(argv[3], nullptr, 16));
+  return cmd_summary(evs);
+}
