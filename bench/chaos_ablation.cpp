@@ -5,12 +5,16 @@
 //      matches the baseline figures (the chaos path costs nothing when cold);
 //   2. injector on   → faults are injected and recovered transparently, with
 //      latency degrading in proportion to the plan, never diverging.
+#include <chrono>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "bench/bench_util.hpp"
 #include "chaos/fault_plan.hpp"
 #include "core/darray.hpp"
+#include "net/message.hpp"
+#include "obs/latency_histogram.hpp"
 #include "obs/trace.hpp"
 
 using namespace darray;
@@ -128,10 +132,118 @@ int trace_main() {
   return attributed > 0 ? 0 : 1;
 }
 
+// Shared by the modes below: fail fast (and loudly) on a DARRAY_TRACING=0
+// build instead of printing empty tables.
+bool require_compiled_tracing(const char* mode) {
+  if (obs::tracing_enabled()) return true;
+  obs::set_tracing(true);
+  if (!obs::tracing_enabled()) {
+    std::printf("%s: tracing is compiled out (DARRAY_TRACING=0); nothing to do\n", mode);
+    return false;
+  }
+  obs::set_tracing(false);
+  return true;
+}
+
+// --hist: the seeded chaos workload again, with the op-latency and
+// message-class histograms on, printed as HDR-style percentile tables. The
+// fault plan is the point: p99/p999 visibly split from p50 under injected
+// RNRs and delay spikes, which a mean alone hides.
+int hist_main() {
+  std::printf("=== Chaos ablation (--hist): latency distributions under faults ===\n");
+  if (!require_compiled_tracing("--hist")) return 1;
+  const chaos::FaultPlan plan = ablation_plan(7);
+  obs::reset_latency_histograms();
+  {
+    rt::ClusterConfig cfg = bench_cfg(max_nodes());
+    cfg.fault_plan = &plan;
+    cfg.tracing_enabled = true;
+    rt::Cluster cluster(cfg);
+    const uint64_t total = elems_per_node() * cluster.num_nodes();
+    auto arr = DArray<uint64_t>::create(cluster, total);
+    measure_avg_ns(cluster, total, [&](rt::NodeId, uint64_t i) {
+      arr.set(i, i);
+      volatile uint64_t v = arr.get(i);
+      (void)v;
+    });
+  }
+  obs::set_tracing(false);
+
+  std::printf("\nper-op latency (all nodes merged):\n");
+  for (uint8_t k = 0; k < static_cast<uint8_t>(obs::OpKind::kMaxOpKind); ++k) {
+    const auto kind = static_cast<obs::OpKind>(k);
+    const obs::HistogramSnapshot h = obs::op_latency_snapshot(kind);
+    if (h.count == 0) continue;
+    std::printf("  %-10s %s\n", obs::op_kind_name(kind), h.summary().c_str());
+  }
+  std::printf("\nper-message-class send latency (staged -> completed):\n");
+  for (uint32_t c = 0; c < net::kNumMsgClasses; ++c) {
+    const obs::HistogramSnapshot h = obs::msg_class_snapshot(static_cast<uint8_t>(c));
+    if (h.count == 0) continue;
+    std::printf("  %-14s %s\n", net::msg_class_name(static_cast<uint8_t>(c)),
+                h.summary().c_str());
+  }
+  return 0;
+}
+
+// --watchdog: a scheduled 500 ms pause of node 1 stalls a remote get from
+// node 0 mid-flight; the slow-op watchdog (100 ms deadline) must report that
+// op exactly once, dumping its correlated trace chain to stderr while the op
+// is still blocked. Pause windows are relative to the injector's epoch — the
+// first WR it sees — and array creation posts no wire traffic, so the stalled
+// get's own fetch both pins the epoch and lands inside the [0, 500 ms)
+// window: it is held until the window closes, deterministically.
+int watchdog_main() {
+  std::printf("=== Chaos ablation (--watchdog): slow-op report for a 500 ms stall ===\n");
+  if (!require_compiled_tracing("--watchdog")) return 1;
+
+  chaos::FaultPlan plan;
+  plan.seed = 1;
+  chaos::FaultWindow w;
+  w.node = 1;
+  w.start_ns = 0;
+  w.duration_ns = 500'000'000;
+  w.blackhole = false;  // pause: traffic toward node 1 held until close
+  plan.windows.push_back(w);
+
+  obs::reset_trace();
+  uint64_t reports = 0;
+  {
+    rt::ClusterConfig cfg = bench_cfg(2);
+    cfg.fault_plan = &plan;
+    cfg.tracing_enabled = true;
+    cfg.watchdog_enabled = true;
+    cfg.watchdog_deadline_ns = 100'000'000;
+    cfg.watchdog_poll_ns = 5'000'000;
+    rt::Cluster cluster(cfg);
+    const uint64_t total = 2 * elems_per_node();
+    auto arr = DArray<uint64_t>::create(cluster, total);
+    bind_thread(cluster, 0);
+
+    const uint64_t t0 = now_ns();
+    volatile uint64_t v = arr.get(total / 2);  // homed on node 1
+    (void)v;
+    const uint64_t stall = now_ns() - t0;
+    reports = cluster.watchdog_reports();
+    std::printf("remote get stalled %.1f ms; watchdog reports: %llu\n",
+                static_cast<double>(stall) / 1e6,
+                static_cast<unsigned long long>(reports));
+  }
+  obs::set_tracing(false);
+  if (reports != 1) {
+    std::printf("FAIL: expected exactly one watchdog report for the stalled op\n");
+    return 1;
+  }
+  std::printf("ok: one correlated chain dumped (stderr) for the injected stall\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (has_flag(argc, argv, "--trace")) return trace_main();
+  if (has_flag(argc, argv, "--hist")) return hist_main();
+  if (has_flag(argc, argv, "--watchdog")) return watchdog_main();
   std::printf("=== Chaos ablation: seq set+get under seeded fault plans ===\n");
   std::printf("array: %llu elems/node, %u nodes, 1 thread/node\n",
               static_cast<unsigned long long>(elems_per_node()), max_nodes());

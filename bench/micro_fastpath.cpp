@@ -14,6 +14,8 @@
 #include "common/wait.hpp"
 #include "core/darray.hpp"
 #include "net/comm_layer.hpp"
+#include "obs/latency_histogram.hpp"
+#include "obs/trace.hpp"
 
 using namespace darray;
 
@@ -258,16 +260,83 @@ int json_main() {
   std::printf("payload pool: %llu hits, %llu misses\n",
               static_cast<unsigned long long>(ps.hits),
               static_cast<unsigned long long>(ps.misses));
+
+  // A short traced pass so the report's stats block carries hist.* latency
+  // percentiles. It runs after (never during) the gated measurements above —
+  // tracing stays off while the flood/pingpong/fastpath numbers are taken.
+  // The named-baseline delta isolates what this pass alone added.
+  {
+    Fixture& f = Fixture::get();
+    bind_thread(f.cluster, 0);
+    f.cluster.mark_stats_baseline("pre_traced_pass");
+    obs::set_tracing(true);
+    if (obs::tracing_enabled()) {
+      constexpr uint64_t kTracedOps = 1 << 14;
+      uint64_t sum = 0;
+      for (uint64_t i = 0; i < kTracedOps; ++i) {
+        f.arr.set(i & kMask, i);
+        sum += f.arr.get(i & kMask);
+      }
+      benchmark::DoNotOptimize(sum);
+    }
+    obs::set_tracing(false);
+    const obs::StatsSnapshot d = f.cluster.stats_delta_since("pre_traced_pass");
+    std::printf("traced pass delta: %llu gets (p99 %llu ns), %llu sets (p99 %llu ns)\n",
+                static_cast<unsigned long long>(d.value_or("hist.op.get.count")),
+                static_cast<unsigned long long>(d.value_or("hist.op.get.p99_ns")),
+                static_cast<unsigned long long>(d.value_or("hist.op.set.count")),
+                static_cast<unsigned long long>(d.value_or("hist.op.set.p99_ns")));
+  }
+
   // Unified counters from the fixture cluster ride along in the report, so
   // counter drift (extra misses, lost coalescing) diffs with the numbers.
   report.set_stats(Fixture::get().cluster.stats());
   return report.write() ? 0 : 1;
 }
 
+// --hist: the single-node access fast path under tracing, as distributions.
+// Where the google-benchmark tables above report a mean, this shows the shape
+// — a fast-path p50 of tens of ns with a p999 tail from combine flushes and
+// allocation slow paths.
+int hist_main() {
+  std::printf("=== micro_fastpath (--hist): fast-path latency distributions ===\n");
+  obs::set_tracing(true);
+  if (!obs::tracing_enabled()) {
+    std::printf("--hist: tracing is compiled out (DARRAY_TRACING=0); nothing to do\n");
+    return 1;
+  }
+  obs::set_tracing(false);
+  obs::reset_latency_histograms();
+
+  Fixture& f = Fixture::get();
+  bind_thread(f.cluster, 0);
+  constexpr uint64_t kOps = 1 << 16;
+  obs::set_tracing(true);
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < kOps; ++i) {
+    f.arr.set(i & kMask, i);
+    sum += f.arr.get(i & kMask);
+    f.arr.apply(i & kMask, f.add, 1);
+  }
+  benchmark::DoNotOptimize(sum);
+  obs::set_tracing(false);
+
+  std::printf("\nper-op latency (%llu ops each):\n",
+              static_cast<unsigned long long>(kOps));
+  for (uint8_t k = 0; k < static_cast<uint8_t>(obs::OpKind::kMaxOpKind); ++k) {
+    const auto kind = static_cast<obs::OpKind>(k);
+    const obs::HistogramSnapshot h = obs::op_latency_snapshot(kind);
+    if (h.count == 0) continue;
+    std::printf("  %-10s %s\n", obs::op_kind_name(kind), h.summary().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (bench::has_flag(argc, argv, "--json")) return json_main();
+  if (bench::has_flag(argc, argv, "--hist")) return hist_main();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

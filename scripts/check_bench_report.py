@@ -30,6 +30,10 @@ def main():
     ap.add_argument("--baseline", help="committed report to compare against")
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="allowed fractional regression (default 0.05)")
+    ap.add_argument("--p99-tolerance", type=float, default=0.25,
+                    help="allowed fractional p99 regression when both reports "
+                         "carry a p99 (default 0.25; tails are noisier than "
+                         "medians, so the gate is wider)")
     ap.add_argument("--require-stats", action="store_true", default=True,
                     help="fail unless the report embeds a non-empty stats block")
     args = ap.parse_args()
@@ -82,6 +86,19 @@ def main():
                 failures.append("REGRESSION " + tag)
             else:
                 print("ok " + tag)
+            # Tail gate: medians can hold steady while p99 quietly blows up
+            # (a stall on the slow path), so the tail is checked separately,
+            # with a wider tolerance.
+            bp, fp = float(b.get("p99", 0)), float(f.get("p99", 0))
+            if bp <= 0 or fp <= 0:
+                continue
+            p99_delta = (bp - fp) / bp if higher_is_better else (fp - bp) / bp
+            p99_tag = (f"{key[0]}/{key[1]} p99: baseline {bp:g} {b['unit']}, "
+                       f"fresh {fp:g} ({p99_delta:+.1%})")
+            if p99_delta > args.p99_tolerance:
+                failures.append("P99 REGRESSION " + p99_tag)
+            else:
+                print("ok " + p99_tag)
 
     if failures:
         for f in failures:

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (darray-trace --perfetto output).
+
+Checks the shape ui.perfetto.dev / chrome://tracing actually require: a
+traceEvents list, known phase codes, numeric non-negative timestamps,
+durations on complete ("X") events, and well-formed flow chains (every flow
+id opens with "s", finishes with "f", and every flow event sits on a named
+track). Stdlib only, so the CI job needs nothing beyond python3:
+
+    tools/darray-trace TRACE.json --perfetto out.json
+    scripts/validate_chrome_trace.py out.json --require-flow
+"""
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"X", "B", "E", "i", "I", "M", "s", "t", "f", "C", "b", "e", "n"}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--require-flow", action="store_true",
+                    help="fail unless at least one flow chain (s -> f) spans "
+                         "two distinct tracks (the cross-thread correlation "
+                         "arrows are the point of the exporter)")
+    args = ap.parse_args()
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+
+    failures = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print("FAIL: no traceEvents list", file=sys.stderr)
+        return 1
+
+    tracks = set()   # (pid, tid) seen on any non-metadata event
+    named = set()    # (pid, tid) given a thread_name, pid given a process_name
+    flows = {}       # flow id -> {"phases": [...], "tracks": set()}
+    for i, e in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(e, dict):
+            failures.append(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            failures.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "pid" not in e:
+            failures.append(f"{where} (ph={ph}): missing pid")
+            continue
+        if ph == "M":
+            if e.get("name") == "process_name":
+                named.add(e["pid"])
+            elif e.get("name") == "thread_name":
+                named.add((e["pid"], e.get("tid")))
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            failures.append(f"{where} (ph={ph}): bad ts {ts!r}")
+            continue
+        tracks.add((e["pid"], e.get("tid")))
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur <= 0:
+                failures.append(f"{where}: X event with bad dur {dur!r}")
+        if ph in ("s", "t", "f"):
+            if "id" not in e:
+                failures.append(f"{where}: flow event without id")
+                continue
+            fl = flows.setdefault(e["id"], {"phases": [], "tracks": set()})
+            fl["phases"].append(ph)
+            fl["tracks"].add((e["pid"], e.get("tid")))
+
+    for pid, tid in tracks:
+        if pid not in named:
+            failures.append(f"track ({pid}, {tid}): pid has no process_name")
+        if (pid, tid) not in named:
+            failures.append(f"track ({pid}, {tid}): no thread_name metadata")
+
+    cross_track_flows = 0
+    for fid, fl in flows.items():
+        phases = fl["phases"]
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            failures.append(f"flow {fid}: needs exactly one 's' and one 'f', "
+                            f"got {phases}")
+        elif phases[0] != "s" or phases[-1] != "f":
+            failures.append(f"flow {fid}: out of order: {phases}")
+        if len(fl["tracks"]) >= 2:
+            cross_track_flows += 1
+
+    if args.require_flow and cross_track_flows == 0:
+        failures.append("no flow chain spans two distinct tracks "
+                        "(--require-flow)")
+
+    if failures:
+        for msg in failures[:40]:
+            print("FAIL:", msg, file=sys.stderr)
+        if len(failures) > 40:
+            print(f"... and {len(failures) - 40} more", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: {len(events)} events, {len(tracks)} tracks, "
+          f"{len(flows)} flow chains ({cross_track_flows} cross-track) — ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

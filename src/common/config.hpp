@@ -69,6 +69,14 @@ struct ClusterConfig {
   // Per-thread trace ring capacity in events (rounded up to a power of two).
   // 0 keeps the built-in default (or DARRAY_TRACE_RING from the environment).
   uint32_t trace_ring_events = 0;
+  // Slow-op watchdog: a Cluster-owned thread that polls the in-flight op
+  // registry every watchdog_poll_ns and, for each API-level op older than
+  // watchdog_deadline_ns, dumps its correlated trace chain exactly once (or
+  // invokes the handler installed via Cluster::set_watchdog_handler).
+  // Requires tracing_enabled — the registry is fed by traced op spans.
+  bool watchdog_enabled = false;
+  uint64_t watchdog_deadline_ns = 1'000'000'000;  // 1 s before an op is "slow"
+  uint64_t watchdog_poll_ns = 10'000'000;         // scan cadence (10 ms)
 
   // --- derived --------------------------------------------------------------
   size_t chunk_bytes(size_t elem_size) const { return size_t{chunk_elems} * elem_size; }
@@ -100,6 +108,16 @@ struct ClusterConfig {
     if (comm_max_attempts == 0) return "comm_max_attempts must be > 0";
     if (comm_backoff_base_ns > comm_backoff_cap_ns)
       return "comm_backoff_base_ns must not exceed comm_backoff_cap_ns";
+    if (watchdog_enabled && !tracing_enabled)
+      return "watchdog_enabled requires tracing_enabled (the watchdog reads "
+             "the traced in-flight op registry)";
+    if (watchdog_enabled && watchdog_deadline_ns == 0)
+      return "watchdog_deadline_ns must be > 0";
+    if (watchdog_enabled && watchdog_poll_ns == 0)
+      return "watchdog_poll_ns must be > 0";
+    if (watchdog_enabled && watchdog_poll_ns > watchdog_deadline_ns)
+      return "watchdog_poll_ns must not exceed watchdog_deadline_ns (an "
+             "offender could outlive the op before the first scan)";
     return {};
   }
 };

@@ -23,7 +23,10 @@
 #include <span>
 #include <type_traits>
 
+#include "common/histogram.hpp"
 #include "core/context.hpp"
+#include "obs/inflight.hpp"
+#include "obs/latency_histogram.hpp"
 #include "obs/trace.hpp"
 #include "runtime/array_meta.hpp"
 #include "runtime/combine.hpp"
@@ -58,25 +61,34 @@ class OpHandle {
 
 namespace api_detail {
 
-// RAII trace span for one public-API op: mints the correlation id and records
-// kOpBegin/kOpEnd. With tracing compiled out or disabled, corr stays 0 and
-// both ends cost one branch on a cached bool.
+// RAII trace span for one public-API op: mints the correlation id, records
+// kOpBegin/kOpEnd, feeds the per-{op × node} latency histogram at span end,
+// and registers the op in the in-flight registry so the slow-op watchdog can
+// see it. With tracing compiled out or disabled, corr stays 0 and both ends
+// cost one branch on a cached bool.
 struct OpSpan {
   uint64_t corr = 0;
   obs::OpKind kind;
   uint16_t node;
   uint64_t index;
+  uint64_t t0 = 0;
+  bool inflight = false;
 
   OpSpan(obs::OpKind k, uint32_t node_id, uint32_t array, uint64_t idx)
       : kind(k), node(static_cast<uint16_t>(node_id)), index(idx) {
     if (obs::tracing_enabled()) {
       corr = obs::new_corr_id();
+      t0 = now_ns();
       obs::record(obs::Ev::kOpBegin, corr, static_cast<uint8_t>(kind), node, array, index);
+      inflight = obs::inflight_begin(corr, kind, node, index, t0);
     }
   }
   ~OpSpan() {
-    if (corr != 0)
+    if (corr != 0) {
       obs::record(obs::Ev::kOpEnd, corr, static_cast<uint8_t>(kind), node, 0, index);
+      obs::record_op_latency(kind, node, now_ns() - t0);
+      if (inflight) obs::inflight_end();
+    }
   }
   OpSpan(const OpSpan&) = delete;
   OpSpan& operator=(const OpSpan&) = delete;

@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/latency_histogram.hpp"
 #include "obs/trace.hpp"
 
 namespace darray::net {
@@ -35,6 +36,14 @@ const char* msg_type_name(MsgType t) {
   }
   return "?";
 }
+
+const char* msg_class_name(uint8_t cls) {
+  if (cls == kMsgClassDataWrite) return "DataWrite";
+  return msg_type_name(static_cast<MsgType>(cls));
+}
+
+static_assert(kNumMsgClasses <= obs::kMaxMsgClasses,
+              "message-class histogram registry too small for the protocol");
 
 namespace {
 // Largest possible payload: one OpFlushEntry per element in a chunk. Also an
@@ -208,10 +217,20 @@ void CommLayer::reclaim_send_buffers() {
       // A signaled completion retires every earlier entry on the same QP
       // (per-QP FIFO) — the point of selective signaling.
       auto& fifo = outstanding_[wc.peer_node];
+      const bool rec = obs::tracing_enabled();
+      const uint64_t done_ns = rec ? now_ns() : 0;
       while (!fifo.empty() && fifo.front().wr_id <= wc.wr_id) {
         const Outstanding& front = fifo.front();
         obs::trace(obs::Ev::kWrComplete, front.trace, static_cast<uint8_t>(front.op),
                    static_cast<uint16_t>(node_id_), wc.peer_node, front.wr_id);
+        if (rec) {
+          // Staging time recovered from the deadline (deadline = staged +
+          // comm_deadline), so retirement latency spans coalescing delay,
+          // doorbell batching, the wire, and any retry backoffs.
+          const uint64_t staged = front.deadline_ns - cfg_.comm_deadline_ns;
+          obs::msg_class_hist(front.msg_class)
+              .record(done_ns > staged ? done_ns - staged : 0);
+        }
         release_buf(front.buf);
         fifo.pop_front();
       }
@@ -243,14 +262,19 @@ uint32_t CommLayer::acquire_send_buffer() {
     const uint64_t rdue = retry_due_in(now_ns());
     if (rdue < due) due = rdue;
     if (due == ~0ull) {
+      const uint64_t t0 = tx_duty_.park_begin();
       tx_bell_.wait_change(snap);
+      tx_duty_.park_end(t0);
     } else if (due > 0) {
       // sleep_for has a scheduler-quantum floor far above microsecond-scale
       // link latencies, so short waits busy-poll.
-      if (due < 20'000)
+      if (due < 20'000) {
         cpu_relax();
-      else
+      } else {
+        const uint64_t t0 = tx_duty_.park_begin();
         std::this_thread::sleep_for(std::chrono::nanoseconds(due));
+        tx_duty_.park_end(t0);
+      }
     }
   }
   const uint32_t buf = send_free_.back();
@@ -351,6 +375,7 @@ void CommLayer::stage_request(TxRequest& req, uint64_t now) {
     e.rkey = req.data_rkey;
     e.deadline_ns = now + cfg_.comm_deadline_ns;
     e.trace = req.hdr.trace;
+    e.msg_class = kMsgClassDataWrite;
     std::memcpy(buf_ptr(e.buf), req.data_src, req.data_len);
     // Payload captured: the source cacheline may be recycled.
     if (req.posted_flag) {
@@ -365,6 +390,7 @@ void CommLayer::stage_request(TxRequest& req, uint64_t now) {
   e.op = rdma::Opcode::kSend;
   e.deadline_ns = now + cfg_.comm_deadline_ns;
   e.trace = req.hdr.trace;
+  e.msg_class = static_cast<uint8_t>(req.hdr.type);
   rec.retry.push_back(std::move(e));
 }
 
@@ -391,6 +417,7 @@ void CommLayer::seal_batch(uint32_t peer) {
   p.e.frames = static_cast<uint16_t>(b.frames);
   p.e.deadline_ns = b.open_ns + cfg_.comm_deadline_ns;
   p.e.trace = b.trace;
+  p.e.msg_class = b.msg_class;
   p.tracked = true;
   p.wr.opcode = rdma::Opcode::kSend;
   p.wr.sge = {base, p.e.len, send_mr_.lkey};
@@ -399,6 +426,7 @@ void CommLayer::seal_batch(uint32_t peer) {
   b.bytes = 0;
   b.frames = 0;
   b.trace = 0;
+  b.msg_class = 0;
 }
 
 void CommLayer::append_frame(uint32_t peer, TxRequest& req, uint64_t now) {
@@ -418,6 +446,7 @@ void CommLayer::append_frame(uint32_t peer, TxRequest& req, uint64_t now) {
     p.e.op = rdma::Opcode::kSend;
     p.e.deadline_ns = now + cfg_.comm_deadline_ns;
     p.e.trace = req.hdr.trace;
+    p.e.msg_class = static_cast<uint8_t>(req.hdr.type);
     write_frame(buf_ptr(p.e.buf), req.hdr, req.payload.data(), req.payload.size());
     p.tracked = true;
     p.wr.opcode = rdma::Opcode::kSend;
@@ -438,6 +467,7 @@ void CommLayer::append_frame(uint32_t peer, TxRequest& req, uint64_t now) {
   write_frame(buf_ptr(b.buf) + b.bytes, req.hdr, req.payload.data(), req.payload.size());
   b.bytes += static_cast<uint32_t>(fb);
   b.frames++;
+  if (b.frames == 1) b.msg_class = static_cast<uint8_t>(req.hdr.type);
   if (b.trace == 0) b.trace = req.hdr.trace;
 }
 
@@ -477,6 +507,7 @@ void CommLayer::enqueue_tx(TxRequest& req) {
       p.e.rkey = req.data_rkey;
       p.e.deadline_ns = now + cfg_.comm_deadline_ns;
       p.e.trace = req.hdr.trace;
+      p.e.msg_class = kMsgClassDataWrite;
       std::memcpy(buf_ptr(p.e.buf), req.data_src, req.data_len);
       p.wr.sge = {buf_ptr(p.e.buf), req.data_len, send_mr_.lkey};
       p.tracked = true;
@@ -579,6 +610,7 @@ void CommLayer::stage_pending(uint32_t peer) {
       p.e.remote_addr = p.wr.remote_addr;
       p.e.rkey = p.wr.rkey;
       p.e.deadline_ns = now + cfg_.comm_deadline_ns;
+      p.e.msg_class = kMsgClassDataWrite;
       std::memcpy(buf_ptr(p.e.buf), p.wr.sge.addr, p.wr.sge.length);
       if (p.posted_flag) {
         p.posted_flag->store(1, std::memory_order_release);
@@ -622,6 +654,7 @@ void CommLayer::post_one(TxRequest& req) {
       e.deadline_ns = now + cfg_.comm_deadline_ns;
       e.wr_id = next_wr_id_++;
       e.trace = req.hdr.trace;
+      e.msg_class = kMsgClassDataWrite;
       std::memcpy(buf_ptr(e.buf), req.data_src, req.data_len);
       if (req.posted_flag) {
         req.posted_flag->store(1, std::memory_order_release);
@@ -659,6 +692,7 @@ void CommLayer::post_one(TxRequest& req) {
   e.deadline_ns = now + cfg_.comm_deadline_ns;
   e.wr_id = next_wr_id_++;
   e.trace = req.hdr.trace;
+  e.msg_class = static_cast<uint8_t>(req.hdr.type);
 
   rdma::SendWr wr;
   wr.opcode = rdma::Opcode::kSend;
@@ -679,6 +713,7 @@ void CommLayer::post_one(TxRequest& req) {
 
 void CommLayer::tx_main() {
   const bool coalesce = cfg_.coalesce_enabled;
+  tx_duty_.on_start();
   for (;;) {
     const uint32_t snap = tx_bell_.snapshot();
     bool progressed = false;
@@ -706,19 +741,26 @@ void CommLayer::tx_main() {
       const uint64_t rdue = retry_due_in(now_ns());
       if (rdue < due) due = rdue;
       if (due == ~0ull) {
+        const uint64_t t0 = tx_duty_.park_begin();
         tx_bell_.wait_change(snap);
+        tx_duty_.park_end(t0);
       } else if (due > 0) {
-        if (due < 20'000)
+        if (due < 20'000) {
           cpu_relax();
-        else
+        } else {
+          const uint64_t t0 = tx_duty_.park_begin();
           std::this_thread::sleep_for(std::chrono::nanoseconds(due));
+          tx_duty_.park_end(t0);
+        }
       }
     }
   }
+  tx_duty_.on_stop();
 }
 
 void CommLayer::rx_main() {
   rdma::WorkCompletion wcs[32];
+  rx_duty_.on_start();
   for (;;) {
     const uint32_t snap = rx_bell_.snapshot();
     bool progressed = false;
@@ -805,17 +847,23 @@ void CommLayer::rx_main() {
       // here — poll for it.
       if (any_parked && due > 20'000) due = 20'000;
       if (due == ~0ull) {
+        const uint64_t t0 = rx_duty_.park_begin();
         rx_bell_.wait_change(snap);
+        rx_duty_.park_end(t0);
       } else if (due > 0) {
         // Latency model holdback. sleep_for has a scheduler-quantum floor far
         // above microsecond-scale link latencies, so short waits busy-poll.
-        if (due < 20'000)
+        if (due < 20'000) {
           cpu_relax();
-        else
+        } else {
+          const uint64_t t0 = rx_duty_.park_begin();
           std::this_thread::sleep_for(std::chrono::nanoseconds(due));
+          rx_duty_.park_end(t0);
+        }
       }
     }
   }
+  rx_duty_.on_stop();
 }
 
 }  // namespace darray::net

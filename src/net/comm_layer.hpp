@@ -36,6 +36,7 @@
 #include "common/config.hpp"
 #include "common/mpsc_queue.hpp"
 #include "net/message.hpp"
+#include "obs/duty_cycle.hpp"
 #include "rdma/completion_queue.hpp"
 #include "rdma/device.hpp"
 #include "rdma/fabric.hpp"
@@ -93,6 +94,10 @@ class CommLayer {
     return dropped_requests_.load(std::memory_order_relaxed);
   }
 
+  // Busy/idle duty cycle of the comm threads (obs; any thread may sample).
+  const obs::DutyCycle& tx_duty() const { return tx_duty_; }
+  const obs::DutyCycle& rx_duty() const { return rx_duty_; }
+
  private:
   static constexpr uint32_t kNoBuf = ~0u;
 
@@ -113,6 +118,8 @@ class CommLayer {
     uint64_t deadline_ns = 0;
     uint64_t trace = 0;         // obs correlation id (first traced frame for a
                                 //   batch), so retries attribute to their op
+    uint8_t msg_class = 0;      // latency-histogram class (MsgType value, or
+                                //   kMsgClassDataWrite for data WRITEs)
     rdma::WcStatus last_status = rdma::WcStatus::kSuccess;
   };
 
@@ -146,6 +153,8 @@ class CommLayer {
     uint32_t frames = 0;
     uint64_t open_ns = 0;   // when the first frame was staged
     uint64_t trace = 0;     // first traced frame in the open batch
+    uint8_t msg_class = 0;  // class of a single-frame batch (mixed batches
+                            //   keep the first frame's class)
     std::vector<PendingWr> wrs;
   };
 
@@ -221,6 +230,9 @@ class CommLayer {
   std::vector<RpcMessage> rx_scratch_;                   // Rx-private
 
   std::atomic<uint64_t> dropped_requests_{0};
+
+  obs::DutyCycle tx_duty_;
+  obs::DutyCycle rx_duty_;
 
   std::thread tx_thread_;
   std::thread rx_thread_;

@@ -122,6 +122,16 @@ static_assert(sizeof(OpFlushEntry) == 16);
 
 const char* msg_type_name(MsgType t);
 
+// Message-class axis for per-class latency histograms (obs v2): the class of
+// a SEND is its MsgType value; a one-sided data WRITE uses the reserved class
+// one past the last MsgType. kNumMsgClasses must stay ≤ obs::kMaxMsgClasses.
+inline constexpr uint8_t kMsgClassDataWrite = static_cast<uint8_t>(MsgType::kMaxMsgType);
+inline constexpr uint32_t kNumMsgClasses = kMsgClassDataWrite + 1;
+
+// Display name for a message class ("data_write" for the WRITE class,
+// msg_type_name otherwise). Defined in comm_layer.cpp beside msg_type_name.
+const char* msg_class_name(uint8_t cls);
+
 // --- batch framing -----------------------------------------------------------
 // Shared between the comm layer's Tx packer, the Rx unpacker, and the framing
 // unit tests, so pack and unpack can never drift apart.

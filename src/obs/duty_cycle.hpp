@@ -1,0 +1,71 @@
+// Busy/idle duty-cycle sampling for the long-lived service threads (runtime
+// engine loop, comm-layer Tx/Rx). The owning thread brackets every blocking
+// park with park_begin()/park_end(); everything else counts as busy. Under
+// full load the thread never parks, so the instrumented path costs nothing;
+// per park the cost is two clock reads and two relaxed adds — noise next to
+// a futex wait or sleep.
+//
+// Single-writer (the owning thread); any thread may sample() concurrently
+// and gets a consistent-enough reading for reporting (each field read once,
+// relaxed — the skew is one in-progress park at most).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/histogram.hpp"  // now_ns()
+
+namespace darray::obs {
+
+struct DutyStats {
+  uint64_t busy_ns = 0;
+  uint64_t idle_ns = 0;
+  uint64_t parks = 0;
+
+  DutyStats& operator+=(const DutyStats& o) {
+    busy_ns += o.busy_ns;
+    idle_ns += o.idle_ns;
+    parks += o.parks;
+    return *this;
+  }
+  double busy_fraction() const {
+    const uint64_t total = busy_ns + idle_ns;
+    return total ? static_cast<double>(busy_ns) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class DutyCycle {
+ public:
+  // Owning thread, at loop entry / exit.
+  void on_start() { start_ns_.store(now_ns(), std::memory_order_relaxed); }
+  void on_stop() { stop_ns_.store(now_ns(), std::memory_order_relaxed); }
+
+  // Owning thread, around each blocking wait.
+  uint64_t park_begin() const { return now_ns(); }
+  void park_end(uint64_t t0) {
+    idle_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    parks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Any thread. busy = wall time since start minus accumulated idle.
+  DutyStats sample() const {
+    DutyStats s;
+    const uint64_t start = start_ns_.load(std::memory_order_relaxed);
+    if (start == 0) return s;  // thread never ran
+    const uint64_t stop = stop_ns_.load(std::memory_order_relaxed);
+    const uint64_t end = stop != 0 ? stop : now_ns();
+    const uint64_t wall = end > start ? end - start : 0;
+    s.idle_ns = idle_ns_.load(std::memory_order_relaxed);
+    s.busy_ns = wall > s.idle_ns ? wall - s.idle_ns : 0;
+    s.parks = parks_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> start_ns_{0};
+  std::atomic<uint64_t> stop_ns_{0};
+  std::atomic<uint64_t> idle_ns_{0};
+  std::atomic<uint64_t> parks_{0};
+};
+
+}  // namespace darray::obs

@@ -1,0 +1,61 @@
+// In-flight op registry for the slow-op watchdog: one slot per recording
+// thread holding the correlation id, start timestamp, and identity of the
+// API-level op currently executing on that thread. The OpSpan (core layer)
+// registers on entry and clears on exit; the Cluster's watchdog thread scans
+// all slots and fires exactly once per offending correlation id.
+//
+// Writer protocol (the owning thread): publish start/meta/index with relaxed
+// stores, then corr with release — so a reader that acquires a nonzero corr
+// sees the matching fields. Readers re-check corr after sampling the fields
+// and skip the slot if it changed mid-read (a torn sample of a *different*
+// op is possible otherwise; a torn sample is never UB).
+//
+// Exactly-once: each slot carries a `reported` word touched only by the
+// single watchdog thread. An offender is reported when its corr is observed
+// over-deadline with reported != corr; reporting stores corr into reported,
+// so subsequent scans skip it until a new op (new corr) occupies the slot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "obs/trace.hpp"  // OpKind, DARRAY_TRACING
+
+namespace darray::obs {
+
+// One over-deadline op, as sampled by a watchdog scan.
+struct SlowOp {
+  uint64_t corr = 0;
+  uint64_t start_ns = 0;
+  uint64_t index = 0;
+  OpKind kind = OpKind::kGet;
+  uint16_t node = 0;
+};
+
+#if DARRAY_TRACING
+
+// Marks the calling thread's op as in flight. Returns false (and records
+// nothing) if the slot is already occupied — a nested span keeps the outer
+// op as the watchdog's subject. A true return must be paired with
+// inflight_end() on the same thread.
+bool inflight_begin(uint64_t corr, OpKind kind, uint16_t node, uint64_t index,
+                    uint64_t start_ns);
+void inflight_end();
+
+#else  // DARRAY_TRACING == 0: spans never register; scans see an empty set.
+
+inline bool inflight_begin(uint64_t, OpKind, uint16_t, uint64_t, uint64_t) { return false; }
+inline void inflight_end() {}
+
+#endif  // DARRAY_TRACING
+
+// Scans every slot; invokes fn for each op in flight longer than deadline_ns
+// that has not been reported yet, and marks it reported. Single-caller only
+// (the exactly-once bookkeeping assumes one scanning thread). Returns the
+// number of new reports. Defined unconditionally so the watchdog builds with
+// tracing compiled out (it then finds nothing).
+size_t watchdog_scan(uint64_t now_ns, uint64_t deadline_ns,
+                     const std::function<void(const SlowOp&)>& fn);
+
+}  // namespace darray::obs

@@ -1,0 +1,115 @@
+#include "obs/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace darray::obs {
+
+int AtomicLatencyHistogram::bucket_index(uint64_t nanos) {
+  if (nanos < (1u << kHistSubBits)) return static_cast<int>(nanos);
+  const int msb = 63 - std::countl_zero(nanos);
+  const int sub =
+      static_cast<int>((nanos >> (msb - kHistSubBits)) & ((1 << kHistSubBits) - 1));
+  const int idx = ((msb - kHistSubBits + 1) << kHistSubBits) + sub;
+  return std::min(idx, kHistBuckets - 1);
+}
+
+uint64_t AtomicLatencyHistogram::bucket_upper(int idx) {
+  if (idx < (1 << kHistSubBits)) return static_cast<uint64_t>(idx);
+  const int octave = (idx >> kHistSubBits) + kHistSubBits - 1;
+  const int sub = idx & ((1 << kHistSubBits) - 1);
+  const int shift = octave - kHistSubBits;
+  const uint64_t base = (1ull << kHistSubBits) + static_cast<uint64_t>(sub) + 1;
+  if (shift >= 60) return ~0ull;  // base <= 2^4: larger shifts would overflow
+  return base << shift;
+}
+
+uint64_t HistogramSnapshot::percentile_ns(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    seen += buckets[static_cast<size_t>(i)];
+    if (seen >= target) return AtomicLatencyHistogram::bucket_upper(i);
+  }
+  return AtomicLatencyHistogram::bucket_upper(kHistBuckets - 1);
+}
+
+uint64_t HistogramSnapshot::max_ns() const {
+  for (int i = kHistBuckets - 1; i >= 0; --i)
+    if (buckets[static_cast<size_t>(i)] != 0) return AtomicLatencyHistogram::bucket_upper(i);
+  return 0;
+}
+
+std::string HistogramSnapshot::summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.0fns p50=%lluns p90=%lluns p99=%lluns p999=%lluns max=%lluns",
+                static_cast<unsigned long long>(count), mean_ns(),
+                static_cast<unsigned long long>(percentile_ns(0.50)),
+                static_cast<unsigned long long>(percentile_ns(0.90)),
+                static_cast<unsigned long long>(percentile_ns(0.99)),
+                static_cast<unsigned long long>(percentile_ns(0.999)),
+                static_cast<unsigned long long>(max_ns()));
+  return buf;
+}
+
+// --- registries --------------------------------------------------------------
+// Leaked flat arrays (like the trace-ring registry): allocated on first touch,
+// never destroyed, so stats sources and dumps read valid storage regardless
+// of thread/cluster teardown order. ~1.5 MB total when touched.
+
+namespace {
+
+constexpr size_t kOpKinds = static_cast<size_t>(OpKind::kMaxOpKind);
+
+AtomicLatencyHistogram* op_cells() {
+  static AtomicLatencyHistogram* cells =
+      new AtomicLatencyHistogram[kOpKinds * kHistMaxNodes]();
+  return cells;
+}
+
+AtomicLatencyHistogram* msg_cells() {
+  static AtomicLatencyHistogram* cells = new AtomicLatencyHistogram[kMaxMsgClasses]();
+  return cells;
+}
+
+}  // namespace
+
+AtomicLatencyHistogram& op_latency_hist(OpKind kind, uint16_t node) {
+  const size_t k = std::min(static_cast<size_t>(kind), kOpKinds - 1);
+  const size_t n = std::min<size_t>(node, kHistMaxNodes - 1);
+  return op_cells()[k * kHistMaxNodes + n];
+}
+
+void record_op_latency(OpKind kind, uint32_t node, uint64_t nanos) {
+  if (node >= kHistMaxNodes) return;  // unbound thread: no node cell to charge
+  op_latency_hist(kind, static_cast<uint16_t>(node)).record(nanos);
+}
+
+AtomicLatencyHistogram& msg_class_hist(uint8_t cls) {
+  return msg_cells()[std::min<size_t>(cls, kMaxMsgClasses - 1)];
+}
+
+HistogramSnapshot op_latency_snapshot(OpKind kind, uint16_t node) {
+  return op_latency_hist(kind, node).snapshot();
+}
+
+HistogramSnapshot op_latency_snapshot(OpKind kind) {
+  HistogramSnapshot s;
+  for (uint32_t n = 0; n < kHistMaxNodes; ++n)
+    s.merge(op_latency_hist(kind, static_cast<uint16_t>(n)).snapshot());
+  return s;
+}
+
+HistogramSnapshot msg_class_snapshot(uint8_t cls) { return msg_class_hist(cls).snapshot(); }
+
+void reset_latency_histograms() {
+  for (size_t i = 0; i < kOpKinds * kHistMaxNodes; ++i) op_cells()[i].reset();
+  for (size_t i = 0; i < kMaxMsgClasses; ++i) msg_cells()[i].reset();
+}
+
+}  // namespace darray::obs

@@ -12,6 +12,45 @@ void StatsSnapshot::add_histogram(const std::string& prefix, const LatencyHistog
   add(prefix + ".p99_ns", h.percentile_ns(0.99));
 }
 
+void StatsSnapshot::add_histogram(const std::string& prefix, const HistogramSnapshot& h) {
+  add(prefix + ".count", h.count);
+  add(prefix + ".mean_ns", static_cast<uint64_t>(h.mean_ns()));
+  add(prefix + ".p50_ns", h.percentile_ns(0.50));
+  add(prefix + ".p90_ns", h.percentile_ns(0.90));
+  add(prefix + ".p99_ns", h.percentile_ns(0.99));
+  add(prefix + ".p999_ns", h.percentile_ns(0.999));
+  add(prefix + ".max_ns", h.max_ns());
+}
+
+namespace {
+
+// Percentile/mean/max entries are point samples: the current value, not the
+// delta, is what a reader wants. Everything else is treated as monotonic.
+bool is_point_sample(std::string_view name) {
+  for (const char* suffix :
+       {".mean_ns", ".p50_ns", ".p90_ns", ".p99_ns", ".p999_ns", ".max_ns"}) {
+    const std::string_view s(suffix);
+    if (name.size() >= s.size() && name.substr(name.size() - s.size()) == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatsSnapshot StatsSnapshot::delta_from(const StatsSnapshot& base) const {
+  StatsSnapshot out;
+  out.entries.reserve(entries.size());
+  for (const StatEntry& e : entries) {
+    uint64_t v = e.value;
+    if (!is_point_sample(e.name)) {
+      const uint64_t* b = base.find(e.name);
+      if (b) v = v > *b ? v - *b : 0;
+    }
+    out.entries.push_back({e.name, v});
+  }
+  return out;
+}
+
 const uint64_t* StatsSnapshot::find(std::string_view name) const {
   for (const StatEntry& e : entries)
     if (e.name == name) return &e.value;
@@ -52,6 +91,28 @@ StatsSnapshot StatsRegistry::snapshot() const {
   std::lock_guard lk(mu_);
   for (const Source& src : sources_) src(s);
   return s;
+}
+
+void StatsRegistry::mark_baseline(const std::string& tag) {
+  // Take the snapshot before locking: snapshot() acquires mu_ itself and the
+  // SpinLock is not reentrant.
+  StatsSnapshot s = snapshot();
+  std::lock_guard lk(mu_);
+  for (auto& [name, snap] : baselines_) {
+    if (name == tag) {
+      snap = std::move(s);
+      return;
+    }
+  }
+  baselines_.emplace_back(tag, std::move(s));
+}
+
+StatsSnapshot StatsRegistry::delta_since(const std::string& tag) const {
+  StatsSnapshot now = snapshot();
+  std::lock_guard lk(mu_);
+  for (const auto& [name, snap] : baselines_)
+    if (name == tag) return now.delta_from(snap);
+  return now;
 }
 
 }  // namespace darray::obs

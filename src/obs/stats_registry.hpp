@@ -16,6 +16,7 @@
 
 #include "common/histogram.hpp"
 #include "common/spinlock.hpp"
+#include "obs/latency_histogram.hpp"
 
 namespace darray::obs {
 
@@ -31,9 +32,18 @@ struct StatsSnapshot {
 
   void add(std::string name, uint64_t value) { entries.push_back({std::move(name), value}); }
   void add_histogram(const std::string& prefix, const LatencyHistogram& h);
+  // Richer flattening for the atomic histograms: .count/.mean_ns/.p50_ns/
+  // .p90_ns/.p99_ns/.p999_ns/.max_ns.
+  void add_histogram(const std::string& prefix, const HistogramSnapshot& h);
 
   const uint64_t* find(std::string_view name) const;
   uint64_t value_or(std::string_view name, uint64_t def = 0) const;
+
+  // Per-name saturating difference (this - base); names absent from `base`
+  // keep their value. Meaningful for monotonic counters — percentile entries
+  // (.p50_ns etc.) are point samples, and their differences are noise, so
+  // they are passed through unchanged rather than subtracted.
+  StatsSnapshot delta_from(const StatsSnapshot& base) const;
 
   // {"a.b": 1, "a.c": 2, ...} — one entry per line, each line prefixed with
   // `line_prefix` (so reports can indent the block they embed it in).
@@ -50,9 +60,17 @@ class StatsRegistry {
 
   StatsSnapshot snapshot() const;
 
+  // Named baselines: mark_baseline("warmup") captures a snapshot under `tag`
+  // (replacing a previous one with the same tag); delta_since("warmup")
+  // returns the current snapshot minus that baseline. An unknown tag yields
+  // the plain current snapshot (delta from empty).
+  void mark_baseline(const std::string& tag);
+  StatsSnapshot delta_since(const std::string& tag) const;
+
  private:
   mutable SpinLock mu_;
   std::vector<Source> sources_;
+  std::vector<std::pair<std::string, StatsSnapshot>> baselines_;
 };
 
 }  // namespace darray::obs

@@ -81,6 +81,7 @@ std::vector<TraceEvent> TraceRing::collect() const {
     e.corr = w[1].load(std::memory_order_relaxed);
     unpack_meta(w[2].load(std::memory_order_relaxed), e);
     e.b = w[3].load(std::memory_order_relaxed);
+    e.ring = id_;
     out.push_back(e);
   }
   return out;
@@ -125,6 +126,7 @@ TraceRing& thread_ring() {
     TraceRing* p = owned.get();
     RingRegistry& reg = registry();
     std::lock_guard lk(reg.mu);
+    p->set_id(static_cast<uint16_t>(reg.rings.size()));
     reg.rings.push_back(std::move(owned));
     return p;
   }();
@@ -183,6 +185,22 @@ TraceTotals trace_totals() {
   return t;
 }
 
+std::vector<TraceRingInfo> trace_ring_infos() {
+  std::vector<TraceRingInfo> out;
+  RingRegistry& reg = registry();
+  std::lock_guard lk(reg.mu);
+  out.reserve(reg.rings.size());
+  for (const auto& r : reg.rings) {
+    TraceRingInfo info;
+    info.id = r->id();
+    info.pushed = r->pushed();
+    info.dropped = r->dropped();
+    info.retained = info.pushed - info.dropped;
+    out.push_back(info);
+  }
+  return out;
+}
+
 std::vector<TraceEvent> collect_trace() {
   std::vector<TraceEvent> all;
   {
@@ -206,17 +224,25 @@ bool dump_trace_json(const char* path) {
   }
   const std::vector<TraceEvent> evs = collect_trace();
   const TraceTotals totals = trace_totals();
-  std::fprintf(f, "{\"trace_format\": 1, \"recorded\": %llu, \"dropped\": %llu, \"events\": [\n",
+  const std::vector<TraceRingInfo> rings = trace_ring_infos();
+  std::fprintf(f, "{\"trace_format\": 2, \"recorded\": %llu, \"dropped\": %llu, \"rings\": [",
                static_cast<unsigned long long>(totals.recorded),
                static_cast<unsigned long long>(totals.dropped));
+  for (size_t i = 0; i < rings.size(); ++i) {
+    std::fprintf(f, "%s{\"id\": %u, \"pushed\": %llu, \"dropped\": %llu}",
+                 i == 0 ? "" : ", ", rings[i].id,
+                 static_cast<unsigned long long>(rings[i].pushed),
+                 static_cast<unsigned long long>(rings[i].dropped));
+  }
+  std::fprintf(f, "], \"events\": [\n");
   for (size_t i = 0; i < evs.size(); ++i) {
     const TraceEvent& e = evs[i];
     std::fprintf(f,
                  "{\"t\": %llu, \"c\": %llu, \"ev\": \"%s\", \"k\": %u, \"node\": %u, "
-                 "\"a\": %u, \"b\": %llu}%s\n",
+                 "\"a\": %u, \"b\": %llu, \"r\": %u}%s\n",
                  static_cast<unsigned long long>(e.ts_ns),
                  static_cast<unsigned long long>(e.corr), ev_name(e.ev), e.kind, e.node, e.a,
-                 static_cast<unsigned long long>(e.b), i + 1 < evs.size() ? "," : "");
+                 static_cast<unsigned long long>(e.b), e.ring, i + 1 < evs.size() ? "," : "");
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);

@@ -61,7 +61,8 @@ enum class OpKind : uint8_t {
 const char* ev_name(Ev e);
 const char* op_kind_name(OpKind k);
 
-// One decoded event. Stored packed (4 machine words) inside the rings.
+// One decoded event. Stored packed (4 machine words) inside the rings; the
+// ring id is attached at collect time (it identifies the recording thread).
 struct TraceEvent {
   uint64_t ts_ns = 0;
   uint64_t corr = 0;   // 0 = not attributed to an API-level op
@@ -70,6 +71,7 @@ struct TraceEvent {
   uint16_t node = 0;   // recording node (0xffff when unknown/raw transport)
   uint32_t a = 0;
   uint64_t b = 0;
+  uint16_t ring = 0;   // recording ring (≈ thread), filled by collect()
 };
 
 inline constexpr uint16_t kNoTraceNode = 0xffff;
@@ -89,14 +91,20 @@ class TraceRing {
   }
   size_t capacity() const { return cap_; }
 
-  // Retained events, oldest first (at most capacity()).
+  // Retained events, oldest first (at most capacity()), stamped with id().
   std::vector<TraceEvent> collect() const;
   void reset() { head_.store(0, std::memory_order_release); }
+
+  // Registry-assigned ring id, echoed into every collected event so dumps
+  // can attribute events (and drops) to the recording thread.
+  void set_id(uint16_t id) { id_ = id; }
+  uint16_t id() const { return id_; }
 
  private:
   size_t cap_;  // power of two
   std::unique_ptr<std::atomic<uint64_t>[]> words_;  // 4 words per slot
   std::atomic<uint64_t> head_{0};
+  uint16_t id_ = 0;
 };
 
 #if DARRAY_TRACING
@@ -142,9 +150,19 @@ struct TraceTotals {
   uint64_t rings = 0;     // per-thread rings registered
 };
 
+// Per-ring accounting, so dumps can report which threads overwrote events
+// instead of a single aggregate that hides a hot ring behind quiet ones.
+struct TraceRingInfo {
+  uint16_t id = 0;
+  uint64_t pushed = 0;
+  uint64_t retained = 0;
+  uint64_t dropped = 0;
+};
+
 // These are defined (as cheap no-ops where sensible) even with tracing
 // compiled out, so dump tools and stats sources build unconditionally.
 TraceTotals trace_totals();
+std::vector<TraceRingInfo> trace_ring_infos();
 
 // Overrides the per-thread ring capacity for rings created after the call
 // (existing rings keep their size). 0 restores the default / DARRAY_TRACE_RING
@@ -155,8 +173,9 @@ void set_trace_ring_capacity(size_t events);
 // quiescent; a live collect is a best-effort sample.
 std::vector<TraceEvent> collect_trace();
 
-// Line-oriented JSON dump (one event object per line — see
-// docs/observability.md for the schema). Returns false on I/O failure.
+// Line-oriented JSON dump, format v2: a header with totals and per-ring
+// drop accounting, then one event object per line (see docs/observability.md
+// for the schema). Returns false on I/O failure.
 bool dump_trace_json(const char* path);
 
 // Clears every ring and the drop counters. Quiescent use only.

@@ -34,13 +34,16 @@ CacheRegion::CacheRegion(rdma::Device* device, const ClusterConfig& cfg)
 }
 
 CacheLine* CacheRegion::allocate(ArrayId array, ChunkId chunk) {
-  if (free_.empty() && !tick_pending_releases()) return nullptr;
-  if (free_.empty()) return nullptr;
+  if ((free_.empty() && !tick_pending_releases()) || free_.empty()) {
+    bump(alloc_failures_);
+    return nullptr;
+  }
   CacheLine* line = free_.back();
   free_.pop_back();
   line->array = array;
   line->chunk = chunk;
   line->used = true;
+  bump(allocs_);
   return line;
 }
 
@@ -49,12 +52,14 @@ void CacheRegion::free(CacheLine* line) {
   DARRAY_ASSERT(line->tx_posted.load(std::memory_order_acquire) == 1);
   line->used = false;
   free_.push_back(line);
+  bump(releases_);
 }
 
 void CacheRegion::free_when_posted(CacheLine* line) {
   DARRAY_ASSERT(line->used);
   line->used = false;
   pending_release_.push_back(line);
+  bump(deferred_releases_);
 }
 
 bool CacheRegion::tick_pending_releases() {

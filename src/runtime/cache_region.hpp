@@ -26,6 +26,23 @@ struct CacheLine {
   std::atomic<uint32_t> tx_posted{1};
 };
 
+// Obs counters for one region, sampled from any thread (the region's vectors
+// stay owner-private; only these relaxed atomics cross threads).
+struct CacheRegionStats {
+  uint64_t allocs = 0;
+  uint64_t alloc_failures = 0;       // allocate() returned nullptr
+  uint64_t releases = 0;             // immediate free()
+  uint64_t deferred_releases = 0;    // free_when_posted()
+
+  CacheRegionStats& operator+=(const CacheRegionStats& o) {
+    allocs += o.allocs;
+    alloc_failures += o.alloc_failures;
+    releases += o.releases;
+    deferred_releases += o.deferred_releases;
+    return *this;
+  }
+};
+
 class CacheRegion {
  public:
   CacheRegion(rdma::Device* device, const ClusterConfig& cfg);
@@ -62,7 +79,26 @@ class CacheRegion {
   uint32_t data_rkey() const { return mr_.rkey; }
   uint32_t data_lkey() const { return mr_.lkey; }
 
+  CacheRegionStats stats() const {
+    CacheRegionStats s;
+    s.allocs = allocs_.load(std::memory_order_relaxed);
+    s.alloc_failures = alloc_failures_.load(std::memory_order_relaxed);
+    s.releases = releases_.load(std::memory_order_relaxed);
+    s.deferred_releases = deferred_releases_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
+  // Single-writer (the owning runtime thread); relaxed so cross-thread stats
+  // sampling never touches the owner-private vectors.
+  void bump(std::atomic<uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t> allocs_{0};
+  std::atomic<uint64_t> alloc_failures_{0};
+  std::atomic<uint64_t> releases_{0};
+  std::atomic<uint64_t> deferred_releases_{0};
+
   const double low_wm_;
   const double high_wm_;
   std::unique_ptr<std::byte[]> arena_;

@@ -1,5 +1,7 @@
 #include "runtime/cluster.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -49,10 +51,78 @@ Cluster::Cluster(ClusterConfig cfg)
     }
   }
   for (auto& n : nodes_) n->start();
+  // The watchdog only reads the leaked obs registries, so it can outlive any
+  // individual node thread; it starts last and stops first regardless.
+  if (cfg_.watchdog_enabled)
+    watchdog_thread_ = std::thread([this] { watchdog_main(); });
 }
 
 Cluster::~Cluster() {
+  if (watchdog_thread_.joinable()) {
+    watchdog_stop_.store(true, std::memory_order_release);
+    watchdog_thread_.join();
+  }
   for (auto& n : nodes_) n->stop();
+}
+
+void Cluster::watchdog_main() {
+  uint64_t next_scan = now_ns() + cfg_.watchdog_poll_ns;
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    // Sleep in short slices so stop() joins promptly even with a long poll.
+    const uint64_t now = now_ns();
+    if (now < next_scan) {
+      const uint64_t left = next_scan - now;
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(left < 10'000'000 ? left : 10'000'000));
+      continue;
+    }
+    next_scan = now + cfg_.watchdog_poll_ns;
+    WatchdogFn fn;
+    {
+      std::lock_guard lk(watchdog_mu_);
+      fn = watchdog_fn_;
+    }
+    obs::watchdog_scan(now, cfg_.watchdog_deadline_ns, [&](const obs::SlowOp& op) {
+      WatchdogReport r;
+      r.corr = op.corr;
+      r.start_ns = op.start_ns;
+      r.age_ns = now > op.start_ns ? now - op.start_ns : 0;
+      r.index = op.index;
+      r.kind = op.kind;
+      r.node = op.node;
+      watchdog_reports_.fetch_add(1, std::memory_order_relaxed);
+      if (fn)
+        fn(r);
+      else
+        dump_slow_op(r);
+    });
+  }
+}
+
+// Default slow-op report: one structured JSON line on stderr carrying the
+// op's identity and its full correlated trace chain (every ring, every node —
+// MsgHeader.trace propagation makes remote-side work match the corr id).
+void Cluster::dump_slow_op(const WatchdogReport& r) {
+  std::string chain;
+  char buf[192];
+  size_t n_events = 0;
+  for (const obs::TraceEvent& e : obs::collect_trace()) {
+    if (e.corr != r.corr) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"t\": %llu, \"ev\": \"%s\", \"k\": %u, \"node\": %u, \"a\": %u, "
+                  "\"b\": %llu, \"r\": %u}",
+                  n_events ? ", " : "", static_cast<unsigned long long>(e.ts_ns),
+                  obs::ev_name(e.ev), e.kind, e.node, e.a,
+                  static_cast<unsigned long long>(e.b), e.ring);
+    chain += buf;
+    ++n_events;
+  }
+  std::fprintf(stderr,
+               "{\"watchdog_slow_op\": {\"corr\": %llu, \"op\": \"%s\", \"node\": %u, "
+               "\"index\": %llu, \"age_ms\": %.1f, \"events\": %zu, \"chain\": [%s]}}\n",
+               static_cast<unsigned long long>(r.corr), obs::op_kind_name(r.kind), r.node,
+               static_cast<unsigned long long>(r.index),
+               static_cast<double>(r.age_ns) / 1e6, n_events, chain.c_str());
 }
 
 // The default sources: one per layer, each flattening its counter struct
@@ -89,9 +159,79 @@ void Cluster::register_default_stats_sources() {
     s.add("runtime.remote_reqs", r.remote_reqs);
     s.add("runtime.txns", r.txns);
     s.add("runtime.op_flushes_applied", r.op_flushes_applied);
+    s.add("runtime.combine_flushes", r.combine_flushes);
     s.add("runtime.lock_acquires", r.lock_acquires);
     s.add("runtime.lock_waits", r.lock_waits);
   });
+  // Coherence plane: per-target-state dentry transition tallies, summed over
+  // every array × node × chunk. The walk takes create_mu_ so the meta/state
+  // lists are stable; the counters themselves are relaxed single-writer.
+  stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+    uint64_t by_state[kNumDentryStates] = {};
+    {
+      std::scoped_lock lk(create_mu_);
+      for (const auto& meta : metas_) {
+        for (const auto& n : nodes_) {
+          const NodeArrayState* st = n->array_state(meta->id);
+          if (st == nullptr) continue;
+          for (const Dentry& d : st->dentries)
+            for (size_t i = 0; i < kNumDentryStates; ++i)
+              by_state[i] += d.transition_count(static_cast<DentryState>(i));
+        }
+      }
+    }
+    for (size_t i = 0; i < kNumDentryStates; ++i)
+      s.add(std::string("coherence.enter_") +
+                dentry_state_name(static_cast<DentryState>(i)),
+            by_state[i]);
+  });
+  // Thread duty cycles: how busy the service threads actually are.
+  stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+    obs::DutyStats rt, tx, rx;
+    for (const auto& n : nodes_) {
+      rt += n->runtime_duty();
+      tx += n->comm().tx_duty().sample();
+      rx += n->comm().rx_duty().sample();
+    }
+    auto emit = [&s](const char* prefix, const obs::DutyStats& d) {
+      s.add(std::string(prefix) + ".busy_ns", d.busy_ns);
+      s.add(std::string(prefix) + ".idle_ns", d.idle_ns);
+      s.add(std::string(prefix) + ".parks", d.parks);
+    };
+    emit("duty.runtime", rt);
+    emit("duty.tx", tx);
+    emit("duty.rx", rx);
+  });
+  stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+    CacheRegionStats c;
+    for (const auto& n : nodes_) c += n->cache_stats();
+    s.add("cache.allocs", c.allocs);
+    s.add("cache.alloc_failures", c.alloc_failures);
+    s.add("cache.releases", c.releases);
+    s.add("cache.deferred_releases", c.deferred_releases);
+  });
+  // Latency histograms (process-global registries; empty cells are skipped so
+  // an untraced run adds no hist.* entries at all).
+  stats_registry_.add_source([](obs::StatsSnapshot& s) {
+    for (size_t k = 0; k < static_cast<size_t>(obs::OpKind::kMaxOpKind); ++k) {
+      const auto kind = static_cast<obs::OpKind>(k);
+      const obs::HistogramSnapshot h = obs::op_latency_snapshot(kind);
+      if (h.count == 0) continue;
+      s.add_histogram(std::string("hist.op.") + obs::op_kind_name(kind), h);
+    }
+    for (uint32_t c = 0; c < net::kNumMsgClasses; ++c) {
+      const obs::HistogramSnapshot h = obs::msg_class_snapshot(static_cast<uint8_t>(c));
+      if (h.count == 0) continue;
+      s.add_histogram(std::string("hist.msg.") +
+                          net::msg_class_name(static_cast<uint8_t>(c)),
+                      h);
+    }
+  });
+  if (cfg_.watchdog_enabled) {
+    stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+      s.add("watchdog.reports", watchdog_reports());
+    });
+  }
   stats_registry_.add_source([](obs::StatsSnapshot& s) {
     const net::PayloadPoolStats p = net::payload_pool_stats();
     s.add("pool.hits", p.hits);

@@ -5,13 +5,16 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "chaos/fault_injector.hpp"
 #include "common/config.hpp"
 #include "common/spinlock.hpp"
 #include "net/comm_layer.hpp"
+#include "obs/inflight.hpp"
 #include "obs/stats_registry.hpp"
 #include "rdma/fabric.hpp"
 #include "runtime/array_meta.hpp"
@@ -55,11 +58,41 @@ class Cluster {
   chaos::FaultInjector* fault_injector() { return injector_.get(); }
 
   // Unified observability: every layer's counters under dotted names
-  // (fabric.*, runtime.*, pool.*, chaos.*, comm.*, trace.*). snapshot() is
-  // safe while traffic is live; values are then approximate per-counter.
+  // (fabric.*, runtime.*, coherence.*, duty.*, cache.*, hist.*, pool.*,
+  // chaos.*, comm.*, trace.*). snapshot() is safe while traffic is live;
+  // values are then approximate per-counter.
   obs::StatsSnapshot stats() const { return stats_registry_.snapshot(); }
   // Extend with harness-specific sources (add_source) before reporting.
   obs::StatsRegistry& stats_registry() { return stats_registry_; }
+  // Named-baseline deltas (satellite of the obs v2 PR): mark, run a phase,
+  // then read only what that phase added.
+  void mark_stats_baseline(const std::string& tag) { stats_registry_.mark_baseline(tag); }
+  obs::StatsSnapshot stats_delta_since(const std::string& tag) const {
+    return stats_registry_.delta_since(tag);
+  }
+
+  // --- slow-op watchdog (cfg.watchdog_enabled) -------------------------------
+  // One in-flight API op exceeding cfg.watchdog_deadline_ns is reported
+  // exactly once: by default its full cross-node correlated trace chain is
+  // dumped to stderr as one structured JSON line; a handler installed here
+  // replaces the dump. The handler runs on the watchdog thread and must not
+  // block on the data path.
+  struct WatchdogReport {
+    uint64_t corr = 0;
+    uint64_t start_ns = 0;
+    uint64_t age_ns = 0;
+    uint64_t index = 0;
+    obs::OpKind kind = obs::OpKind::kGet;
+    uint16_t node = 0;
+  };
+  using WatchdogFn = std::function<void(const WatchdogReport&)>;
+  void set_watchdog_handler(WatchdogFn fn) {
+    std::lock_guard lk(watchdog_mu_);
+    watchdog_fn_ = std::move(fn);
+  }
+  uint64_t watchdog_reports() const {
+    return watchdog_reports_.load(std::memory_order_relaxed);
+  }
 
   // Unrecoverable comm failures (retry/deadline budget exhausted) land here,
   // on the failing node's Tx thread. Default: log + abort (fail-stop) — the
@@ -75,6 +108,8 @@ class Cluster {
 
  private:
   void register_default_stats_sources();
+  void watchdog_main();
+  void dump_slow_op(const WatchdogReport& r);
 
   ClusterConfig cfg_;
   rdma::Fabric fabric_;
@@ -86,6 +121,12 @@ class Cluster {
   std::vector<std::unique_ptr<ArrayMeta>> metas_;
   CommErrorFn comm_error_fn_;
   std::atomic<uint64_t> comm_errors_{0};
+
+  mutable SpinLock watchdog_mu_;   // guards watchdog_fn_
+  WatchdogFn watchdog_fn_;
+  std::atomic<uint64_t> watchdog_reports_{0};
+  std::atomic<bool> watchdog_stop_{false};
+  std::thread watchdog_thread_;
 };
 
 }  // namespace darray::rt

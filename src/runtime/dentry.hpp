@@ -23,6 +23,12 @@ struct alignas(64) Dentry {
   bool is_home = false;             // immutable after array creation
   Doorbell* owner_bell = nullptr;   // rings the owning runtime thread
 
+  // Per-target-state transition tallies (obs): written only by the owning
+  // runtime thread (store of load+1, not an RMW — single-writer), read by the
+  // stats plane from any thread. The initial home-side state set at array
+  // creation is not a transition and is not counted.
+  std::atomic<uint32_t> transitions[kNumDentryStates] = {};
+
   // --- application-thread side (Fig. 4) -------------------------------------
 
   // Fig. 4 lines 6-8: wait out the delay flag, then take a reference. The
@@ -58,6 +64,7 @@ struct alignas(64) Dentry {
   void begin_drain(DentryState target) {
     delay.store(true, std::memory_order_release);
     state.store(target, std::memory_order_release);
+    count_transition(target);
   }
 
   bool drained() const { return refcnt.load(std::memory_order_acquire) == 0; }
@@ -69,7 +76,18 @@ struct alignas(64) Dentry {
   }
 
   // Fig. 6: permission promotion needs no synchronisation with user threads.
-  void promote(DentryState target) { state.store(target, std::memory_order_release); }
+  void promote(DentryState target) {
+    state.store(target, std::memory_order_release);
+    count_transition(target);
+  }
+
+  void count_transition(DentryState target) {
+    std::atomic<uint32_t>& c = transitions[static_cast<size_t>(target)];
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  uint32_t transition_count(DentryState target) const {
+    return transitions[static_cast<size_t>(target)].load(std::memory_order_relaxed);
+  }
 };
 
 }  // namespace darray::rt

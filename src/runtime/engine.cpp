@@ -923,6 +923,7 @@ void Engine::send_combine_flush(NodeArrayState& as, ChunkId c, ChunkCtl& ctl,
   const NodeId home = as.meta->home_of_chunk(c);
   net::PayloadBuf payload = build_flush_payload(as, c, ctl.line);
   ctl.combine_valid = false;
+  stats_.combine_flushes++;
   obs::trace(obs::Ev::kCombineFlush, trace, 0, static_cast<uint16_t>(self_),
              static_cast<uint32_t>(c), payload.size() / sizeof(net::OpFlushEntry));
   send_msg(home, MsgType::kOpFlush, as.meta->id, c, op_id, 0, 0, 0, 0, trace,

@@ -54,6 +54,18 @@ class NodeRuntime {
     return s;
   }
 
+  obs::DutyStats runtime_duty() const {
+    obs::DutyStats s;
+    for (const auto& rt : rts_) s += rt->duty().sample();
+    return s;
+  }
+
+  CacheRegionStats cache_stats() const {
+    CacheRegionStats s;
+    for (const auto& rt : rts_) s += rt->region().stats();
+    return s;
+  }
+
  private:
   Cluster* cluster_;
   const NodeId id_;

@@ -9,6 +9,7 @@
 #include "common/config.hpp"
 #include "common/mpsc_queue.hpp"
 #include "net/message.hpp"
+#include "obs/duty_cycle.hpp"
 #include "runtime/cache_region.hpp"
 #include "runtime/engine.hpp"
 
@@ -43,9 +44,12 @@ class RuntimeThread {
   Doorbell& bell() { return bell_; }
 
   const RuntimeStats& stats() const { return engine_.stats(); }
+  const obs::DutyCycle& duty() const { return duty_; }
+  const CacheRegion& region() const { return region_; }
 
  private:
   void main_loop() {
+    duty_.on_start();
     for (;;) {
       const uint32_t snap = bell_.snapshot();
       bool work = false;
@@ -62,12 +66,15 @@ class RuntimeThread {
       work |= engine_.tick();
       if (stop_.load(std::memory_order_acquire)) break;
       if (!work) {
+        const uint64_t t0 = duty_.park_begin();
         if (engine_.needs_poll())
           std::this_thread::yield();  // waiting on refcounts that don't ring
         else
           bell_.wait_change(snap);
+        duty_.park_end(t0);
       }
     }
+    duty_.on_stop();
   }
 
   Doorbell bell_;
@@ -75,6 +82,7 @@ class RuntimeThread {
   MpscQueue<net::RpcMessage> rpc_q_{&bell_};
   CacheRegion region_;
   Engine engine_;
+  obs::DutyCycle duty_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
 };

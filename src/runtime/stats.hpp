@@ -27,6 +27,7 @@ struct RuntimeStats {
   uint64_t remote_reqs = 0;       // kReadReq/kWriteReq/kOperateReq served
   uint64_t txns = 0;              // multi-party transactions started
   uint64_t op_flushes_applied = 0;
+  uint64_t combine_flushes = 0;   // kOpFlush messages sent (combine buffer drains)
 
   // locks
   uint64_t lock_acquires = 0;
@@ -47,6 +48,7 @@ struct RuntimeStats {
     remote_reqs += o.remote_reqs;
     txns += o.txns;
     op_flushes_applied += o.op_flushes_applied;
+    combine_flushes += o.combine_flushes;
     lock_acquires += o.lock_acquires;
     lock_waits += o.lock_waits;
     return *this;

@@ -32,6 +32,21 @@ enum class DentryState : uint8_t {
   kPendingWrite,
   kPendingOperate,
 };
+inline constexpr size_t kNumDentryStates = 7;
+
+// Stats-plane names, indexed by DentryState ("coherence.enter_<name>").
+inline const char* dentry_state_name(DentryState s) {
+  switch (s) {
+    case DentryState::kInvalid: return "invalid";
+    case DentryState::kRead: return "read";
+    case DentryState::kWrite: return "write";
+    case DentryState::kOperated: return "operated";
+    case DentryState::kPendingRead: return "pending_read";
+    case DentryState::kPendingWrite: return "pending_write";
+    case DentryState::kPendingOperate: return "pending_operate";
+  }
+  return "?";
+}
 
 inline bool dentry_readable(DentryState s) {
   return s == DentryState::kRead || s == DentryState::kWrite;

@@ -96,5 +96,58 @@ TEST(StatsRegistry, SnapshotConsistentUnderConcurrentOps) {
   EXPECT_EQ(extras, 100u);
 }
 
+TEST(StatsSnapshot, DeltaSubtractsCountersButPassesPointSamples) {
+  StatsSnapshot base;
+  base.add("fabric.sends", 100);
+  base.add("hist.op.get.p99_ns", 5'000);
+  base.add("hist.op.get.count", 10);
+  StatsSnapshot now;
+  now.add("fabric.sends", 130);
+  now.add("hist.op.get.p99_ns", 9'000);
+  now.add("hist.op.get.count", 25);
+  now.add("runtime.fills", 4);  // absent from base: kept as-is
+
+  const StatsSnapshot d = now.delta_from(base);
+  EXPECT_EQ(d.value_or("fabric.sends"), 30u);
+  EXPECT_EQ(d.value_or("hist.op.get.count"), 15u);
+  // A percentile is a point sample, not a monotonic counter: subtracting two
+  // of them is meaningless, so the current value passes through.
+  EXPECT_EQ(d.value_or("hist.op.get.p99_ns"), 9'000u);
+  EXPECT_EQ(d.value_or("runtime.fills"), 4u);
+}
+
+TEST(StatsSnapshot, DeltaSaturatesInsteadOfUnderflowing) {
+  // A counter going backwards (a reset between snapshots) must clamp to 0,
+  // not wrap to ~2^64.
+  StatsSnapshot base, now;
+  base.add("test.counter", 50);
+  now.add("test.counter", 20);
+  EXPECT_EQ(now.delta_from(base).value_or("test.counter"), 0u);
+}
+
+TEST(StatsRegistry, NamedBaselinesIsolatePhases) {
+  StatsRegistry reg;
+  uint64_t counter = 100;
+  reg.add_source([&](StatsSnapshot& s) { s.add("test.ops", counter); });
+
+  reg.mark_baseline("phase1");
+  counter += 40;
+  EXPECT_EQ(reg.delta_since("phase1").value_or("test.ops"), 40u);
+
+  // A second mark under the same tag replaces the first.
+  reg.mark_baseline("phase1");
+  counter += 5;
+  EXPECT_EQ(reg.delta_since("phase1").value_or("test.ops"), 5u);
+
+  // Tags are independent.
+  reg.mark_baseline("phase2");
+  counter += 7;
+  EXPECT_EQ(reg.delta_since("phase2").value_or("test.ops"), 7u);
+  EXPECT_EQ(reg.delta_since("phase1").value_or("test.ops"), 12u);
+
+  // An unknown tag degrades to a plain snapshot rather than failing.
+  EXPECT_EQ(reg.delta_since("never_marked").value_or("test.ops"), counter);
+}
+
 }  // namespace
 }  // namespace darray::obs

@@ -60,6 +60,16 @@ TEST(TraceRing, WraparoundKeepsTheNewestAndCountsDrops) {
   for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(got[i].b, 7 + i);
 }
 
+TEST(TraceRing, CollectStampsTheRingId) {
+  TraceRing r(4);
+  EXPECT_EQ(r.id(), 0u);  // standalone rings default to 0
+  r.set_id(17);
+  EXPECT_EQ(r.id(), 17u);
+  r.push(ev(1, 1));
+  r.push(ev(2, 2));
+  for (const TraceEvent& e : r.collect()) EXPECT_EQ(e.ring, 17u);
+}
+
 TEST(TraceRing, ResetForgetsHistory) {
   TraceRing r(4);
   for (uint64_t i = 0; i < 9; ++i) r.push(ev(i, i));
@@ -100,6 +110,45 @@ TEST(TraceGate, CorrIdsAreUniqueAcrossThreads) {
       EXPECT_NE(id, 0u);  // 0 is reserved for "not attributed"
       EXPECT_TRUE(all.insert(id).second) << "duplicate corr id " << id;
     }
+}
+
+// Per-ring accounting behind the honest-drops fix in darray-trace: every
+// registered ring reports its own pushed/dropped counts under a unique id,
+// and the per-ring rows sum to the aggregate totals.
+TEST(TraceRingInfos, PerRingRowsSumToTotalsWithUniqueIds) {
+  reset_trace();
+  set_tracing(true);
+  // This thread records (registering its ring on first use), as do two
+  // short-lived workers; rings from earlier tests persist but were reset.
+  trace(Ev::kMiss, 1, 0, 0, 0, 0);
+  std::vector<std::thread> ts;
+  for (int w = 0; w < 2; ++w)
+    ts.emplace_back([] {
+      for (int i = 0; i < 10; ++i) trace(Ev::kWrPost, 2, 0, 0, 0, 0);
+    });
+  for (auto& t : ts) t.join();
+  set_tracing(false);
+
+  const TraceTotals totals = trace_totals();
+  const std::vector<TraceRingInfo> infos = trace_ring_infos();
+  ASSERT_GE(infos.size(), 3u);
+  EXPECT_EQ(infos.size(), totals.rings);
+  std::unordered_set<uint16_t> ids;
+  uint64_t pushed = 0, retained = 0, dropped = 0;
+  for (const TraceRingInfo& ri : infos) {
+    EXPECT_TRUE(ids.insert(ri.id).second) << "duplicate ring id " << ri.id;
+    pushed += ri.pushed;
+    retained += ri.retained;
+    dropped += ri.dropped;
+  }
+  EXPECT_EQ(pushed, totals.recorded);
+  EXPECT_EQ(retained, totals.retained);
+  EXPECT_EQ(dropped, totals.dropped);
+  EXPECT_EQ(pushed, 21u);
+
+  // Collected events carry their ring id, and those ids are registered ones.
+  for (const TraceEvent& e : collect_trace()) EXPECT_TRUE(ids.count(e.ring)) << e.ring;
+  reset_trace();
 }
 
 #endif  // DARRAY_TRACING

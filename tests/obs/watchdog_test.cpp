@@ -1,0 +1,135 @@
+// The slow-op watchdog: validate() guards its knobs, a stalled op is
+// reported exactly once (not once per poll tick), the report carries the
+// op's identity, and distinct stalls each get their own report.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/darray.hpp"
+#include "obs/trace.hpp"
+#include "tests/test_util.hpp"
+
+using namespace darray;
+using darray::testing::small_cfg;
+
+TEST(Watchdog, ValidateRequiresTracingAndSaneKnobs) {
+  rt::ClusterConfig cfg;
+  cfg.watchdog_enabled = true;
+  // Watchdog without tracing cannot correlate anything: rejected.
+  cfg.tracing_enabled = false;
+  EXPECT_NE(cfg.validate().find("watchdog"), std::string::npos) << cfg.validate();
+
+  cfg.tracing_enabled = true;
+  EXPECT_EQ(cfg.validate(), "");
+
+  cfg.watchdog_deadline_ns = 0;
+  EXPECT_NE(cfg.validate().find("watchdog_deadline_ns"), std::string::npos);
+  cfg.watchdog_deadline_ns = 1'000'000;
+  cfg.watchdog_poll_ns = 0;
+  EXPECT_NE(cfg.validate().find("watchdog_poll_ns"), std::string::npos);
+  cfg.watchdog_poll_ns = 2'000'000;  // poll slower than the deadline
+  EXPECT_NE(cfg.validate().find("watchdog_poll_ns"), std::string::npos);
+}
+
+#if !DARRAY_TRACING
+
+TEST(Watchdog, SkippedWithoutTracing) {
+  GTEST_SKIP() << "DARRAY_TRACING=0: the watchdog has no inflight table";
+}
+
+#else  // DARRAY_TRACING
+
+namespace {
+
+rt::ClusterConfig watchdog_cfg() {
+  rt::ClusterConfig cfg = small_cfg(1);
+  cfg.tracing_enabled = true;
+  cfg.watchdog_enabled = true;
+  cfg.watchdog_deadline_ns = 60'000'000;  // 60 ms
+  cfg.watchdog_poll_ns = 5'000'000;       // 12 chances to double-report
+  return cfg;
+}
+
+// Holds the element's wlock on one app thread for `hold_ms`, while a second
+// app thread blocks acquiring it — a deterministic in-flight op far past the
+// deadline, with no fault injector in the loop.
+void stall_one_op(rt::Cluster& cluster, DArray<uint64_t>& arr, uint64_t index,
+                  int hold_ms) {
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    bind_thread(cluster, 0);
+    arr.wlock(index);
+    held.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    arr.unlock(index);
+  });
+  std::thread blocked([&] {
+    bind_thread(cluster, 0);
+    while (!held.load(std::memory_order_acquire)) std::this_thread::yield();
+    arr.wlock(index);  // blocks until the holder releases
+    arr.unlock(index);
+  });
+  holder.join();
+  blocked.join();
+}
+
+}  // namespace
+
+TEST(Watchdog, ReportsAStalledOpExactlyOnce) {
+  rt::Cluster cluster(watchdog_cfg());
+  auto arr = DArray<uint64_t>::create(cluster, 256);
+
+  rt::Cluster::WatchdogReport last{};
+  std::atomic<uint64_t> fired{0};
+  cluster.set_watchdog_handler([&](const rt::Cluster::WatchdogReport& r) {
+    last = r;
+    fired.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // 250 ms stall vs a 60 ms deadline: the scanner passes the stalled op many
+  // times, and must report it on the first pass only.
+  stall_one_op(cluster, arr, 7, 250);
+  EXPECT_EQ(fired.load(), 1u);
+  EXPECT_EQ(cluster.watchdog_reports(), 1u);
+  EXPECT_EQ(last.kind, obs::OpKind::kWlock);
+  EXPECT_EQ(last.node, 0u);
+  EXPECT_EQ(last.index, 7u);
+  EXPECT_NE(last.corr, 0u);
+  EXPECT_GE(last.age_ns, cluster.config().watchdog_deadline_ns);
+}
+
+TEST(Watchdog, DistinctStallsEachReportOnce) {
+  rt::Cluster cluster(watchdog_cfg());
+  auto arr = DArray<uint64_t>::create(cluster, 256);
+  std::atomic<uint64_t> fired{0};
+  std::atomic<uint64_t> corrs[2] = {};
+  cluster.set_watchdog_handler([&](const rt::Cluster::WatchdogReport& r) {
+    const uint64_t i = fired.fetch_add(1, std::memory_order_relaxed);
+    if (i < 2) corrs[i].store(r.corr, std::memory_order_relaxed);
+  });
+
+  stall_one_op(cluster, arr, 1, 150);
+  stall_one_op(cluster, arr, 2, 150);
+  EXPECT_EQ(fired.load(), 2u);
+  EXPECT_EQ(cluster.watchdog_reports(), 2u);
+  // Two different ops, two different correlation ids.
+  EXPECT_NE(corrs[0].load(), corrs[1].load());
+}
+
+TEST(Watchdog, FastOpsNeverFire) {
+  rt::Cluster cluster(watchdog_cfg());
+  auto arr = DArray<uint64_t>::create(cluster, 256);
+  darray::testing::run_on_nodes(cluster, [&](rt::NodeId) {
+    for (uint64_t i = 0; i < 256; ++i) {
+      arr.set(i, i);
+      (void)arr.get(i);
+    }
+  });
+  // Give the poller a couple of ticks to (wrongly) find something.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(cluster.watchdog_reports(), 0u);
+}
+
+#endif  // DARRAY_TRACING

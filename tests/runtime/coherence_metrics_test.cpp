@@ -1,0 +1,107 @@
+// Coherence observability: a scripted miss -> invalidate -> operate ->
+// combine-flush sequence across two nodes must light up the per-state
+// directory transition counters (coherence.enter_*) and the combine-flush
+// tally, with values that match what the protocol was forced to do.
+#include <gtest/gtest.h>
+
+#include "core/darray.hpp"
+#include "obs/stats_registry.hpp"
+#include "runtime/types.hpp"
+#include "tests/test_util.hpp"
+
+using namespace darray;
+using darray::testing::small_cfg;
+
+namespace {
+
+// One app thread bound to `node` runs fn and joins.
+void on_node(rt::Cluster& cluster, rt::NodeId node, const std::function<void()>& fn) {
+  std::thread t([&] {
+    bind_thread(cluster, node);
+    fn();
+  });
+  t.join();
+}
+
+}  // namespace
+
+TEST(CoherenceMetrics, DentryStateNamesCoverEveryState) {
+  for (size_t i = 0; i < rt::kNumDentryStates; ++i) {
+    const char* name = rt::dentry_state_name(static_cast<rt::DentryState>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+  }
+}
+
+TEST(CoherenceMetrics, ScriptedSequenceCountsEveryTransition) {
+  rt::Cluster cluster(small_cfg(3));
+  auto arr = DArray<uint64_t>::create(cluster, 256);
+  const uint16_t add = arr.register_op(+[](uint64_t& a, uint64_t v) { a += v; }, 0);
+  const uint64_t idx = 3;  // in chunk 0, homed on node 0
+
+  cluster.mark_stats_baseline("pre_script");
+
+  // 1. Remote read misses: nodes 1 and 2 pull the chunk -> their cache-side
+  //    dentries walk invalid -> pending_read -> read.
+  on_node(cluster, 1, [&] { EXPECT_EQ(arr.get(idx), 0u); });
+  on_node(cluster, 2, [&] { EXPECT_EQ(arr.get(idx), 0u); });
+  {
+    const obs::StatsSnapshot d = cluster.stats_delta_since("pre_script");
+    EXPECT_GE(d.value_or("runtime.local_read_misses"), 2u);
+    EXPECT_GE(d.value_or("runtime.fills"), 2u);
+    EXPECT_GE(d.value_or("coherence.enter_pending_read"), 2u);
+    EXPECT_GE(d.value_or("coherence.enter_read"), 2u);
+    EXPECT_GE(d.value_or("cache.allocs"), 2u);  // both remote cached copies
+  }
+
+  // 2. Conflicting write: node 1 upgrades to write ownership, which must
+  //    invalidate the other sharer's read copy.
+  cluster.mark_stats_baseline("pre_invalidate");
+  on_node(cluster, 1, [&] { arr.set(idx, 41); });
+  {
+    const obs::StatsSnapshot d = cluster.stats_delta_since("pre_invalidate");
+    EXPECT_GE(d.value_or("runtime.invalidations"), 1u);
+    EXPECT_GE(d.value_or("coherence.enter_pending_write"), 1u);
+    EXPECT_GE(d.value_or("coherence.enter_write"), 1u);
+  }
+
+  // 3. Remote operate: node 2 applies a combinable op -> operated state.
+  cluster.mark_stats_baseline("pre_operate");
+  on_node(cluster, 2, [&] { arr.apply(idx, add, 1); });
+  {
+    const obs::StatsSnapshot d = cluster.stats_delta_since("pre_operate");
+    EXPECT_GE(d.value_or("coherence.enter_operated"), 1u);
+  }
+
+  // 4. Read-back at the home: forces the combine buffer to flush and apply,
+  //    and the directory to transition back through a read fill.
+  cluster.mark_stats_baseline("pre_flush");
+  on_node(cluster, 0, [&] { EXPECT_EQ(arr.get(idx), 42u); });
+  {
+    const obs::StatsSnapshot d = cluster.stats_delta_since("pre_flush");
+    EXPECT_GE(d.value_or("runtime.combine_flushes"), 1u);
+    EXPECT_GE(d.value_or("runtime.op_flushes_applied"), 1u);
+  }
+
+  // Whole-script view: per-state transition counters are cluster-wide sums of
+  // per-dentry counts, so the total must cover each scripted phase.
+  const obs::StatsSnapshot all = cluster.stats_delta_since("pre_script");
+  EXPECT_GE(all.value_or("coherence.enter_pending_read"), 1u);
+  EXPECT_GE(all.value_or("coherence.enter_read"), 1u);
+  EXPECT_GE(all.value_or("coherence.enter_pending_write"), 1u);
+  EXPECT_GE(all.value_or("coherence.enter_write"), 1u);
+  EXPECT_GE(all.value_or("coherence.enter_operated"), 1u);
+}
+
+TEST(CoherenceMetrics, QuiescentClusterAddsNoTransitions) {
+  rt::Cluster cluster(small_cfg(2));
+  auto arr = DArray<uint64_t>::create(cluster, 256);
+  (void)arr;
+  cluster.mark_stats_baseline("idle");
+  const obs::StatsSnapshot d = cluster.stats_delta_since("idle");
+  for (const auto& e : d.entries) {
+    if (e.name.rfind("coherence.", 0) == 0) {
+      EXPECT_EQ(e.value, 0u) << e.name;
+    }
+  }
+}

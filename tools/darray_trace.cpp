@@ -1,11 +1,16 @@
 // darray-trace: offline reader for trace dumps produced by
 // obs::dump_trace_json (bench/chaos_ablation --trace, or any harness calling
 // the dump API). The dump is line-oriented — one event object per line — so
-// this parses with sscanf instead of pulling in a JSON library.
+// this parses with sscanf instead of pulling in a JSON library. Both dump
+// format v1 (no ring ids) and v2 (per-ring accounting, "r" per event) load.
 //
-//   darray-trace TRACE.json              summary: event counts, span stats
-//   darray-trace TRACE.json --slowest N  top N slowest API op spans
-//   darray-trace TRACE.json --corr HEX   every event of one correlation id
+//   darray-trace TRACE.json                summary: drops, event counts, spans
+//   darray-trace TRACE.json --slowest N    top N slowest API op spans
+//   darray-trace TRACE.json --corr HEX     every event of one correlation id
+//   darray-trace TRACE.json --perfetto OUT Chrome trace-event JSON for
+//                                          ui.perfetto.dev (one track per
+//                                          thread per node, flow arrows per
+//                                          correlation id)
 //
 // Exit status: 0 on success, 1 on a malformed/unreadable dump.
 #include <algorithm>
@@ -33,27 +38,74 @@ struct Rec {
   uint32_t node = 0;
   uint32_t a = 0;
   uint64_t b = 0;
+  uint32_t ring = 0;  // 0 for v1 dumps (no per-ring attribution)
 };
 
-bool parse_dump(const char* path, std::vector<Rec>& out) {
+struct RingInfo {
+  uint32_t id = 0;
+  uint64_t pushed = 0;
+  uint64_t dropped = 0;
+};
+
+// Dump-header accounting. v1 carries the totals; v2 adds the per-ring table.
+struct DumpInfo {
+  int format = 0;
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  std::vector<RingInfo> rings;
+};
+
+bool parse_dump(const char* path, std::vector<Rec>& out, DumpInfo& info) {
   std::FILE* f = std::fopen(path, "r");
   if (!f) {
     std::fprintf(stderr, "darray-trace: cannot open %s\n", path);
     return false;
   }
-  char line[512];
-  while (std::fgets(line, sizeof(line), f)) {
-    const char* p = std::strstr(line, "{\"t\":");
-    if (!p) continue;  // header / closing lines
+  std::string line;
+  char chunk[512];
+  bool header_done = false;
+  auto getline = [&](std::string& l) -> bool {
+    l.clear();
+    while (std::fgets(chunk, sizeof(chunk), f)) {
+      l += chunk;
+      if (!l.empty() && l.back() == '\n') return true;
+    }
+    return !l.empty();
+  };
+  while (getline(line)) {
+    if (!header_done) {
+      // The header is the first line; rings lists can make it long, so it is
+      // read unbounded above.
+      const char* h = std::strstr(line.c_str(), "\"trace_format\":");
+      if (h) {
+        std::sscanf(h, "\"trace_format\": %d", &info.format);
+        if (const char* r = std::strstr(line.c_str(), "\"recorded\":"))
+          std::sscanf(r, "\"recorded\": %" SCNu64, &info.recorded);
+        if (const char* d = std::strstr(line.c_str(), "\"dropped\":"))
+          std::sscanf(d, "\"dropped\": %" SCNu64, &info.dropped);
+        for (const char* p = std::strstr(line.c_str(), "{\"id\":"); p != nullptr;
+             p = std::strstr(p + 1, "{\"id\":")) {
+          RingInfo ri;
+          if (std::sscanf(p, "{\"id\": %u, \"pushed\": %" SCNu64 ", \"dropped\": %" SCNu64,
+                          &ri.id, &ri.pushed, &ri.dropped) == 3)
+            info.rings.push_back(ri);
+        }
+        header_done = true;
+        continue;
+      }
+    }
+    const char* p = std::strstr(line.c_str(), "{\"t\":");
+    if (!p) continue;  // closing lines
     Rec r;
     char ev[32] = {0};
-    const int n = std::sscanf(p,
-                              "{\"t\": %" SCNu64 ", \"c\": %" SCNu64
-                              ", \"ev\": \"%31[^\"]\", \"k\": %u, \"node\": %u, "
-                              "\"a\": %u, \"b\": %" SCNu64 "}",
-                              &r.t, &r.c, ev, &r.k, &r.node, &r.a, &r.b);
-    if (n != 7) {
-      std::fprintf(stderr, "darray-trace: malformed event line: %s", line);
+    int n = std::sscanf(p,
+                        "{\"t\": %" SCNu64 ", \"c\": %" SCNu64
+                        ", \"ev\": \"%31[^\"]\", \"k\": %u, \"node\": %u, "
+                        "\"a\": %u, \"b\": %" SCNu64 ", \"r\": %u}",
+                        &r.t, &r.c, ev, &r.k, &r.node, &r.a, &r.b, &r.ring);
+    if (n == 7) r.ring = 0;  // v1 event line (no "r" field)
+    if (n != 7 && n != 8) {
+      std::fprintf(stderr, "darray-trace: malformed event line: %s", line.c_str());
       std::fclose(f);
       return false;
     }
@@ -70,6 +122,7 @@ struct Span {
   uint64_t end_ns = 0;
   uint32_t kind = 0;
   uint32_t node = 0;
+  uint32_t ring = 0;  // ring of the kOpBegin event
   uint64_t index = 0;
   uint64_t events = 0;  // events carrying this corr, ends included
 };
@@ -90,6 +143,7 @@ std::vector<Span> build_spans(const std::vector<Rec>& evs) {
       s.begin_ns = r.t;
       s.kind = r.k;
       s.node = r.node;
+      s.ring = r.ring;
       s.index = r.b;
     } else if (r.ev == "op_end") {
       s.end_ns = r.t;
@@ -102,10 +156,33 @@ std::vector<Span> build_spans(const std::vector<Rec>& evs) {
   return spans;
 }
 
-int cmd_summary(const std::vector<Rec>& evs) {
+int cmd_summary(const std::vector<Rec>& evs, const DumpInfo& info) {
+  // Drop accounting first: a ring that wrapped overwrote its oldest events,
+  // so the retained event list under-represents the recorded traffic. The
+  // header totals (and, for v2 dumps, the per-ring table) keep that honest.
+  if (info.format != 0) {
+    const double drop_pct =
+        info.recorded ? 100.0 * static_cast<double>(info.dropped) /
+                            static_cast<double>(info.recorded)
+                      : 0.0;
+    std::printf("recorded %" PRIu64 ", retained %zu, dropped %" PRIu64 " (%.1f%%)\n",
+                info.recorded, evs.size(), info.dropped, drop_pct);
+    if (info.dropped != 0 && info.format < 2)
+      std::printf("  (v1 dump: no per-ring attribution — re-dump with format 2)\n");
+  }
+  if (!info.rings.empty()) {
+    std::printf("\nper-ring:\n  %4s %10s %10s %10s\n", "id", "pushed", "retained",
+                "dropped");
+    for (const RingInfo& r : info.rings) {
+      if (r.pushed == 0) continue;
+      std::printf("  %4u %10" PRIu64 " %10" PRIu64 " %10" PRIu64 "%s\n", r.id, r.pushed,
+                  r.pushed - r.dropped, r.dropped, r.dropped ? "  <-- wrapped" : "");
+    }
+  }
+
   std::map<std::string, uint64_t> counts;
   for (const Rec& r : evs) counts[r.ev]++;
-  std::printf("%zu events\n\nby type:\n", evs.size());
+  std::printf("\n%zu events\n\nby type:\n", evs.size());
   for (const auto& [name, n] : counts)
     std::printf("  %-14s %10" PRIu64 "\n", name.c_str(), n);
 
@@ -155,8 +232,9 @@ int cmd_corr(const std::vector<Rec>& evs, uint64_t corr) {
   for (const Rec& r : evs) {
     if (r.c != corr) continue;
     if (t0 == 0) t0 = r.t;
-    std::printf("%+12" PRId64 " ns  %-14s node=%u k=%u a=%u b=%" PRIu64 "\n",
-                static_cast<int64_t>(r.t - t0), r.ev.c_str(), r.node, r.k, r.a, r.b);
+    std::printf("%+12" PRId64 " ns  %-14s node=%u ring=%u k=%u a=%u b=%" PRIu64 "\n",
+                static_cast<int64_t>(r.t - t0), r.ev.c_str(), r.node, r.ring, r.k, r.a,
+                r.b);
     ++n;
   }
   if (n == 0) {
@@ -166,16 +244,151 @@ int cmd_corr(const std::vector<Rec>& evs, uint64_t corr) {
   return 0;
 }
 
+// --- Perfetto / Chrome trace-event exporter ----------------------------------
+// One process per node (pid = node id, 65535 = "transport": events recorded
+// with no node context), one track per trace ring (tid = ring id ≈ recording
+// thread). Completed API op spans render as full slices; every other
+// corr-carrying event renders as a thin slice so the flow arrows — one chain
+// per correlation id, in timestamp order — have something to bind to.
+
+constexpr uint32_t kNoNode = 0xffff;  // obs::kNoTraceNode as parsed
+
+struct TrackKey {
+  uint32_t pid;
+  uint32_t tid;
+  bool operator<(const TrackKey& o) const {
+    return pid != o.pid ? pid < o.pid : tid < o.tid;
+  }
+};
+
+int cmd_perfetto(const std::vector<Rec>& evs, const std::vector<Span>& spans,
+                 const char* out_path) {
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "darray-trace: cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  uint64_t t0 = ~0ull;
+  for (const Rec& r : evs) t0 = std::min(t0, r.t);
+  if (evs.empty()) t0 = 0;
+  auto us = [t0](uint64_t t) { return static_cast<double>(t - t0) / 1000.0; };
+
+  std::fprintf(f, "{\"traceEvents\": [\n");
+  bool first = true;
+  auto emit = [&](const char* fmt, auto... args) {
+    std::fprintf(f, "%s", first ? "" : ",\n");
+    first = false;
+    std::fprintf(f, fmt, args...);
+  };
+
+  // Track metadata: name every process and thread Perfetto will show.
+  std::map<TrackKey, bool> tracks;
+  for (const Rec& r : evs) tracks[{r.node, r.ring}] = true;
+  std::map<uint32_t, bool> pids;
+  for (const auto& [k, _] : tracks) pids[k.pid] = true;
+  for (const auto& [pid, _] : pids) {
+    if (pid == kNoNode)
+      emit("{\"ph\": \"M\", \"pid\": %u, \"name\": \"process_name\", "
+           "\"args\": {\"name\": \"transport\"}}",
+           pid);
+    else
+      emit("{\"ph\": \"M\", \"pid\": %u, \"name\": \"process_name\", "
+           "\"args\": {\"name\": \"node %u\"}}",
+           pid, pid);
+  }
+  for (const auto& [k, _] : tracks)
+    emit("{\"ph\": \"M\", \"pid\": %u, \"tid\": %u, \"name\": \"thread_name\", "
+         "\"args\": {\"name\": \"ring %u\"}}",
+         k.pid, k.tid, k.tid);
+
+  // Completed API op spans: full slices on the issuing thread's track.
+  std::unordered_map<uint64_t, const Span*> span_by_corr;
+  for (const Span& s : spans) span_by_corr[s.corr] = &s;
+  for (const Span& s : spans)
+    emit("{\"ph\": \"X\", \"pid\": %u, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+         "\"name\": \"%s\", \"cat\": \"op\", "
+         "\"args\": {\"corr\": \"%" PRIx64 "\", \"index\": %" PRIu64 "}}",
+         s.node, s.ring, us(s.begin_ns),
+         std::max(0.001, static_cast<double>(s.end_ns - s.begin_ns) / 1000.0),
+         kind_name(s.kind), s.corr, s.index);
+
+  // Everything else: thin slices (corr-carrying, so flows can bind) or
+  // instants. Thin-slice duration: up to 1 µs, clipped at the next event on
+  // the same track so slices never overlap.
+  std::map<TrackKey, std::vector<const Rec*>> by_track;
+  for (const Rec& r : evs) by_track[{r.node, r.ring}].push_back(&r);
+  struct Anchor {
+    uint64_t t;
+    uint32_t pid, tid;
+  };
+  std::unordered_map<uint64_t, std::vector<Anchor>> flow_anchors;
+  for (const Span& s : spans)
+    flow_anchors[s.corr].push_back({s.begin_ns, s.node, s.ring});
+  for (auto& [key, list] : by_track) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Rec* x, const Rec* y) { return x->t < y->t; });
+    for (size_t i = 0; i < list.size(); ++i) {
+      const Rec& r = *list[i];
+      if (r.ev == "op_begin" || r.ev == "op_end") continue;  // covered by spans
+      if (r.c == 0) {
+        emit("{\"ph\": \"i\", \"pid\": %u, \"tid\": %u, \"ts\": %.3f, "
+             "\"name\": \"%s\", \"cat\": \"ev\", \"s\": \"t\"}",
+             key.pid, key.tid, us(r.t), r.ev.c_str());
+        continue;
+      }
+      uint64_t dur_ns = 1000;
+      if (i + 1 < list.size() && list[i + 1]->t > r.t)
+        dur_ns = std::min<uint64_t>(dur_ns, list[i + 1]->t - r.t);
+      if (dur_ns == 0) dur_ns = 1;
+      emit("{\"ph\": \"X\", \"pid\": %u, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+           "\"name\": \"%s\", \"cat\": \"ev\", "
+           "\"args\": {\"corr\": \"%" PRIx64 "\", \"a\": %u, \"b\": %" PRIu64 "}}",
+           key.pid, key.tid, us(r.t), static_cast<double>(dur_ns) / 1000.0,
+           r.ev.c_str(), r.c, r.a, r.b);
+      flow_anchors[r.c].push_back({r.t, key.pid, key.tid});
+    }
+  }
+
+  // Flow arrows: one s → t… → f chain per correlation id, in anchor ts order.
+  // Each flow event shares its anchor slice's (pid, tid, ts), which is how
+  // the Chrome trace format binds an arrow endpoint to a slice.
+  size_t flows = 0;
+  for (auto& [corr, anchors] : flow_anchors) {
+    if (anchors.size() < 2) continue;
+    std::stable_sort(anchors.begin(), anchors.end(),
+                     [](const Anchor& x, const Anchor& y) { return x.t < y.t; });
+    const char* op = "?";
+    if (const auto it = span_by_corr.find(corr); it != span_by_corr.end())
+      op = kind_name(it->second->kind);
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      const char* ph = i == 0 ? "s" : (i + 1 == anchors.size() ? "f" : "t");
+      emit("{\"ph\": \"%s\", \"pid\": %u, \"tid\": %u, \"ts\": %.3f, "
+           "\"name\": \"%s\", \"cat\": \"flow\", \"id\": %" PRIu64 "%s}",
+           ph, anchors[i].pid, anchors[i].tid, us(anchors[i].t), op, corr,
+           std::strcmp(ph, "f") == 0 ? ", \"bp\": \"e\"" : "");
+    }
+    ++flows;
+  }
+
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "darray-trace: wrote %s (%zu events, %zu spans, %zu flows)\n",
+               out_path, evs.size(), spans.size(), flows);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: darray-trace TRACE.json [--slowest N | --corr HEXID]\n");
+                 "usage: darray-trace TRACE.json "
+                 "[--slowest N | --corr HEXID | --perfetto OUT.json]\n");
     return 1;
   }
   std::vector<Rec> evs;
-  if (!parse_dump(argv[1], evs)) return 1;
+  DumpInfo info;
+  if (!parse_dump(argv[1], evs, info)) return 1;
   // Dumps are merged/sorted already, but tolerate hand-edited files.
   std::stable_sort(evs.begin(), evs.end(),
                    [](const Rec& x, const Rec& y) { return x.t < y.t; });
@@ -184,5 +397,7 @@ int main(int argc, char** argv) {
     return cmd_slowest(evs, std::strtoull(argv[3], nullptr, 10));
   if (argc >= 4 && std::strcmp(argv[2], "--corr") == 0)
     return cmd_corr(evs, std::strtoull(argv[3], nullptr, 16));
-  return cmd_summary(evs);
+  if (argc >= 4 && std::strcmp(argv[2], "--perfetto") == 0)
+    return cmd_perfetto(evs, build_spans(evs), argv[3]);
+  return cmd_summary(evs, info);
 }
