@@ -22,6 +22,7 @@
 #include "common/histogram.hpp"
 #include "core/context.hpp"
 #include "obs/stats_registry.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/cluster.hpp"
 
 namespace darray::bench {
@@ -153,6 +154,15 @@ class JsonReport {
     if (enabled_) stats_ = std::move(snap);
   }
 
+  // Attaches the telemetry sampler's rings (cluster.timeseries()->collect())
+  // from the last measured configuration under a "series" block: how the run
+  // *unfolded*, not just where it ended. No-op when telemetry was off.
+  void set_series(uint64_t sample_ns, std::vector<obs::TimeSeriesStore::Series> series) {
+    if (!enabled_) return;
+    series_sample_ns_ = sample_ns;
+    series_ = std::move(series);
+  }
+
   // Writes BENCH_<name>.json; returns false (with a message) on I/O failure.
   bool write() const {
     if (!enabled_) return true;
@@ -165,6 +175,21 @@ class JsonReport {
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"reps\": %u,\n", name_.c_str(),
                  bench_reps());
     std::fprintf(f, "  \"stats\": %s,\n", stats_.to_json("  ").c_str());
+    if (!series_.empty()) {
+      std::fprintf(f, "  \"series\": {\"sample_ns\": %llu, \"metrics\": [\n",
+                   static_cast<unsigned long long>(series_sample_ns_));
+      for (size_t i = 0; i < series_.size(); ++i) {
+        const auto& s = series_[i];
+        std::fprintf(f, "    {\"metric\": \"%s\", \"rate\": %s, \"points\": [",
+                     s.name.c_str(), s.rate ? "true" : "false");
+        for (size_t j = 0; j < s.points.size(); ++j)
+          std::fprintf(f, "%s[%llu, %llu]", j ? ", " : "",
+                       static_cast<unsigned long long>(s.points[j].t_ns),
+                       static_cast<unsigned long long>(s.points[j].value));
+        std::fprintf(f, "]}%s\n", i + 1 < series_.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]},\n");
+    }
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
@@ -194,6 +219,8 @@ class JsonReport {
   bool enabled_;
   std::vector<Entry> entries_;
   obs::StatsSnapshot stats_;
+  uint64_t series_sample_ns_ = 0;
+  std::vector<obs::TimeSeriesStore::Series> series_;
 };
 
 // The paper's scalability ratio: speedup at the largest point divided by the

@@ -5,6 +5,7 @@
 //      matches the baseline figures (the chaos path costs nothing when cold);
 //   2. injector on   → faults are injected and recovered transparently, with
 //      latency degrading in proportion to the plan, never diverging.
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <unordered_map>
@@ -238,12 +239,87 @@ int watchdog_main() {
   return 0;
 }
 
+// --serve: live telemetry demo and CI target. The seeded chaos workload runs
+// as a continuous flood (one thread per node, random set+get) while the
+// embedded listener serves /metrics, /stats.json and /series.json — point
+// curl, Prometheus, or tools/darray-top at it. Runs for DARRAY_SERVE_SECONDS
+// (default 30) then drains and exits 0; exits 1 if the listener failed to
+// bind (port taken).
+int serve_main() {
+  const uint64_t secs = env_u64("DARRAY_SERVE_SECONDS", 30);
+  std::printf("=== Chaos ablation (--serve): live telemetry under a chaos flood ===\n");
+
+  // Latency percentiles and per-node op counts ride on the traced histograms;
+  // a DARRAY_TRACING=0 build still serves every counter family.
+  obs::set_tracing(true);
+  const bool traced = obs::tracing_enabled();
+  obs::set_tracing(false);
+
+  const chaos::FaultPlan plan = ablation_plan(7);
+  rt::ClusterConfig cfg = bench_cfg(max_nodes());
+  cfg.fault_plan = &plan;
+  cfg.tracing_enabled = traced;
+  cfg.telemetry_enabled = true;
+  cfg.telemetry_sample_ns = env_u64("DARRAY_TELEMETRY_SAMPLE_NS", 100'000'000);
+  cfg.telemetry_serve = true;
+  cfg.telemetry_port = static_cast<uint16_t>(env_u64("DARRAY_TELEMETRY_PORT", 9464));
+
+  rt::Cluster cluster(cfg);
+  if (cluster.telemetry_port() == 0) {
+    std::fprintf(stderr, "--serve: listener failed to bind (port %u taken? "
+                 "set DARRAY_TELEMETRY_PORT, 0 = ephemeral)\n", cfg.telemetry_port);
+    return 1;
+  }
+  std::printf("serving on http://127.0.0.1:%u  (/metrics  /stats.json  /series.json)\n",
+              cluster.telemetry_port());
+  std::printf("flood: %u node%s x 1 thread, chaos plan seed-7%s; "
+              "%llu s (DARRAY_SERVE_SECONDS)\n",
+              cluster.num_nodes(), cluster.num_nodes() == 1 ? "" : "s",
+              traced ? "" : " [tracing compiled out: no latency families]",
+              static_cast<unsigned long long>(secs));
+  std::fflush(stdout);
+
+  const uint64_t total = elems_per_node() * cluster.num_nodes();
+  auto arr = DArray<uint64_t>::create(cluster, total);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> floods;
+  for (rt::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    floods.emplace_back([&, n] {
+      bind_thread(cluster, n);
+      uint64_t x = 0x9e3779b97f4a7c15ull * (n + 1);  // splitmix-ish walk
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        const uint64_t i = x % total;
+        arr.set(i, x);
+        volatile uint64_t v = arr.get(i);
+        (void)v;
+      }
+    });
+  }
+  const auto t_end = std::chrono::steady_clock::now() + std::chrono::seconds(secs);
+  while (std::chrono::steady_clock::now() < t_end)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : floods) t.join();
+
+  const auto snap = cluster.stats();
+  std::printf("done: %llu http requests, %llu telemetry samples, "
+              "%llu remote reqs, %llu injected faults recovered\n",
+              static_cast<unsigned long long>(snap.value_or("telemetry.requests")),
+              static_cast<unsigned long long>(snap.value_or("telemetry.samples")),
+              static_cast<unsigned long long>(snap.value_or("runtime.remote_reqs")),
+              static_cast<unsigned long long>(snap.value_or("fabric.retries")));
+  obs::set_tracing(false);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (has_flag(argc, argv, "--trace")) return trace_main();
   if (has_flag(argc, argv, "--hist")) return hist_main();
   if (has_flag(argc, argv, "--watchdog")) return watchdog_main();
+  if (has_flag(argc, argv, "--serve")) return serve_main();
   std::printf("=== Chaos ablation: seq set+get under seeded fault plans ===\n");
   std::printf("array: %llu elems/node, %u nodes, 1 thread/node\n",
               static_cast<unsigned long long>(elems_per_node()), max_nodes());

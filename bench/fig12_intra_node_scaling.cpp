@@ -24,7 +24,7 @@ double run_darray(uint32_t nodes, uint32_t threads, Op op) {
   rt::Cluster cluster(bench_cfg(nodes));
   const uint64_t total = elems_per_node() * nodes;
   auto arr = DArray<uint64_t>::create(cluster, total);
-  const uint16_t add = arr.register_op(&add_fn, 0);
+  const auto add = arr.register_op(&add_fn, 0);
   return measure_mops(cluster, threads, total, [&](rt::NodeId, uint32_t, uint64_t i) {
     switch (op) {
       case Op::kRead: {

@@ -25,7 +25,7 @@ double run(const char* system, uint32_t nodes, Op op) {
   const std::string sys(system);
   if (sys == "darray") {
     auto arr = DArray<uint64_t>::create(cluster, total);
-    const uint16_t add = arr.register_op(&add_fn, 0);
+    const auto add = arr.register_op(&add_fn, 0);
     return measure_mops(cluster, 1, total, [&](rt::NodeId, uint32_t, uint64_t i) {
       switch (op) {
         case Op::kRead: {

@@ -41,7 +41,7 @@ double run(const std::string& sys, uint32_t nodes, Op op) {
 
   if (sys == "darray") {
     auto arr = DArray<uint64_t>::create(cluster, total);
-    const uint16_t add = arr.register_op(&add_fn, 0);
+    const auto add = arr.register_op(&add_fn, 0);
     return measure_avg_ns(cluster, ops, [&](rt::NodeId n, uint64_t i) {
       const uint64_t k = idx[n][i];
       switch (op) {

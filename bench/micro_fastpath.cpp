@@ -26,11 +26,18 @@ struct Fixture {
   rt::Cluster cluster;
   DArray<uint64_t> arr;
   gam::GamArray<uint64_t> gam_arr;
-  uint16_t add;
+  OpHandle<uint64_t> add;
 
   static rt::ClusterConfig cfg() {
     rt::ClusterConfig c;
     c.num_nodes = 1;
+    // The live sampler runs during every measurement here on purpose: the
+    // fast-path numbers are taken with telemetry on, so its cost (one
+    // snapshot per 100 ms on a background thread) is bounded by the
+    // telemetry-off baseline staying within the noise band. Set
+    // DARRAY_TELEMETRY=0 for the off-baseline when measuring that bound.
+    c.telemetry_enabled = bench::env_u64("DARRAY_TELEMETRY", 1) != 0;
+    c.telemetry_sample_ns = bench::env_u64("DARRAY_TELEMETRY_SAMPLE_NS", 100'000'000);
     return c;
   }
 
@@ -291,6 +298,16 @@ int json_main() {
   // Unified counters from the fixture cluster ride along in the report, so
   // counter drift (extra misses, lost coalescing) diffs with the numbers.
   report.set_stats(Fixture::get().cluster.stats());
+  // And the sampler's rings: how the run unfolded over time, not just the
+  // end state. Kept to the headline families so the report stays diffable.
+  if (const obs::TimeSeriesStore* ts = Fixture::get().cluster.timeseries()) {
+    std::vector<obs::TimeSeriesStore::Series> series;
+    for (const char* prefix : {"runtime.", "fabric.", "hist.op.", "duty."})
+      for (auto& s : ts->collect(prefix))
+        series.push_back(std::move(s));
+    report.set_series(Fixture::get().cluster.config().telemetry_sample_ns,
+                      std::move(series));
+  }
   return report.write() ? 0 : 1;
 }
 

@@ -61,6 +61,51 @@ def main():
         if bad:
             failures.append(f"stats entries are not non-negative ints: {bad}")
 
+    # The telemetry series block is optional — committed BENCH files predate
+    # it — but when present it must be coherent: a positive sample period,
+    # strictly increasing timestamps per metric, and non-negative values.
+    series = report.get("series")
+    n_series = 0
+    if series is not None:
+        if not isinstance(series, dict):
+            failures.append("'series' present but not an object")
+        else:
+            sample_ns = series.get("sample_ns")
+            if not isinstance(sample_ns, int) or sample_ns <= 0:
+                failures.append(f"series.sample_ns invalid: {sample_ns!r}")
+            metrics = series.get("metrics")
+            if not isinstance(metrics, list) or not metrics:
+                failures.append("series.metrics missing or empty")
+                metrics = []
+            for m in metrics:
+                name = m.get("metric")
+                if not isinstance(name, str) or not name:
+                    failures.append("series entry without a metric name")
+                    continue
+                n_series += 1
+                if not isinstance(m.get("rate"), bool):
+                    failures.append(f"series {name}: missing 'rate' flag")
+                pts = m.get("points")
+                if not isinstance(pts, list) or not pts:
+                    failures.append(f"series {name}: no points")
+                    continue
+                last_t = -1
+                for p in pts:
+                    if (not isinstance(p, list) or len(p) != 2
+                            or not all(isinstance(x, int) for x in p)):
+                        failures.append(f"series {name}: bad point {p!r}")
+                        break
+                    t, v = p
+                    if t <= last_t:
+                        failures.append(f"series {name}: timestamps not "
+                                        f"strictly increasing at t={t}")
+                        break
+                    if v < 0:
+                        failures.append(f"series {name}: negative value {v} "
+                                        f"at t={t}")
+                        break
+                    last_t = t
+
     if args.baseline:
         base = index_results(load(args.baseline))
         fresh = index_results(report)
@@ -104,8 +149,10 @@ def main():
         for f in failures:
             print("FAIL:", f, file=sys.stderr)
         return 1
+    tail = (f", series block well-formed ({n_series} metrics)"
+            if series is not None else "")
     print(f"report {args.report}: stats block present "
-          f"({len(stats)} counters), all checks passed")
+          f"({len(stats)} counters){tail}, all checks passed")
     return 0
 
 

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format 0.0.4 exposition (the /metrics payload).
+
+Checks what a real scraper would choke on: metric/label name syntax, numeric
+sample values, TYPE lines that precede their samples and use known types, no
+duplicate series, and — for histograms — le-bucket cumulativity, a +Inf
+bucket, and bucket/_count agreement. Stdlib only, so the CI job needs nothing
+beyond python3:
+
+    curl -s http://127.0.0.1:9464/metrics > metrics.txt
+    scripts/validate_prometheus.py metrics.txt \
+        --require darray_fabric_sends_total --require darray_op_latency_ns
+"""
+import argparse
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_RE = re.compile(r"([a-zA-Z_][a-zA-Z0-9_]*)=\"((?:[^\"\\]|\\.)*)\"")
+_ONE_LABEL = LABEL_RE.pattern
+BODY_RE = re.compile(rf"\s*(?:{_ONE_LABEL}\s*(?:,\s*{_ONE_LABEL}\s*)*)?,?\s*")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, mtype):
+    """Strip the per-series suffix so _bucket/_sum/_count map to the family."""
+    if mtype == "histogram":
+        for suf in HIST_SUFFIXES:
+            if name.endswith(suf):
+                return name[: -len(suf)]
+    return name
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("exposition", help="scraped /metrics payload to validate")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="FAMILY",
+                    help="fail unless this metric family is present with at "
+                         "least one sample (repeatable)")
+    args = ap.parse_args()
+
+    with open(args.exposition) as f:
+        lines = f.read().splitlines()
+
+    failures = []
+    types = {}        # family -> declared type
+    samples = {}      # family -> sample count
+    seen_series = set()
+    histograms = {}   # family -> {labelset-sans-le: [(le, value)]}
+    hist_scalars = {} # (family, labelset) -> {"sum": v, "count": v}
+
+    for i, line in enumerate(lines, 1):
+        where = f"line {i}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: legal, ignored
+            if parts[1] == "TYPE":
+                if len(parts) < 4:
+                    failures.append(f"{where}: malformed TYPE line: {line!r}")
+                    continue
+                name, mtype = parts[2], parts[3].strip()
+                if not METRIC_RE.fullmatch(name):
+                    failures.append(f"{where}: bad metric name {name!r}")
+                if mtype not in KNOWN_TYPES:
+                    failures.append(f"{where}: unknown type {mtype!r} for {name}")
+                if name in samples:
+                    failures.append(f"{where}: TYPE for {name} appears after "
+                                    "its samples")
+                if name in types:
+                    failures.append(f"{where}: duplicate TYPE for {name}")
+                types[name] = mtype
+            continue
+
+        # A sample line: name[{labels}] value [timestamp]
+        m = METRIC_RE.match(line)
+        if not m:
+            failures.append(f"{where}: unparseable sample: {line!r}")
+            continue
+        name, rest = m.group(0), line[m.end():]
+        labels = {}
+        if rest.startswith("{"):
+            end = rest.find("}")
+            if end < 0:
+                failures.append(f"{where}: unterminated label set: {line!r}")
+                continue
+            body = rest[1:end]
+            rest = rest[end + 1:]
+            if not BODY_RE.fullmatch(body):
+                failures.append(f"{where}: malformed label body {body!r}")
+            for mm in LABEL_RE.finditer(body):
+                if mm.group(1) in labels:
+                    failures.append(f"{where}: duplicate label {mm.group(1)!r}")
+                labels[mm.group(1)] = mm.group(2)
+        fields = rest.split()
+        if not fields:
+            failures.append(f"{where}: sample without a value: {line!r}")
+            continue
+        value = parse_value(fields[0])
+        if value is None:
+            failures.append(f"{where}: non-numeric value {fields[0]!r}")
+            continue
+
+        # Resolve the family (histogram children share their parent's TYPE).
+        fam = name
+        for candidate in {name} | {name[: -len(s)]
+                                   for s in HIST_SUFFIXES if name.endswith(s)}:
+            if types.get(candidate) == "histogram":
+                fam = candidate
+        mtype = types.get(fam)
+        if mtype is None:
+            failures.append(f"{where}: sample for {name} has no TYPE line")
+        samples[fam] = samples.get(fam, 0) + 1
+
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            failures.append(f"{where}: duplicate series {name}{labels}")
+        seen_series.add(series_key)
+
+        if mtype == "counter" and value < 0:
+            failures.append(f"{where}: counter {name} is negative ({value})")
+        if mtype == "histogram":
+            sub_key = tuple(sorted((k, v) for k, v in labels.items()
+                                   if k != "le"))
+            if name.endswith("_bucket"):
+                le = parse_value(labels.get("le", ""))
+                if le is None:
+                    failures.append(f"{where}: bucket without a numeric 'le'")
+                    continue
+                histograms.setdefault(fam, {}).setdefault(
+                    sub_key, []).append((le, value))
+            elif name.endswith("_sum"):
+                hist_scalars.setdefault((fam, sub_key), {})["sum"] = value
+            elif name.endswith("_count"):
+                hist_scalars.setdefault((fam, sub_key), {})["count"] = value
+            else:
+                failures.append(f"{where}: histogram family {fam} has a bare "
+                                f"sample {name}")
+
+    # Histogram invariants: buckets cumulative and non-decreasing in le order,
+    # a +Inf bucket present, and +Inf == _count for the same label set.
+    for fam, cells in histograms.items():
+        for sub_key, buckets in cells.items():
+            tag = f"histogram {fam}{dict(sub_key)}"
+            buckets.sort()
+            prev = -1.0
+            for le, v in buckets:
+                if v < prev:
+                    failures.append(f"{tag}: bucket le={le:g} count {v:g} "
+                                    f"below previous {prev:g} (not cumulative)")
+                prev = v
+            if not buckets or buckets[-1][0] != math.inf:
+                failures.append(f"{tag}: missing the +Inf bucket")
+                continue
+            scalars = hist_scalars.get((fam, sub_key), {})
+            if "count" not in scalars or "sum" not in scalars:
+                failures.append(f"{tag}: missing _sum/_count samples")
+            elif buckets[-1][1] != scalars["count"]:
+                failures.append(f"{tag}: +Inf bucket {buckets[-1][1]:g} != "
+                                f"_count {scalars['count']:g}")
+
+    for fam in args.require:
+        if samples.get(fam, 0) == 0:
+            failures.append(f"required family {fam} has no samples")
+
+    if failures:
+        for msg in failures[:40]:
+            print("FAIL:", msg, file=sys.stderr)
+        if len(failures) > 40:
+            print(f"... and {len(failures) - 40} more", file=sys.stderr)
+        return 1
+    print(f"{args.exposition}: {len(seen_series)} series across "
+          f"{len(samples)} families ({len(histograms)} histograms) — ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,6 +78,21 @@ struct ClusterConfig {
   uint64_t watchdog_deadline_ns = 1'000'000'000;  // 1 s before an op is "slow"
   uint64_t watchdog_poll_ns = 10'000'000;         // scan cadence (10 ms)
 
+  // --- live telemetry (docs/observability.md v3) ----------------------------
+  // Continuous sampler: a Cluster thread snapshots the StatsRegistry every
+  // telemetry_sample_ns into fixed-size per-metric rings (counters as
+  // per-interval deltas, percentiles as point series). Off: no thread, no
+  // rings, zero cost.
+  bool telemetry_enabled = false;
+  uint64_t telemetry_sample_ns = 100'000'000;  // 100 ms
+  // Points retained per metric (rounded up to a power of two); the default
+  // holds one minute of history at the default sample period.
+  uint32_t telemetry_ring_samples = 600;
+  // Embedded HTTP listener serving /metrics (Prometheus text exposition),
+  // /stats.json, and /series.json. Loopback-only. Requires the sampler.
+  bool telemetry_serve = false;
+  uint16_t telemetry_port = 0;  // 0 = ephemeral; Cluster::telemetry_port()
+
   // --- derived --------------------------------------------------------------
   size_t chunk_bytes(size_t elem_size) const { return size_t{chunk_elems} * elem_size; }
 
@@ -118,6 +133,14 @@ struct ClusterConfig {
     if (watchdog_enabled && watchdog_poll_ns > watchdog_deadline_ns)
       return "watchdog_poll_ns must not exceed watchdog_deadline_ns (an "
              "offender could outlive the op before the first scan)";
+    if (telemetry_enabled && telemetry_sample_ns < 1'000'000)
+      return "telemetry_sample_ns must be >= 1 ms (a faster sampler would "
+             "contend with the data path it observes)";
+    if (telemetry_enabled && telemetry_ring_samples < 2)
+      return "telemetry_ring_samples must be >= 2";
+    if (telemetry_serve && !telemetry_enabled)
+      return "telemetry_serve requires telemetry_enabled (the endpoints serve "
+             "the sampler's rings)";
     return {};
   }
 };

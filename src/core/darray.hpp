@@ -46,12 +46,9 @@ template <typename T>
 class OpHandle {
  public:
   OpHandle() = default;
+  // The raw registry id, for the escape-hatch overloads that still take one
+  // (pin()/scoped_pin() with PinMode::kOperate, apply(index, uint16_t, T)).
   uint16_t id() const { return id_; }
-
-  // Transitional shim: lets a handle flow into code still typed uint16_t
-  // (`uint16_t op = a.register_op(...)`). Will be removed one release after
-  // the typed API lands — migrate to `auto`.
-  operator uint16_t() const { return id_; }
 
  private:
   friend class DArray<T>;
@@ -268,9 +265,9 @@ class DArray {
     apply(index, op.id(), operand);
   }
 
-  // A handle registered for a different element type is a bug, not a
-  // conversion: this exact-match template outcompetes the uint16_t overload
-  // (which would otherwise accept the handle through its shim) and is deleted.
+  // A handle registered for a different element type is a bug: deleting the
+  // exact-match template turns it into a direct compile error naming both
+  // element types instead of a missing-overload wall.
   template <typename U, typename V>
     requires(!std::same_as<U, T>)
   void apply(uint64_t index, OpHandle<U> op, V operand) const = delete;

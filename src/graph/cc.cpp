@@ -29,7 +29,7 @@ std::vector<uint64_t> cc_darray(rt::Cluster& cluster, const Csr& g,
                                 const GraphRunOptions& opt) {
   const uint64_t n = g.n_vertices();
   auto labels = DArray<uint64_t>::create(cluster, n);
-  const uint16_t mn = labels.register_op(&min_u64, ~0ull);
+  const auto mn = labels.register_op(&min_u64, ~0ull);
 
   std::vector<uint64_t> result(n);
   std::atomic<uint64_t> global_changed{0};

@@ -26,7 +26,7 @@ std::vector<double> pagerank_darray(rt::Cluster& cluster, const Csr& g,
   const uint64_t n = g.n_vertices();
   auto curr = DArray<double>::create(cluster, n);
   auto next = DArray<double>::create(cluster, n);
-  const uint16_t add = next.register_op(&add_double, 0.0);
+  const auto add = next.register_op(&add_double, 0.0);
   const double base = (1.0 - kDamping) / static_cast<double>(n);
 
   std::vector<double> result(n);

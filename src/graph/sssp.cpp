@@ -37,7 +37,7 @@ std::vector<uint64_t> sssp_darray(rt::Cluster& cluster, const Csr& g, Vertex sou
                                   const GraphRunOptions& opt) {
   const uint64_t n = g.n_vertices();
   auto dist = DArray<uint64_t>::create(cluster, n);
-  const uint16_t mn = dist.register_op(&min_u64, kInfDist);
+  const auto mn = dist.register_op(&min_u64, kInfDist);
 
   std::vector<uint64_t> result(n);
   std::atomic<uint64_t> global_changed{0};

@@ -14,19 +14,27 @@ void StatsSnapshot::add_histogram(const std::string& prefix, const LatencyHistog
 
 void StatsSnapshot::add_histogram(const std::string& prefix, const HistogramSnapshot& h) {
   add(prefix + ".count", h.count);
+  add(prefix + ".sum_ns", h.sum_ns);
   add(prefix + ".mean_ns", static_cast<uint64_t>(h.mean_ns()));
   add(prefix + ".p50_ns", h.percentile_ns(0.50));
   add(prefix + ".p90_ns", h.percentile_ns(0.90));
   add(prefix + ".p99_ns", h.percentile_ns(0.99));
   add(prefix + ".p999_ns", h.percentile_ns(0.999));
   add(prefix + ".max_ns", h.max_ns());
+  // Raw buckets, sparse (non-empty only) and per-bucket rather than
+  // cumulative: a delta between two snapshots then subtracts bucket-wise even
+  // when a bucket first appears after the baseline — cumulative entries would
+  // double-count everything below a newly-occupied boundary.
+  for (int i = 0; i < kHistBuckets; ++i) {
+    const uint64_t c = h.buckets[static_cast<size_t>(i)];
+    if (c == 0) continue;
+    add(prefix + ".bkt_" + std::to_string(AtomicLatencyHistogram::bucket_upper(i)), c);
+  }
 }
-
-namespace {
 
 // Percentile/mean/max entries are point samples: the current value, not the
 // delta, is what a reader wants. Everything else is treated as monotonic.
-bool is_point_sample(std::string_view name) {
+bool stats_is_point_sample(std::string_view name) {
   for (const char* suffix :
        {".mean_ns", ".p50_ns", ".p90_ns", ".p99_ns", ".p999_ns", ".max_ns"}) {
     const std::string_view s(suffix);
@@ -35,14 +43,12 @@ bool is_point_sample(std::string_view name) {
   return false;
 }
 
-}  // namespace
-
 StatsSnapshot StatsSnapshot::delta_from(const StatsSnapshot& base) const {
   StatsSnapshot out;
   out.entries.reserve(entries.size());
   for (const StatEntry& e : entries) {
     uint64_t v = e.value;
-    if (!is_point_sample(e.name)) {
+    if (!stats_is_point_sample(e.name)) {
       const uint64_t* b = base.find(e.name);
       if (b) v = v > *b ? v - *b : 0;
     }

@@ -25,6 +25,14 @@ struct StatEntry {
   uint64_t value = 0;
 };
 
+// True for entries whose value is a point sample (percentiles, means, maxima:
+// ".mean_ns", ".p50_ns", ..., ".max_ns") rather than a monotonic counter.
+// Deltas subtract counters and pass point samples through; the telemetry
+// sampler stores counters as per-interval deltas and point samples raw.
+// Histogram bucket entries (".bkt_<upper>") and ".count"/".sum_ns" are
+// counters — see StatsSnapshot::add_histogram.
+bool stats_is_point_sample(std::string_view name);
+
 // Percentile summary of one LatencyHistogram, flattened so snapshots stay a
 // plain name→value list (".count", ".mean_ns", ".p50_ns", ".p99_ns").
 struct StatsSnapshot {
@@ -32,8 +40,12 @@ struct StatsSnapshot {
 
   void add(std::string name, uint64_t value) { entries.push_back({std::move(name), value}); }
   void add_histogram(const std::string& prefix, const LatencyHistogram& h);
-  // Richer flattening for the atomic histograms: .count/.mean_ns/.p50_ns/
-  // .p90_ns/.p99_ns/.p999_ns/.max_ns.
+  // Richer flattening for the atomic histograms: .count/.sum_ns/.mean_ns/
+  // .p50_ns/.p90_ns/.p99_ns/.p999_ns/.max_ns, plus one ".bkt_<upper_ns>"
+  // entry per non-empty bucket carrying that bucket's own (non-cumulative)
+  // count. Bucket entries are monotonic counters, so snapshot deltas subtract
+  // them like any other counter — the /metrics renderer turns them back into
+  // Prometheus' cumulative `le` form at exposition time.
   void add_histogram(const std::string& prefix, const HistogramSnapshot& h);
 
   const uint64_t* find(std::string_view name) const;

@@ -1,0 +1,331 @@
+#include "obs/telemetry_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace darray::obs {
+
+// --- Prometheus exposition ---------------------------------------------------
+
+namespace {
+
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  return out;
+}
+
+struct HistCell {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;  // (upper_ns, own count)
+};
+
+// "hist.op.get.bkt_1024" → family "op", cell "get", suffix "bkt_1024".
+bool split_hist(std::string_view name, std::string_view& family, std::string_view& cell,
+                std::string_view& suffix) {
+  if (name.substr(0, 5) != "hist.") return false;
+  std::string_view rest = name.substr(5);
+  const size_t dot1 = rest.find('.');
+  if (dot1 == std::string_view::npos) return false;
+  const size_t dot2 = rest.rfind('.');
+  if (dot2 == dot1) return false;
+  family = rest.substr(0, dot1);
+  cell = rest.substr(dot1 + 1, dot2 - dot1 - 1);
+  suffix = rest.substr(dot2 + 1);
+  return true;
+}
+
+void append_histogram_family(std::string& out, const std::string& metric,
+                             const std::string& label_key,
+                             const std::vector<std::pair<std::string, HistCell>>& cells) {
+  if (cells.empty()) return;
+  out += "# TYPE " + metric + " histogram\n";
+  char buf[160];
+  for (const auto& [label, cell] : cells) {
+    uint64_t cum = 0;
+    for (const auto& [upper, cnt] : cell.buckets) {
+      cum += cnt;
+      std::snprintf(buf, sizeof(buf), "%s_bucket{%s=\"%s\",le=\"%llu\"} %llu\n",
+                    metric.c_str(), label_key.c_str(), label.c_str(),
+                    static_cast<unsigned long long>(upper),
+                    static_cast<unsigned long long>(cum));
+      out += buf;
+    }
+    // A live histogram can gain records between the bucket loads and the count
+    // entry; pin the total to whichever is larger so +Inf == _count holds.
+    // One snprintf per line: the three together can exceed the buffer.
+    const uint64_t total = std::max(cum, cell.count);
+    std::snprintf(buf, sizeof(buf), "%s_bucket{%s=\"%s\",le=\"+Inf\"} %llu\n",
+                  metric.c_str(), label_key.c_str(), label.c_str(),
+                  static_cast<unsigned long long>(total));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum{%s=\"%s\"} %llu\n", metric.c_str(),
+                  label_key.c_str(), label.c_str(),
+                  static_cast<unsigned long long>(cell.sum));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count{%s=\"%s\"} %llu\n", metric.c_str(),
+                  label_key.c_str(), label.c_str(),
+                  static_cast<unsigned long long>(total));
+    out += buf;
+  }
+}
+
+// "node.3.remote_reqs" → rest "remote_reqs", node "3".
+bool split_node(std::string_view name, std::string_view& node, std::string_view& rest) {
+  if (name.substr(0, 5) != "node.") return false;
+  std::string_view tail = name.substr(5);
+  const size_t dot = tail.find('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  node = tail.substr(0, dot);
+  for (const char c : node)
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  rest = tail.substr(dot + 1);
+  return !rest.empty();
+}
+
+}  // namespace
+
+std::string render_prometheus(const StatsSnapshot& snap) {
+  // Families keyed in first-seen order; histograms and node.* groups collect
+  // across entries before rendering so each family's samples stay contiguous.
+  std::vector<std::pair<std::string, HistCell>> op_cells, msg_cells;
+  std::vector<std::pair<std::string, std::vector<std::string>>> node_families;
+  std::string plain;
+
+  auto hist_cell = [](std::vector<std::pair<std::string, HistCell>>& cells,
+                      std::string_view name) -> HistCell& {
+    for (auto& [n, c] : cells)
+      if (n == name) return c;
+    cells.emplace_back(std::string(name), HistCell{});
+    return cells.back().second;
+  };
+
+  char buf[160];
+  for (const StatEntry& e : snap.entries) {
+    std::string_view family, cell, suffix;
+    if (split_hist(e.name, family, cell, suffix)) {
+      if (family != "op" && family != "msg") continue;  // unknown hist plane
+      if (stats_is_point_sample(e.name)) continue;      // quantiles: use buckets
+      HistCell& h = hist_cell(family == "op" ? op_cells : msg_cells, cell);
+      if (suffix == "count") {
+        h.count = e.value;
+      } else if (suffix == "sum_ns") {
+        h.sum = e.value;
+      } else if (suffix.substr(0, 4) == "bkt_") {
+        h.buckets.emplace_back(
+            std::strtoull(std::string(suffix.substr(4)).c_str(), nullptr, 10), e.value);
+      }
+      continue;
+    }
+    std::string_view node, rest;
+    if (split_node(e.name, node, rest)) {
+      const std::string metric = "darray_node_" + sanitize(rest) + "_total";
+      auto it = std::find_if(node_families.begin(), node_families.end(),
+                             [&](const auto& f) { return f.first == metric; });
+      if (it == node_families.end()) {
+        node_families.emplace_back(metric, std::vector<std::string>{});
+        it = node_families.end() - 1;
+      }
+      std::snprintf(buf, sizeof(buf), "%s{node=\"%.*s\"} %llu\n", metric.c_str(),
+                    static_cast<int>(node.size()), node.data(),
+                    static_cast<unsigned long long>(e.value));
+      it->second.push_back(buf);
+      continue;
+    }
+    const bool counter = !stats_is_point_sample(e.name);
+    const std::string metric =
+        "darray_" + sanitize(e.name) + (counter ? "_total" : "");
+    plain += "# TYPE " + metric + (counter ? " counter\n" : " gauge\n");
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", metric.c_str(),
+                  static_cast<unsigned long long>(e.value));
+    plain += buf;
+  }
+
+  std::string out = std::move(plain);
+  for (const auto& [metric, lines] : node_families) {
+    out += "# TYPE " + metric + " counter\n";
+    for (const std::string& l : lines) out += l;
+  }
+  for (auto& cells : {&op_cells, &msg_cells})
+    for (auto& [name, cell] : *cells)
+      std::sort(cell.buckets.begin(), cell.buckets.end());
+  append_histogram_family(out, "darray_op_latency_ns", "op", op_cells);
+  append_histogram_family(out, "darray_msg_latency_ns", "class", msg_cells);
+  return out;
+}
+
+// --- HTTP listener -----------------------------------------------------------
+
+namespace {
+
+// One decoded query parameter ("metric", "prefix", "n") from "?a=b&c=d".
+std::string query_param(const std::string& target, const std::string& key) {
+  const size_t q = target.find('?');
+  if (q == std::string::npos) return {};
+  size_t pos = q + 1;
+  while (pos < target.size()) {
+    size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const std::string kv = target.substr(pos, amp - pos);
+    const size_t eq = kv.find('=');
+    if (eq != std::string::npos && kv.substr(0, eq) == key) return kv.substr(eq + 1);
+    pos = amp + 1;
+  }
+  return {};
+}
+
+void send_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to clean up
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool TelemetryServer::start() {
+  if (listen_fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    DLOG_ERROR("telemetry: socket() failed: %s", std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    DLOG_ERROR("telemetry: bad bind address '%s'", opts_.bind_addr.c_str());
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    DLOG_ERROR("telemetry: cannot listen on %s:%u: %s", opts_.bind_addr.c_str(),
+               opts_.port, std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve_loop(); });
+  DLOG_INFO("telemetry: serving on http://%s:%u/metrics", opts_.bind_addr.c_str(), port_);
+  return true;
+}
+
+void TelemetryServer::stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() wakes the blocking accept(); close() alone can leave it parked.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;  // after the join: the serve thread reads this field
+}
+
+void TelemetryServer::serve_loop() {
+  const int listen_fd = listen_fd_;
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // listener shut down (or fatally broken): exit
+    char req[2048];
+    const ssize_t n = ::recv(fd, req, sizeof(req) - 1, 0);
+    if (n > 0) {
+      req[n] = '\0';
+      // "GET <target> HTTP/1.x" — everything else is a 405.
+      std::string target;
+      int status = 405;
+      std::string content_type = "text/plain; charset=utf-8";
+      std::string body = "method not allowed\n";
+      if (std::strncmp(req, "GET ", 4) == 0) {
+        const char* start = req + 4;
+        const char* end = std::strchr(start, ' ');
+        if (end != nullptr) {
+          target.assign(start, end);
+          handle(target, status, content_type, body);
+        } else {
+          status = 400;
+          body = "bad request\n";
+        }
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      const char* reason = status == 200   ? "OK"
+                           : status == 404 ? "Not Found"
+                           : status == 405 ? "Method Not Allowed"
+                                           : "Bad Request";
+      std::string resp = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+      send_all(fd, resp);
+    }
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::handle(const std::string& target, int& status,
+                             std::string& content_type, std::string& body) {
+  const std::string path = target.substr(0, target.find('?'));
+  if (path == "/metrics") {
+    status = 200;
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = render_prometheus(opts_.snapshot());
+    return;
+  }
+  if (path == "/stats.json") {
+    status = 200;
+    content_type = "application/json";
+    body = opts_.snapshot().to_json() + "\n";
+    return;
+  }
+  if (path == "/series.json") {
+    if (opts_.store == nullptr) {
+      status = 404;
+      body = "no time-series store attached (telemetry sampler disabled)\n";
+      return;
+    }
+    const std::string metric = query_param(target, "metric");
+    const std::string prefix = query_param(target, "prefix");
+    const std::string n_str = query_param(target, "n");
+    const size_t last_n = n_str.empty() ? 0 : std::strtoull(n_str.c_str(), nullptr, 10);
+    status = 200;
+    content_type = "application/json";
+    if (!metric.empty()) {
+      std::vector<SeriesPoint> pts;
+      if (!opts_.store->read(metric, pts)) {
+        status = 404;
+        content_type = "text/plain; charset=utf-8";
+        body = "unknown metric: " + metric + "\n";
+        return;
+      }
+      // Single-metric form reuses the multi-series shape with one element.
+      body = opts_.store->to_json(metric, last_n);
+      return;
+    }
+    body = opts_.store->to_json(prefix, last_n);
+    return;
+  }
+  status = 404;
+  body = "not found; try /metrics, /stats.json, /series.json\n";
+}
+
+}  // namespace darray::obs

@@ -1,0 +1,76 @@
+// Live telemetry, stage 2 of 2: a minimal embedded HTTP listener exposing the
+// stats plane to scrapers and dashboards while the cluster runs. Loopback-only
+// by default — this is an operator port, not a public one.
+//
+//   GET /metrics      Prometheus text exposition (version 0.0.4): counters as
+//                     `darray_<name>_total`, point samples as gauges, and the
+//                     hist.op.* / hist.msg.* cells as native histograms with
+//                     cumulative `le` buckets rebuilt from the snapshot's
+//                     sparse ".bkt_" entries.
+//   GET /stats.json   the current StatsSnapshot as one JSON object.
+//   GET /series.json  TimeSeriesStore contents; query params `metric=<name>`
+//                     (exact), `prefix=<p>` (filter), `n=<k>` (newest k points
+//                     per series). 404 when no store is attached.
+//
+// One dedicated thread runs a blocking accept loop; each request is parsed,
+// answered, and the connection closed (HTTP/1.0 semantics). Handlers only
+// call the snapshot closure and the lock-free store readers, so a slow or
+// hostile client can stall the serving thread but never the data path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/stats_registry.hpp"
+#include "obs/timeseries.hpp"
+
+namespace darray::obs {
+
+// Exposed for tests and offline rendering: the exact /metrics payload for one
+// snapshot. `hist.*` summary entries (percentiles/mean/max) are omitted —
+// Prometheus derives quantiles from the native buckets; everything else maps
+// name-for-name with dots flattened to underscores, except `node.<i>.<rest>`,
+// which becomes one `darray_node_<rest>_total{node="i"}` family per rest.
+std::string render_prometheus(const StatsSnapshot& snap);
+
+class TelemetryServer {
+ public:
+  struct Options {
+    std::string bind_addr = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral; the bound port is port() after start
+    std::function<StatsSnapshot()> snapshot;  // required
+    const TimeSeriesStore* store = nullptr;   // optional (/series.json 404s)
+  };
+
+  explicit TelemetryServer(Options opts) : opts_(std::move(opts)) {}
+  ~TelemetryServer() { stop(); }
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // Binds, listens, and spawns the serving thread. False (with the reason on
+  // the error log) when the socket cannot be set up — e.g. the port is taken.
+  bool start();
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  uint16_t port() const { return port_; }
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void serve_loop();
+  // Routes one request path (incl. query string) to status + body + type.
+  void handle(const std::string& target, int& status, std::string& content_type,
+              std::string& body);
+
+  Options opts_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace darray::obs

@@ -1,0 +1,180 @@
+#include "obs/timeseries.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <mutex>
+
+namespace darray::obs {
+
+// One metric's ring. Slots are (t, v) pairs of relaxed atomics; `head` counts
+// points ever pushed and is published with release so a reader that sees
+// head == h can safely load every slot of index < h. `reserved` is bumped
+// (with a release fence) BEFORE the slot stores, so a reader that observed a
+// clobbered slot is guaranteed to observe the reservation that clobbered it —
+// without it, a reader racing the in-progress write at index `head` would see
+// torn data for index head - capacity while head itself still looks idle.
+// The writer owns `prev` (last raw counter value, for delta encoding) —
+// readers never touch it.
+struct TimeSeriesStore::Ring {
+  std::string name;
+  bool rate = false;
+  uint64_t prev = 0;  // writer-only
+  std::unique_ptr<std::atomic<uint64_t>[]> slots;  // 2 * capacity: t, v
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t> reserved{0};  // highest index the writer may be writing, +1
+
+  Ring(std::string n, bool is_rate, uint32_t capacity)
+      : name(std::move(n)), rate(is_rate),
+        slots(new std::atomic<uint64_t>[2 * size_t{capacity}]()) {}
+};
+
+namespace {
+
+uint32_t round_up_pow2(uint32_t v) {
+  return v <= 2 ? 2 : std::bit_ceil(v);
+}
+
+// Raw histogram bucket entries: counters for delta purposes, but deliberately
+// not ring-buffered (see header).
+bool is_bucket_entry(std::string_view name) {
+  return name.find(".bkt_") != std::string_view::npos;
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(uint32_t capacity)
+    : capacity_(round_up_pow2(capacity)) {}
+
+TimeSeriesStore::~TimeSeriesStore() = default;
+
+TimeSeriesStore::Ring* TimeSeriesStore::find_or_create(const std::string& name) {
+  std::lock_guard lk(mu_);
+  for (const auto& r : rings_)
+    if (r->name == name) return r.get();
+  rings_.push_back(std::make_unique<Ring>(name, !stats_is_point_sample(name), capacity_));
+  return rings_.back().get();
+}
+
+void TimeSeriesStore::record(uint64_t now_ns, const StatsSnapshot& snap) {
+  for (const StatEntry& e : snap.entries) {
+    if (is_bucket_entry(e.name)) continue;
+    Ring* r = find_or_create(e.name);
+    uint64_t v = e.value;
+    if (r->rate) {
+      v = e.value >= r->prev ? e.value - r->prev : 0;  // saturate on reset
+      r->prev = e.value;
+    }
+    const uint64_t h = r->head.load(std::memory_order_relaxed);
+    const size_t slot = static_cast<size_t>(h & (capacity_ - 1));
+    r->reserved.store(h + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    r->slots[2 * slot].store(now_ns, std::memory_order_relaxed);
+    r->slots[2 * slot + 1].store(v, std::memory_order_relaxed);
+    r->head.store(h + 1, std::memory_order_release);
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Copy the newest points, then re-read the reservation counter: slot of
+// index i is only ever clobbered by the write of index i + capacity, and
+// that write bumps `reserved` to i + capacity + 1 first (release fence), so
+// after an acquire fence any copied index < reserved - capacity must be
+// discarded — if a copy was torn, the reservation that tore it is visible.
+// What survives is a contiguous, un-torn suffix of the series; a quiescent
+// ring (reserved == head) loses nothing.
+void TimeSeriesStore::read_ring(const Ring& r, size_t last_n,
+                                std::vector<SeriesPoint>& out) const {
+  out.clear();
+  const uint64_t h1 = r.head.load(std::memory_order_acquire);
+  const uint64_t n = h1 < capacity_ ? h1 : capacity_;
+  out.reserve(static_cast<size_t>(n));
+  for (uint64_t i = h1 - n; i < h1; ++i) {
+    const size_t slot = static_cast<size_t>(i & (capacity_ - 1));
+    SeriesPoint p;
+    p.t_ns = r.slots[2 * slot].load(std::memory_order_relaxed);
+    p.value = r.slots[2 * slot + 1].load(std::memory_order_relaxed);
+    out.push_back(p);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const uint64_t res = r.reserved.load(std::memory_order_relaxed);
+  if (res > capacity_) {
+    const uint64_t first_valid = res - capacity_;
+    const uint64_t first_copied = h1 - n;
+    const size_t drop = static_cast<size_t>(
+        first_valid > first_copied ? first_valid - first_copied : 0);
+    out.erase(out.begin(), out.begin() + static_cast<ptrdiff_t>(
+                               drop < out.size() ? drop : out.size()));
+  }
+  if (last_n != 0 && out.size() > last_n)
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(last_n));
+}
+
+std::vector<std::string> TimeSeriesStore::names() const {
+  std::vector<std::string> out;
+  std::lock_guard lk(mu_);
+  out.reserve(rings_.size());
+  for (const auto& r : rings_) out.push_back(r->name);
+  return out;
+}
+
+bool TimeSeriesStore::read(std::string_view name, std::vector<SeriesPoint>& out) const {
+  const Ring* ring = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& r : rings_)
+      if (r->name == name) {
+        ring = r.get();
+        break;
+      }
+  }
+  if (!ring) return false;
+  read_ring(*ring, 0, out);
+  return true;
+}
+
+std::vector<TimeSeriesStore::Series> TimeSeriesStore::collect(std::string_view prefix,
+                                                              size_t last_n) const {
+  // Rings are never removed, so the raw pointers stay valid after the table
+  // lock is dropped; the actual point copies then run lock-free.
+  std::vector<const Ring*> picked;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& r : rings_)
+      if (prefix.empty() || std::string_view(r->name).substr(0, prefix.size()) == prefix)
+        picked.push_back(r.get());
+  }
+  std::vector<Series> out;
+  out.reserve(picked.size());
+  for (const Ring* r : picked) {
+    Series s;
+    s.name = r->name;
+    s.rate = r->rate;
+    read_ring(*r, last_n, s.points);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string TimeSeriesStore::to_json(std::string_view prefix, size_t last_n) const {
+  const std::vector<Series> series = collect(prefix, last_n);
+  std::string out = "{\"sample_count\": " + std::to_string(samples()) + ", \"series\": [";
+  char buf[64];
+  for (size_t i = 0; i < series.size(); ++i) {
+    const Series& s = series[i];
+    out += i ? ",\n" : "\n";
+    out += "{\"metric\": \"" + s.name + "\", \"rate\": ";
+    out += s.rate ? "true" : "false";
+    out += ", \"points\": [";
+    for (size_t j = 0; j < s.points.size(); ++j) {
+      std::snprintf(buf, sizeof(buf), "%s[%llu,%llu]", j ? "," : "",
+                    static_cast<unsigned long long>(s.points[j].t_ns),
+                    static_cast<unsigned long long>(s.points[j].value));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace darray::obs

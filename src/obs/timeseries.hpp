@@ -1,0 +1,84 @@
+// Live telemetry, stage 1 of 2 (docs/observability.md v3): fixed-size
+// per-metric time-series rings fed by the Cluster's sampler thread. Every
+// `telemetry_sample_ns` the sampler snapshots the StatsRegistry and pushes one
+// point per metric:
+//
+//   - monotonic counters are stored as per-interval deltas, so a reader turns
+//     a point directly into a rate (value / interval) with no bookkeeping;
+//   - point samples (percentiles, means, maxima — stats_is_point_sample) are
+//     stored as-is, giving p50/p99 series over time;
+//   - raw histogram bucket entries (".bkt_") are skipped: buckets are exposed
+//     cumulatively via /metrics, and per-bucket rings would multiply the
+//     store's footprint ~10x for no dashboard value.
+//
+// Concurrency: record() has exactly one caller (the sampler thread). The
+// per-metric rings are lock-free for readers — slots are relaxed atomics and
+// a release-published head lets any thread copy the newest points while the
+// writer keeps appending; entries that may have been overwritten mid-copy are
+// detected via a pre-write reservation counter and dropped. The name→ring table itself is
+// guarded by a spinlock (rings appear when a metric first shows up, e.g.
+// hist.* cells materializing under tracing), held only for lookup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "obs/stats_registry.hpp"
+
+namespace darray::obs {
+
+struct SeriesPoint {
+  uint64_t t_ns = 0;   // sample wall-clock (now_ns) — monotonic per series
+  uint64_t value = 0;  // interval delta for counters, raw value for gauges
+};
+
+class TimeSeriesStore {
+ public:
+  // `capacity` points retained per metric (rounded up to a power of two).
+  explicit TimeSeriesStore(uint32_t capacity);
+  ~TimeSeriesStore();
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  // Writer side: push one sampled snapshot. Single caller (the sampler
+  // thread); concurrent record() calls are a bug, not a supported mode.
+  void record(uint64_t now_ns, const StatsSnapshot& snap);
+
+  uint32_t capacity() const { return capacity_; }
+  uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+  // Reader side — all safe concurrently with record().
+  struct Series {
+    std::string name;
+    bool rate = false;  // true: points are per-interval counter deltas
+    std::vector<SeriesPoint> points;  // oldest → newest
+  };
+
+  std::vector<std::string> names() const;
+  // Newest ≤ capacity points, oldest first; false if the metric is unknown.
+  bool read(std::string_view name, std::vector<SeriesPoint>& out) const;
+  // Every series whose name starts with `prefix` (empty = all); when
+  // `last_n` > 0 each series is truncated to its newest last_n points.
+  std::vector<Series> collect(std::string_view prefix = {}, size_t last_n = 0) const;
+  // {"sample_count": N, "series": [{"metric": "...", "rate": true,
+  //  "points": [[t_ns, value], ...]}, ...]} — the /series.json payload.
+  std::string to_json(std::string_view prefix = {}, size_t last_n = 0) const;
+
+ private:
+  struct Ring;
+  Ring* find_or_create(const std::string& name);
+  void read_ring(const Ring& r, size_t last_n, std::vector<SeriesPoint>& out) const;
+
+  const uint32_t capacity_;  // power of two
+  std::atomic<uint64_t> samples_{0};
+  mutable SpinLock mu_;  // guards rings_ (the table, not the ring contents)
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace darray::obs

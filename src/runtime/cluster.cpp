@@ -55,14 +55,66 @@ Cluster::Cluster(ClusterConfig cfg)
   // individual node thread; it starts last and stops first regardless.
   if (cfg_.watchdog_enabled)
     watchdog_thread_ = std::thread([this] { watchdog_main(); });
+  // Live telemetry: the sampler snapshots the registry (which walks nodes_),
+  // so it starts after the nodes and stops before them; the HTTP listener
+  // snapshots too, so it brackets the sampler the same way.
+  if (cfg_.telemetry_enabled) {
+    timeseries_ = std::make_unique<obs::TimeSeriesStore>(cfg_.telemetry_ring_samples);
+    if (cfg_.telemetry_serve) {
+      obs::TelemetryServer::Options o;
+      o.port = cfg_.telemetry_port;
+      o.snapshot = [this] { return stats(); };
+      o.store = timeseries_.get();
+      auto server = std::make_unique<obs::TelemetryServer>(std::move(o));
+      // A taken port is an operator inconvenience, not a correctness problem:
+      // keep running without the listener rather than failing the cluster.
+      if (server->start()) telemetry_server_ = std::move(server);
+    }
+    // The meta source captures raw pointers rather than reading the
+    // unique_ptrs: the sampler and serve threads snapshot concurrently with
+    // this constructor, and the owning pointers are not theirs to inspect.
+    obs::TimeSeriesStore* ts = timeseries_.get();
+    obs::TelemetryServer* srv = telemetry_server_.get();
+    stats_registry_.add_source([ts, srv](obs::StatsSnapshot& s) {
+      s.add("telemetry.samples", ts->samples());
+      if (srv != nullptr) s.add("telemetry.requests", srv->requests());
+    });
+    sampler_thread_ = std::thread([this] { sampler_main(); });
+  }
 }
 
 Cluster::~Cluster() {
+  // Stop (join) the serving thread before touching the unique_ptr: both the
+  // sampler and the serve thread read telemetry_server_ through the meta
+  // stats source, so the pointer itself must stay unmodified until both are
+  // joined.
+  if (telemetry_server_) telemetry_server_->stop();
+  if (sampler_thread_.joinable()) {
+    sampler_stop_.store(true, std::memory_order_release);
+    sampler_thread_.join();
+  }
+  telemetry_server_.reset();
   if (watchdog_thread_.joinable()) {
     watchdog_stop_.store(true, std::memory_order_release);
     watchdog_thread_.join();
   }
   for (auto& n : nodes_) n->stop();
+}
+
+void Cluster::sampler_main() {
+  uint64_t next_sample = now_ns();  // first point immediately: t=0 baseline
+  while (!sampler_stop_.load(std::memory_order_acquire)) {
+    const uint64_t now = now_ns();
+    if (now < next_sample) {
+      // Short sleep slices so ~Cluster joins promptly at long sample periods.
+      const uint64_t left = next_sample - now;
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(left < 10'000'000 ? left : 10'000'000));
+      continue;
+    }
+    next_sample = now + cfg_.telemetry_sample_ns;
+    timeseries_->record(now, stats_registry_.snapshot());
+  }
 }
 
 void Cluster::watchdog_main() {
@@ -142,6 +194,28 @@ void Cluster::register_default_stats_sources() {
     s.add("fabric.flushed_wrs", f.flushed_wrs);
     s.add("fabric.coalesced_frames", f.coalesced_frames);
     s.add("fabric.batched_posts", f.batched_posts);
+  });
+  // Per-node plane for live dashboards (darray-top): traffic split by node so
+  // a hot or faulted node stands out from the cluster-wide sums below.
+  // node.<i>.ops counts traced API ops recorded on node i (zero with tracing
+  // off — the histograms are the only per-node op tally); the runtime
+  // counters are always live.
+  stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+    for (uint32_t i = 0; i < cfg_.num_nodes; ++i) {
+      uint64_t ops = 0;
+      for (size_t k = 0; k < static_cast<size_t>(obs::OpKind::kMaxOpKind); ++k)
+        ops += obs::op_latency_snapshot(static_cast<obs::OpKind>(k),
+                                        static_cast<uint16_t>(i))
+                   .count;
+      const RuntimeStats r = nodes_[i]->runtime_stats();
+      const std::string p = "node." + std::to_string(i) + ".";
+      s.add(p + "ops", ops);
+      s.add(p + "remote_reqs", r.remote_reqs);
+      s.add(p + "local_misses",
+            r.local_read_misses + r.local_write_misses + r.local_operate_misses);
+      s.add(p + "fills", r.fills);
+      s.add(p + "invalidations", r.invalidations);
+    }
   });
   stats_registry_.add_source([this](obs::StatsSnapshot& s) {
     const RuntimeStats r = runtime_stats();

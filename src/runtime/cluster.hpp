@@ -16,6 +16,8 @@
 #include "net/comm_layer.hpp"
 #include "obs/inflight.hpp"
 #include "obs/stats_registry.hpp"
+#include "obs/telemetry_server.hpp"
+#include "obs/timeseries.hpp"
 #include "rdma/fabric.hpp"
 #include "runtime/array_meta.hpp"
 #include "runtime/node.hpp"
@@ -71,6 +73,18 @@ class Cluster {
     return stats_registry_.delta_since(tag);
   }
 
+  // --- live telemetry (cfg.telemetry_enabled) --------------------------------
+  // The sampler's per-metric rings: counters as per-interval deltas,
+  // percentile entries as point series. Null when telemetry is off.
+  const obs::TimeSeriesStore* timeseries() const { return timeseries_.get(); }
+  // The embedded /metrics listener. Null unless cfg.telemetry_serve and the
+  // socket actually bound (a taken port logs an error instead of aborting).
+  obs::TelemetryServer* telemetry_server() { return telemetry_server_.get(); }
+  // Actual bound port (resolves cfg.telemetry_port == 0), or 0 if not serving.
+  uint16_t telemetry_port() const {
+    return telemetry_server_ ? telemetry_server_->port() : 0;
+  }
+
   // --- slow-op watchdog (cfg.watchdog_enabled) -------------------------------
   // One in-flight API op exceeding cfg.watchdog_deadline_ns is reported
   // exactly once: by default its full cross-node correlated trace chain is
@@ -109,6 +123,7 @@ class Cluster {
  private:
   void register_default_stats_sources();
   void watchdog_main();
+  void sampler_main();
   void dump_slow_op(const WatchdogReport& r);
 
   ClusterConfig cfg_;
@@ -127,6 +142,11 @@ class Cluster {
   std::atomic<uint64_t> watchdog_reports_{0};
   std::atomic<bool> watchdog_stop_{false};
   std::thread watchdog_thread_;
+
+  std::unique_ptr<obs::TimeSeriesStore> timeseries_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_server_;
+  std::atomic<bool> sampler_stop_{false};
+  std::thread sampler_thread_;
 };
 
 }  // namespace darray::rt

@@ -3,35 +3,69 @@
 // (e.g. "prefetch turned N demand misses into hits") rather than timing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace darray::rt {
 
+// A uint64 counter with the syntax of a plain field but relaxed-atomic
+// accesses, so the telemetry sampler can aggregate per-thread stats while
+// their owner threads keep bumping them. Single writer per instance; relaxed
+// is enough because each counter is independent and only ever summed.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(uint64_t v) : v_(v) {}
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.get()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.get(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  operator uint64_t() const { return get(); }
+  uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) { return v_.fetch_add(1, std::memory_order_relaxed); }
+  RelaxedCounter& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
 struct RuntimeStats {
   // interface → runtime traffic
-  uint64_t local_read_misses = 0;
-  uint64_t local_write_misses = 0;
-  uint64_t local_operate_misses = 0;
-  uint64_t prefetches_issued = 0;
+  RelaxedCounter local_read_misses;
+  RelaxedCounter local_write_misses;
+  RelaxedCounter local_operate_misses;
+  RelaxedCounter prefetches_issued;
 
   // requester side
-  uint64_t fills = 0;             // kReadData/kWriteData/kOperateResp received
-  uint64_t invalidations = 0;     // kInvalidate handled
-  uint64_t fetches = 0;           // kFetch handled
-  uint64_t flush_reqs = 0;        // kFlushReq handled
-  uint64_t evict_clean = 0;       // Shared line dropped silently
-  uint64_t evict_writeback = 0;   // Dirty line written back
-  uint64_t evict_opflush = 0;     // Operated line flushed
+  RelaxedCounter fills;             // kReadData/kWriteData/kOperateResp received
+  RelaxedCounter invalidations;     // kInvalidate handled
+  RelaxedCounter fetches;           // kFetch handled
+  RelaxedCounter flush_reqs;        // kFlushReq handled
+  RelaxedCounter evict_clean;       // Shared line dropped silently
+  RelaxedCounter evict_writeback;   // Dirty line written back
+  RelaxedCounter evict_opflush;     // Operated line flushed
 
   // home side
-  uint64_t remote_reqs = 0;       // kReadReq/kWriteReq/kOperateReq served
-  uint64_t txns = 0;              // multi-party transactions started
-  uint64_t op_flushes_applied = 0;
-  uint64_t combine_flushes = 0;   // kOpFlush messages sent (combine buffer drains)
+  RelaxedCounter remote_reqs;       // kReadReq/kWriteReq/kOperateReq served
+  RelaxedCounter txns;              // multi-party transactions started
+  RelaxedCounter op_flushes_applied;
+  RelaxedCounter combine_flushes;   // kOpFlush messages sent (combine buffer drains)
 
   // locks
-  uint64_t lock_acquires = 0;
-  uint64_t lock_waits = 0;        // acquires that had to queue
+  RelaxedCounter lock_acquires;
+  RelaxedCounter lock_waits;        // acquires that had to queue
 
   RuntimeStats& operator+=(const RuntimeStats& o) {
     local_read_misses += o.local_read_misses;

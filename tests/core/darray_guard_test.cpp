@@ -6,6 +6,7 @@
 #include <atomic>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <utility>
 
 #include "core/darray.hpp"
@@ -110,17 +111,17 @@ TEST(DArrayGuard, ScopedPinHoldsAndReleases) {
   EXPECT_EQ(a.get(0), 9u);
 }
 
-TEST(DArrayOpHandle, TypedHandleAppliesAndShimsToUint16) {
+TEST(DArrayOpHandle, TypedHandleAppliesAndExposesRawId) {
   rt::Cluster cluster(small_cfg(1));
   auto a = DArray<uint64_t>::create(cluster, 64);
   bind_thread(cluster, 0);
   const OpHandle<uint64_t> add =
       a.register_op(+[](uint64_t& acc, uint64_t v) { acc += v; }, 0);
   a.apply(7, add, 5);
-  // Transitional shim: the handle still flows into uint16_t-typed code.
-  const uint16_t raw = add;
-  EXPECT_EQ(raw, add.id());
-  a.apply(7, raw, 5);
+  // The implicit uint16_t shim is gone; raw-id interop is explicit via id().
+  static_assert(!std::is_convertible_v<OpHandle<uint64_t>, uint16_t>,
+                "OpHandle must not implicitly convert to a raw op id");
+  a.apply(7, add.id(), 5);
   EXPECT_EQ(a.get(7), 10u);
 }
 

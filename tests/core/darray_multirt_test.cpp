@@ -32,7 +32,7 @@ TEST(DArrayMultiRt, SweepAcrossChunksAndNodes) {
 TEST(DArrayMultiRt, OperateAcrossEngineShards) {
   rt::Cluster cluster(multi_rt_cfg(3, 2));
   auto a = DArray<uint64_t>::create(cluster, 16 * 12);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   testing::run_on_nodes(cluster, [&](rt::NodeId) {
     // Touch both even and odd chunks (different runtime threads).
     for (uint64_t i = 0; i < a.size(); i += 7) a.apply(i, add, 1);

@@ -23,7 +23,7 @@ void min_d(double& acc, double v) {
 TEST(DArrayOperate, SingleNodeApply) {
   rt::Cluster cluster(small_cfg(1));
   auto a = DArray<uint64_t>::create(cluster, 100);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   bind_thread(cluster, 0);
   a.apply(5, add, 10);
   a.apply(5, add, 32);
@@ -33,7 +33,7 @@ TEST(DArrayOperate, SingleNodeApply) {
 TEST(DArrayOperate, AllNodesApplySameElement) {
   rt::Cluster cluster(small_cfg(4));
   auto a = DArray<uint64_t>::create(cluster, 256);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   constexpr int kPerNode = 500;
   run_on_nodes(cluster, [&](rt::NodeId) {
     for (int i = 0; i < kPerNode; ++i) a.apply(3, add, 1);
@@ -46,7 +46,7 @@ TEST(DArrayOperate, AllNodesApplySameElement) {
 TEST(DArrayOperate, ScatteredApplies) {
   rt::Cluster cluster(small_cfg(3, 32));
   auto a = DArray<uint64_t>::create(cluster, 32 * 9);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   run_on_nodes(cluster, [&](rt::NodeId n) {
     for (uint64_t i = 0; i < a.size(); ++i) a.apply(i, add, n + 1);
   });
@@ -59,7 +59,7 @@ TEST(DArrayOperate, ScatteredApplies) {
 TEST(DArrayOperate, MinOperator) {
   rt::Cluster cluster(small_cfg(2));
   auto a = DArray<double>::create(cluster, 64);
-  const uint16_t mn = a.register_op(&min_d, std::numeric_limits<double>::infinity());
+  const auto mn = a.register_op(&min_d, std::numeric_limits<double>::infinity());
   std::thread init([&] {
     bind_thread(cluster, 0);
     a.set(0, 100.0);
@@ -79,7 +79,7 @@ TEST(DArrayOperate, ApplyVisibleAfterWriteToo) {
   // A write request must also force the flush before granting ownership.
   rt::Cluster cluster(small_cfg(2));
   auto a = DArray<uint64_t>::create(cluster, 64);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   std::thread t1([&] {
     bind_thread(cluster, 1);
     for (int i = 0; i < 100; ++i) a.apply(2, add, 1);
@@ -99,8 +99,8 @@ TEST(DArrayOperate, ApplyVisibleAfterWriteToo) {
 TEST(DArrayOperate, OperatorSwitchFlushesFirst) {
   rt::Cluster cluster(small_cfg(2));
   auto a = DArray<uint64_t>::create(cluster, 64);
-  const uint16_t add = a.register_op(&add_u64, 0);
-  const uint16_t mx = a.register_op(
+  const auto add = a.register_op(&add_u64, 0);
+  const auto mx = a.register_op(
       +[](uint64_t& acc, uint64_t v) {
         if (v > acc) acc = v;
       },
@@ -121,7 +121,7 @@ TEST(DArrayOperate, OperatorSwitchFlushesFirst) {
 TEST(DArrayOperate, HomeAppliesDirectlyDuringOperated) {
   rt::Cluster cluster(small_cfg(2));
   auto a = DArray<uint64_t>::create(cluster, 64);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   run_on_nodes(cluster, [&](rt::NodeId) {
     for (int i = 0; i < 250; ++i) a.apply(0, add, 2);  // home + remote concurrently
   });
@@ -131,7 +131,7 @@ TEST(DArrayOperate, HomeAppliesDirectlyDuringOperated) {
 TEST(DArrayOperate, ConcurrentAppliersManyThreadsPerNode) {
   rt::Cluster cluster(small_cfg(2));
   auto a = DArray<uint64_t>::create(cluster, 64);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   testing::run_on_nodes_mt(cluster, 3, [&](rt::NodeId, uint32_t) {
     for (int i = 0; i < 200; ++i) a.apply(7, add, 1);
   });
@@ -148,7 +148,7 @@ TEST(DArrayOperate, EvictionFlushesCombineBuffer) {
   rt::ClusterConfig cfg = small_cfg(2, /*chunk_elems=*/16, /*cachelines=*/8);
   rt::Cluster cluster(cfg);
   auto a = DArray<uint64_t>::create(cluster, 16 * 64);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   std::thread t([&] {
     bind_thread(cluster, 1);
     for (int sweep = 0; sweep < 3; ++sweep)
@@ -166,7 +166,7 @@ TEST(DArrayOperate, ApplyAfterReadAfterApply) {
   // Operated → Unshared → Operated round trips.
   rt::Cluster cluster(small_cfg(2));
   auto a = DArray<uint64_t>::create(cluster, 64);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   std::thread t([&] {
     bind_thread(cluster, 1);
     for (int round = 0; round < 5; ++round) {

@@ -57,10 +57,10 @@ TEST(DArrayPin, PinnedWriteSweep) {
 TEST(DArrayPin, PinnedOperate) {
   rt::Cluster cluster(small_cfg(2, 64));
   auto a = DArray<uint64_t>::create(cluster, 64 * 2);
-  const uint16_t add = a.register_op(&add_u64, 0);
+  const auto add = a.register_op(&add_u64, 0);
   std::thread t([&] {
     bind_thread(cluster, 1);
-    ASSERT_TRUE(a.pin(0, PinMode::kOperate, add));
+    ASSERT_TRUE(a.pin(0, PinMode::kOperate, add.id()));
     for (int i = 0; i < 100; ++i) a.apply(5, add, 1);
     a.unpin(0);
   });

@@ -33,7 +33,7 @@ TEST_P(DArrayProperty, RandomisedMixedWorkloadConvergesToModel) {
   const PropertyParam p = GetParam();
   rt::Cluster cluster(small_cfg(p.nodes, p.chunk_elems, p.cachelines));
   auto arr = DArray<uint64_t>::create(cluster, p.elems);
-  const uint16_t add = arr.register_op(&add_u64, 0);
+  const auto add = arr.register_op(&add_u64, 0);
 
   // element i: mode = set (owner node i % nodes) when i is even, else apply.
   auto is_set_mode = [](uint64_t i) { return i % 2 == 0; };

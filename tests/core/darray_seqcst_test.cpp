@@ -82,7 +82,7 @@ TEST(DArraySeqCst, PetersonMutualExclusion) {
 TEST(DArraySeqCst, OperateVisibleToSubsequentReads) {
   rt::Cluster cluster(small_cfg(3));
   auto a = DArray<uint64_t>::create(cluster, 64);
-  const uint16_t add = a.register_op(+[](uint64_t& x, uint64_t v) { x += v; }, 0);
+  const auto add = a.register_op(+[](uint64_t& x, uint64_t v) { x += v; }, 0);
   for (int round = 1; round <= 10; ++round) {
     testing::run_on_nodes(cluster, [&](rt::NodeId) { a.apply(1, add, 1); });
     // All applies joined (threads joined above): any node's read sees them.

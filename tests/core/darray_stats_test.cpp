@@ -68,7 +68,7 @@ TEST(DArrayStats, OperateCombinesLocally) {
   // (join + flush), not 10k.
   rt::Cluster cluster(small_cfg(2, 64));
   auto arr = DArray<uint64_t>::create(cluster, 256);
-  const uint16_t add = arr.register_op(&add_u64, 0);
+  const auto add = arr.register_op(&add_u64, 0);
   std::thread t([&] {
     bind_thread(cluster, 1);
     cluster.fabric().reset_stats();

@@ -20,7 +20,7 @@ void add_u64(uint64_t& a, uint64_t v) { a += v; }
 TEST(DArrayStress, SingleChunkAllOpsAllNodes) {
   rt::Cluster cluster(small_cfg(3, /*chunk_elems=*/64, /*cachelines=*/4));
   auto arr = DArray<uint64_t>::create(cluster, 64);
-  const uint16_t add = arr.register_op(&add_u64, 0);
+  const auto add = arr.register_op(&add_u64, 0);
   constexpr int kIters = 25;  // every op forces a multi-party txn: keep small
 
   testing::run_on_nodes_mt(cluster, 2, [&](rt::NodeId n, uint32_t t) {
@@ -76,7 +76,7 @@ TEST(DArrayStress, SingleChunkAllOpsAllNodes) {
 TEST(DArrayStress, OperatedUnsharedFlapping) {
   rt::Cluster cluster(small_cfg(3, 32));
   auto arr = DArray<uint64_t>::create(cluster, 32);
-  const uint16_t add = arr.register_op(&add_u64, 0);
+  const auto add = arr.register_op(&add_u64, 0);
   constexpr int kRounds = 25;
   testing::run_on_nodes(cluster, [&](rt::NodeId n) {
     for (int r = 0; r < kRounds; ++r) {

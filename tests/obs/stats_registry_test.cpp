@@ -116,6 +116,63 @@ TEST(StatsSnapshot, DeltaSubtractsCountersButPassesPointSamples) {
   EXPECT_EQ(d.value_or("runtime.fills"), 4u);
 }
 
+// Regression (obs v3): histogram cells flatten into ".bkt_<upper>" entries
+// carrying each bucket's own (non-cumulative) count, and stats_delta_since /
+// delta_from must subtract them like any counter while still passing the
+// percentile point samples through. With cumulative bucket entries a bucket
+// first appearing after the baseline would double-count everything below it;
+// the sparse own-count encoding keeps deltas exact.
+TEST(StatsSnapshot, HistogramBucketEntriesSubtractLikeCounters) {
+  AtomicLatencyHistogram h;
+  for (int i = 0; i < 5; ++i) h.record(100);
+  StatsSnapshot base;
+  base.add_histogram("hist.op.get", h.snapshot());
+
+  for (int i = 0; i < 3; ++i) h.record(100);
+  for (int i = 0; i < 2; ++i) h.record(1'000'000);  // new bucket, post-baseline
+  StatsSnapshot now;
+  now.add_histogram("hist.op.get", h.snapshot());
+
+  const std::string fast_bkt =
+      "hist.op.get.bkt_" +
+      std::to_string(AtomicLatencyHistogram::bucket_upper(
+          AtomicLatencyHistogram::bucket_index(100)));
+  const std::string slow_bkt =
+      "hist.op.get.bkt_" +
+      std::to_string(AtomicLatencyHistogram::bucket_upper(
+          AtomicLatencyHistogram::bucket_index(1'000'000)));
+  ASSERT_EQ(base.value_or(fast_bkt), 5u);
+  ASSERT_EQ(base.find(slow_bkt), nullptr);  // sparse: empty buckets absent
+  ASSERT_EQ(now.value_or(fast_bkt), 8u);
+  ASSERT_EQ(now.value_or(slow_bkt), 2u);
+
+  const StatsSnapshot d = now.delta_from(base);
+  EXPECT_EQ(d.value_or("hist.op.get.count"), 5u);
+  EXPECT_EQ(d.value_or("hist.op.get.sum_ns"), 3u * 100u + 2u * 1'000'000u);
+  EXPECT_EQ(d.value_or(fast_bkt), 3u);
+  // Bucket absent from the baseline: its full count is the delta, with no
+  // spill-over into other buckets.
+  EXPECT_EQ(d.value_or(slow_bkt), 2u);
+  // Percentiles remain point samples and pass through untouched.
+  EXPECT_EQ(d.value_or("hist.op.get.p50_ns"), now.value_or("hist.op.get.p50_ns"));
+  // Delta buckets sum to delta count: nothing double-counted.
+  uint64_t bucket_total = 0;
+  for (const StatEntry& e : d.entries)
+    if (e.name.find(".bkt_") != std::string::npos) bucket_total += e.value;
+  EXPECT_EQ(bucket_total, 5u);
+}
+
+TEST(StatsSnapshot, IsPointSampleClassification) {
+  EXPECT_TRUE(stats_is_point_sample("hist.op.get.p50_ns"));
+  EXPECT_TRUE(stats_is_point_sample("hist.op.get.p999_ns"));
+  EXPECT_TRUE(stats_is_point_sample("hist.msg.ReadReq.mean_ns"));
+  EXPECT_TRUE(stats_is_point_sample("hist.op.get.max_ns"));
+  EXPECT_FALSE(stats_is_point_sample("hist.op.get.count"));
+  EXPECT_FALSE(stats_is_point_sample("hist.op.get.sum_ns"));
+  EXPECT_FALSE(stats_is_point_sample("hist.op.get.bkt_1024"));
+  EXPECT_FALSE(stats_is_point_sample("fabric.sends"));
+}
+
 TEST(StatsSnapshot, DeltaSaturatesInsteadOfUnderflowing) {
   // A counter going backwards (a reset between snapshots) must clamp to 0,
   // not wrap to ~2^64.

@@ -1,0 +1,234 @@
+// TelemetryServer + render_prometheus: exposition correctness (counter/gauge
+// split, node labels, cumulative histogram buckets rebuilt from sparse
+// non-cumulative snapshot entries) and the HTTP surface end to end over a
+// real loopback socket.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/telemetry_server.hpp"
+#include "obs/timeseries.hpp"
+
+namespace darray::obs {
+namespace {
+
+StatsSnapshot demo_snapshot() {
+  StatsSnapshot s;
+  s.add("fabric.sends", 120);
+  s.add("runtime.remote_reqs", 40);
+  s.add("node.0.ops", 70);
+  s.add("node.1.ops", 30);
+  s.add("hist.op.get.count", 10);
+  s.add("hist.op.get.sum_ns", 5'000);
+  s.add("hist.op.get.mean_ns", 500);  // point sample: must not render
+  s.add("hist.op.get.p99_ns", 900);   // point sample: must not render
+  s.add("hist.op.get.bkt_256", 4);    // sparse, NON-cumulative per-bucket counts
+  s.add("hist.op.get.bkt_1024", 6);
+  return s;
+}
+
+TEST(RenderPrometheus, CountersGaugesAndNodeLabels) {
+  StatsSnapshot s;
+  s.add("fabric.sends", 12);
+  s.add("hist.op.get.p99_ns", 900);  // hist quantile: dropped entirely
+  s.add("duty.tx.busy_ns", 5);
+  s.add("node.2.remote_reqs", 7);
+  const std::string out = render_prometheus(s);
+  EXPECT_NE(out.find("# TYPE darray_fabric_sends_total counter\n"
+                     "darray_fabric_sends_total 12\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("# TYPE darray_node_remote_reqs_total counter\n"
+                     "darray_node_remote_reqs_total{node=\"2\"} 7\n"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("p99"), std::string::npos) << out;
+}
+
+TEST(RenderPrometheus, HistogramBucketsAreCumulativeAndCapped) {
+  const std::string out = render_prometheus(demo_snapshot());
+  // Sparse own-counts 4 and 6 re-accumulate to le-cumulative 4 and 10.
+  EXPECT_NE(out.find("# TYPE darray_op_latency_ns histogram"), std::string::npos) << out;
+  EXPECT_NE(out.find("darray_op_latency_ns_bucket{op=\"get\",le=\"256\"} 4"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("darray_op_latency_ns_bucket{op=\"get\",le=\"1024\"} 10"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("darray_op_latency_ns_bucket{op=\"get\",le=\"+Inf\"} 10"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("darray_op_latency_ns_sum{op=\"get\"} 5000"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("darray_op_latency_ns_count{op=\"get\"} 10"), std::string::npos)
+      << out;
+  // The quantile/mean point samples never leak out as separate families.
+  EXPECT_EQ(out.find("mean_ns"), std::string::npos) << out;
+}
+
+TEST(RenderPrometheus, LiveSkewPinsInfBucketToCount) {
+  // A cell whose .count raced ahead of the bucket loads: +Inf and _count must
+  // still agree (both take the larger total).
+  StatsSnapshot s;
+  s.add("hist.op.set.count", 12);
+  s.add("hist.op.set.sum_ns", 100);
+  s.add("hist.op.set.bkt_512", 10);
+  const std::string out = render_prometheus(s);
+  EXPECT_NE(out.find("darray_op_latency_ns_bucket{op=\"set\",le=\"+Inf\"} 12"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("darray_op_latency_ns_count{op=\"set\"} 12"), std::string::npos)
+      << out;
+}
+
+// Regression: the +Inf/_sum/_count trailer once went through one bounded
+// snprintf; a long family name plus a 20-digit sum overflowed the buffer and
+// truncated the exposition mid-line. Every line must come out whole.
+TEST(RenderPrometheus, LargeSumsAndLongLabelsAreNeverTruncated) {
+  StatsSnapshot s;
+  s.add("hist.msg.InvalidateBroadcast.count", 123'456'789);
+  s.add("hist.msg.InvalidateBroadcast.sum_ns", 18'000'000'000'000'000'000ull);
+  s.add("hist.msg.InvalidateBroadcast.bkt_123456789012", 123'456'789);
+  const std::string out = render_prometheus(s);
+  EXPECT_NE(
+      out.find("darray_msg_latency_ns_bucket{class=\"InvalidateBroadcast\","
+               "le=\"+Inf\"} 123456789\n"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(out.find("darray_msg_latency_ns_sum{class=\"InvalidateBroadcast\"} "
+                     "18000000000000000000\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("darray_msg_latency_ns_count{class=\"InvalidateBroadcast\"} "
+                     "123456789\n"),
+            std::string::npos)
+      << out;
+}
+
+// --- HTTP surface ------------------------------------------------------------
+
+std::string fetch(uint16_t port, const std::string& target, int& status) {
+  status = 0;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, static_cast<size_t>(n));
+  ::close(fd);
+  const size_t sp = resp.find(' ');
+  if (sp != std::string::npos) status = std::atoi(resp.c_str() + sp + 1);
+  const size_t hdr = resp.find("\r\n\r\n");
+  return hdr == std::string::npos ? std::string{} : resp.substr(hdr + 4);
+}
+
+struct ServerFixture : ::testing::Test {
+  TimeSeriesStore store{8};
+  TelemetryServer server{[this] {
+    TelemetryServer::Options o;
+    o.port = 0;  // ephemeral: parallel test runs must not collide
+    o.snapshot = [] { return demo_snapshot(); };
+    o.store = &store;
+    return o;
+  }()};
+
+  void SetUp() override {
+    store.record(100, demo_snapshot());
+    store.record(200, demo_snapshot());
+    ASSERT_TRUE(server.start());
+    ASSERT_NE(server.port(), 0);
+  }
+};
+
+TEST_F(ServerFixture, ServesMetrics) {
+  int status = 0;
+  const std::string body = fetch(server.port(), "/metrics", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("darray_fabric_sends_total 120"), std::string::npos) << body;
+  EXPECT_NE(body.find("darray_node_ops_total{node=\"0\"} 70"), std::string::npos) << body;
+  EXPECT_NE(body.find("darray_op_latency_ns_bucket{op=\"get\",le=\"+Inf\"} 10"),
+            std::string::npos)
+      << body;
+}
+
+TEST_F(ServerFixture, ServesStatsJson) {
+  int status = 0;
+  const std::string body = fetch(server.port(), "/stats.json", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"fabric.sends\": 120"), std::string::npos) << body;
+}
+
+TEST_F(ServerFixture, ServesSeriesJsonWithQueryParams) {
+  int status = 0;
+  std::string body = fetch(server.port(), "/series.json", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"sample_count\": 2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"metric\": \"fabric.sends\""), std::string::npos) << body;
+
+  body = fetch(server.port(), "/series.json?metric=fabric.sends&n=1", status);
+  EXPECT_EQ(status, 200);
+  // Counter series: first delta 120, second 0; n=1 keeps only the newest.
+  EXPECT_NE(body.find("\"points\": [[200,0]]"), std::string::npos) << body;
+
+  body = fetch(server.port(), "/series.json?metric=no.such.metric", status);
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(ServerFixture, UnknownPathAndMethodAreRejected) {
+  int status = 0;
+  fetch(server.port(), "/nope", status);
+  EXPECT_EQ(status, 404);
+  EXPECT_GE(server.requests(), 1u);
+}
+
+TEST_F(ServerFixture, StopJoinsAndFurtherConnectsFail) {
+  server.stop();
+  EXPECT_FALSE(server.running());
+  int status = 0;
+  fetch(server.port(), "/metrics", status);
+  EXPECT_EQ(status, 0);  // connection refused
+}
+
+TEST(TelemetryServerStandalone, SeriesEndpointWithoutStoreIs404) {
+  TelemetryServer::Options o;
+  o.snapshot = [] { return StatsSnapshot{}; };
+  TelemetryServer server(std::move(o));
+  ASSERT_TRUE(server.start());
+  int status = 0;
+  fetch(server.port(), "/series.json", status);
+  EXPECT_EQ(status, 404);
+  server.stop();
+}
+
+TEST(TelemetryServerStandalone, PortCollisionFailsStartCleanly) {
+  TelemetryServer::Options o1;
+  o1.snapshot = [] { return StatsSnapshot{}; };
+  TelemetryServer first(std::move(o1));
+  ASSERT_TRUE(first.start());
+
+  TelemetryServer::Options o2;
+  o2.port = first.port();  // deliberately taken
+  o2.snapshot = [] { return StatsSnapshot{}; };
+  TelemetryServer second(std::move(o2));
+  EXPECT_FALSE(second.start());
+  EXPECT_FALSE(second.running());
+}
+
+}  // namespace
+}  // namespace darray::obs

@@ -85,13 +85,15 @@ TEST(Watchdog, ReportsAStalledOpExactlyOnce) {
   std::atomic<uint64_t> fired{0};
   cluster.set_watchdog_handler([&](const rt::Cluster::WatchdogReport& r) {
     last = r;
-    fired.fetch_add(1, std::memory_order_relaxed);
+    // release pairs with the acquire below: it publishes `last` to the main
+    // thread, which reads it only after observing the count.
+    fired.fetch_add(1, std::memory_order_release);
   });
 
   // 250 ms stall vs a 60 ms deadline: the scanner passes the stalled op many
   // times, and must report it on the first pass only.
   stall_one_op(cluster, arr, 7, 250);
-  EXPECT_EQ(fired.load(), 1u);
+  EXPECT_EQ(fired.load(std::memory_order_acquire), 1u);
   EXPECT_EQ(cluster.watchdog_reports(), 1u);
   EXPECT_EQ(last.kind, obs::OpKind::kWlock);
   EXPECT_EQ(last.node, 0u);

@@ -36,7 +36,7 @@ TEST(CoherenceMetrics, DentryStateNamesCoverEveryState) {
 TEST(CoherenceMetrics, ScriptedSequenceCountsEveryTransition) {
   rt::Cluster cluster(small_cfg(3));
   auto arr = DArray<uint64_t>::create(cluster, 256);
-  const uint16_t add = arr.register_op(+[](uint64_t& a, uint64_t v) { a += v; }, 0);
+  const auto add = arr.register_op(+[](uint64_t& a, uint64_t v) { a += v; }, 0);
   const uint64_t idx = 3;  // in chunk 0, homed on node 0
 
   cluster.mark_stats_baseline("pre_script");

@@ -65,6 +65,26 @@ TEST(ConfigValidate, EachBadFieldIsNamedInTheMessage) {
   cfg = {};
   cfg.comm_backoff_base_ns = cfg.comm_backoff_cap_ns + 1;
   expect_mentions(cfg, "comm_backoff");
+  cfg = {};
+  cfg.telemetry_enabled = true;
+  cfg.telemetry_sample_ns = 500'000;  // below the 1 ms floor
+  expect_mentions(cfg, "telemetry_sample_ns");
+  cfg = {};
+  cfg.telemetry_enabled = true;
+  cfg.telemetry_ring_samples = 1;
+  expect_mentions(cfg, "telemetry_ring_samples");
+  cfg = {};
+  cfg.telemetry_serve = true;  // without the sampler
+  expect_mentions(cfg, "telemetry_serve");
+}
+
+TEST(ConfigValidate, TelemetryKnobsOnlyCheckedWhenEnabled) {
+  ClusterConfig cfg;
+  cfg.telemetry_sample_ns = 0;  // ignored while telemetry is off
+  cfg.telemetry_ring_samples = 0;
+  EXPECT_EQ(cfg.validate(), "");
+  cfg.telemetry_enabled = true;
+  EXPECT_NE(cfg.validate(), "");
 }
 
 TEST(ConfigValidate, ReportsTheFirstProblemOnly) {

@@ -53,7 +53,7 @@ class ProtocolStates : public ::testing::Test {
 
   rt::Cluster cluster;
   darray::DArray<uint64_t> arr;
-  uint16_t add;
+  darray::OpHandle<uint64_t> add;
 };
 
 TEST_F(ProtocolStates, InitialUnshared) {
@@ -127,7 +127,7 @@ TEST_F(ProtocolStates, DirtyToOperatedWritesBackFirst) {
 }
 
 TEST_F(ProtocolStates, OperatorSwitchRequiresFlush) {
-  const uint16_t mx = arr.register_op(
+  const auto mx = arr.register_op(
       +[](uint64_t& a, uint64_t v) {
         if (v > a) a = v;
       },

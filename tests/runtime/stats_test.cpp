@@ -82,7 +82,7 @@ TEST(RuntimeStats, PrefetchDisabledIssuesNone) {
 TEST(RuntimeStats, EvictionKindsMatchUsage) {
   rt::Cluster cluster(small_cfg(2, /*chunk_elems=*/16, /*cachelines=*/8));
   auto arr = darray::DArray<uint64_t>::create(cluster, 16 * 64);
-  const uint16_t add = arr.register_op(&add_u64, 0);
+  const auto add = arr.register_op(&add_u64, 0);
   std::thread t([&] {
     darray::bind_thread(cluster, 1);
     // Read sweep: clean evictions.

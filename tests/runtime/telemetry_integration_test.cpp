@@ -1,0 +1,121 @@
+// End-to-end telemetry through a live Cluster: the sampler thread fills the
+// TimeSeriesStore while traffic runs, the per-node stats plane shows up, and
+// with telemetry_serve the embedded listener answers /metrics with content
+// that matches the cluster's own snapshot families.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+rt::ClusterConfig telemetry_cfg(uint32_t nodes, bool serve = false) {
+  rt::ClusterConfig cfg = testing::small_cfg(nodes);
+  cfg.telemetry_enabled = true;
+  cfg.telemetry_sample_ns = 1'000'000;  // the validation floor: fast tests
+  cfg.telemetry_ring_samples = 64;
+  cfg.telemetry_serve = serve;
+  cfg.telemetry_port = 0;  // ephemeral
+  return cfg;
+}
+
+std::string fetch_metrics(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, req, sizeof(req) - 1, 0);
+  std::string resp;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, static_cast<size_t>(n));
+  ::close(fd);
+  const size_t hdr = resp.find("\r\n\r\n");
+  return hdr == std::string::npos ? std::string{} : resp.substr(hdr + 4);
+}
+
+TEST(TelemetryIntegration, DisabledByDefaultCostsNothing) {
+  rt::Cluster cluster(testing::small_cfg(1));
+  EXPECT_EQ(cluster.timeseries(), nullptr);
+  EXPECT_EQ(cluster.telemetry_server(), nullptr);
+  EXPECT_EQ(cluster.telemetry_port(), 0);
+  EXPECT_EQ(cluster.stats().find("telemetry.samples"), nullptr);
+}
+
+TEST(TelemetryIntegration, SamplerFillsRingsWhileTrafficRuns) {
+  rt::Cluster cluster(telemetry_cfg(2));
+  ASSERT_NE(cluster.timeseries(), nullptr);
+  auto arr = DArray<uint64_t>::create(cluster, 256);
+  testing::run_on_nodes(cluster, [&](rt::NodeId n) {
+    for (uint64_t i = 0; i < 256; ++i) arr.set(i, i + n);
+  });
+  // A few sample periods; the sampler's first point lands immediately.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (cluster.timeseries()->samples() < 3 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(cluster.timeseries()->samples(), 3u);
+
+  // Counter families became rate series; per-node plane present for each node.
+  std::vector<obs::SeriesPoint> pts;
+  EXPECT_TRUE(cluster.timeseries()->read("fabric.sends", pts));
+  ASSERT_GE(pts.size(), 3u);
+  for (size_t i = 1; i < pts.size(); ++i) EXPECT_GT(pts[i].t_ns, pts[i - 1].t_ns);
+  EXPECT_TRUE(cluster.timeseries()->read("node.0.ops", pts));
+  EXPECT_TRUE(cluster.timeseries()->read("node.1.ops", pts));
+  EXPECT_FALSE(cluster.timeseries()->read("node.2.ops", pts));  // only 2 nodes
+
+  // The self-describing source: sample count visible in the stats plane.
+  EXPECT_GT(cluster.stats().value_or("telemetry.samples"), 0u);
+}
+
+TEST(TelemetryIntegration, ServeExposesMetricsMatchingClusterStats) {
+  rt::Cluster cluster(telemetry_cfg(2, /*serve=*/true));
+  ASSERT_NE(cluster.telemetry_server(), nullptr);
+  ASSERT_NE(cluster.telemetry_port(), 0);
+  auto arr = DArray<uint64_t>::create(cluster, 256);
+  testing::run_on_nodes(cluster, [&](rt::NodeId n) {
+    for (uint64_t i = 0; i < 256; ++i) arr.set(i, i + n);
+  });
+
+  const std::string body = fetch_metrics(cluster.telemetry_port());
+  ASSERT_FALSE(body.empty());
+  EXPECT_NE(body.find("# TYPE darray_fabric_sends_total counter"), std::string::npos);
+  EXPECT_NE(body.find("darray_node_remote_reqs_total{node=\"0\"}"), std::string::npos)
+      << body.substr(0, 2000);
+  EXPECT_NE(body.find("darray_runtime_remote_reqs_total"), std::string::npos);
+  EXPECT_GT(cluster.telemetry_server()->requests(), 0u);
+  // The request counter itself feeds back into the stats plane.
+  EXPECT_GT(cluster.stats().value_or("telemetry.requests"), 0u);
+}
+
+// Teardown while the sampler and listener are mid-flight must join cleanly;
+// run a short-lived cluster repeatedly to shake races out (TSan job).
+TEST(TelemetryIntegration, RepeatedStartupShutdownIsClean) {
+  for (int round = 0; round < 5; ++round) {
+    rt::Cluster cluster(telemetry_cfg(1, /*serve=*/true));
+    auto arr = DArray<uint64_t>::create(cluster, 64);
+    bind_thread(cluster, 0);
+    for (uint64_t i = 0; i < 64; ++i) arr.set(i, i);
+  }
+}
+
+}  // namespace
+}  // namespace darray

@@ -1,0 +1,349 @@
+// darray-top: a terminal dashboard for a live DArray cluster. Polls the
+// embedded telemetry listener's /series.json (see docs/observability.md) and
+// renders per-node op throughput, remote traffic, p50/p99 latency sparklines,
+// service-thread duty cycles, coherence transition rates, and chaos fault
+// counters. No curses, no deps: plain ANSI escapes and a blocking socket.
+//
+//   darray-top [--host 127.0.0.1] [--port 9464] [--interval MS]
+//              [--frames N] [--once]
+//
+//   --interval   poll + redraw period in milliseconds (default 1000)
+//   --frames N   render N frames then exit 0 (0 = run until ^C)
+//   --once       one frame, no screen clearing: CI / piping friendly
+//
+// Pair with `chaos_ablation --serve`, or any harness that sets
+// cfg.telemetry_serve. Exits 1 if the endpoint never answers.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Point {
+  uint64_t t = 0;
+  uint64_t v = 0;
+};
+struct Series {
+  bool rate = false;
+  std::vector<Point> pts;
+};
+struct Snapshot {
+  uint64_t sample_count = 0;
+  std::map<std::string, Series> series;
+};
+
+// --- transport ---------------------------------------------------------------
+
+std::string http_get(const std::string& host, uint16_t port, const std::string& target,
+                     bool& ok) {
+  ok = false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string resp;
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t hdr_end = resp.find("\r\n\r\n");
+  if (hdr_end == std::string::npos || resp.compare(0, 7, "HTTP/1.") != 0) return {};
+  ok = resp.compare(9, 3, "200") == 0;
+  return resp.substr(hdr_end + 4);
+}
+
+// --- /series.json parsing ----------------------------------------------------
+// The producer is TimeSeriesStore::to_json — a fixed shape with no string
+// escapes in metric names, so a cursor scan is enough:
+//   {"sample_count": N, "series": [
+//     {"metric": "...", "rate": true, "points": [[t, v], ...]}, ...]}
+
+uint64_t scan_u64(const std::string& s, size_t& pos) {
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(s.c_str() + pos, &end, 10);
+  pos = static_cast<size_t>(end - s.c_str());
+  return v;
+}
+
+bool parse_series_json(const std::string& body, Snapshot& out) {
+  size_t pos = body.find("\"sample_count\"");
+  if (pos == std::string::npos) return false;
+  pos = body.find(':', pos);
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < body.size() && body[pos] == ' ') ++pos;
+  out.sample_count = scan_u64(body, pos);
+
+  for (;;) {
+    pos = body.find("\"metric\"", pos);
+    if (pos == std::string::npos) break;
+    size_t q0 = body.find('"', body.find(':', pos) + 1);
+    if (q0 == std::string::npos) return false;
+    size_t q1 = body.find('"', q0 + 1);
+    if (q1 == std::string::npos) return false;
+    Series ser;
+    const std::string name = body.substr(q0 + 1, q1 - q0 - 1);
+
+    size_t rpos = body.find("\"rate\"", q1);
+    if (rpos == std::string::npos) return false;
+    rpos = body.find(':', rpos) + 1;
+    while (rpos < body.size() && body[rpos] == ' ') ++rpos;
+    ser.rate = body.compare(rpos, 4, "true") == 0;
+
+    size_t ppos = body.find("\"points\"", rpos);
+    if (ppos == std::string::npos) return false;
+    ppos = body.find('[', ppos);
+    if (ppos == std::string::npos) return false;
+    ++ppos;  // inside the points array
+    for (;;) {
+      while (ppos < body.size() &&
+             (body[ppos] == ' ' || body[ppos] == ',' || body[ppos] == '\n'))
+        ++ppos;
+      if (ppos >= body.size() || body[ppos] == ']') break;
+      if (body[ppos] != '[') return false;
+      ++ppos;
+      Point p;
+      p.t = scan_u64(body, ppos);
+      while (ppos < body.size() && (body[ppos] == ',' || body[ppos] == ' ')) ++ppos;
+      p.v = scan_u64(body, ppos);
+      while (ppos < body.size() && body[ppos] != ']') ++ppos;
+      ++ppos;
+      ser.pts.push_back(p);
+    }
+    out.series.emplace(name, std::move(ser));
+    pos = ppos;
+  }
+  return true;
+}
+
+// --- derived values ----------------------------------------------------------
+
+const Series* find(const Snapshot& s, const std::string& name) {
+  const auto it = s.series.find(name);
+  return it == s.series.end() ? nullptr : &it->second;
+}
+
+// Per-second rate over the newest interval of a delta (rate) series.
+double latest_rate(const Series* s) {
+  if (s == nullptr || s->pts.size() < 2) return 0.0;
+  const Point& a = s->pts[s->pts.size() - 2];
+  const Point& b = s->pts.back();
+  if (b.t <= a.t) return 0.0;
+  return static_cast<double>(b.v) * 1e9 / static_cast<double>(b.t - a.t);
+}
+
+uint64_t latest(const Series* s) { return (s && !s->pts.empty()) ? s->pts.back().v : 0; }
+
+uint64_t window_sum(const Series* s) {
+  uint64_t t = 0;
+  if (s != nullptr)
+    for (const Point& p : s->pts) t += p.v;
+  return t;
+}
+
+// Unicode block sparkline of the newest `width` values, scaled to their max.
+std::string sparkline(const Series* s, size_t width) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (s == nullptr || s->pts.empty()) return std::string(width, '.');
+  const size_t n = std::min(width, s->pts.size());
+  const size_t first = s->pts.size() - n;
+  uint64_t hi = 1;
+  for (size_t i = first; i < s->pts.size(); ++i) hi = std::max(hi, s->pts[i].v);
+  std::string out;
+  for (size_t i = 0; i + n < width; ++i) out += ' ';
+  for (size_t i = first; i < s->pts.size(); ++i)
+    out += kBlocks[(s->pts[i].v * 7 + hi / 2) / hi];
+  return out;
+}
+
+std::string fmt_si(double v) {
+  char buf[32];
+  if (v >= 1e9) std::snprintf(buf, sizeof(buf), "%7.2fG", v / 1e9);
+  else if (v >= 1e6) std::snprintf(buf, sizeof(buf), "%7.2fM", v / 1e6);
+  else if (v >= 1e3) std::snprintf(buf, sizeof(buf), "%7.2fk", v / 1e3);
+  else std::snprintf(buf, sizeof(buf), "%7.1f ", v);
+  return buf;
+}
+
+std::string duty_bar(double frac, size_t width) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  const size_t fill = static_cast<size_t>(frac * static_cast<double>(width) + 0.5);
+  std::string b = "[";
+  for (size_t i = 0; i < width; ++i) b += i < fill ? '#' : '.';
+  return b + "]";
+}
+
+// --- rendering ---------------------------------------------------------------
+
+constexpr size_t kSpark = 30;
+
+void render(const Snapshot& snap, const std::string& host, uint16_t port,
+            uint64_t frame) {
+  const Series* any = nullptr;
+  for (const auto& [name, s] : snap.series)
+    if (s.pts.size() >= 2) {
+      any = &s;
+      break;
+    }
+  double period_ms = 0;
+  if (any != nullptr) {
+    const Point& a = any->pts[any->pts.size() - 2];
+    const Point& b = any->pts.back();
+    period_ms = static_cast<double>(b.t - a.t) / 1e6;
+  }
+  std::printf("darray-top — %s:%u   samples %llu   period %.0f ms   frame %llu\n",
+              host.c_str(), port, static_cast<unsigned long long>(snap.sample_count),
+              period_ms, static_cast<unsigned long long>(frame));
+
+  // Per-node op throughput (traced API ops) + remote traffic.
+  std::printf("\n  %-8s %9s %-*s %9s %9s\n", "node", "ops/s", static_cast<int>(kSpark),
+              "history", "remote/s", "fills/s");
+  double total_ops = 0, total_remote = 0, total_miss = 0;
+  for (uint32_t n = 0; n < 64; ++n) {
+    const std::string p = "node." + std::to_string(n) + ".";
+    const Series* ops = find(snap, p + "ops");
+    if (ops == nullptr) break;
+    const double ops_s = latest_rate(ops);
+    const double rem_s = latest_rate(find(snap, p + "remote_reqs"));
+    total_ops += ops_s;
+    total_remote += rem_s;
+    total_miss += latest_rate(find(snap, p + "local_misses"));
+    std::printf("  node %-3u %s %s %s %s\n", n, fmt_si(ops_s).c_str(),
+                sparkline(ops, kSpark).c_str(), fmt_si(rem_s).c_str(),
+                fmt_si(latest_rate(find(snap, p + "fills"))).c_str());
+  }
+  const double local_hits = std::max(1.0, total_ops - total_miss);
+  char ratio[32] = "-";
+  if (total_ops > 0)
+    std::snprintf(ratio, sizeof(ratio), "%.3f", total_remote / local_hits);
+  std::printf("  cluster  %s ops/s   remote:local %s  (%.0f%% of ops miss local cache)\n",
+              fmt_si(total_ops).c_str(), ratio,
+              total_ops > 0 ? 100.0 * total_miss / total_ops : 0.0);
+
+  // Latency percentiles (point series sampled from the op histograms).
+  std::printf("\n  %-8s %9s %-*s %9s %-*s\n", "op", "p50 ns", static_cast<int>(kSpark),
+              "", "p99 ns", static_cast<int>(kSpark), "");
+  static const char* kOps[] = {"get", "set", "apply", "get_range", "set_range"};
+  for (const char* op : kOps) {
+    const std::string base = std::string("hist.op.") + op;
+    const Series* p50 = find(snap, base + ".p50_ns");
+    const Series* p99 = find(snap, base + ".p99_ns");
+    if (p50 == nullptr && p99 == nullptr) continue;
+    std::printf("  %-8s %s %s %s %s\n", op,
+                fmt_si(static_cast<double>(latest(p50))).c_str(),
+                sparkline(p50, kSpark).c_str(),
+                fmt_si(static_cast<double>(latest(p99))).c_str(),
+                sparkline(p99, kSpark).c_str());
+  }
+
+  // Service-thread duty cycles from the busy/idle deltas.
+  std::printf("\n  duty   ");
+  for (const char* t : {"runtime", "tx", "rx"}) {
+    const std::string base = std::string("duty.") + t;
+    const double busy = latest_rate(find(snap, base + ".busy_ns"));
+    const double idle = latest_rate(find(snap, base + ".idle_ns"));
+    const double frac = busy + idle > 0 ? busy / (busy + idle) : 0.0;
+    std::printf("%-8s %3.0f%% %s   ", t, frac * 100, duty_bar(frac, 10).c_str());
+  }
+  std::printf("\n");
+
+  // Coherence transitions and chaos faults: per-second rates this interval,
+  // plus totals over the visible ring window.
+  std::printf("\n  coherence/s ");
+  for (const auto& [name, s] : snap.series) {
+    if (name.rfind("coherence.enter_", 0) != 0) continue;
+    std::printf(" %s=%s", name.c_str() + sizeof("coherence.enter_") - 1,
+                fmt_si(latest_rate(&s)).c_str());
+  }
+  std::printf("\n  chaos (window totals)");
+  bool chaos_seen = false;
+  for (const auto& [name, s] : snap.series) {
+    if (name.rfind("chaos.", 0) != 0) continue;
+    chaos_seen = true;
+    std::printf(" %s=%llu", name.c_str() + sizeof("chaos.") - 1,
+                static_cast<unsigned long long>(window_sum(&s)));
+  }
+  if (!chaos_seen) std::printf(" (no fault plan)");
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 9464;
+  uint64_t interval_ms = 1000;
+  uint64_t frames = 0;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--host") host = next();
+    else if (a == "--port") port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
+    else if (a == "--interval") interval_ms = std::strtoull(next(), nullptr, 10);
+    else if (a == "--frames") frames = std::strtoull(next(), nullptr, 10);
+    else if (a == "--once") { once = true; frames = 1; }
+    else {
+      std::fprintf(stderr,
+                   "usage: darray-top [--host IP] [--port N] [--interval MS] "
+                   "[--frames N] [--once]\n");
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+
+  uint64_t frame = 0, failures = 0;
+  for (;;) {
+    bool ok = false;
+    const std::string body = http_get(host, port, "/series.json", ok);
+    Snapshot snap;
+    if (!ok || !parse_series_json(body, snap)) {
+      if (++failures >= 5 || once) {
+        std::fprintf(stderr, "darray-top: no telemetry at %s:%u%s\n", host.c_str(), port,
+                     once ? "" : " after 5 attempts");
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    failures = 0;
+    ++frame;
+    if (!once) std::printf("\x1b[H\x1b[J");  // home + clear below: less flicker
+    render(snap, host, port, frame);
+    if (frames != 0 && frame >= frames) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
