@@ -1,0 +1,76 @@
+// Power iteration on a distributed matrix: the array-compute layer's
+// mini-solver. Each step is three chunked collectives — gemv, norm2, scale —
+// with every node computing only the rows/extents it owns and remote operands
+// streamed through prefetch-overlapped cursors (src/compute).
+//
+//   build/examples/power_iteration [nodes] [n]
+//
+// The matrix is A = 2·I + (1/n)·1·1ᵀ, whose dominant eigenvalue is exactly 3,
+// so the printed estimates visibly converge to a known answer.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "compute/collectives.hpp"
+#include "core/darray.hpp"
+
+using namespace darray;
+
+int main(int argc, char** argv) {
+  const uint32_t nodes = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 3;
+  const uint64_t n = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 256;
+
+  rt::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.chunk_elems = static_cast<uint32_t>(n);  // one matrix row per chunk:
+  rt::Cluster cluster(cfg);                    // any partition is row-aligned
+
+  auto A = DArray<double>::create(cluster, n * n);
+  auto x = DArray<double>::create(cluster, n);
+  auto y = DArray<double>::create(cluster, n);
+
+  // Each node fills the rows it owns; x starts as the all-ones vector.
+  std::vector<std::thread> setup;
+  for (uint32_t node = 0; node < nodes; ++node) {
+    setup.emplace_back([&, node] {
+      bind_thread(cluster, node);
+      std::vector<double> row(n);
+      for (uint64_t i = A.local_begin(node); i < A.local_end(node); i += n) {
+        const uint64_t r = i / n;
+        for (uint64_t c = 0; c < n; ++c)
+          row[c] = (r == c ? 2.0 : 0.0) + 1.0 / static_cast<double>(n);
+        A.set_range(i, std::span<const double>(row));
+      }
+      // Start away from the dominant eigenvector so convergence is visible.
+      for (uint64_t i = x.local_begin(node); i < x.local_end(node); ++i)
+        x.set(i, 1.0 + static_cast<double>(i % 7));
+    });
+  }
+  for (auto& t : setup) t.join();
+
+  std::printf("power iteration: %llu×%llu on %u nodes (exact λ₁ = 3)\n",
+              static_cast<unsigned long long>(n), static_cast<unsigned long long>(n),
+              nodes);
+  std::vector<std::thread> workers;
+  for (uint32_t node = 0; node < nodes; ++node) {
+    workers.emplace_back([&, node] {
+      bind_thread(cluster, node);
+      double lambda = 0;
+      for (int it = 1; it <= 20; ++it) {
+        compute::gemv(1.0, A, x, 0.0, y, n, n);  // y ← A·x
+        lambda = compute::norm2(y);              // λ  ← ‖y‖₂
+        compute::copy(y, x);                     // x  ← y / λ
+        compute::scale(1.0 / lambda, x);
+        if (node == 0 && (it <= 5 || it % 5 == 0))
+          std::printf("  iter %2d: λ ≈ %.12f\n", it, lambda);
+      }
+      if (node == 0)
+        std::printf("converged: λ = %.12f (error %.2e)\n", lambda,
+                    std::fabs(lambda - 3.0));
+    });
+  }
+  for (auto& t : workers) t.join();
+  return 0;
+}

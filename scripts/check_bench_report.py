@@ -36,6 +36,13 @@ def main():
                          "medians, so the gate is wider)")
     ap.add_argument("--require-stats", action="store_true", default=True,
                     help="fail unless the report embeds a non-empty stats block")
+    ap.add_argument("--gate-ratio", action="append", default=[],
+                    metavar="NUM_CONFIG:DEN_CONFIG:METRIC:MIN",
+                    help="require median[NUM_CONFIG][METRIC] >= MIN × "
+                         "median[DEN_CONFIG][METRIC] within this report "
+                         "(repeatable); e.g. overlap_on:overlap_off:"
+                         "dot_melems_c512:1.3 gates the comm/compute overlap "
+                         "win of the compute layer")
     args = ap.parse_args()
 
     report = load(args.report)
@@ -144,6 +151,42 @@ def main():
                 failures.append("P99 REGRESSION " + p99_tag)
             else:
                 print("ok " + p99_tag)
+
+    # Intra-report ratio gates: one config must beat another on the same
+    # metric by a floor factor (the overlap-on vs overlap-off ablation).
+    if args.gate_ratio:
+        fresh = index_results(report)
+        for spec in args.gate_ratio:
+            parts = spec.split(":")
+            if len(parts) != 4:
+                failures.append(f"bad --gate-ratio spec {spec!r} "
+                                "(want NUM_CONFIG:DEN_CONFIG:METRIC:MIN)")
+                continue
+            num_cfg, den_cfg, metric, floor = parts
+            try:
+                floor = float(floor)
+            except ValueError:
+                failures.append(f"bad --gate-ratio floor in {spec!r}")
+                continue
+            num = fresh.get((num_cfg, metric))
+            den = fresh.get((den_cfg, metric))
+            if num is None or den is None:
+                missing = num_cfg if num is None else den_cfg
+                failures.append(f"gate-ratio {spec}: no result for "
+                                f"({missing}, {metric})")
+                continue
+            nm, dm = float(num["median"]), float(den["median"])
+            if dm <= 0:
+                failures.append(f"gate-ratio {spec}: denominator median "
+                                f"{dm:g} is not positive")
+                continue
+            ratio = nm / dm
+            tag = (f"{metric}: {num_cfg} {nm:g} / {den_cfg} {dm:g} "
+                   f"= {ratio:.2f}x (floor {floor:g}x)")
+            if ratio < floor:
+                failures.append("RATIO GATE " + tag)
+            else:
+                print("ok " + tag)
 
     if failures:
         for f in failures:

@@ -213,6 +213,55 @@ class DArray {
             /*write=*/true, span.corr);
   }
 
+  // Non-blocking, chunk-granular read-ahead over [first, first+count): submit
+  // a best-effort prefetch for every covered non-home chunk that is cold. The
+  // engine treats these exactly like its own sequential read-ahead (they are
+  // dropped if the chunk is busy or the cache is full), so a later get_range
+  // over the same extent finds warm chunks instead of paying a demand miss.
+  // This is the hook the compute layer's ChunkCursor overlaps fetches with
+  // the user kernel through (docs/compute.md).
+  void prefetch_range(uint64_t first, uint64_t count) const {
+    if (count == 0) return;
+    DARRAY_ASSERT_MSG(count <= size() && first <= size() - count,
+                      "prefetch_range() past the end of the array");
+    ThreadCtx& ctx = this_thread_ctx();
+    rt::NodeRuntime& node = ctx.cluster->node(ctx.node);
+    const rt::NodeArrayState* as = node.array_state(meta_->id);
+    const rt::ChunkId c0 = meta_->chunk_of(first);
+    const rt::ChunkId c1 = meta_->chunk_of(first + count - 1);
+    for (rt::ChunkId c = c0; c <= c1; ++c) {
+      if (meta_->home_of_chunk(c) == ctx.node) continue;
+      // Rough pre-filter; the owning runtime thread re-checks before issuing.
+      if (as->dentries[c].state.load(std::memory_order_relaxed) !=
+          rt::DentryState::kInvalid)
+        continue;
+      auto* r = new rt::LocalRequest();  // heap-owned: no completion, engine deletes
+      r->kind = rt::LocalRequest::Kind::kPrefetch;
+      r->array = meta_->id;
+      r->chunk = c;
+      node.submit_local(r);
+    }
+  }
+
+  // Advisory probe: true when every chunk covering [first, first+count) is
+  // readable right now (pinned by this thread, or a readable dentry). Relaxed
+  // loads, no references taken — the answer can go stale immediately, so this
+  // is only good for accounting (prefetch hit/miss) and heuristics.
+  bool range_cached(uint64_t first, uint64_t count) const {
+    if (count == 0) return true;
+    DARRAY_ASSERT(count <= size() && first <= size() - count);
+    ThreadCtx& ctx = this_thread_ctx();
+    const rt::NodeArrayState* as = ctx.cluster->node(ctx.node).array_state(meta_->id);
+    const rt::ChunkId c0 = meta_->chunk_of(first);
+    const rt::ChunkId c1 = meta_->chunk_of(first + count - 1);
+    for (rt::ChunkId c = c0; c <= c1; ++c) {
+      if (ctx.find_pin(meta_->id, c)) continue;
+      if (!rt::dentry_readable(as->dentries[c].state.load(std::memory_order_relaxed)))
+        return false;
+    }
+    return true;
+  }
+
   // Set every element of [begin, end) to `value` (chunk-at-a-time).
   void fill(uint64_t begin, uint64_t end, T value) const {
     DARRAY_ASSERT(begin <= end && end <= size());
@@ -479,6 +528,16 @@ class DArray {
       const uint32_t off = meta_->offset_in_chunk(i);
       const uint64_t in_chunk = std::min<uint64_t>(count - done, meta_->chunk_elems - off);
       if (const PinEntry* p = ctx.find_pin(meta_->id, c)) {
+        // A range that straddles into a chunk this thread pinned must satisfy
+        // the pin's granted permission, same contract as get()/set(). Falling
+        // through to the runtime instead would deadlock: the pin's own
+        // reference blocks the drain the permission upgrade needs. Before
+        // this check, a set_range straddling into a read-pinned chunk wrote
+        // into the Shared copy and the writes were silently lost.
+        DARRAY_ASSERT_MSG(write ? rt::dentry_writable(p->state)
+                                : rt::dentry_readable(p->state),
+                          write ? "range write through a non-write pin"
+                                : "range read through a non-read pin");
         fn(p->data, off, in_chunk, done);
         done += in_chunk;
         continue;

@@ -31,6 +31,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kLockAcq: return "LockAcq";
     case MsgType::kLockGrant: return "LockGrant";
     case MsgType::kLockRel: return "LockRel";
+    case MsgType::kReducePart: return "ReducePart";
     case MsgType::kBatch: return "Batch";
     case MsgType::kMaxMsgType: break;
   }

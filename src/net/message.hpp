@@ -53,6 +53,13 @@ enum class MsgType : uint8_t {
   kLockGrant,    // txn_id echoes the acquire
   kLockRel,      // addr = element index
 
+  // --- array-compute collectives (src/compute) -------------------------------
+  kReducePart,   // one edge of a reduction tree: txn_id/chunk = collective
+                 //   sequence number (chunk doubles as the runtime-thread
+                 //   routing key), addr = scalar partial bits, rkey = fragment
+                 //   index, aux = fragment count, payload = per-chunk partials
+                 //   (deterministic mode only)
+
   // --- transport-internal ----------------------------------------------------
   kBatch,        // coalesced SEND envelope; aux = frame count (Rx unpacks,
                  // never delivered to the runtime)

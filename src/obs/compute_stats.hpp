@@ -1,0 +1,32 @@
+// Process-global counters for the array-compute layer (src/compute).
+//
+// They live in obs rather than in src/compute so the cluster's default
+// StatsRegistry sources (runtime layer) can export them without a dependency
+// on the compute layer above it — the same layering trick as the payload-pool
+// counters in net. Monotonic, relaxed: bumped from application threads inside
+// cursors and collectives, read by the telemetry sampler and /metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace darray::obs {
+
+struct ComputeCounters {
+  std::atomic<uint64_t> chunks{0};           // cursor views handed to kernels
+  std::atomic<uint64_t> prefetch_hits{0};    // remote-bearing view fully cached on arrival
+  std::atomic<uint64_t> prefetch_misses{0};  // remote-bearing view paid a demand fetch
+  std::atomic<uint64_t> reduce_msgs{0};      // kReducePart messages sent
+  std::atomic<uint64_t> collectives{0};      // collective calls (per participating node)
+
+  void bump(std::atomic<uint64_t> ComputeCounters::* c, uint64_t n = 1) {
+    (this->*c).fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+inline ComputeCounters& compute_counters() {
+  static ComputeCounters c;
+  return c;
+}
+
+}  // namespace darray::obs

@@ -20,6 +20,7 @@ static_assert(sizeof(kEvNames) / sizeof(kEvNames[0]) == static_cast<size_t>(Ev::
 const char* const kOpKindNames[] = {
     "get",   "set",   "apply",     "rlock",     "wlock",
     "unlock", "pin",  "unpin",     "get_range", "set_range",
+    "dot",   "axpy",  "scale",     "norm2",     "gemv",
 };
 static_assert(sizeof(kOpKindNames) / sizeof(kOpKindNames[0]) ==
               static_cast<size_t>(OpKind::kMaxOpKind));

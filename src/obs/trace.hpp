@@ -55,6 +55,13 @@ enum class OpKind : uint8_t {
   kUnpin,
   kGetRange,
   kSetRange,
+  // Array-compute collectives (src/compute): one span per collective call per
+  // node, so hist.op.* gains a row per kernel.
+  kDot,
+  kAxpy,
+  kScale,
+  kNorm2,
+  kGemv,
   kMaxOpKind,
 };
 

@@ -10,6 +10,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "net/payload_buf.hpp"
+#include "obs/compute_stats.hpp"
 #include "obs/trace.hpp"
 
 namespace darray::rt {
@@ -236,6 +237,18 @@ void Cluster::register_default_stats_sources() {
     s.add("runtime.combine_flushes", r.combine_flushes);
     s.add("runtime.lock_acquires", r.lock_acquires);
     s.add("runtime.lock_waits", r.lock_waits);
+    s.add("runtime.reduce_parts_rx", r.reduce_parts_rx);
+  });
+  // Array-compute plane (src/compute): cursor chunking, overlap hit rate, and
+  // reduction-tree traffic. Process-global like pool.* — the compute layer
+  // sits above the runtime, so the counters live in obs (see compute_stats.hpp).
+  stats_registry_.add_source([](obs::StatsSnapshot& s) {
+    const obs::ComputeCounters& c = obs::compute_counters();
+    s.add("compute.chunks", c.chunks.load(std::memory_order_relaxed));
+    s.add("compute.prefetch_hits", c.prefetch_hits.load(std::memory_order_relaxed));
+    s.add("compute.prefetch_misses", c.prefetch_misses.load(std::memory_order_relaxed));
+    s.add("compute.reduce_msgs", c.reduce_msgs.load(std::memory_order_relaxed));
+    s.add("compute.collectives", c.collectives.load(std::memory_order_relaxed));
   });
   // Coherence plane: per-target-state dentry transition tallies, summed over
   // every array × node × chunk. The walk takes create_mu_ so the meta/state

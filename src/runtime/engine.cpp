@@ -101,6 +101,11 @@ void Engine::handle_local(LocalRequest* r) {
         case PinMode::kOperate: stats_.local_operate_misses++; break;
       }
       break;
+    case LocalRequest::Kind::kPrefetch:
+      // Counted here (not at creation) so the engine's own read-ahead and
+      // application-driven prefetch_range() land in the same counter.
+      stats_.prefetches_issued++;
+      break;
     default: break;
   }
   obs::trace(obs::Ev::kMiss, r->trace_id, static_cast<uint8_t>(r->kind),
@@ -197,6 +202,15 @@ void Engine::handle_rpc(net::RpcMessage m) {
     case MsgType::kLockRel:
     case MsgType::kLockGrant:
       rpc_lock(m);
+      return;
+    case MsgType::kReducePart:
+      // Reduction-tree partial (src/compute): hdr.chunk is the collective
+      // sequence number, present only to spread deliveries across runtime
+      // threads; the board keys on (seq, src, fragment).
+      stats_.reduce_parts_rx++;
+      node_->reduce_board().deliver(
+          ReduceBoard::key(m.hdr.txn_id, m.hdr.src_node, m.hdr.rkey),
+          ReduceBoard::Part{m.hdr.addr, m.hdr.aux, std::move(m.payload)});
       return;
     default:
       DARRAY_UNREACHABLE("unexpected message type");
@@ -741,8 +755,7 @@ void Engine::issue_prefetches(const NodeArrayState& as, ChunkId after) {
     r->kind = LocalRequest::Kind::kPrefetch;
     r->array = as.meta->id;
     r->chunk = c2;
-    stats_.prefetches_issued++;
-    node_->submit_local(r);
+    node_->submit_local(r);  // counted in handle_local by the owning thread
   }
 }
 

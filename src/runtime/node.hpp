@@ -10,6 +10,7 @@
 #include "common/config.hpp"
 #include "net/comm_layer.hpp"
 #include "runtime/array_state.hpp"
+#include "runtime/reduce_board.hpp"
 #include "runtime/runtime_thread.hpp"
 #include "runtime/stats.hpp"
 
@@ -38,6 +39,10 @@ class NodeRuntime {
 
   // Route an application slow-path request to the owning runtime thread.
   void submit_local(LocalRequest* r) { rt_for_chunk(r->chunk).submit_local(r); }
+
+  // Reduction-tree mailbox (src/compute collectives): runtime threads deposit
+  // inbound kReducePart messages, the node's collective caller awaits them.
+  ReduceBoard& reduce_board() { return reduce_board_; }
 
   void start();
   void stop();
@@ -74,6 +79,7 @@ class NodeRuntime {
   std::vector<std::unique_ptr<RuntimeThread>> rts_;
   std::array<std::atomic<NodeArrayState*>, kMaxArrays> arrays_{};
   std::vector<std::unique_ptr<NodeArrayState>> array_storage_;
+  ReduceBoard reduce_board_;
   bool started_ = false;
 };
 

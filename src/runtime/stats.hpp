@@ -57,6 +57,9 @@ struct RuntimeStats {
   RelaxedCounter evict_writeback;   // Dirty line written back
   RelaxedCounter evict_opflush;     // Operated line flushed
 
+  // array-compute collectives
+  RelaxedCounter reduce_parts_rx;   // kReducePart messages delivered
+
   // home side
   RelaxedCounter remote_reqs;       // kReadReq/kWriteReq/kOperateReq served
   RelaxedCounter txns;              // multi-party transactions started
@@ -79,6 +82,7 @@ struct RuntimeStats {
     evict_clean += o.evict_clean;
     evict_writeback += o.evict_writeback;
     evict_opflush += o.evict_opflush;
+    reduce_parts_rx += o.reduce_parts_rx;
     remote_reqs += o.remote_reqs;
     txns += o.txns;
     op_flushes_applied += o.op_flushes_applied;

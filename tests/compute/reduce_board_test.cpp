@@ -1,0 +1,55 @@
+// ReduceBoard: the per-node mailbox reduction partials travel through.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/reduce_board.hpp"
+
+namespace darray::rt {
+namespace {
+
+TEST(ComputeReduceBoard, KeysAreUnambiguous) {
+  // (seq, src, frag) triples must map to distinct keys.
+  std::vector<uint64_t> keys;
+  for (uint32_t seq : {0u, 1u, 77u})
+    for (uint32_t src : {0u, 1u, 255u})
+      for (uint32_t frag : {0u, 1u, 1000u}) keys.push_back(ReduceBoard::key(seq, src, frag));
+  for (size_t i = 0; i < keys.size(); ++i)
+    for (size_t j = i + 1; j < keys.size(); ++j) EXPECT_NE(keys[i], keys[j]);
+}
+
+TEST(ComputeReduceBoard, DeliverThenAwait) {
+  ReduceBoard b;
+  ReduceBoard::Part in;
+  in.bits = 42;
+  in.frags = 3;
+  in.payload.assign("abc", 3);
+  b.deliver(ReduceBoard::key(7, 1, 2), std::move(in));
+  ReduceBoard::Part out = b.await(ReduceBoard::key(7, 1, 2));
+  EXPECT_EQ(out.bits, 42u);
+  EXPECT_EQ(out.frags, 3u);
+  ASSERT_EQ(out.payload.size(), 3u);
+  EXPECT_EQ(std::memcmp(out.payload.data(), "abc", 3), 0);
+}
+
+TEST(ComputeReduceBoard, AwaitBlocksUntilDelivered) {
+  ReduceBoard b;
+  std::thread producer([&] {
+    for (uint32_t i = 0; i < 100; ++i)
+      b.deliver(ReduceBoard::key(i, 3), ReduceBoard::Part{uint64_t{i} * 11, 1, {}});
+  });
+  for (uint32_t i = 0; i < 100; ++i)
+    EXPECT_EQ(b.await(ReduceBoard::key(i, 3)).bits, uint64_t{i} * 11);
+  producer.join();
+}
+
+TEST(ComputeReduceBoard, SequenceNumbersAreMonotonic) {
+  ReduceBoard b;
+  EXPECT_EQ(b.next_seq(), 0u);
+  EXPECT_EQ(b.next_seq(), 1u);
+  EXPECT_EQ(b.next_seq(), 2u);
+}
+
+}  // namespace
+}  // namespace darray::rt

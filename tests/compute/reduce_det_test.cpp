@@ -1,0 +1,115 @@
+// Deterministic reduction mode: dot must be bitwise identical across node
+// counts, partitions, and repeated runs. Per-array-chunk partials are computed
+// by pairwise summation and folded at the root in a fixed chunk-indexed
+// order, so the association never depends on how the array is distributed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "compute/collectives.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using compute::Options;
+using testing::run_on_nodes;
+using testing::small_cfg;
+
+uint64_t bits_of(double d) {
+  uint64_t b;
+  std::memcpy(&b, &d, sizeof(d));
+  return b;
+}
+
+// Ill-conditioned values: magnitudes spanning ~2^40, signs alternating in a
+// pattern coprime to the chunk size, so any change of summation order is
+// overwhelmingly likely to change the low mantissa bits.
+double val(uint64_t seed, uint64_t i) {
+  uint64_t h = (i + 1) * 0x9e3779b97f4a7c15ull + seed * 0xd1b54a32d192ed03ull;
+  h ^= h >> 29;
+  const double m = static_cast<double>(h % 100003) / 100003.0 + 0.5;
+  const int e = static_cast<int>(h >> 32) % 41 - 20;
+  return ((i % 3) ? m : -m) * std::ldexp(1.0, e);
+}
+
+uint64_t det_dot_bits(uint32_t nodes, uint64_t seed, uint64_t n_elems,
+                      std::span<const uint64_t> part = {}) {
+  rt::Cluster cluster(small_cfg(nodes));
+  auto x = DArray<double>::create(cluster, n_elems);
+  auto y = DArray<double>::create(cluster, n_elems, part);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    std::vector<double> vx(n_elems), vy(n_elems);
+    for (uint64_t i = 0; i < n_elems; ++i) {
+      vx[i] = val(seed, i);
+      vy[i] = val(seed + 1, i);
+    }
+    x.set_range(0, std::span<const double>(vx));
+    y.set_range(0, std::span<const double>(vy));
+  });
+  std::vector<uint64_t> bits(nodes, 0);
+  Options opt;
+  opt.deterministic = true;
+  run_on_nodes(cluster,
+               [&](rt::NodeId n) { bits[n] = bits_of(compute::dot(x, y, opt)); });
+  // Every node got the identical broadcast total.
+  for (uint32_t n = 1; n < nodes; ++n) EXPECT_EQ(bits[n], bits[0]);
+  return bits[0];
+}
+
+TEST(ComputeDeterministic, BitwiseIdenticalAcrossNodeCounts) {
+  const uint64_t n_elems = 1000;  // misaligned: 15 full chunks + a 40-elem tail
+  for (uint64_t seed : {1ull, 42ull, 1234567ull}) {
+    const uint64_t ref = det_dot_bits(1, seed, n_elems);
+    for (uint32_t nodes : {2u, 3u, 4u, 5u}) {
+      EXPECT_EQ(det_dot_bits(nodes, seed, n_elems), ref)
+          << "nodes=" << nodes << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ComputeDeterministic, BitwiseIdenticalAcrossPartitions) {
+  const uint64_t seed = 7;
+  const uint64_t n_elems = 512;
+  const uint64_t ref = det_dot_bits(2, seed, n_elems);
+  const std::vector<uint64_t> skew = {0, 64};  // node 1 owns 7 of 8 chunks
+  EXPECT_EQ(det_dot_bits(2, seed, n_elems, skew), ref);
+}
+
+TEST(ComputeDeterministic, FragmentedPartialsReassemble) {
+  // 130 chunks on 2 nodes: node 1's 65 chunk partials exceed the 64-entry
+  // message budget and travel as two kReducePart fragments.
+  const uint64_t n_elems = 130 * 64;
+  EXPECT_EQ(det_dot_bits(2, 11, n_elems), det_dot_bits(1, 11, n_elems));
+}
+
+TEST(ComputeDeterministic, RepeatedRunsAgree) {
+  const uint64_t a = det_dot_bits(3, 99, 777);
+  const uint64_t b = det_dot_bits(3, 99, 777);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ComputeDeterministic, NonDeterministicModeStillAccurate) {
+  // Sanity check that both modes agree to rounding error on the same data.
+  const uint64_t n_elems = 640;
+  rt::Cluster cluster(small_cfg(2));
+  auto x = DArray<double>::create(cluster, n_elems);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    for (uint64_t i = 0; i < n_elems; ++i) x.set(i, val(3, i));
+  });
+  run_on_nodes(cluster, [&](rt::NodeId) {
+    Options det;
+    det.deterministic = true;
+    const double d0 = compute::dot(x, x);
+    const double d1 = compute::dot(x, x, det);
+    EXPECT_NEAR(d0, d1, std::abs(d0) * 1e-9);
+  });
+}
+
+}  // namespace
+}  // namespace darray

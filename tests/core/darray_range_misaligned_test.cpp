@@ -1,0 +1,152 @@
+// Regression tests for ranges deliberately misaligned with the chunk grid:
+// extents that straddle a subarray-ownership boundary mid-range, range sizes
+// with no relation to chunk_elems, and — the bug this file pins down — a
+// range that straddles into a chunk the calling thread holds a pin on. The
+// old bulk_op fast path trusted any pin unconditionally, so a set_range
+// straddling into a read pin wrote into the Shared copy and the writes were
+// silently lost; it now enforces the same permission contract as get()/set().
+// Also covers the chunk-granular read-ahead hooks (prefetch_range /
+// range_cached) the compute layer's overlap is built on.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DARRAY_TEST_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define DARRAY_TEST_TSAN 1
+#endif
+
+namespace darray {
+namespace {
+
+using testing::run_on_nodes;
+using testing::small_cfg;
+
+// Range sizes coprime to chunk_elems = 64, at offsets that put the chunk
+// straddle mid-buffer, across a 3-node partition.
+TEST(DArrayRangeMisaligned, OddSizesAcrossOwnershipBoundaries) {
+  rt::Cluster cluster(small_cfg(3));
+  auto a = DArray<uint64_t>::create(cluster, 1024);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 2) return;
+    // 37 and 101 share no factor with 64; walk writes over both partition
+    // boundaries from a node that owns neither.
+    uint64_t base = 1;
+    for (uint64_t first = 5; first + 101 < a.size(); first += 157) {
+      std::vector<uint64_t> in(101);
+      std::iota(in.begin(), in.end(), base);
+      base += in.size();
+      a.set_range(first, std::span<const uint64_t>(in));
+      std::vector<uint64_t> out(in.size(), 0);
+      a.get_range(first, std::span<uint64_t>(out));
+      EXPECT_EQ(out, in) << "range at " << first;
+    }
+  });
+  // Every element is visible from the other nodes too.
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    uint64_t base = 1;
+    for (uint64_t first = 5; first + 101 < a.size(); first += 157) {
+      for (uint64_t i = 0; i < 101; ++i)
+        EXPECT_EQ(a.get(first + i), base + i) << "element " << first + i;
+      base += 101;
+    }
+  });
+}
+
+// A range that starts mid-chunk inside one node's subarray and ends mid-chunk
+// inside the next node's: the straddle point sits at neither a range nor a
+// chunk boundary.
+TEST(DArrayRangeMisaligned, StraddleOwnershipMidChunk) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 512);
+  const uint64_t boundary = a.local_begin(1);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    std::vector<uint64_t> in(37);
+    std::iota(in.begin(), in.end(), 1000);
+    a.set_range(boundary - 13, std::span<const uint64_t>(in));  // 13 before, 24 after
+    std::vector<uint64_t> out(in.size(), 0);
+    a.get_range(boundary - 13, std::span<uint64_t>(out));
+    EXPECT_EQ(out, in);
+    EXPECT_EQ(a.get(boundary - 14), 0u);
+    EXPECT_EQ(a.get(boundary + 24), 0u);
+  });
+}
+
+// A write pin grants range writes through the fast path, and the data lands.
+TEST(DArrayRangeMisaligned, SetRangeThroughWritePin) {
+  rt::Cluster cluster(small_cfg(1));
+  auto a = DArray<uint64_t>::create(cluster, 256);
+  bind_thread(cluster, 0);
+  ASSERT_TRUE(a.pin(64, PinMode::kWrite));
+  std::vector<uint64_t> in(40);
+  std::iota(in.begin(), in.end(), 7);
+  a.set_range(100, std::span<const uint64_t>(in));  // 100..139: straddles 64..127|128..191
+  a.unpin(64);
+  for (uint64_t i = 0; i < in.size(); ++i) EXPECT_EQ(a.get(100 + i), in[i]);
+}
+
+// Writing through a read pin must trip the permission assert instead of
+// silently updating the Shared copy (the data-loss regression).
+TEST(DArrayRangeMisaligned, SetRangeThroughReadPinAsserts) {
+#ifdef DARRAY_TEST_TSAN
+  GTEST_SKIP() << "death tests fork; skipped under TSan";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 512);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    // Pin a chunk homed on node 1: the fetched copy is read-only (kRead).
+    const uint64_t remote = a.local_begin(1);
+    ASSERT_TRUE(a.pin(remote, PinMode::kRead));
+    std::vector<uint64_t> v(8, 9);
+    // The range starts inside the pinned chunk, so the assert fires before
+    // any runtime round trip (death-test child has no helper threads).
+    EXPECT_DEATH(a.set_range(remote + 4, std::span<const uint64_t>(v)),
+                 "range write through a non-write pin");
+    a.unpin(remote);
+  });
+#endif
+}
+
+TEST(DArrayRangeMisaligned, PrefetchRangeWarmsRemoteChunks) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 512);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    // The home node writes its own subarray, so node 1's copies stay cold.
+    if (n != 0) return;
+    for (uint64_t i = 0; i < a.local_begin(1); ++i) a.set(i, i * 3);
+  });
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 1) return;
+    // Home chunks are always "cached"; remote extents start cold.
+    EXPECT_TRUE(a.range_cached(a.local_begin(1), 64));
+    const uint64_t first = 5;   // node 0's subarray, misaligned extent
+    const uint64_t count = 150;
+    ASSERT_FALSE(a.range_cached(first, count));
+    a.prefetch_range(first, count);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!a.range_cached(first, count) &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(a.range_cached(first, count));
+    std::vector<uint64_t> out(count, 0);
+    a.get_range(first, std::span<uint64_t>(out));
+    for (uint64_t i = 0; i < count; ++i) EXPECT_EQ(out[i], (first + i) * 3);
+  });
+}
+
+}  // namespace
+}  // namespace darray

@@ -288,6 +288,15 @@ void render(const Snapshot& snap, const std::string& host, uint16_t port,
     std::printf(" %s=%s", name.c_str() + sizeof("coherence.enter_") - 1,
                 fmt_si(latest_rate(&s)).c_str());
   }
+  std::printf("\n  compute/s   ");
+  bool compute_seen = false;
+  for (const auto& [name, s] : snap.series) {
+    if (name.rfind("compute.", 0) != 0) continue;
+    compute_seen = true;
+    std::printf(" %s=%s", name.c_str() + sizeof("compute.") - 1,
+                fmt_si(latest_rate(&s)).c_str());
+  }
+  if (!compute_seen) std::printf(" (no collectives)");
   std::printf("\n  chaos (window totals)");
   bool chaos_seen = false;
   for (const auto& [name, s] : snap.series) {
