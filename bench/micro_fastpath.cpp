@@ -230,6 +230,145 @@ double pingpong_rtt_ns(bool coalesce, int rtts) {
   return static_cast<double>(t1 - t0) / static_cast<double>(rtts);
 }
 
+// --- large-message engine sweep (--sweep / --json) ---------------------------
+// Bulk transfer bandwidth vs size across the eager/rendezvous split
+// (docs/perf.md, "Large-message engine"). Two configs over the same raw
+// comm-layer pair:
+//   eager  the pre-engine large-message behaviour: the payload is fragmented
+//          into <= 8 KiB staged SEND frames (copied through the Tx arena and
+//          the Rx payload pool), one dispatch per frame;
+//   rndz   one TxRequest carrying the registered source (data_src): the
+//          engine picks zero-copy eager WRITE below the threshold and the
+//          negotiated one-sided READ pull at or above it.
+// The crossover recorded in BENCH_micro_fastpath.json sets the default
+// rendezvous_threshold_bytes; CI gates rndz >= 2x eager at 1 MiB.
+
+constexpr uint32_t kSweepMax = 4 << 20;   // 4 MiB
+constexpr uint32_t kSweepFrame = 8192;    // staged-SEND frame payload
+
+struct BulkPairBench {
+  rt::ClusterConfig cfg;
+  rdma::Fabric fabric;
+  rdma::Device* d0;
+  rdma::Device* d1;
+  std::atomic<int> rx1{0};
+  std::unique_ptr<net::CommLayer> c0, c1;
+  std::vector<std::byte> src, dst;
+  rdma::MemoryRegion ms, md;
+
+  explicit BulkPairBench(bool rndz) : src(kSweepMax), dst(kSweepMax) {
+    cfg.num_nodes = 2;
+    cfg.chunk_elems = kSweepFrame / 8;  // frame payloads fit one send buffer
+    cfg.rendezvous_enabled = rndz;
+    d0 = fabric.create_device(0);
+    d1 = fabric.create_device(1);
+    c0 = std::make_unique<net::CommLayer>(0, 2, cfg, d0, [](net::RpcMessage&&) {});
+    c1 = std::make_unique<net::CommLayer>(1, 2, cfg, d1, [this](net::RpcMessage&&) {
+      rx1.fetch_add(1, std::memory_order_release);
+      rx1.notify_all();
+    });
+    ms = d0->reg_mr(src.data(), src.size());
+    md = d1->reg_mr(dst.data(), dst.size());
+    for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i * 31);
+    auto [qa, qb] = fabric.connect(d0, c0->send_cq(), c0->recv_cq(), d1, c1->send_cq(),
+                                   c1->recv_cq());
+    c0->set_qp(1, qa);
+    c1->set_qp(0, qb);
+    c0->start();
+    c1->start();
+  }
+
+  ~BulkPairBench() {
+    c0->stop();
+    c1->stop();
+  }
+};
+
+// Serial bulk transfers of `size` bytes; returns MB/s and records the
+// per-transfer completion latency (post to final dispatch) into `hist`.
+double bulk_bw_mbps(BulkPairBench& p, uint32_t size, LatencyHistogram& hist) {
+  const int iters = static_cast<int>(std::clamp<uint64_t>(
+      bench::env_u64("DARRAY_BENCH_SWEEP_BYTES", 8u << 20) / size, 4, 512));
+  int expect = p.rx1.load(std::memory_order_acquire);
+  const uint64_t t0 = now_ns();
+  for (int it = 0; it < iters; ++it) {
+    const uint64_t ts = now_ns();
+    if (p.cfg.rendezvous_enabled) {
+      // One registered-source request: the engine selects the protocol.
+      net::TxRequest t;
+      t.dst = 1;
+      t.hdr.type = net::MsgType::kReadData;
+      t.hdr.chunk = static_cast<uint64_t>(it);
+      t.data_src = p.src.data();
+      t.data_len = size;
+      t.data_lkey = p.ms.lkey;
+      t.data_remote_addr = reinterpret_cast<uint64_t>(p.dst.data());
+      t.data_rkey = p.md.rkey;
+      p.c0->post(std::move(t));
+      expect += 1;
+    } else {
+      // Pre-engine framing: stage the bytes through <= 8 KiB payload SENDs.
+      for (uint32_t off = 0; off < size; off += kSweepFrame) {
+        const uint32_t n = std::min(kSweepFrame, size - off);
+        net::TxRequest t;
+        t.dst = 1;
+        t.hdr.type = net::MsgType::kReadData;
+        t.hdr.chunk = static_cast<uint64_t>(it);
+        t.payload.assign(p.src.data() + off, n);
+        p.c0->post(std::move(t));
+        expect += 1;
+      }
+    }
+    spin_wait_until(p.rx1, [expect](int v) { return v >= expect; });
+    hist.record(now_ns() - ts);
+  }
+  const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+  return static_cast<double>(iters) * static_cast<double>(size) / secs / 1e6;
+}
+
+std::string size_tag(uint32_t size) {
+  if (size >= (1u << 20)) return std::to_string(size >> 20) + "m";
+  if (size >= 1024) return std::to_string(size >> 10) + "k";
+  return std::to_string(size) + "b";
+}
+
+std::vector<uint32_t> sweep_sizes() {
+  std::vector<uint32_t> sizes;
+  for (uint32_t s = 256; s <= kSweepMax; s *= 4) sizes.push_back(s);
+  return sizes;
+}
+
+// Runs the sweep into the report (or a printed table when the report is
+// disabled) and returns the per-(config, size) median bandwidths.
+void run_bulk_sweep(bench::JsonReport& report) {
+  if (!report.enabled())
+    std::printf("\n%-10s %14s %14s %14s %14s\n", "size", "eager MB/s", "rndz MB/s",
+                "eager p99 ns", "rndz p99 ns");
+  for (const uint32_t size : sweep_sizes()) {
+    double bw[2] = {0, 0}, p99[2] = {0, 0};
+    for (const bool rndz : {false, true}) {
+      const std::string cfg = rndz ? "rndz" : "eager";
+      LatencyHistogram hist;
+      bw[rndz] = report.measure(cfg, "bulk_bw_mbps_" + size_tag(size), "MB/s", [&] {
+        BulkPairBench p(rndz);
+        return bulk_bw_mbps(p, size, hist);
+      });
+      p99[rndz] = static_cast<double>(hist.percentile_ns(0.99));
+      report.add(cfg, "bulk_p99_ns_" + size_tag(size), "ns", {p99[rndz]});
+    }
+    if (!report.enabled())
+      std::printf("%-10s %14.1f %14.1f %14.0f %14.0f\n", size_tag(size).c_str(),
+                  bw[0], bw[1], p99[0], p99[1]);
+  }
+}
+
+int sweep_main() {
+  std::printf("=== micro_fastpath (--sweep): bulk bandwidth, eager vs rendezvous ===\n");
+  bench::JsonReport report("micro_fastpath", false);
+  run_bulk_sweep(report);
+  return 0;
+}
+
 int json_main() {
   bench::JsonReport report("micro_fastpath", true);
   const int msgs = static_cast<int>(bench::env_u64("DARRAY_BENCH_MSGS", 30000));
@@ -242,6 +381,11 @@ int json_main() {
     report.measure(cfg, "smallmsg_pingpong", "ns/rtt",
                    [&] { return pingpong_rtt_ns(coalesce, rtts); });
   }
+
+  // Large-message sweep: per-size bulk bandwidth + p99 for the eager
+  // (staged-SEND) and rendezvous configs, the crossover behind the default
+  // rendezvous_threshold_bytes. CI gates rndz >= 2x eager at 1 MiB.
+  run_bulk_sweep(report);
 
   // Single-node access fast path (the paper's "minimal overhead" claim), for
   // drift tracking alongside the message-path numbers.
@@ -353,6 +497,7 @@ int hist_main() {
 
 int main(int argc, char** argv) {
   if (bench::has_flag(argc, argv, "--json")) return json_main();
+  if (bench::has_flag(argc, argv, "--sweep")) return sweep_main();
   if (bench::has_flag(argc, argv, "--hist")) return hist_main();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -47,6 +47,28 @@ struct ClusterConfig {
   // never held behind a long burst.
   uint64_t coalesce_flush_ns = 20'000;
 
+  // --- large-message engine (docs/perf.md) -----------------------------------
+  // Eager/rendezvous protocol split: a bulk data transfer (a TxRequest
+  // carrying a one-sided data WRITE) at least this large is negotiated as a
+  // rendezvous instead — the sender pins the source region in a lease and
+  // advertises {addr, rkey, len} in a small kRndzReq SEND; the receiver pulls
+  // the bytes with MTU-chunked one-sided RDMA READs (one signaled completion)
+  // and a kRndzFin releases the lease. Below the threshold (or with
+  // rendezvous_enabled off) the existing eager WRITE+SEND path is used.
+  // The default sits at the measured crossover of bench/micro_fastpath
+  // --json's sweep (BENCH_micro_fastpath.json): eager wins below ~16 KiB,
+  // rendezvous wins above.
+  bool rendezvous_enabled = true;
+  uint32_t rendezvous_threshold_bytes = 32 * 1024;
+  // Per-WR segment size of the receiver's READ pull (the simulated fabric
+  // accepts any WR size; chunking bounds per-WR latency and models real
+  // NIC MTU segmentation at a coarser grain).
+  uint32_t rendezvous_mtu_bytes = 64 * 1024;
+  // Source-region lease table depth per comm layer. A sender with every
+  // lease busy falls back to eager for the overflow transfer (counted in
+  // net.rndz.fallbacks) instead of blocking the Tx thread.
+  uint32_t rendezvous_max_leases = 32;
+
   // --- fault injection & recovery -------------------------------------------
   // Chaos plan consulted by the fabric on every posted WR. Non-owning; the
   // caller keeps the plan alive for the cluster's lifetime. nullptr (or a
@@ -120,6 +142,15 @@ struct ClusterConfig {
              "never retire a full unsignaled run)";
     if (coalesce_enabled && coalesce_max_frames == 0)
       return "coalesce_max_frames must be > 0 when coalescing is enabled";
+    if (rendezvous_enabled && rendezvous_threshold_bytes == 0)
+      return "rendezvous_threshold_bytes must be > 0 when rendezvous is "
+             "enabled (a zero threshold would route empty transfers through "
+             "the handshake)";
+    if (rendezvous_enabled && rendezvous_mtu_bytes == 0)
+      return "rendezvous_mtu_bytes must be > 0 when rendezvous is enabled";
+    if (rendezvous_enabled && rendezvous_max_leases == 0)
+      return "rendezvous_max_leases must be > 0 when rendezvous is enabled "
+             "(an empty lease table would force every transfer to fall back)";
     if (comm_max_attempts == 0) return "comm_max_attempts must be > 0";
     if (comm_backoff_base_ns > comm_backoff_cap_ns)
       return "comm_backoff_base_ns must not exceed comm_backoff_cap_ns";

@@ -192,6 +192,7 @@ class DArray {
   void get_range(uint64_t first, std::span<T> out) const {
     DARRAY_ASSERT_MSG(out.size() <= size() && first <= size() - out.size(),
                       "get_range() past the end of the array");
+    if (out.empty()) return;  // zero-length: no chunks touched, no op recorded
     ThreadCtx& ctx = this_thread_ctx();
     api_detail::OpSpan span(obs::OpKind::kGetRange, ctx.node, meta_->id, first);
     bulk_op(first, out.size(),
@@ -204,6 +205,7 @@ class DArray {
   void set_range(uint64_t first, std::span<const T> src) const {
     DARRAY_ASSERT_MSG(src.size() <= size() && first <= size() - src.size(),
                       "set_range() past the end of the array");
+    if (src.empty()) return;  // zero-length: no chunks touched, no op recorded
     ThreadCtx& ctx = this_thread_ctx();
     api_detail::OpSpan span(obs::OpKind::kSetRange, ctx.node, meta_->id, first);
     bulk_op(first, src.size(),

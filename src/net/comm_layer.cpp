@@ -1,5 +1,6 @@
 #include "net/comm_layer.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +34,9 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kLockRel: return "LockRel";
     case MsgType::kReducePart: return "ReducePart";
     case MsgType::kBatch: return "Batch";
+    case MsgType::kRndzReq: return "RndzReq";
+    case MsgType::kRndzAck: return "RndzAck";
+    case MsgType::kRndzFin: return "RndzFin";
     case MsgType::kMaxMsgType: break;
   }
   return "?";
@@ -40,6 +44,7 @@ const char* msg_type_name(MsgType t) {
 
 const char* msg_class_name(uint8_t cls) {
   if (cls == kMsgClassDataWrite) return "DataWrite";
+  if (cls == kMsgClassRndzData) return "RndzData";
   return msg_type_name(static_cast<MsgType>(cls));
 }
 
@@ -74,7 +79,19 @@ CommLayer::CommLayer(uint32_t node_id, uint32_t num_nodes, const ClusterConfig& 
   // has to park on the CQ. Chaos mode also stages WRITE payloads here and
   // parks whole requests across backoff windows, so give it a deeper pool.
   send_buf_count_ = num_nodes_ * cfg_.selective_signal_interval * 2 + 32;
-  if (cfg_.fault_plan != nullptr) send_buf_count_ *= 4;
+  if (cfg_.fault_plan != nullptr) {
+    send_buf_count_ *= 4;
+    // Chaos mode stages eager-fallback payloads (a NAKed rendezvous reverts
+    // to chunked arena staging), so reserve room for a few concurrent
+    // fallbacks of several-threshold size. Fallback payloads much larger
+    // than 8× the threshold can exhaust the arena and wedge the Tx thread;
+    // chaos tests must size transfers (or the threshold) accordingly.
+    if (cfg_.rendezvous_enabled) {
+      const size_t fallback_bytes = size_t{8} * cfg_.rendezvous_threshold_bytes;
+      const size_t chunks = (fallback_bytes + max_msg_bytes_ - 1) / max_msg_bytes_;
+      send_buf_count_ += static_cast<uint32_t>(4 * chunks);
+    }
+  }
   send_arena_ = std::make_unique<std::byte[]>(send_buf_count_ * max_msg_bytes_);
   send_mr_ = device_->reg_mr(send_arena_.get(), send_buf_count_ * max_msg_bytes_);
   send_free_.reserve(send_buf_count_);
@@ -85,6 +102,12 @@ CommLayer::CommLayer(uint32_t node_id, uint32_t num_nodes, const ClusterConfig& 
   const size_t recv_count = size_t{num_nodes_} * cfg_.qp_depth;
   recv_arena_ = std::make_unique<std::byte[]>(recv_count * max_msg_bytes_);
   recv_mr_ = device_->reg_mr(recv_arena_.get(), recv_count * max_msg_bytes_);
+
+  // Rendezvous lease table (slot index rides in the low 16 bits of the wire
+  // lease id) and per-peer Tx byte counters.
+  DARRAY_ASSERT(cfg_.rendezvous_max_leases <= 0x10000);
+  leases_.resize(cfg_.rendezvous_max_leases);
+  peer_tx_ = std::make_unique<PeerTxCounters[]>(num_nodes_);
 }
 
 CommLayer::~CommLayer() { stop(); }
@@ -147,6 +170,20 @@ void CommLayer::fail(const CommError& err) {
 }
 
 void CommLayer::fail_entry(uint32_t peer, Outstanding& e, const char* reason) {
+  if (e.rndz_id != 0) {
+    // An abandoned pull chunk abandons the whole pull, but loses nothing:
+    // the message is still parked in the sender's lease, so NAK it back to
+    // the eager path instead of surfacing an unrecoverable error. Sibling
+    // chunks of the dead pull are dropped as they surface (map lookup miss).
+    auto it = rndz_pulls_.find(e.rndz_id);
+    if (it != rndz_pulls_.end()) {
+      DLOG_DEBUG("node %u: rendezvous pull %u from peer %u abandoned (%s), NAKing",
+                 node_id_, e.rndz_id, peer, reason);
+      rndz_nak_.push_back({it->second.src, it->second.lease_id, it->second.trace});
+      rndz_pulls_.erase(it);
+    }
+    return;
+  }
   release_buf(e.buf);
   CommError err;
   err.peer = peer;
@@ -170,6 +207,7 @@ void CommLayer::handle_error_cqe(const rdma::WorkCompletion& wc) {
   auto& rec = recovery_[peer];
   // Per-QP FIFO: everything ahead of the failed WR completed successfully.
   while (!fifo.empty() && fifo.front().wr_id < wc.wr_id) {
+    if (fifo.front().rndz_last) rndz_done_.push_back(fifo.front().rndz_id);
     release_buf(fifo.front().buf);
     fifo.pop_front();
   }
@@ -232,6 +270,10 @@ void CommLayer::reclaim_send_buffers() {
           obs::msg_class_hist(front.msg_class)
               .record(done_ns > staged ? done_ns - staged : 0);
         }
+        // A retired final READ chunk completes its rendezvous pull; the
+        // dispatch + FIN happen at the Tx loop's top level (never nested
+        // inside a flush), so just queue the id.
+        if (front.rndz_last) rndz_done_.push_back(front.rndz_id);
         release_buf(front.buf);
         fifo.pop_front();
       }
@@ -288,7 +330,11 @@ void CommLayer::post_entry(uint32_t peer, Outstanding e) {
   rdma::SendWr wr;
   wr.wr_id = e.wr_id;
   wr.opcode = e.op;
-  wr.sge = {buf_ptr(e.buf), e.len, send_mr_.lkey};
+  // READ pull chunks re-read into their original destination slice (an
+  // idempotent replay); everything else replays from its arena buffer.
+  wr.sge = e.op == rdma::Opcode::kRead
+               ? rdma::Sge{e.read_dst, e.len, e.read_lkey}
+               : rdma::Sge{buf_ptr(e.buf), e.len, send_mr_.lkey};
   wr.remote_addr = e.remote_addr;
   wr.rkey = e.rkey;
   wr.signaled = true;  // recovery wants prompt retirement, not batching
@@ -318,6 +364,11 @@ void CommLayer::pump_retries(uint64_t now) {
     while (!rec.retry.empty()) {
       Outstanding e = std::move(rec.retry.front());
       rec.retry.pop_front();
+      if (e.rndz_id != 0 && rndz_pulls_.find(e.rndz_id) == rndz_pulls_.end()) {
+        // Chunk of a pull that was already abandoned (a sibling chunk NAKed
+        // it): drop silently — the sender is re-sending eagerly.
+        continue;
+      }
       if (e.attempts >= cfg_.comm_max_attempts) {
         fail_entry(peer, e, "retry attempts exhausted");
         continue;
@@ -364,27 +415,34 @@ uint32_t CommLayer::stage_send_msg(TxRequest& req) {
   return buf;
 }
 
-void CommLayer::stage_request(TxRequest& req, uint64_t now) {
-  auto& rec = recovery_[req.dst];
-  if (req.has_data()) {
-    DARRAY_ASSERT(req.data_len <= max_msg_bytes_);
+void CommLayer::stage_data_chunks(TxRequest& req, uint64_t now,
+                                  std::deque<Outstanding>& out) {
+  // Chunked to the arena buffer size so payloads larger than one buffer
+  // (eager fallback of a NAKed rendezvous) survive chaos staging; each chunk
+  // is an independent replayable WRITE to its own remote slice.
+  const uint32_t max_chunk = static_cast<uint32_t>(max_msg_bytes_);
+  for (uint32_t off = 0; off < req.data_len; off += max_chunk) {
+    const uint32_t n = std::min(max_chunk, req.data_len - off);
     Outstanding e;
     e.buf = acquire_send_buffer();
-    e.len = req.data_len;
+    e.len = n;
     e.op = rdma::Opcode::kWrite;
-    e.remote_addr = req.data_remote_addr;
+    e.remote_addr = req.data_remote_addr + off;
     e.rkey = req.data_rkey;
     e.deadline_ns = now + cfg_.comm_deadline_ns;
     e.trace = req.hdr.trace;
     e.msg_class = kMsgClassDataWrite;
-    std::memcpy(buf_ptr(e.buf), req.data_src, req.data_len);
-    // Payload captured: the source cacheline may be recycled.
-    if (req.posted_flag) {
-      req.posted_flag->store(1, std::memory_order_release);
-      req.posted_flag->notify_all();
-    }
-    rec.retry.push_back(std::move(e));
+    std::memcpy(buf_ptr(e.buf), req.data_src + off, n);
+    out.push_back(std::move(e));
   }
+  // Payload fully captured: the source cacheline may be recycled.
+  if (req.posted_flag) {
+    req.posted_flag->store(1, std::memory_order_release);
+    req.posted_flag->notify_all();
+  }
+}
+
+CommLayer::Outstanding CommLayer::make_send_entry(TxRequest& req, uint64_t now) {
   Outstanding e;
   e.buf = stage_send_msg(req);
   e.len = static_cast<uint32_t>(sizeof(MsgHeader) + req.payload.size());
@@ -392,7 +450,13 @@ void CommLayer::stage_request(TxRequest& req, uint64_t now) {
   e.deadline_ns = now + cfg_.comm_deadline_ns;
   e.trace = req.hdr.trace;
   e.msg_class = static_cast<uint8_t>(req.hdr.type);
-  rec.retry.push_back(std::move(e));
+  return e;
+}
+
+void CommLayer::stage_request(TxRequest& req, uint64_t now) {
+  auto& rec = recovery_[req.dst];
+  if (req.has_data()) stage_data_chunks(req, now, rec.retry);
+  rec.retry.push_back(make_send_entry(req, now));
 }
 
 // --- coalescing Tx engine ----------------------------------------------------
@@ -477,6 +541,20 @@ void CommLayer::enqueue_tx(TxRequest& req) {
   rdma::QueuePair* qp = qp_to_peer_[peer];
   DARRAY_ASSERT(qp != nullptr);
   const uint64_t now = now_ns();
+
+  // Large-message engine: at or above the threshold, negotiate a rendezvous
+  // (zero-copy one-sided pull by the peer) instead of moving bytes eagerly —
+  // unless this request is already an eager fallback. Lease-table exhaustion
+  // falls through to the eager path below.
+  if (req.has_data() && !req.force_eager && cfg_.rendezvous_enabled &&
+      req.data_len >= cfg_.rendezvous_threshold_bytes) {
+    if (start_rndz(req, now)) return;
+  }
+
+  auto& pc = peer_tx_[peer];
+  pc.send.fetch_add(sizeof(MsgHeader) + req.payload.size(), std::memory_order_relaxed);
+  if (req.has_data()) pc.write.fetch_add(req.data_len, std::memory_order_relaxed);
+
   auto& rec = recovery_[peer];
 
   // Recovery in progress for this peer: everything staged but unposted lines
@@ -493,26 +571,31 @@ void CommLayer::enqueue_tx(TxRequest& req) {
     // precedes this request's notification SEND — so seal the open batch
     // before appending the WRITE to the pending run.
     seal_batch(peer);
-    PendingWr p;
-    p.wr.opcode = rdma::Opcode::kWrite;
-    p.wr.remote_addr = req.data_remote_addr;
-    p.wr.rkey = req.data_rkey;
     if (chaos_) {
       // Under fault injection the WRITE must be replayable after its source
-      // cacheline is recycled, so stage the payload like a SEND's.
-      DARRAY_ASSERT(req.data_len <= max_msg_bytes_);
-      p.e.buf = acquire_send_buffer();
-      p.e.len = req.data_len;
-      p.e.op = rdma::Opcode::kWrite;
-      p.e.remote_addr = req.data_remote_addr;
-      p.e.rkey = req.data_rkey;
-      p.e.deadline_ns = now + cfg_.comm_deadline_ns;
-      p.e.trace = req.hdr.trace;
-      p.e.msg_class = kMsgClassDataWrite;
-      std::memcpy(buf_ptr(p.e.buf), req.data_src, req.data_len);
-      p.wr.sge = {buf_ptr(p.e.buf), req.data_len, send_mr_.lkey};
-      p.tracked = true;
-      // Payload captured: the source cacheline may be recycled.
+      // cacheline is recycled, so stage the payload like a SEND's — chunked
+      // to the arena buffer size (eager fallbacks exceed one buffer).
+      const uint32_t max_chunk = static_cast<uint32_t>(max_msg_bytes_);
+      for (uint32_t off = 0; off < req.data_len; off += max_chunk) {
+        const uint32_t n = std::min(max_chunk, req.data_len - off);
+        PendingWr p;
+        p.e.buf = acquire_send_buffer();
+        p.e.len = n;
+        p.e.op = rdma::Opcode::kWrite;
+        p.e.remote_addr = req.data_remote_addr + off;
+        p.e.rkey = req.data_rkey;
+        p.e.deadline_ns = now + cfg_.comm_deadline_ns;
+        p.e.trace = req.hdr.trace;
+        p.e.msg_class = kMsgClassDataWrite;
+        std::memcpy(buf_ptr(p.e.buf), req.data_src + off, n);
+        p.wr.opcode = rdma::Opcode::kWrite;
+        p.wr.remote_addr = p.e.remote_addr;
+        p.wr.rkey = p.e.rkey;
+        p.wr.sge = {buf_ptr(p.e.buf), n, send_mr_.lkey};
+        p.tracked = true;
+        txb_[peer].wrs.push_back(std::move(p));
+      }
+      // Payload fully captured: the source cacheline may be recycled.
       if (req.posted_flag) {
         req.posted_flag->store(1, std::memory_order_release);
         req.posted_flag->notify_all();
@@ -520,11 +603,15 @@ void CommLayer::enqueue_tx(TxRequest& req) {
     } else {
       // Zero-copy: the source must stay live until the WR is actually posted,
       // so the release hook fires at flush time.
+      PendingWr p;
+      p.wr.opcode = rdma::Opcode::kWrite;
+      p.wr.remote_addr = req.data_remote_addr;
+      p.wr.rkey = req.data_rkey;
       p.wr.sge = {req.data_src, req.data_len, req.data_lkey};
       p.wr.signaled = false;
       p.posted_flag = req.posted_flag;
+      txb_[peer].wrs.push_back(std::move(p));
     }
-    txb_[peer].wrs.push_back(std::move(p));
   }
 
   append_frame(peer, req, now);
@@ -604,24 +691,266 @@ void CommLayer::stage_pending(uint32_t peer) {
   for (PendingWr& p : b.wrs) {
     if (!p.tracked) {
       // Zero-copy WRITE whose source is still live: capture the payload into
-      // the arena so it can be replayed, then release the source.
-      p.e.buf = acquire_send_buffer();
-      p.e.len = p.wr.sge.length;
-      p.e.op = rdma::Opcode::kWrite;
-      p.e.remote_addr = p.wr.remote_addr;
-      p.e.rkey = p.wr.rkey;
-      p.e.deadline_ns = now + cfg_.comm_deadline_ns;
-      p.e.msg_class = kMsgClassDataWrite;
-      std::memcpy(buf_ptr(p.e.buf), p.wr.sge.addr, p.wr.sge.length);
+      // the arena so it can be replayed, then release the source. Chunked to
+      // the arena buffer size (a zero-copy payload can exceed one buffer).
+      const uint32_t max_chunk = static_cast<uint32_t>(max_msg_bytes_);
+      const uint32_t total = p.wr.sge.length;
+      for (uint32_t off = 0; off < total; off += max_chunk) {
+        const uint32_t n = std::min(max_chunk, total - off);
+        Outstanding e;
+        e.buf = acquire_send_buffer();
+        e.len = n;
+        e.op = rdma::Opcode::kWrite;
+        e.remote_addr = p.wr.remote_addr + off;
+        e.rkey = p.wr.rkey;
+        e.deadline_ns = now + cfg_.comm_deadline_ns;
+        e.msg_class = kMsgClassDataWrite;
+        std::memcpy(buf_ptr(e.buf), p.wr.sge.addr + off, n);
+        rec.retry.push_back(std::move(e));
+      }
       if (p.posted_flag) {
         p.posted_flag->store(1, std::memory_order_release);
         p.posted_flag->notify_all();
       }
+      continue;
     }
     rec.retry.push_back(std::move(p.e));
   }
   b.wrs.clear();
   in_flush_ = was_in_flush;
+}
+
+// --- rendezvous large-message engine (docs/perf.md) ---------------------------
+
+bool CommLayer::start_rndz(TxRequest& req, uint64_t now) {
+  (void)now;
+  const uint16_t dst = req.dst;
+  const uint64_t trace = req.hdr.trace;
+  // The embedded notification frame is dispatched verbatim by the peer once
+  // its pull completes, bypassing the normal stage path — so its header must
+  // be fully cooked here.
+  req.hdr.src_node = static_cast<uint16_t>(node_id_);
+  req.hdr.payload_len = static_cast<uint32_t>(req.payload.size());
+  RndzDesc d;
+  d.src_addr = reinterpret_cast<uint64_t>(req.data_src);
+  d.dst_addr = req.data_remote_addr;
+  d.src_rkey = req.data_lkey;  // lkey == rkey in the simulated fabric
+  d.dst_rkey = req.data_rkey;
+  d.len = req.data_len;
+  PayloadBuf wp;
+  wp.resize(sizeof(RndzDesc) + sizeof(MsgHeader) + req.payload.size());
+  DARRAY_ASSERT_MSG(sizeof(MsgHeader) + wp.size() <= max_msg_bytes_,
+                    "rendezvous inner payload too large for a control frame");
+  {
+    std::lock_guard<std::mutex> lk(lease_mu_);
+    size_t slot = leases_.size();
+    for (size_t i = 0; i < leases_.size(); ++i) {
+      if (!leases_[i].active) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == leases_.size()) {
+      // Every lease is pinned: fall back to the eager path rather than block
+      // the Tx thread on a network round trip.
+      rndz_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    RndzLease& L = leases_[slot];
+    d.lease_id = (L.gen << 16) | static_cast<uint32_t>(slot);
+    // Assemble the wrapper payload before parking the request (the inner
+    // frame needs the request's header and payload bytes).
+    std::byte* p = wp.data();
+    std::memcpy(p, &d, sizeof(RndzDesc));
+    std::memcpy(p + sizeof(RndzDesc), &req.hdr, sizeof(MsgHeader));
+    if (!req.payload.empty())
+      std::memcpy(p + sizeof(RndzDesc) + sizeof(MsgHeader), req.payload.data(),
+                  req.payload.size());
+    L.active = true;
+    L.req = std::move(req);
+  }
+  rndz_started_.fetch_add(1, std::memory_order_relaxed);
+  TxRequest w;
+  w.dst = dst;
+  w.hdr.type = MsgType::kRndzReq;
+  w.hdr.txn_id = d.lease_id;
+  w.hdr.trace = trace;
+  w.payload = std::move(wp);
+  if (cfg_.coalesce_enabled)
+    enqueue_tx(w);
+  else
+    post_one(w);
+  return true;
+}
+
+void CommLayer::finish_lease(uint32_t id, bool completed) {
+  const uint32_t slot = id & 0xffffu;
+  TxRequest req;
+  {
+    std::lock_guard<std::mutex> lk(lease_mu_);
+    if (slot >= leases_.size() || !leases_[slot].active ||
+        ((leases_[slot].gen << 16) | slot) != id)
+      return;  // stale FIN/ACK: the lease already fell back and was recycled
+    RndzLease& L = leases_[slot];
+    req = std::move(L.req);
+    L.active = false;
+    L.gen = (L.gen + 1) & 0xffffu;
+  }
+  if (completed) {
+    rndz_completed_.fetch_add(1, std::memory_order_relaxed);
+    rndz_bytes_.fetch_add(req.data_len, std::memory_order_relaxed);
+    peer_tx_[req.dst].rndz.fetch_add(req.data_len, std::memory_order_relaxed);
+    // The peer's READs are done: the pinned source may finally be recycled.
+    if (req.posted_flag) {
+      req.posted_flag->store(1, std::memory_order_release);
+      req.posted_flag->notify_all();
+    }
+  } else {
+    // NAK: the peer could not pull. Re-post through the Tx queue with the
+    // rendezvous path disabled so the bytes move eagerly.
+    rndz_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    req.force_eager = true;
+    post(std::move(req));
+  }
+}
+
+bool CommLayer::handle_rndz_msg(RpcMessage& m) {
+  switch (m.hdr.type) {
+    case MsgType::kRndzReq: {
+      DARRAY_ASSERT_MSG(m.payload.size() >= sizeof(RndzDesc) + sizeof(MsgHeader),
+                        "malformed kRndzReq payload");
+      RndzJob job;
+      const std::byte* p = m.payload.data();
+      std::memcpy(&job.desc, p, sizeof(RndzDesc));
+      std::memcpy(&job.inner_hdr, p + sizeof(RndzDesc), sizeof(MsgHeader));
+      DARRAY_ASSERT_MSG(m.payload.size() == sizeof(RndzDesc) + sizeof(MsgHeader) +
+                                                job.inner_hdr.payload_len,
+                        "malformed kRndzReq inner frame");
+      if (job.inner_hdr.payload_len > 0)
+        job.inner_payload.assign(p + sizeof(RndzDesc) + sizeof(MsgHeader),
+                                 job.inner_hdr.payload_len);
+      job.src = m.hdr.src_node;
+      job.trace = m.hdr.trace;
+      rndz_jobs_.push(std::move(job));  // rings the Tx bell
+      return true;
+    }
+    case MsgType::kRndzFin:
+      finish_lease(m.hdr.txn_id, /*completed=*/true);
+      return true;
+    case MsgType::kRndzAck:
+      finish_lease(m.hdr.txn_id, /*completed=*/false);
+      return true;
+    default:
+      return false;
+  }
+}
+
+void CommLayer::start_pull(RndzJob&& job, uint64_t now) {
+  const uint32_t peer = job.src;
+  DARRAY_ASSERT(peer < num_nodes_ && qp_to_peer_[peer] != nullptr);
+  rdma::QueuePair* qp = qp_to_peer_[peer];
+  std::byte* dst = device_->translate(job.desc.dst_addr, job.desc.dst_rkey, job.desc.len);
+  if (dst == nullptr || job.desc.len == 0) {
+    // Destination not registered here (or a degenerate advertisement): NAK so
+    // the sender reverts to eager and its own validation paths.
+    rndz_nak_.push_back({job.src, job.desc.lease_id, job.trace});
+    return;
+  }
+  const uint32_t id = next_rndz_id_++;
+  if (next_rndz_id_ == 0) next_rndz_id_ = 1;  // id 0 means "not a pull chunk"
+  RndzPull pull;
+  pull.src = job.src;
+  pull.lease_id = job.desc.lease_id;
+  pull.len = job.desc.len;
+  pull.trace = job.trace;
+  pull.inner_hdr = job.inner_hdr;
+  pull.inner_payload = std::move(job.inner_payload);
+  rndz_pulls_.emplace(id, std::move(pull));
+
+  auto& rec = recovery_[peer];
+  const bool recovering = qp->state() == rdma::QpState::kError ||
+                          !rec.moved.empty() || !rec.retry.empty();
+  if (recovering) stage_pending(peer);  // pulls line up behind staged work
+  const uint32_t mtu = cfg_.rendezvous_mtu_bytes;
+  post_wrs_.clear();
+  for (uint32_t off = 0; off < job.desc.len; off += mtu) {
+    const uint32_t n = std::min(mtu, job.desc.len - off);
+    Outstanding e;
+    e.op = rdma::Opcode::kRead;
+    e.len = n;
+    e.remote_addr = job.desc.src_addr + off;
+    e.rkey = job.desc.src_rkey;
+    e.read_dst = dst + off;
+    e.read_lkey = job.desc.dst_rkey;
+    e.deadline_ns = now + cfg_.comm_deadline_ns;
+    e.trace = job.trace;
+    e.msg_class = kMsgClassRndzData;
+    e.rndz_id = id;
+    e.rndz_last = off + n >= job.desc.len;
+    if (recovering) {
+      rec.retry.push_back(std::move(e));
+      continue;
+    }
+    e.attempts = 1;
+    e.wr_id = next_wr_id_++;
+    rdma::SendWr wr;
+    wr.wr_id = e.wr_id;
+    wr.opcode = rdma::Opcode::kRead;
+    wr.sge = {e.read_dst, n, e.read_lkey};
+    wr.remote_addr = e.remote_addr;
+    wr.rkey = e.rkey;
+    // One signaled completion per pull: the final chunk's CQE retires the
+    // whole run (per-QP FIFO). Errors are always signaled by the fabric.
+    wr.signaled = e.rndz_last;
+    obs::trace(obs::Ev::kWrPost, e.trace, static_cast<uint8_t>(e.op),
+               static_cast<uint16_t>(node_id_), peer, e.wr_id);
+    outstanding_[peer].push_back(std::move(e));
+    post_wrs_.push_back(wr);
+  }
+  if (!post_wrs_.empty()) {
+    const bool ok = qp->post_send(std::span<const rdma::SendWr>(post_wrs_));
+    DARRAY_ASSERT_MSG(ok, "rendezvous READ post failed local validation");
+    post_wrs_.clear();
+  }
+}
+
+void CommLayer::send_ctl(uint16_t dst, MsgType type, uint32_t lease_id, uint64_t trace) {
+  TxRequest req;
+  req.dst = dst;
+  req.hdr.type = type;
+  req.hdr.txn_id = lease_id;
+  req.hdr.trace = trace;
+  if (cfg_.coalesce_enabled)
+    enqueue_tx(req);
+  else
+    post_one(req);
+}
+
+bool CommLayer::process_rndz_actions(uint64_t now) {
+  (void)now;
+  if (rndz_done_.empty() && rndz_nak_.empty()) return false;
+  // Swap the lists out first: the sends below can re-enter reclaim and append.
+  std::vector<uint32_t> done;
+  done.swap(rndz_done_);
+  std::vector<RndzNak> naks;
+  naks.swap(rndz_nak_);
+  for (uint32_t id : done) {
+    auto it = rndz_pulls_.find(id);
+    if (it == rndz_pulls_.end()) continue;  // abandoned before retirement
+    RndzPull pull = std::move(it->second);
+    rndz_pulls_.erase(it);
+    qp_to_peer_[pull.src]->fabric().count_rndz(pull.len);
+    // The signaled CQE guarantees every READ chunk landed: deliver the
+    // embedded notification, then release the sender's lease with a FIN.
+    RpcMessage m;
+    m.hdr = pull.inner_hdr;
+    m.payload = std::move(pull.inner_payload);
+    dispatch_(std::move(m));
+    send_ctl(pull.src, MsgType::kRndzFin, pull.lease_id, pull.trace);
+  }
+  for (const RndzNak& n : naks)
+    send_ctl(n.src, MsgType::kRndzAck, n.lease_id, n.trace);
+  return true;
 }
 
 // --- legacy immediate-post path (cfg.coalesce_enabled == false) --------------
@@ -630,6 +959,20 @@ void CommLayer::post_one(TxRequest& req) {
   rdma::QueuePair* qp = qp_to_peer_[req.dst];
   DARRAY_ASSERT(qp != nullptr);
   const uint64_t now = now_ns();
+
+  // Large-message engine: at or above the threshold, negotiate a rendezvous
+  // (zero-copy one-sided pull by the peer) instead of moving bytes eagerly —
+  // unless this request is already an eager fallback. Lease-table exhaustion
+  // falls through to the eager path below.
+  if (req.has_data() && !req.force_eager && cfg_.rendezvous_enabled &&
+      req.data_len >= cfg_.rendezvous_threshold_bytes) {
+    if (start_rndz(req, now)) return;
+  }
+
+  auto& pc = peer_tx_[req.dst];
+  pc.send.fetch_add(sizeof(MsgHeader) + req.payload.size(), std::memory_order_relaxed);
+  if (req.has_data()) pc.write.fetch_add(req.data_len, std::memory_order_relaxed);
+
   auto& rec = recovery_[req.dst];
 
   // Recovery in progress for this peer: new requests queue up behind the
@@ -643,28 +986,36 @@ void CommLayer::post_one(TxRequest& req) {
   if (req.has_data()) {
     if (chaos_) {
       // Under fault injection the WRITE must be replayable after its source
-      // cacheline is recycled, so stage the payload like a SEND's.
-      DARRAY_ASSERT(req.data_len <= max_msg_bytes_);
-      Outstanding e;
-      e.buf = acquire_send_buffer();
-      e.len = req.data_len;
-      e.op = rdma::Opcode::kWrite;
-      e.remote_addr = req.data_remote_addr;
-      e.rkey = req.data_rkey;
-      e.attempts = 1;
-      e.deadline_ns = now + cfg_.comm_deadline_ns;
-      e.wr_id = next_wr_id_++;
-      e.trace = req.hdr.trace;
-      e.msg_class = kMsgClassDataWrite;
-      std::memcpy(buf_ptr(e.buf), req.data_src, req.data_len);
+      // cacheline is recycled, so stage the payload like a SEND's — chunked
+      // to the arena buffer size (eager fallbacks exceed one buffer). A
+      // chunk that draws a fault flushes the rest behind it in order.
+      const uint32_t max_chunk = static_cast<uint32_t>(max_msg_bytes_);
+      for (uint32_t off = 0; off < req.data_len; off += max_chunk) {
+        const uint32_t n = std::min(max_chunk, req.data_len - off);
+        Outstanding e;
+        e.buf = acquire_send_buffer();
+        e.len = n;
+        e.op = rdma::Opcode::kWrite;
+        e.remote_addr = req.data_remote_addr + off;
+        e.rkey = req.data_rkey;
+        e.attempts = 1;
+        e.deadline_ns = now + cfg_.comm_deadline_ns;
+        e.wr_id = next_wr_id_++;
+        e.trace = req.hdr.trace;
+        e.msg_class = kMsgClassDataWrite;
+        std::memcpy(buf_ptr(e.buf), req.data_src + off, n);
+        post_entry(req.dst, std::move(e));
+      }
+      // Payload fully captured (in the arena, even if a chunk just faulted):
+      // the source cacheline may be recycled.
       if (req.posted_flag) {
         req.posted_flag->store(1, std::memory_order_release);
         req.posted_flag->notify_all();
       }
-      post_entry(req.dst, std::move(e));
       if (qp->state() == rdma::QpState::kError) {
-        // The WRITE just drew a fault; the SEND must line up behind it.
-        stage_request(req, now);
+        // A WRITE chunk drew a fault; the SEND must line up behind the
+        // flushed chunks (already tracked — do not re-stage the data).
+        rec.retry.push_back(make_send_entry(req, now));
         return;
       }
     } else {
@@ -729,10 +1080,25 @@ void CommLayer::tx_main() {
       // Long drains must not hold frames past the coalescing deadline.
       if (coalesce && (++drained & 63u) == 0) flush_due(now_ns());
     }
+    // Rendezvous pulls handed over by the Rx thread (only the Tx thread may
+    // post, and a pull is a doorbell-batched run of READ WRs).
+    RndzJob job;
+    while (rndz_jobs_.pop(job)) {
+      start_pull(std::move(job), now_ns());
+      progressed = true;
+    }
     // Drain pass over: ring each peer's doorbell once with everything staged.
     if (coalesce) flush_all();
     reclaim_send_buffers();
     pump_retries(now_ns());
+    // Completed/abandoned pulls surface here, at top level only (never nested
+    // inside a flush): dispatch + FIN, or NAK. The control sends they stage
+    // go out in a final flush pass.
+    if (process_rndz_actions(now_ns())) {
+      progressed = true;
+      if (coalesce) flush_all();
+      reclaim_send_buffers();
+    }
     if (stop_.load(std::memory_order_acquire)) break;
     if (!progressed) {
       // Completions may be held back by the latency model, and retries wait
@@ -821,6 +1187,9 @@ void CommLayer::rx_main() {
           DLOG_DEBUG("node %u rx %s from %u chunk=%llu", node_id_,
                      msg_type_name(m.hdr.type), m.hdr.src_node,
                      static_cast<unsigned long long>(m.hdr.chunk));
+          // Rendezvous control traffic is transport-internal: consume it here
+          // instead of delivering it to the runtime.
+          if (handle_rndz_msg(m)) continue;
           dispatch_(std::move(m));
         }
         rx_scratch_.clear();

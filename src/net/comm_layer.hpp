@@ -13,6 +13,18 @@
 // each. Payloads ride in pooled PayloadBufs, so the steady-state Tx/Rx path
 // performs no heap allocation.
 //
+// Large-message engine (docs/perf.md): payload-bearing requests at or above
+// cfg.rendezvous_threshold_bytes switch from the eager path to a rendezvous:
+// the Tx thread parks the request in a lease and sends a small kRndzReq
+// advertising the pinned source {addr, rkey, len}; the peer's Tx thread pulls
+// the bytes with one-sided RDMA READs (MTU-chunked, one signaled completion),
+// then dispatches the embedded notification and returns a piggybacked
+// kRndzFin that releases the lease (fires the posted_flag). No send-arena
+// staging touches the payload on either side — the transfer is zero-copy end
+// to end. A failed pull (WC error after retry exhaustion, or no lease slot
+// free) NAKs with kRndzAck and the sender falls back to the eager path, so
+// rendezvous never loses a message — it only loses the zero-copy fast path.
+//
 // Fault recovery (see docs/chaos.md): a completion-with-error moves the QP to
 // ERROR and the Tx thread becomes the recovery driver for that peer. The
 // fabric never half-executes a WR — an error status means no bytes moved — so
@@ -30,7 +42,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -56,8 +70,9 @@ struct CommError {
 
 class CommLayer {
  public:
-  // `dispatch` is invoked on the Rx thread for every inbound message; it must
-  // only route (push to a runtime queue), never block.
+  // `dispatch` is invoked on a comm thread for every inbound message — the Rx
+  // thread normally, the Tx thread for notifications embedded in a completed
+  // rendezvous pull; it must only route (push to a runtime queue), never block.
   using DispatchFn = std::function<void(RpcMessage&&)>;
   // Invoked on the Tx thread when a request is abandoned (retry budget or
   // deadline exhausted, or an untracked WR failed). The handler must not
@@ -94,6 +109,50 @@ class CommLayer {
     return dropped_requests_.load(std::memory_order_relaxed);
   }
 
+  // Large-message engine counters (sender side; any thread may sample).
+  // started counts rendezvous negotiations begun; completed counts leases
+  // released by a kRndzFin; fallbacks counts transfers that reverted to the
+  // eager path (lease-table exhaustion or a peer NAK); bytes counts payload
+  // bytes moved by completed rendezvous (excluded from eager accounting).
+  struct RndzStats {
+    uint64_t started = 0;
+    uint64_t completed = 0;
+    uint64_t fallbacks = 0;
+    uint64_t bytes = 0;
+  };
+  RndzStats rndz_stats() const {
+    return {rndz_started_.load(std::memory_order_relaxed),
+            rndz_completed_.load(std::memory_order_relaxed),
+            rndz_fallbacks_.load(std::memory_order_relaxed),
+            rndz_bytes_.load(std::memory_order_relaxed)};
+  }
+
+  // Per-peer outbound byte accounting (protocol bytes: header+payload for
+  // SENDs, payload bytes for bulk data), split by transfer mechanism so
+  // remote:local ratios and darray-top's per-peer columns stay truthful for
+  // the bulk path. Indexed by peer node id; any thread may sample.
+  struct PeerTxBytes {
+    uint64_t send_bytes = 0;   // eager SEND traffic (headers + payloads)
+    uint64_t write_bytes = 0;  // eager one-sided data WRITEs
+    uint64_t rndz_bytes = 0;   // completed rendezvous pulls (sender side)
+  };
+  PeerTxBytes peer_tx_bytes(uint32_t peer) const {
+    const auto& c = peer_tx_[peer];
+    return {c.send.load(std::memory_order_relaxed),
+            c.write.load(std::memory_order_relaxed),
+            c.rndz.load(std::memory_order_relaxed)};
+  }
+  uint64_t total_tx_bytes() const {
+    uint64_t total = 0;
+    for (uint32_t p = 0; p < num_nodes_; ++p) {
+      const auto& c = peer_tx_[p];
+      total += c.send.load(std::memory_order_relaxed) +
+               c.write.load(std::memory_order_relaxed) +
+               c.rndz.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
   // Busy/idle duty cycle of the comm threads (obs; any thread may sample).
   const obs::DutyCycle& tx_duty() const { return tx_duty_; }
   const obs::DutyCycle& rx_duty() const { return rx_duty_; }
@@ -121,6 +180,15 @@ class CommLayer {
     uint8_t msg_class = 0;      // latency-histogram class (MsgType value, or
                                 //   kMsgClassDataWrite for data WRITEs)
     rdma::WcStatus last_status = rdma::WcStatus::kSuccess;
+
+    // Rendezvous READ pulls only: the local destination slice this chunk
+    // lands in (READs have no arena buffer; replay re-reads into the same
+    // slice, which is idempotent), and the pull it belongs to. rndz_last
+    // marks the final (signaled) chunk whose retirement completes the pull.
+    std::byte* read_dst = nullptr;
+    uint32_t read_lkey = 0;
+    uint32_t rndz_id = 0;       // key into rndz_pulls_; 0 = not a pull chunk
+    bool rndz_last = false;
   };
 
   // Per-peer recovery state (Tx-private). `moved` receives failed/flushed
@@ -158,6 +226,44 @@ class CommLayer {
     std::vector<PendingWr> wrs;
   };
 
+  // --- rendezvous state -------------------------------------------------------
+
+  // Sender side: one parked large-message request whose source region stays
+  // pinned until the peer's kRndzFin (or a NAK reverts it to eager). The
+  // lease id on the wire is (generation << 16) | slot so a stale FIN/ACK that
+  // raced a fallback cannot release a recycled slot. Guarded by lease_mu_
+  // (taken by the Tx thread to start and the Rx thread to release — both are
+  // O(1) critical sections on a path already costing a network round trip).
+  struct RndzLease {
+    TxRequest req;
+    uint32_t gen = 0;
+    bool active = false;
+  };
+
+  // Receiver side: a parsed kRndzReq handed from the Rx thread to the Tx
+  // thread (only the Tx thread may post, and the pull is a batch of READ
+  // WRs). `inner` is the embedded notification dispatched once the pull's
+  // signaled completion retires.
+  struct RndzJob {
+    RndzDesc desc;
+    uint16_t src = 0;     // sender node (where FIN/NAK goes)
+    uint64_t trace = 0;
+    MsgHeader inner_hdr;
+    PayloadBuf inner_payload;
+  };
+
+  // Receiver side, Tx-private: an in-flight pull (READ chunks posted, FIN not
+  // yet sent). Keyed by a Tx-local id carried in each chunk's Outstanding so
+  // chunk retirement/failure can find its pull.
+  struct RndzPull {
+    uint16_t src = 0;
+    uint32_t lease_id = 0;
+    uint32_t len = 0;
+    uint64_t trace = 0;
+    MsgHeader inner_hdr;
+    PayloadBuf inner_payload;
+  };
+
   void tx_main();
   void rx_main();
   // Legacy immediate-post path (coalescing off; byte- and WR-identical to the
@@ -172,7 +278,27 @@ class CommLayer {
   void flush_due(uint64_t now);
   void stage_pending(uint32_t peer);
   void stage_request(TxRequest& req, uint64_t now);
+  // Stage the eager data WRITE of `req` into arena-backed entries (chunked to
+  // max_msg_bytes_ so payloads larger than one arena buffer survive chaos
+  // staging) and fire the posted_flag. Appends the entries to `out`.
+  void stage_data_chunks(TxRequest& req, uint64_t now, std::deque<Outstanding>& out);
+  Outstanding make_send_entry(TxRequest& req, uint64_t now);
   void post_entry(uint32_t peer, Outstanding e);
+  // Rendezvous: sender-side negotiation start. Returns false (leaving `req`
+  // intact) when no lease slot is free — the caller falls back to eager.
+  bool start_rndz(TxRequest& req, uint64_t now);
+  // Rendezvous: release lease `id`; returns the parked request if the id was
+  // current. `completed` distinguishes FIN (fire flag, count bytes) from NAK.
+  void finish_lease(uint32_t id, bool completed);
+  // Rendezvous: receiver side (Tx thread). start_pull posts the READ chunks;
+  // process_rndz_actions handles completed pulls (dispatch + FIN) and failed
+  // ones (NAK) — deferred so they never run nested inside a flush.
+  void start_pull(RndzJob&& job, uint64_t now);
+  bool process_rndz_actions(uint64_t now);
+  void send_ctl(uint16_t dst, MsgType type, uint32_t lease_id, uint64_t trace);
+  // Rx-thread intercept for transport-internal rendezvous messages; returns
+  // true when the message was consumed (not for the runtime).
+  bool handle_rndz_msg(RpcMessage& m);
   void reclaim_send_buffers();
   void handle_error_cqe(const rdma::WorkCompletion& wc);
   void pump_retries(uint64_t now);
@@ -230,6 +356,28 @@ class CommLayer {
   std::vector<RpcMessage> rx_scratch_;                   // Rx-private
 
   std::atomic<uint64_t> dropped_requests_{0};
+
+  // --- rendezvous state (see struct comments above) ---------------------------
+  std::mutex lease_mu_;
+  std::vector<RndzLease> leases_;                    // fixed size, cfg-bounded
+  MpscQueue<RndzJob> rndz_jobs_{&tx_bell_};          // Rx → Tx pull handoff
+  std::unordered_map<uint32_t, RndzPull> rndz_pulls_;  // Tx-private, in-flight
+  uint32_t next_rndz_id_ = 1;                        // Tx-private
+  std::vector<uint32_t> rndz_done_;                  // Tx-private, deferred
+  struct RndzNak {
+    uint16_t src = 0;
+    uint32_t lease_id = 0;
+    uint64_t trace = 0;
+  };
+  std::vector<RndzNak> rndz_nak_;                    // Tx-private, deferred
+  std::atomic<uint64_t> rndz_started_{0}, rndz_completed_{0};
+  std::atomic<uint64_t> rndz_fallbacks_{0}, rndz_bytes_{0};
+
+  // Per-peer outbound byte counters (see PeerTxBytes).
+  struct PeerTxCounters {
+    std::atomic<uint64_t> send{0}, write{0}, rndz{0};
+  };
+  std::unique_ptr<PeerTxCounters[]> peer_tx_;
 
   obs::DutyCycle tx_duty_;
   obs::DutyCycle rx_duty_;

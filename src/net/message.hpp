@@ -64,6 +64,17 @@ enum class MsgType : uint8_t {
   kBatch,        // coalesced SEND envelope; aux = frame count (Rx unpacks,
                  // never delivered to the runtime)
 
+  // Rendezvous large-message protocol (docs/perf.md). None of these reach the
+  // runtime: the comm layer negotiates, pulls, and finally dispatches the
+  // *embedded* notification carried by kRndzReq.
+  kRndzReq,      // txn_id = lease id; payload = [RndzDesc][inner MsgHeader]
+                 //   [inner payload] — the sender advertises its pinned
+                 //   source region, the receiver pulls it with RDMA READs
+  kRndzAck,      // NAK: txn_id echoes the lease id; the receiver could not
+                 //   complete the pull — sender falls back to eager
+  kRndzFin,      // txn_id echoes the lease id; pull complete, release the
+                 //   lease (and fire the source's posted_flag)
+
   kMaxMsgType,
 };
 
@@ -110,11 +121,30 @@ struct TxRequest {
 
   // Optional release hook: set to 1 by the Tx thread once the data WRITE has
   // been posted (payload copied), letting the runtime recycle the source
-  // cacheline without a protocol-level ack.
+  // cacheline without a protocol-level ack. Rendezvous defers the release to
+  // the kRndzFin (the source stays pinned until the peer's READs complete).
   std::atomic<uint32_t>* posted_flag = nullptr;
+
+  // Comm-layer internal: set when a rendezvous falls back (NAK or lease
+  // exhaustion) so the re-post takes the eager path unconditionally.
+  bool force_eager = false;
 
   bool has_data() const { return data_src != nullptr; }
 };
+
+// Region advertisement at the head of a kRndzReq payload: where the receiver
+// must READ from (the sender's pinned source) and where the bytes must land
+// (the receiver's own registered region, as named by the original request's
+// data_remote_addr/data_rkey).
+struct RndzDesc {
+  uint64_t src_addr = 0;  // sender-side source address
+  uint64_t dst_addr = 0;  // receiver-side destination address
+  uint32_t src_rkey = 0;
+  uint32_t dst_rkey = 0;
+  uint32_t len = 0;
+  uint32_t lease_id = 0;  // echoed in kRndzFin / kRndzAck
+};
+static_assert(sizeof(RndzDesc) == 32);
 
 // Payload entry for kOpFlush: one touched element's combined operand.
 // Operands are raw element bytes, at most 8 (Operate is restricted to
@@ -131,9 +161,12 @@ const char* msg_type_name(MsgType t);
 
 // Message-class axis for per-class latency histograms (obs v2): the class of
 // a SEND is its MsgType value; a one-sided data WRITE uses the reserved class
-// one past the last MsgType. kNumMsgClasses must stay ≤ obs::kMaxMsgClasses.
+// one past the last MsgType, and a rendezvous READ pull the one after that —
+// so eager and rendezvous bulk bytes are distinguishable in hist.msg.*.
+// kNumMsgClasses must stay ≤ obs::kMaxMsgClasses.
 inline constexpr uint8_t kMsgClassDataWrite = static_cast<uint8_t>(MsgType::kMaxMsgType);
-inline constexpr uint32_t kNumMsgClasses = kMsgClassDataWrite + 1;
+inline constexpr uint8_t kMsgClassRndzData = kMsgClassDataWrite + 1;
+inline constexpr uint32_t kNumMsgClasses = kMsgClassRndzData + 1;
 
 // Display name for a message class ("data_write" for the WRITE class,
 // msg_type_name otherwise). Defined in comm_layer.cpp beside msg_type_name.

@@ -95,6 +95,8 @@ FabricStats Fabric::stats() const {
   s.flushed_wrs = flushed_wrs_.load(std::memory_order_relaxed);
   s.coalesced_frames = coalesced_frames_.load(std::memory_order_relaxed);
   s.batched_posts = batched_posts_.load(std::memory_order_relaxed);
+  s.rndz_transfers = rndz_transfers_.load(std::memory_order_relaxed);
+  s.bytes_rndz = bytes_rndz_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -103,6 +105,7 @@ void Fabric::reset_stats() {
   bytes_written_ = bytes_read_ = bytes_sent_ = 0;
   wc_errors_ = rnr_events_ = retries_ = flushed_wrs_ = 0;
   coalesced_frames_ = batched_posts_ = 0;
+  rndz_transfers_ = bytes_rndz_ = 0;
 }
 
 uint32_t QueuePair::peer_node() const { return peer_->device_->node_id(); }

@@ -68,6 +68,14 @@ class Fabric {
     coalesced_frames_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  // Comm-layer hook: one rendezvous pull of `bytes` completed (the READ WRs
+  // themselves are already in reads/bytes_read; this breaks the rendezvous
+  // subset out so bulk accounting can distinguish it from eager traffic).
+  void count_rndz(uint64_t bytes) {
+    rndz_transfers_.fetch_add(1, std::memory_order_relaxed);
+    bytes_rndz_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
   FabricStats stats() const;
   void reset_stats();
 
@@ -87,6 +95,7 @@ class Fabric {
   std::atomic<uint64_t> bytes_written_{0}, bytes_read_{0}, bytes_sent_{0};
   std::atomic<uint64_t> wc_errors_{0}, rnr_events_{0}, retries_{0}, flushed_wrs_{0};
   std::atomic<uint64_t> coalesced_frames_{0}, batched_posts_{0};
+  std::atomic<uint64_t> rndz_transfers_{0}, bytes_rndz_{0};
 };
 
 }  // namespace darray::rdma

@@ -100,6 +100,13 @@ struct FabricStats {
   uint64_t coalesced_frames = 0;
   uint64_t batched_posts = 0;
 
+  // Large-message engine activity (docs/perf.md): transfers negotiated as a
+  // rendezvous and the bytes they moved by one-sided READ pull. bytes_rndz is
+  // a subset of bytes_read, broken out so bulk-path accounting can tell
+  // rendezvous traffic from eager WRITE traffic at the fabric level.
+  uint64_t rndz_transfers = 0;
+  uint64_t bytes_rndz = 0;
+
   uint64_t total_messages() const { return writes + reads + sends; }
   uint64_t total_bytes() const { return bytes_written + bytes_read + bytes_sent; }
   uint64_t total_faults() const { return wc_errors + flushed_wrs; }

@@ -195,6 +195,25 @@ void Cluster::register_default_stats_sources() {
     s.add("fabric.flushed_wrs", f.flushed_wrs);
     s.add("fabric.coalesced_frames", f.coalesced_frames);
     s.add("fabric.batched_posts", f.batched_posts);
+    s.add("fabric.rndz_transfers", f.rndz_transfers);
+    s.add("fabric.bytes_rndz", f.bytes_rndz);
+  });
+  // Large-message engine plane (docs/perf.md): rendezvous negotiations summed
+  // across every node's comm layer. started − completed − fallbacks = leases
+  // currently pinned; bytes is the rendezvous subset of bulk traffic.
+  stats_registry_.add_source([this](obs::StatsSnapshot& s) {
+    net::CommLayer::RndzStats total;
+    for (const auto& n : nodes_) {
+      const net::CommLayer::RndzStats r = n->comm().rndz_stats();
+      total.started += r.started;
+      total.completed += r.completed;
+      total.fallbacks += r.fallbacks;
+      total.bytes += r.bytes;
+    }
+    s.add("net.rndz.started", total.started);
+    s.add("net.rndz.completed", total.completed);
+    s.add("net.rndz.fallbacks", total.fallbacks);
+    s.add("net.rndz.bytes", total.bytes);
   });
   // Per-node plane for live dashboards (darray-top): traffic split by node so
   // a hot or faulted node stands out from the cluster-wide sums below.
@@ -216,6 +235,19 @@ void Cluster::register_default_stats_sources() {
             r.local_read_misses + r.local_write_misses + r.local_operate_misses);
       s.add(p + "fills", r.fills);
       s.add(p + "invalidations", r.invalidations);
+      // Outbound protocol bytes by transfer mechanism (truthful bulk-path
+      // accounting: eager WRITEs and rendezvous pulls are tallied apart).
+      uint64_t tx_send = 0, tx_write = 0, tx_rndz = 0;
+      for (uint32_t peer = 0; peer < cfg_.num_nodes; ++peer) {
+        if (peer == i) continue;
+        const net::CommLayer::PeerTxBytes b = nodes_[i]->comm().peer_tx_bytes(peer);
+        tx_send += b.send_bytes;
+        tx_write += b.write_bytes;
+        tx_rndz += b.rndz_bytes;
+      }
+      s.add(p + "tx_send_bytes", tx_send);
+      s.add(p + "tx_write_bytes", tx_write);
+      s.add(p + "tx_rndz_bytes", tx_rndz);
     }
   });
   stats_registry_.add_source([this](obs::StatsSnapshot& s) {

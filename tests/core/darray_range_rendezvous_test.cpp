@@ -1,0 +1,159 @@
+// Runtime-level coverage for the large-message engine (docs/perf.md): with
+// chunks bigger than rendezvous_threshold_bytes, engine chunk-data replies
+// negotiate a rendezvous pull instead of an eager staged WRITE, and the
+// net.rndz.* / fabric.bytes_rndz stats families account for it. Also pins the
+// zero-length range contract (no chunks touched, no op recorded) and
+// misaligned bulk extents straddling chunk boundaries while the transfers
+// underneath go through the rendezvous path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using testing::run_on_nodes;
+using testing::small_cfg;
+
+// 16384 × 8-byte elements = 128 KiB per chunk: four times the default 32 KiB
+// rendezvous threshold, so every remote chunk fill is a rendezvous pull.
+rt::ClusterConfig big_chunk_cfg(uint32_t nodes) {
+  rt::ClusterConfig cfg = small_cfg(nodes, /*chunk_elems=*/16384);
+  EXPECT_TRUE(cfg.rendezvous_enabled);
+  EXPECT_GE(cfg.chunk_elems * sizeof(uint64_t), cfg.rendezvous_threshold_bytes);
+  return cfg;
+}
+
+TEST(DArrayRangeRendezvous, ZeroLengthRangeIsNoOp) {
+  rt::Cluster cluster(small_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 256);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    a.set(10, 77);
+  });
+  const uint64_t ops_before = cluster.stats().value_or("node.0.ops");
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    // Empty spans at the start, middle, and one-past-the-end of the array:
+    // all legal, none may touch a chunk or record an op.
+    a.get_range(0, std::span<uint64_t>());
+    a.get_range(a.size(), std::span<uint64_t>());
+    a.set_range(128, std::span<const uint64_t>());
+    a.set_range(a.size(), std::span<const uint64_t>());
+  });
+  EXPECT_EQ(cluster.stats().value_or("node.0.ops"), ops_before);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    EXPECT_EQ(a.get(10), 77u);  // the empty set_range wrote nothing
+  });
+}
+
+// A remote get_range over big chunks makes the home node's chunk-data replies
+// exceed the threshold: the transfer must arrive via rendezvous READ pulls,
+// not eager staged WRITEs, and the cluster stats must say so.
+TEST(DArrayRangeRendezvous, RemoteBulkFillGoesRendezvous) {
+  rt::Cluster cluster(big_chunk_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 4 * 16384);  // 2 chunks per node
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    std::vector<uint64_t> in(2 * 16384);
+    std::iota(in.begin(), in.end(), 1);
+    a.set_range(0, std::span<const uint64_t>(in));  // home-local, no traffic
+  });
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 1) return;
+    std::vector<uint64_t> out(2 * 16384, 0);
+    a.get_range(0, std::span<uint64_t>(out));  // both chunks homed on node 0
+    for (uint64_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i + 1) << i;
+  });
+  // The reader returns when the inner notification dispatches; the kRndzFin
+  // that retires the sender's lease (and bumps completed/bytes) can still be
+  // in flight, so poll until every negotiation resolves.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  auto resolved = [&] {
+    const obs::StatsSnapshot s = cluster.stats();
+    return s.value_or("net.rndz.started") > 0 &&
+           s.value_or("net.rndz.completed") + s.value_or("net.rndz.fallbacks") ==
+               s.value_or("net.rndz.started");
+  };
+  while (!resolved() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const obs::StatsSnapshot s = cluster.stats();
+  const uint64_t started = s.value_or("net.rndz.started");
+  EXPECT_GE(started, 2u);  // one negotiation per remote chunk fill
+  EXPECT_EQ(s.value_or("net.rndz.completed") + s.value_or("net.rndz.fallbacks"),
+            started);
+  EXPECT_GE(s.value_or("net.rndz.bytes"), 2ull * 16384 * sizeof(uint64_t));
+  EXPECT_GE(s.value_or("fabric.bytes_rndz"), 2ull * 16384 * sizeof(uint64_t));
+  EXPECT_GE(s.value_or("fabric.rndz_transfers"), 2u);
+}
+
+// Misaligned extents straddling chunk boundaries, with every underlying
+// chunk transfer large enough to ride the rendezvous path: data integrity
+// must be bit-exact in both directions.
+TEST(DArrayRangeRendezvous, MisalignedStraddleOverRendezvousChunks) {
+  rt::Cluster cluster(big_chunk_cfg(2));
+  auto a = DArray<uint64_t>::create(cluster, 4 * 16384);
+  const uint64_t chunk = 16384;
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 1) return;
+    // Starts mid-chunk 0 (homed on node 0), ends mid-chunk 2 (homed on
+    // node 1): straddles two chunk boundaries and the ownership boundary.
+    const uint64_t first = chunk - 37;
+    std::vector<uint64_t> in(2 * chunk + 101);
+    std::iota(in.begin(), in.end(), 9000);
+    a.set_range(first, std::span<const uint64_t>(in));
+    std::vector<uint64_t> out(in.size(), 0);
+    a.get_range(first, std::span<uint64_t>(out));
+    EXPECT_EQ(out, in);
+    EXPECT_EQ(a.get(first - 1), 0u);
+    EXPECT_EQ(a.get(first + in.size()), 0u);
+  });
+  // The other node re-reads the same extent through its own cold cache.
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    const uint64_t first = chunk - 37;
+    std::vector<uint64_t> out(2 * chunk + 101, 0);
+    a.get_range(first, std::span<uint64_t>(out));
+    for (uint64_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], 9000 + i) << i;
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (cluster.stats().value_or("net.rndz.completed") == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GE(cluster.stats().value_or("net.rndz.completed"), 1u);
+}
+
+// With rendezvous disabled the same workload must produce identical data and
+// zero net.rndz.* activity — the config switch really gates the protocol.
+TEST(DArrayRangeRendezvous, DisabledConfigStaysEager) {
+  rt::ClusterConfig cfg = big_chunk_cfg(2);
+  cfg.rendezvous_enabled = false;
+  rt::Cluster cluster(cfg);
+  auto a = DArray<uint64_t>::create(cluster, 2 * 16384);
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 0) return;
+    std::vector<uint64_t> in(16384);
+    std::iota(in.begin(), in.end(), 5);
+    a.set_range(0, std::span<const uint64_t>(in));
+  });
+  run_on_nodes(cluster, [&](rt::NodeId n) {
+    if (n != 1) return;
+    std::vector<uint64_t> out(16384, 0);
+    a.get_range(0, std::span<uint64_t>(out));
+    for (uint64_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i + 5) << i;
+  });
+  const obs::StatsSnapshot s = cluster.stats();
+  EXPECT_EQ(s.value_or("net.rndz.started"), 0u);
+  EXPECT_EQ(s.value_or("fabric.rndz_transfers"), 0u);
+}
+
+}  // namespace
+}  // namespace darray

@@ -253,6 +253,29 @@ void render(const Snapshot& snap, const std::string& host, uint16_t port,
               fmt_si(total_ops).c_str(), ratio,
               total_ops > 0 ? 100.0 * total_miss / total_ops : 0.0);
 
+  // Tx byte-level traffic split by transport path: eager SEND headers, eager
+  // zero-copy WRITE payloads, and rendezvous READ pulls. Rates are B/s.
+  double tx_send = 0, tx_write = 0, tx_rndz = 0;
+  for (uint32_t n = 0; n < 64; ++n) {
+    const std::string p = "node." + std::to_string(n) + ".";
+    const Series* s = find(snap, p + "tx_send_bytes");
+    if (s == nullptr && find(snap, p + "ops") == nullptr) break;
+    tx_send += latest_rate(s);
+    tx_write += latest_rate(find(snap, p + "tx_write_bytes"));
+    tx_rndz += latest_rate(find(snap, p + "tx_rndz_bytes"));
+  }
+  const double tx_total = tx_send + tx_write + tx_rndz;
+  std::printf("  tx B/s   send %s  write %s  rndz %s  (%.0f%% of bytes via rendezvous)\n",
+              fmt_si(tx_send).c_str(), fmt_si(tx_write).c_str(), fmt_si(tx_rndz).c_str(),
+              tx_total > 0 ? 100.0 * tx_rndz / tx_total : 0.0);
+  const double rndz_started = latest_rate(find(snap, "net.rndz.started"));
+  const double rndz_fall = latest_rate(find(snap, "net.rndz.fallbacks"));
+  if (rndz_started > 0 || rndz_fall > 0)
+    std::printf("  rndz/s   started %s  completed %s  fallbacks %s\n",
+                fmt_si(rndz_started).c_str(),
+                fmt_si(latest_rate(find(snap, "net.rndz.completed"))).c_str(),
+                fmt_si(rndz_fall).c_str());
+
   // Latency percentiles (point series sampled from the op histograms).
   std::printf("\n  %-8s %9s %-*s %9s %-*s\n", "op", "p50 ns", static_cast<int>(kSpark),
               "", "p99 ns", static_cast<int>(kSpark), "");
