@@ -1,17 +1,21 @@
 // Figure 17: YCSB throughput (Kops/s) of the DArray-based KVS vs the
 // GAM-based KVS, sweeping threads per node and the get ratio
 // (Zipfian 0.99, the paper's six-node setup scaled by DARRAY_BENCH_NODES).
+// Both engines are driven through the darray::Client serve path — the same
+// front door applications use — so the comparison includes session and
+// dispatch overhead on both sides.
 //
 // Paper shape: DArray-KVS wins everywhere — 20x-41x at 100% gets, 2x-3.8x
 // under PUT-heavy contention — with better thread scaling (lock-free access
 // path vs per-access locks).
 #include "bench/bench_util.hpp"
 #include "kvs/kvs.hpp"
-#include "kvs/ycsb.hpp"
+#include "serve/ycsb_serve.hpp"
 
 using namespace darray;
 using namespace darray::bench;
 using namespace darray::kvs;
+using namespace darray::serve;
 
 namespace {
 
@@ -21,14 +25,19 @@ double run(uint32_t nodes, uint32_t threads, double get_ratio) {
   KvsConfig kcfg;
   kcfg.n_main_buckets = 1 << 10;
   kcfg.byte_capacity = 32ull << 20;
-  auto kvs = Kvs::create(cluster, kcfg);
+  ServeConfig scfg;
+  scfg.accept_queue_cap = 0;  // closed loop: measure raw path, don't shed
+  scfg.workers_per_node = std::max<uint32_t>(1, threads / 2);
+  auto svc = KvsService::create(cluster, Kvs::create(cluster, kcfg), scfg);
   YcsbConfig cfg;
   cfg.n_keys = env_u64("DARRAY_BENCH_KEYS", 4000);
   cfg.get_ratio = get_ratio;
   cfg.threads_per_node = threads;
   cfg.ops_per_thread = env_u64("DARRAY_BENCH_KVS_OPS", 1500);
-  ycsb_load(cluster, kvs, cfg);
-  return run_ycsb(cluster, kvs, cfg).kops;
+  ycsb_load_serve(svc, cfg);
+  const double kops = run_ycsb_serve(svc, cfg).kops;
+  svc.shutdown();
+  return kops;
 }
 
 }  // namespace
@@ -39,7 +48,8 @@ int main() {
   for (uint64_t t = 1; t <= max_threads(); t *= 2) threads.push_back(t);
   const double ratios[] = {1.0, 0.95, 0.5};
 
-  std::printf("=== Figure 17: KVS YCSB throughput (Kops/s), zipfian 0.99, %u nodes ===\n",
+  std::printf("=== Figure 17: KVS YCSB throughput (Kops/s), zipfian 0.99, %u nodes, "
+              "serve path ===\n",
               nodes);
   for (double ratio : ratios) {
     char title[64];
@@ -51,7 +61,10 @@ int main() {
       print_row(t, {d, g, d / g}, "%14.1f");
     }
   }
-  std::printf("\nexpected shape: DArray-KVS ahead at every point; the lead is largest "
-              "at 100%% gets and narrows (but persists) as puts increase.\n");
+  std::printf("\nexpected shape: both engines sit on the same substrate and pay the "
+              "same serve+bucket-lock RPC costs, so speedup hovers near 1x on this "
+              "host (EXPERIMENTS.md fig17: honest divergence) with DArray-KVS "
+              "trending ahead as threads grow; the paper's 20x-41x gap comes from "
+              "GAM's heavier access path, isolated by micro_fastpath instead.\n");
   return 0;
 }

@@ -1,15 +1,19 @@
-// Distributed key-value store demo (paper §5.2): puts/gets/deletes from
-// multiple nodes, then a short YCSB mix.
+// Distributed key-value store demo (paper §5.2), served through the client
+// front door: a KvsService wraps the storage engine, and all application
+// traffic — basic ops, cross-node visibility, a short YCSB mix — goes through
+// darray::Client sessions with typed Status results.
 //
 //   build/examples/kvs_demo [nodes] [threads_per_node]
 #include <cstdio>
 #include <cstdlib>
 
 #include "kvs/kvs.hpp"
-#include "kvs/ycsb.hpp"
+#include "serve/client.hpp"
+#include "serve/ycsb_serve.hpp"
 
 using namespace darray;
 using namespace darray::kvs;
+using namespace darray::serve;
 
 int main(int argc, char** argv) {
   const uint32_t nodes = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 3;
@@ -19,39 +23,64 @@ int main(int argc, char** argv) {
   cfg.num_nodes = nodes;
   rt::Cluster cluster(cfg);
 
-  DKvs kvs = DKvs::create(cluster);
+  // The storage engine, then the front door over it. Applications only ever
+  // touch the service via Client from here on.
+  auto svc = KvsService::create(cluster, DKvs::create(cluster));
 
-  // Basic operations from node 0.
-  bind_thread(cluster, 0);
-  kvs.put("language", "C++20");
-  kvs.put("paper", "DArray (ICPP 2023)");
-  kvs.put("language", "C++23");  // update in place
-  std::printf("get(language) = %s\n", kvs.get("language")->c_str());
-  std::printf("get(paper)    = %s\n", kvs.get("paper")->c_str());
-  std::printf("get(missing)  = %s\n", kvs.get("missing") ? "?" : "(not found)");
-  kvs.erase("paper");
-  std::printf("after erase, get(paper) found: %s\n", kvs.get("paper") ? "yes" : "no");
+  // Basic operations from a session on node 0.
+  Client cli = Client::connect(svc, {.node = 0});
+  cli.put("language", "C++20");
+  cli.put("paper", "DArray (ICPP 2023)");
+  cli.put("language", "C++23");  // update in place
+  std::string v;
+  cli.get("language", v);
+  std::printf("get(language) = %s\n", v.c_str());
+  cli.get("paper", v);
+  std::printf("get(paper)    = %s\n", v.c_str());
+  std::printf("get(missing)  = %s\n",
+              cli.get("missing", v) == Status::kNotFound ? "(not found)" : "?");
+  cli.erase("paper");
+  std::printf("after erase, get(paper) found: %s\n",
+              cli.get("paper", v) == Status::kOk ? "yes" : "no");
 
-  // Cross-node visibility.
+  // Cross-node visibility: a session on the last node sees node 0's writes
+  // and vice versa (every key is served by its owner's dispatcher).
   std::thread other([&] {
-    bind_thread(cluster, nodes - 1);
-    std::printf("node %u sees language = %s\n", nodes - 1, kvs.get("language")->c_str());
-    kvs.put("from-node", std::to_string(nodes - 1));
+    Client remote = Client::connect(svc, {.node = nodes - 1});
+    std::string rv;
+    remote.get("language", rv);
+    std::printf("node %u sees language = %s\n", nodes - 1, rv.c_str());
+    remote.put("from-node", std::to_string(nodes - 1));
   });
   other.join();
-  std::printf("node 0 sees from-node = %s\n", kvs.get("from-node")->c_str());
+  cli.get("from-node", v);
+  std::printf("node 0 sees from-node = %s\n", v.c_str());
 
-  // A short YCSB run (95% gets, zipfian 0.99 — the paper's §6.5 setup).
+  // Pipelined submission: several gets in flight on one session, harvested
+  // in order.
+  serve::OpHandle h1 = cli.async_get("language");
+  serve::OpHandle h2 = cli.async_get("from-node");
+  serve::OpHandle h3 = cli.async_get("missing");
+  std::printf("pipelined: %s / %s / %s\n", h1.get().value.c_str(),
+              h2.get().value.c_str(), status_name(h3.get().status));
+
+  // A short YCSB run through the serve path (95% gets, zipfian 0.99 — the
+  // paper's §6.5 setup).
   YcsbConfig ycfg;
   ycfg.n_keys = 5000;
   ycfg.ops_per_thread = 1000;
   ycfg.threads_per_node = threads;
   ycfg.get_ratio = 0.95;
-  ycsb_load(cluster, kvs, ycfg);
-  YcsbResult r = run_ycsb(cluster, kvs, ycfg);
+  ycsb_load_serve(svc, ycfg);
+  ServeYcsbResult r = run_ycsb_serve(svc, ycfg);
   std::printf("YCSB: %.1f Kops/s (%llu gets, %llu puts, %llu misses) in %.2fs\n", r.kops,
               static_cast<unsigned long long>(r.gets),
               static_cast<unsigned long long>(r.puts),
               static_cast<unsigned long long>(r.misses), r.elapsed_s);
+  std::printf("serve: accepted=%llu hot_hits=%llu shed=%llu\n",
+              static_cast<unsigned long long>(svc.counters().accepted.load()),
+              static_cast<unsigned long long>(svc.counters().hot_hits.load()),
+              static_cast<unsigned long long>(svc.counters().shed.load()));
+  svc.shutdown();
   return 0;
 }

@@ -43,6 +43,11 @@ def main():
                          "(repeatable); e.g. overlap_on:overlap_off:"
                          "dot_melems_c512:1.3 gates the comm/compute overlap "
                          "win of the compute layer")
+    ap.add_argument("--gate-min", action="append", default=[],
+                    metavar="CONFIG:METRIC:MIN",
+                    help="require median[CONFIG][METRIC] >= MIN within this "
+                         "report (repeatable); e.g. admission_on:shed_pct:1 "
+                         "asserts the overload phase actually shed")
     args = ap.parse_args()
 
     report = load(args.report)
@@ -185,6 +190,34 @@ def main():
                    f"= {ratio:.2f}x (floor {floor:g}x)")
             if ratio < floor:
                 failures.append("RATIO GATE " + tag)
+            else:
+                print("ok " + tag)
+
+    # Absolute floor gates: a config's median must clear a fixed threshold
+    # (e.g. the admission-on soak phase must actually shed under overload).
+    if args.gate_min:
+        fresh = index_results(report)
+        for spec in args.gate_min:
+            parts = spec.split(":")
+            if len(parts) != 3:
+                failures.append(f"bad --gate-min spec {spec!r} "
+                                "(want CONFIG:METRIC:MIN)")
+                continue
+            cfg, metric, floor = parts
+            try:
+                floor = float(floor)
+            except ValueError:
+                failures.append(f"bad --gate-min floor in {spec!r}")
+                continue
+            r = fresh.get((cfg, metric))
+            if r is None:
+                failures.append(f"gate-min {spec}: no result for "
+                                f"({cfg}, {metric})")
+                continue
+            median = float(r["median"])
+            tag = f"{cfg}/{metric}: median {median:g} (floor {floor:g})"
+            if median < floor:
+                failures.append("MIN GATE " + tag)
             else:
                 print("ok " + tag)
 

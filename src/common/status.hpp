@@ -1,0 +1,43 @@
+// Typed result codes for the client-facing API surface (src/serve, range
+// ops). The historical surface mixed conventions — bool returns from the KVS,
+// optional<string> from get, DARRAY_ASSERT aborts on bad extents; Status is
+// the one vocabulary every client-visible operation reports through.
+//
+// Placement note: this lives in common (not serve) so the core array API can
+// return Status without depending on the serving layer.
+#pragma once
+
+#include <cstdint>
+
+namespace darray {
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kNotFound,     // key absent
+  kBusy,         // shed by admission control; retry with backoff
+  kTimeout,      // client-side deadline expired before a response arrived
+  kOutOfRange,   // array extent past the end (typed form of the old assert)
+  kCapacity,     // value/overflow space exhausted (KVS put failure)
+  kTooLarge,     // key/value exceeds the wire or encoding limit
+  kUnavailable,  // service shut down while the request was in flight
+  kMalformed,    // undecodable request frame
+};
+
+inline bool ok(Status s) { return s == Status::kOk; }
+
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not_found";
+    case Status::kBusy: return "busy";
+    case Status::kTimeout: return "timeout";
+    case Status::kOutOfRange: return "out_of_range";
+    case Status::kCapacity: return "capacity";
+    case Status::kTooLarge: return "too_large";
+    case Status::kUnavailable: return "unavailable";
+    case Status::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+}  // namespace darray

@@ -24,6 +24,7 @@
 #include <type_traits>
 
 #include "common/histogram.hpp"
+#include "common/status.hpp"
 #include "core/context.hpp"
 #include "obs/inflight.hpp"
 #include "obs/latency_histogram.hpp"
@@ -188,11 +189,16 @@ class DArray {
   // Span-typed range accessors: the bounds-checked face of read_bulk /
   // write_bulk. Copy out.size() (src.size()) elements starting at `first`,
   // acquiring each covered chunk once; atomicity is per chunk.
+  //
+  // Out-of-bounds extents return Status::kOutOfRange instead of aborting —
+  // the serving path (src/serve) reflects bad client extents as typed errors,
+  // so the old DARRAY_ASSERT here would turn one malformed request into a
+  // cluster-wide crash. Callers that want the fail-fast behaviour assert on
+  // the returned Status.
 
-  void get_range(uint64_t first, std::span<T> out) const {
-    DARRAY_ASSERT_MSG(out.size() <= size() && first <= size() - out.size(),
-                      "get_range() past the end of the array");
-    if (out.empty()) return;  // zero-length: no chunks touched, no op recorded
+  Status get_range(uint64_t first, std::span<T> out) const {
+    if (out.size() > size() || first > size() - out.size()) return Status::kOutOfRange;
+    if (out.empty()) return Status::kOk;  // no chunks touched, no op recorded
     ThreadCtx& ctx = this_thread_ctx();
     api_detail::OpSpan span(obs::OpKind::kGetRange, ctx.node, meta_->id, first);
     bulk_op(first, out.size(),
@@ -200,12 +206,12 @@ class DArray {
               std::memcpy(out.data() + done, base + size_t{off} * sizeof(T), n * sizeof(T));
             },
             /*write=*/false, span.corr);
+    return Status::kOk;
   }
 
-  void set_range(uint64_t first, std::span<const T> src) const {
-    DARRAY_ASSERT_MSG(src.size() <= size() && first <= size() - src.size(),
-                      "set_range() past the end of the array");
-    if (src.empty()) return;  // zero-length: no chunks touched, no op recorded
+  Status set_range(uint64_t first, std::span<const T> src) const {
+    if (src.size() > size() || first > size() - src.size()) return Status::kOutOfRange;
+    if (src.empty()) return Status::kOk;  // no chunks touched, no op recorded
     ThreadCtx& ctx = this_thread_ctx();
     api_detail::OpSpan span(obs::OpKind::kSetRange, ctx.node, meta_->id, first);
     bulk_op(first, src.size(),
@@ -213,6 +219,7 @@ class DArray {
               std::memcpy(base + size_t{off} * sizeof(T), src.data() + done, n * sizeof(T));
             },
             /*write=*/true, span.corr);
+    return Status::kOk;
   }
 
   // Non-blocking, chunk-granular read-ahead over [first, first+count): submit

@@ -70,6 +70,27 @@ class BasicKvs {
     return k;
   }
 
+  // Serving affinity for a key: the node whose partition holds the key's main
+  // bucket. Deterministic per key, so the serve layer (src/serve) can route
+  // every request for a key to one dispatcher — which is what makes the
+  // owner-side hot-key cache coherent (the owner is the single write point
+  // for serve-path traffic).
+  rt::NodeId owner_of(std::string_view key) const {
+    const Impl& im = *impl_;
+    const uint64_t lock_idx = (fnv1a(key) % im.cfg.n_main_buckets) * kSlots;
+    const uint32_t nodes = static_cast<uint32_t>(im.slabs.size());
+    for (uint32_t n = 0; n < nodes; ++n)
+      if (lock_idx < im.entries.local_end(n)) return n;
+    return nodes - 1;
+  }
+
+  // NOTE: put/get/contains/erase below are the storage-engine internals.
+  // Application traffic goes through darray::Client (src/serve), which adds
+  // sessions, admission control, typed Status results, and hot-key caching;
+  // calling these directly bypasses all of that (and, for hot keys, the
+  // owner-side read-lease invalidation). kvs_demo and fig17 migrated to the
+  // Client path; only the serve dispatcher and unit tests call these now.
+
   // Insert or update. Returns false when the key-value pair is too large or
   // value/overflow space is exhausted.
   bool put(std::string_view key, std::string_view value) {

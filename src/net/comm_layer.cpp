@@ -33,6 +33,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kLockGrant: return "LockGrant";
     case MsgType::kLockRel: return "LockRel";
     case MsgType::kReducePart: return "ReducePart";
+    case MsgType::kClientReq: return "ClientReq";
+    case MsgType::kClientResp: return "ClientResp";
     case MsgType::kBatch: return "Batch";
     case MsgType::kRndzReq: return "RndzReq";
     case MsgType::kRndzAck: return "RndzAck";

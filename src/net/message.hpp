@@ -60,6 +60,13 @@ enum class MsgType : uint8_t {
                  //   index, aux = fragment count, payload = per-chunk partials
                  //   (deterministic mode only)
 
+  // --- client-serving plane (src/serve) --------------------------------------
+  kClientReq,    // session → owner dispatcher: txn_id = session id, addr =
+                 //   request sequence, chunk = hash spread (runtime-thread
+                 //   routing only), payload = [WireReq][key][value]
+  kClientResp,   // owner dispatcher → session: txn_id/addr echo the request,
+                 //   payload = [WireResp][value]
+
   // --- transport-internal ----------------------------------------------------
   kBatch,        // coalesced SEND envelope; aux = frame count (Rx unpacks,
                  // never delivered to the runtime)

@@ -1,0 +1,79 @@
+#include "net/socket_listener.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace darray::net {
+
+bool send_all(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;  // client went away; nothing to clean up
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SocketListener::start(Options opts, ConnFn on_conn) {
+  if (listen_fd_ >= 0) return true;
+  opts_ = std::move(opts);
+  on_conn_ = std::move(on_conn);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    DLOG_ERROR("%s: socket() failed: %s", opts_.name.c_str(), std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    DLOG_ERROR("%s: bad bind address '%s'", opts_.name.c_str(), opts_.bind_addr.c_str());
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, opts_.backlog) != 0) {
+    DLOG_ERROR("%s: cannot listen on %s:%u: %s", opts_.name.c_str(),
+               opts_.bind_addr.c_str(), opts_.port, std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void SocketListener::stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() wakes the blocking accept(); close() alone can leave it parked.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;  // after the join: the accept thread reads this field
+}
+
+void SocketListener::accept_loop() {
+  const int listen_fd = listen_fd_;
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // listener shut down (or fatally broken): exit
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    on_conn_(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace darray::net

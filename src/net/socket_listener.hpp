@@ -1,0 +1,63 @@
+// Minimal reusable loopback TCP listener: socket/bind/listen plus one
+// dedicated blocking accept thread invoking a per-connection handler.
+// Extracted from the telemetry server so the operator port (/metrics) and the
+// serving front end (src/serve TcpGateway) share one listener implementation
+// instead of two copies of the accept/read/write plumbing.
+//
+// Connections are handled serially on the accept thread: a slow or hostile
+// client can stall the listener but never the data path (handlers must only
+// touch thread-safe surfaces). The handler receives the connected fd and may
+// read/write freely; the listener closes the fd after the handler returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace darray::net {
+
+// Writes all of `data` to `fd`, swallowing client-gone errors (the caller has
+// nothing to clean up). Returns false when the peer went away mid-write.
+bool send_all(int fd, std::string_view data);
+
+class SocketListener {
+ public:
+  struct Options {
+    std::string bind_addr = "127.0.0.1";  // operator/loopback by default
+    uint16_t port = 0;                    // 0 = ephemeral; see port()
+    int backlog = 16;
+    std::string name = "listener";        // log prefix
+  };
+
+  using ConnFn = std::function<void(int fd)>;
+
+  SocketListener() = default;
+  ~SocketListener() { stop(); }
+
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  // Binds, listens, and spawns the accept thread. False (with the reason on
+  // the error log) when the socket cannot be set up — e.g. the port is taken.
+  bool start(Options opts, ConnFn on_conn);
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  uint16_t port() const { return port_; }
+  uint64_t connections() const { return connections_.load(std::memory_order_relaxed); }
+
+ private:
+  void accept_loop();
+
+  Options opts_;
+  ConnFn on_conn_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<uint64_t> connections_{0};
+  std::thread thread_;
+};
+
+}  // namespace darray::net

@@ -35,8 +35,10 @@ void StatsSnapshot::add_histogram(const std::string& prefix, const HistogramSnap
 // Percentile/mean/max entries are point samples: the current value, not the
 // delta, is what a reader wants. Everything else is treated as monotonic.
 bool stats_is_point_sample(std::string_view name) {
+  // ".gauge" marks instantaneous levels (e.g. serve.inflight.gauge): the
+  // sampler must not difference them and /metrics exposes them as gauges.
   for (const char* suffix :
-       {".mean_ns", ".p50_ns", ".p90_ns", ".p99_ns", ".p999_ns", ".max_ns"}) {
+       {".mean_ns", ".p50_ns", ".p90_ns", ".p99_ns", ".p999_ns", ".max_ns", ".gauge"}) {
     const std::string_view s(suffix);
     if (name.size() >= s.size() && name.substr(name.size() - s.size()) == s) return true;
   }

@@ -1,19 +1,16 @@
 #include "obs/telemetry_server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "net/socket_listener.hpp"
 
 namespace darray::obs {
 
@@ -189,97 +186,52 @@ std::string query_param(const std::string& target, const std::string& key) {
   return {};
 }
 
-void send_all(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;  // client went away; nothing to clean up
-    off += static_cast<size_t>(n);
-  }
-}
-
 }  // namespace
 
 bool TelemetryServer::start() {
-  if (listen_fd_ >= 0) return true;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    DLOG_ERROR("telemetry: socket() failed: %s", std::strerror(errno));
+  if (listener_.running()) return true;
+  net::SocketListener::Options lopts;
+  lopts.bind_addr = opts_.bind_addr;
+  lopts.port = opts_.port;
+  lopts.name = "telemetry";
+  if (!listener_.start(std::move(lopts), [this](int fd) { serve_conn(fd); }))
     return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opts_.port);
-  if (::inet_pton(AF_INET, opts_.bind_addr.c_str(), &addr.sin_addr) != 1) {
-    DLOG_ERROR("telemetry: bad bind address '%s'", opts_.bind_addr.c_str());
-    ::close(fd);
-    return false;
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
-    DLOG_ERROR("telemetry: cannot listen on %s:%u: %s", opts_.bind_addr.c_str(),
-               opts_.port, std::strerror(errno));
-    ::close(fd);
-    return false;
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
-  thread_ = std::thread([this] { serve_loop(); });
-  DLOG_INFO("telemetry: serving on http://%s:%u/metrics", opts_.bind_addr.c_str(), port_);
+  DLOG_INFO("telemetry: serving on http://%s:%u/metrics", opts_.bind_addr.c_str(),
+            listener_.port());
   return true;
 }
 
-void TelemetryServer::stop() {
-  if (listen_fd_ < 0) return;
-  // shutdown() wakes the blocking accept(); close() alone can leave it parked.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (thread_.joinable()) thread_.join();
-  listen_fd_ = -1;  // after the join: the serve thread reads this field
-}
-
-void TelemetryServer::serve_loop() {
-  const int listen_fd = listen_fd_;
-  while (true) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) return;  // listener shut down (or fatally broken): exit
-    char req[2048];
-    const ssize_t n = ::recv(fd, req, sizeof(req) - 1, 0);
-    if (n > 0) {
-      req[n] = '\0';
-      // "GET <target> HTTP/1.x" — everything else is a 405.
-      std::string target;
-      int status = 405;
-      std::string content_type = "text/plain; charset=utf-8";
-      std::string body = "method not allowed\n";
-      if (std::strncmp(req, "GET ", 4) == 0) {
-        const char* start = req + 4;
-        const char* end = std::strchr(start, ' ');
-        if (end != nullptr) {
-          target.assign(start, end);
-          handle(target, status, content_type, body);
-        } else {
-          status = 400;
-          body = "bad request\n";
-        }
-      }
-      requests_.fetch_add(1, std::memory_order_relaxed);
-      const char* reason = status == 200   ? "OK"
-                           : status == 404 ? "Not Found"
-                           : status == 405 ? "Method Not Allowed"
-                                           : "Bad Request";
-      std::string resp = "HTTP/1.0 " + std::to_string(status) + " " + reason +
-                         "\r\nContent-Type: " + content_type +
-                         "\r\nContent-Length: " + std::to_string(body.size()) +
-                         "\r\nConnection: close\r\n\r\n" + body;
-      send_all(fd, resp);
+void TelemetryServer::serve_conn(int fd) {
+  char req[2048];
+  const ssize_t n = ::recv(fd, req, sizeof(req) - 1, 0);
+  if (n <= 0) return;
+  req[n] = '\0';
+  // "GET <target> HTTP/1.x" — everything else is a 405.
+  std::string target;
+  int status = 405;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = "method not allowed\n";
+  if (std::strncmp(req, "GET ", 4) == 0) {
+    const char* start = req + 4;
+    const char* end = std::strchr(start, ' ');
+    if (end != nullptr) {
+      target.assign(start, end);
+      handle(target, status, content_type, body);
+    } else {
+      status = 400;
+      body = "bad request\n";
     }
-    ::close(fd);
   }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const char* reason = status == 200   ? "OK"
+                       : status == 404 ? "Not Found"
+                       : status == 405 ? "Method Not Allowed"
+                                       : "Bad Request";
+  std::string resp = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n" + body;
+  net::send_all(fd, resp);
 }
 
 void TelemetryServer::handle(const std::string& target, int& status,

@@ -12,18 +12,20 @@
 //                     (exact), `prefix=<p>` (filter), `n=<k>` (newest k points
 //                     per series). 404 when no store is attached.
 //
-// One dedicated thread runs a blocking accept loop; each request is parsed,
-// answered, and the connection closed (HTTP/1.0 semantics). Handlers only
-// call the snapshot closure and the lock-free store readers, so a slow or
-// hostile client can stall the serving thread but never the data path.
+// The socket plumbing lives in net::SocketListener (shared with the serving
+// front end, src/serve); this class only parses "GET <target>" requests and
+// renders responses (HTTP/1.0 semantics, one request per connection).
+// Handlers only call the snapshot closure and the lock-free store readers, so
+// a slow or hostile client can stall the serving thread but never the data
+// path.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <thread>
 
+#include "net/socket_listener.hpp"
 #include "obs/stats_registry.hpp"
 #include "obs/timeseries.hpp"
 
@@ -54,23 +56,23 @@ class TelemetryServer {
   // Binds, listens, and spawns the serving thread. False (with the reason on
   // the error log) when the socket cannot be set up — e.g. the port is taken.
   bool start();
-  void stop();
+  void stop() { listener_.stop(); }
 
-  bool running() const { return listen_fd_ >= 0; }
-  uint16_t port() const { return port_; }
+  bool running() const { return listener_.running(); }
+  uint16_t port() const { return listener_.port(); }
   uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
 
  private:
-  void serve_loop();
+  // One connection: parse the request line, render, respond, return (the
+  // listener closes the fd).
+  void serve_conn(int fd);
   // Routes one request path (incl. query string) to status + body + type.
   void handle(const std::string& target, int& status, std::string& content_type,
               std::string& body);
 
   Options opts_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
+  net::SocketListener listener_;
   std::atomic<uint64_t> requests_{0};
-  std::thread thread_;
 };
 
 }  // namespace darray::obs

@@ -212,6 +212,13 @@ void Engine::handle_rpc(net::RpcMessage m) {
           ReduceBoard::key(m.hdr.txn_id, m.hdr.src_node, m.hdr.rkey),
           ReduceBoard::Part{m.hdr.addr, m.hdr.aux, std::move(m.payload)});
       return;
+    case MsgType::kClientReq:
+    case MsgType::kClientResp:
+      // Client-serving plane (src/serve): hdr.chunk only spreads deliveries
+      // across runtime threads; the front door does its own matching via
+      // txn_id (session) and addr (sequence).
+      node_->deliver_client_msg(std::move(m));
+      return;
     default:
       DARRAY_UNREACHABLE("unexpected message type");
   }

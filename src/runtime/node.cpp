@@ -33,6 +33,24 @@ void NodeRuntime::stop() {
   started_ = false;
 }
 
+void NodeRuntime::set_client_msg_handler(ClientMsgFn fn) {
+  std::lock_guard lk(client_mu_);
+  client_fn_ = std::move(fn);
+}
+
+void NodeRuntime::deliver_client_msg(net::RpcMessage&& m) {
+  // Delivery holds the same lock as install/uninstall: once
+  // set_client_msg_handler(nullptr) returns, no runtime thread is inside the
+  // old sink. The critical section is one routing decision — a queue push or
+  // a shed reply — so contention between runtime threads stays negligible.
+  std::lock_guard lk(client_mu_);
+  if (!client_fn_) {
+    client_msgs_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  client_fn_(std::move(m));
+}
+
 void NodeRuntime::install_array(ArrayId id, std::unique_ptr<NodeArrayState> st) {
   DARRAY_ASSERT(id < kMaxArrays);
   DARRAY_ASSERT(arrays_[id].load(std::memory_order_relaxed) == nullptr);

@@ -4,10 +4,12 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/spinlock.hpp"
 #include "net/comm_layer.hpp"
 #include "runtime/array_state.hpp"
 #include "runtime/reduce_board.hpp"
@@ -43,6 +45,20 @@ class NodeRuntime {
   // Reduction-tree mailbox (src/compute collectives): runtime threads deposit
   // inbound kReducePart messages, the node's collective caller awaits them.
   ReduceBoard& reduce_board() { return reduce_board_; }
+
+  // Client-serving plane (src/serve): the front door installs a sink for
+  // kClientReq/kClientResp deliveries, keeping the runtime → serve dependency
+  // inverted. The sink runs on runtime threads under a per-node lock (so an
+  // uninstall can never race a delivery) and must route without blocking —
+  // admission/shed decisions only, never KVS execution. With no sink
+  // installed the message is dropped and counted: sessions only exist while
+  // a front door is attached.
+  using ClientMsgFn = std::function<void(net::RpcMessage&&)>;
+  void set_client_msg_handler(ClientMsgFn fn);
+  void deliver_client_msg(net::RpcMessage&& m);
+  uint64_t client_msgs_dropped() const {
+    return client_msgs_dropped_.load(std::memory_order_relaxed);
+  }
 
   void start();
   void stop();
@@ -80,6 +96,9 @@ class NodeRuntime {
   std::array<std::atomic<NodeArrayState*>, kMaxArrays> arrays_{};
   std::vector<std::unique_ptr<NodeArrayState>> array_storage_;
   ReduceBoard reduce_board_;
+  mutable SpinLock client_mu_;  // guards client_fn_ against uninstall races
+  ClientMsgFn client_fn_;
+  std::atomic<uint64_t> client_msgs_dropped_{0};
   bool started_ = false;
 };
 

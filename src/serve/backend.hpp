@@ -1,0 +1,61 @@
+// Storage interface the serve layer executes against. The dispatcher is
+// generic over the KVS flavor (BasicKvs<DArray> vs BasicKvs<gam::GamArray>)
+// through this small virtual seam, so src/serve compiles once and fig17 can
+// drive both engines through the same front door.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.hpp"
+#include "runtime/types.hpp"
+
+namespace darray::serve {
+
+class KvsBackend {
+ public:
+  virtual ~KvsBackend() = default;
+
+  // All three run on dispatcher worker threads (bound to a node's thread
+  // context) and may block on fabric traffic.
+  virtual Status get(std::string_view key, std::string& out) = 0;
+  virtual Status put(std::string_view key, std::string_view value) = 0;
+  virtual Status erase(std::string_view key) = 0;
+
+  // Deterministic serving affinity — see BasicKvs::owner_of.
+  virtual rt::NodeId owner_of(std::string_view key) const = 0;
+};
+
+template <typename Kvs>
+class KvsBackendAdapter final : public KvsBackend {
+ public:
+  explicit KvsBackendAdapter(Kvs kvs) : kvs_(std::move(kvs)) {}
+
+  Status get(std::string_view key, std::string& out) override {
+    auto v = kvs_.get(key);
+    if (!v) return Status::kNotFound;
+    out = std::move(*v);
+    return Status::kOk;
+  }
+
+  Status put(std::string_view key, std::string_view value) override {
+    // BasicKvs::put folds "too large" and "space exhausted" into one false;
+    // the size guard already ran at the session, so report capacity.
+    return kvs_.put(key, value) ? Status::kOk : Status::kCapacity;
+  }
+
+  Status erase(std::string_view key) override {
+    return kvs_.erase(key) ? Status::kOk : Status::kNotFound;
+  }
+
+  rt::NodeId owner_of(std::string_view key) const override {
+    return kvs_.owner_of(key);
+  }
+
+ private:
+  Kvs kvs_;
+};
+
+}  // namespace darray::serve

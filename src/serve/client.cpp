@@ -1,0 +1,55 @@
+#include "serve/client.hpp"
+
+#include "common/assert.hpp"
+
+namespace darray::serve {
+
+Client Client::connect(KvsService& service, Options opts) {
+  DARRAY_ASSERT_MSG(static_cast<bool>(service), "connect() on an empty KvsService");
+  DARRAY_ASSERT_MSG(opts.window > 0, "client window must be >= 1");
+  Client c;
+  c.lease_ = std::make_shared<SessionLease>();
+  c.lease_->svc = service.impl_ptr();
+  c.lease_->core =
+      c.lease_->svc->open_session(opts.node, opts.window, opts.timeout_ns);
+  return c;
+}
+
+OpHandle Client::submit(Request req) {
+  auto& svc = *lease_->svc;
+  auto& core = *lease_->core;
+  uint64_t seq;
+  {
+    std::unique_lock lk(core.mu);
+    core.cv.wait(lk, [&] { return core.inflight < core.window; });
+    seq = core.next_seq++;
+    core.pending.emplace(seq, PendingOp{});
+    ++core.inflight;
+  }
+  const Status st = svc.submit(core, seq, req);
+  if (st != Status::kOk) {
+    // Guard failure or synchronous local shed: complete the slot in place so
+    // the handle resolves with the typed error (kBusy counts like a wire
+    // busy-reply would).
+    Response r;
+    r.status = st;
+    core.deliver(seq, std::move(r), svc.counters());
+  }
+  return OpHandle(lease_->core, seq);
+}
+
+Status Client::put(std::string_view key, std::string_view value) {
+  return submit({ClientOp::kPut, std::string(key), std::string(value)}).get().status;
+}
+
+Status Client::get(std::string_view key, std::string& out) {
+  Response r = submit({ClientOp::kGet, std::string(key), {}}).get();
+  if (r.status == Status::kOk) out = std::move(r.value);
+  return r.status;
+}
+
+Status Client::erase(std::string_view key) {
+  return submit({ClientOp::kDelete, std::string(key), {}}).get().status;
+}
+
+}  // namespace darray::serve

@@ -1,0 +1,113 @@
+// darray::Client — the single client-facing entry point for KVS traffic.
+//
+//   auto svc = serve::KvsService::create(cluster, kvs);
+//   auto cli = darray::Client::connect(svc, {.node = 0});
+//   cli.put("user1", "v");                 // sync, typed Status
+//   auto h = cli.async_get("user1");       // pipelined, bounded window
+//   Response r = h.get();                  // r.status / r.value
+//
+// Every operation returns a typed Status (kOk / kNotFound / kBusy / kTimeout
+// / kTooLarge / ...) instead of the mixed bool-or-assert conventions of the
+// raw storage engine. Async submissions share a per-session in-flight window:
+// submit blocks once `window` operations are outstanding, which is the
+// client's half of the admission-control story (the server's half sheds with
+// kBusy). One Client is one session; a Client is not thread-safe, but any
+// number of Clients can share a service.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+
+namespace darray::serve {
+
+// Move-only completion handle for one submitted operation. get() blocks until
+// the response arrives or the session's timeout lapses; calling it consumes
+// the handle. Dropping a handle without get() leaks the window slot until the
+// response arrives, so harvest every handle.
+class OpHandle {
+ public:
+  OpHandle() = default;
+  OpHandle(std::shared_ptr<SessionCore> core, uint64_t seq)
+      : core_(std::move(core)), seq_(seq) {}
+  OpHandle(OpHandle&&) = default;
+  OpHandle& operator=(OpHandle&&) = default;
+  OpHandle(const OpHandle&) = delete;
+  OpHandle& operator=(const OpHandle&) = delete;
+
+  bool valid() const { return core_ != nullptr; }
+
+  // Non-blocking: has the response already landed?
+  bool ready() const {
+    if (!core_) return false;
+    std::lock_guard lk(core_->mu);
+    auto it = core_->pending.find(seq_);
+    return it != core_->pending.end() && it->second.done;
+  }
+
+  Response get() {
+    Response r = core_->await(seq_);
+    core_.reset();
+    return r;
+  }
+
+ private:
+  std::shared_ptr<SessionCore> core_;
+  uint64_t seq_ = 0;
+};
+
+class Client {
+ public:
+  struct Options {
+    rt::NodeId node = 0;      // cluster node this client's traffic enters at
+    uint32_t window = 16;     // max in-flight async ops before submit blocks
+    uint64_t timeout_ns = 0;  // per-op await timeout; 0 = wait forever
+  };
+
+  Client() = default;
+
+  static Client connect(KvsService& service, Options opts);
+  static Client connect(KvsService& service) { return connect(service, Options{}); }
+
+  explicit operator bool() const { return lease_ != nullptr; }
+
+  // --- synchronous API (submit + await) -----------------------------------
+  Status put(std::string_view key, std::string_view value);
+  // out receives the value only on kOk.
+  Status get(std::string_view key, std::string& out);
+  Status erase(std::string_view key);
+
+  // --- pipelined API -------------------------------------------------------
+  OpHandle submit(Request req);
+  OpHandle async_get(std::string_view key) {
+    return submit({ClientOp::kGet, std::string(key), {}});
+  }
+  OpHandle async_put(std::string_view key, std::string_view value) {
+    return submit({ClientOp::kPut, std::string(key), std::string(value)});
+  }
+  OpHandle async_erase(std::string_view key) {
+    return submit({ClientOp::kDelete, std::string(key), {}});
+  }
+
+ private:
+  // Ties the session lifetime to the Client: closing deregisters the session
+  // so stray responses count as late instead of matching a recycled id.
+  struct SessionLease {
+    std::shared_ptr<detail::ServiceImpl> svc;
+    std::shared_ptr<SessionCore> core;
+    ~SessionLease() { svc->close_session(*core); }
+  };
+
+  std::shared_ptr<SessionLease> lease_;
+};
+
+}  // namespace darray::serve
+
+namespace darray {
+// The public name applications use.
+using serve::Client;
+}  // namespace darray

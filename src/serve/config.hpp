@@ -1,0 +1,43 @@
+// Tunables for the client-serving front door.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace darray::serve {
+
+struct ServeConfig {
+  // Admission control: per-node bound on queued-plus-running requests. When
+  // the dispatcher is at capacity, new arrivals are shed with an immediate
+  // kBusy instead of growing the queue (bounded p99 under overload beats
+  // serving every request eventually). 0 disables shedding — the queue grows
+  // without bound, the baseline the serve_soak bench compares against.
+  uint32_t accept_queue_cap = 256;
+
+  // Dedicated KVS-executing worker threads per node. Runtime threads only
+  // route; the blocking KVS ops run here. 0 is legal (nothing executes —
+  // used by timeout tests).
+  uint32_t workers_per_node = 1;
+
+  // Owner-side hot-key cache (read lease): keys whose observed read rate
+  // crosses hot_promote_threshold get their value pinned at the owner's
+  // dispatcher, answering from memory without touching the KVS arrays.
+  // Writes through the serve path invalidate before responding.
+  bool hot_key_enabled = true;
+  uint32_t hot_promote_threshold = 64;  // reads-since-decay before promotion
+  uint32_t hot_max_entries = 16;        // zipfian head is tiny; keep the cache tiny
+  uint32_t hot_max_value_bytes = 4096;  // never pin bulk values
+
+  // Artificial per-request service time on the backend path (tests/bench:
+  // makes capacity deterministic so overload is reproducible). Hot-cache hits
+  // skip it — they model the fast path.
+  uint64_t worker_delay_ns = 0;
+
+  void validate() const {
+    DARRAY_ASSERT_MSG(hot_promote_threshold > 0, "hot_promote_threshold must be >= 1");
+    DARRAY_ASSERT_MSG(hot_max_entries > 0, "hot_max_entries must be >= 1");
+  }
+};
+
+}  // namespace darray::serve

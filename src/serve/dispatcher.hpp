@@ -1,0 +1,110 @@
+// Per-node request dispatcher: bounded admission, per-session FIFO execution
+// across a worker pool, and the owner-side hot-key cache.
+//
+// Runtime threads (and local session threads) call offer() — a constant-time
+// admit-or-shed decision. Dedicated worker threads, bound to the node's
+// thread context, pop work and execute it against the KVS backend, then hand
+// the response to the service's respond callback. Per-session ordering is
+// preserved even with several workers: a session's next request becomes
+// runnable only after its previous one completes.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/backend.hpp"
+#include "serve/config.hpp"
+#include "serve/counters.hpp"
+#include "serve/protocol.hpp"
+
+namespace darray::rt {
+class Cluster;
+}
+
+namespace darray::serve {
+
+struct Job {
+  uint64_t session_key = 0;  // origin<<32 | session id — FIFO domain
+  uint16_t origin = 0;       // node whose session issued the request
+  uint32_t session = 0;
+  uint64_t seq = 0;
+  ClientOp op = ClientOp::kGet;
+  std::string key;
+  std::string value;
+};
+
+class RequestDispatcher {
+ public:
+  using RespondFn = std::function<void(const Job&, Response&&)>;
+
+  RequestDispatcher(rt::Cluster& cluster, rt::NodeId node, const ServeConfig& cfg,
+                    KvsBackend& backend, ServeCounters& counters, RespondFn respond);
+  ~RequestDispatcher();
+
+  void start();
+  void stop();
+
+  // Admission control. Returns true if the job was queued; false means the
+  // dispatcher is at capacity and the caller must shed (the job is left
+  // intact — capacity is checked before anything is moved). Constant-time,
+  // safe from runtime threads.
+  bool offer(Job&& job);
+
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct SessionQueue {
+    std::deque<Job> jobs;
+    bool running = false;  // a worker is executing this session's head job
+  };
+
+  void worker_main(uint32_t idx);
+  void execute(Job& job, Response& out);
+
+  // Hot-key cache (owner side). `heat_` is a fixed array of hashed read
+  // counters — no allocation on the count path; `hot_` holds the promoted
+  // values. `hot_epoch_` bumps on every serve-path write: a promotion is only
+  // installed if no write happened between the backend read and the install,
+  // which closes the stale-promotion race (read old value → writer updates
+  // and invalidates → stale promotion would resurrect the old value).
+  bool hot_lookup(const std::string& key, std::string& out);
+  void hot_note_read(const std::string& key, const std::string& value,
+                     uint64_t epoch_before);
+  void hot_invalidate(const std::string& key);
+
+  rt::Cluster& cluster_;
+  const rt::NodeId node_;
+  const ServeConfig& cfg_;
+  KvsBackend& backend_;
+  ServeCounters& counters_;
+  RespondFn respond_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, SessionQueue> by_session_;  // guarded by mu_
+  std::deque<uint64_t> ready_;                             // guarded by mu_
+  uint32_t queued_ = 0;  // jobs queued + executing, guarded by mu_
+  bool stopping_ = false;
+
+  struct HotEntry {
+    std::string value;
+    uint64_t hits = 0;
+  };
+  std::mutex hot_mu_;
+  std::unordered_map<std::string, HotEntry> hot_;  // guarded by hot_mu_
+  std::array<uint32_t, 1024> heat_{};              // guarded by hot_mu_
+  uint64_t hot_epoch_ = 0;                         // guarded by hot_mu_
+
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> executed_{0};
+};
+
+}  // namespace darray::serve

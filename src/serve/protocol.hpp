@@ -1,0 +1,118 @@
+// Wire format for the client-serving plane.
+//
+// A serve request/response rides the fabric as a kClientReq/kClientResp
+// message. The MsgHeader carries the matching state — txn_id = session id,
+// addr = request sequence, chunk = key-hash spread (runtime-thread routing
+// only) — and the payload carries a fixed 8-byte wire struct followed by the
+// variable-length key/value bytes. Both structs are plain little-endian PODs:
+// the simulated fabric never leaves the process, so no byte-swapping.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "net/payload_buf.hpp"
+
+namespace darray::serve {
+
+enum class ClientOp : uint8_t { kGet = 0, kPut = 1, kDelete = 2 };
+
+inline const char* client_op_name(ClientOp op) {
+  switch (op) {
+    case ClientOp::kGet: return "get";
+    case ClientOp::kPut: return "put";
+    case ClientOp::kDelete: return "del";
+  }
+  return "?";
+}
+
+// What an application hands to darray::Client. `value` is ignored for
+// kGet/kDelete.
+struct Request {
+  ClientOp op = ClientOp::kGet;
+  std::string key;
+  std::string value;
+};
+
+// What comes back. `value` is only populated for a kGet that returned kOk.
+struct Response {
+  Status status = Status::kTimeout;  // default: "never answered"
+  std::string value;
+};
+
+// Keys share the KVS blob-length field downstream, so cap them the same way.
+inline constexpr size_t kMaxKeyLen = 0xffff;
+
+// --- on-wire structs --------------------------------------------------------
+
+struct WireReq {
+  uint8_t op = 0;
+  uint8_t pad = 0;
+  uint16_t key_len = 0;
+  uint32_t val_len = 0;
+};
+static_assert(sizeof(WireReq) == 8);
+
+struct WireResp {
+  uint8_t status = 0;
+  uint8_t pad = 0;
+  uint16_t pad2 = 0;
+  uint32_t val_len = 0;
+};
+static_assert(sizeof(WireResp) == 8);
+
+// --- encode / decode --------------------------------------------------------
+
+inline void encode_request(net::PayloadBuf& buf, ClientOp op, std::string_view key,
+                           std::string_view value) {
+  WireReq w;
+  w.op = static_cast<uint8_t>(op);
+  w.key_len = static_cast<uint16_t>(key.size());
+  w.val_len = static_cast<uint32_t>(value.size());
+  buf.resize(sizeof(WireReq) + key.size() + value.size());
+  std::byte* p = buf.data();
+  std::memcpy(p, &w, sizeof(w));
+  std::memcpy(p + sizeof(w), key.data(), key.size());
+  std::memcpy(p + sizeof(w) + key.size(), value.data(), value.size());
+}
+
+// Returns false on a malformed payload (truncated or inconsistent lengths).
+inline bool decode_request(const net::PayloadBuf& buf, ClientOp& op, std::string& key,
+                           std::string& value) {
+  if (buf.size() < sizeof(WireReq)) return false;
+  WireReq w;
+  std::memcpy(&w, buf.data(), sizeof(w));
+  if (w.op > static_cast<uint8_t>(ClientOp::kDelete)) return false;
+  if (buf.size() != sizeof(WireReq) + w.key_len + w.val_len) return false;
+  const char* p = reinterpret_cast<const char*>(buf.data()) + sizeof(WireReq);
+  op = static_cast<ClientOp>(w.op);
+  key.assign(p, w.key_len);
+  value.assign(p + w.key_len, w.val_len);
+  return true;
+}
+
+inline void encode_response(net::PayloadBuf& buf, Status st, std::string_view value) {
+  WireResp w;
+  w.status = static_cast<uint8_t>(st);
+  w.val_len = static_cast<uint32_t>(value.size());
+  buf.resize(sizeof(WireResp) + value.size());
+  std::byte* p = buf.data();
+  std::memcpy(p, &w, sizeof(w));
+  std::memcpy(p + sizeof(w), value.data(), value.size());
+}
+
+inline bool decode_response(const net::PayloadBuf& buf, Response& out) {
+  if (buf.size() < sizeof(WireResp)) return false;
+  WireResp w;
+  std::memcpy(&w, buf.data(), sizeof(w));
+  if (buf.size() != sizeof(WireResp) + w.val_len) return false;
+  out.status = static_cast<Status>(w.status);
+  out.value.assign(reinterpret_cast<const char*>(buf.data()) + sizeof(WireResp),
+                   w.val_len);
+  return true;
+}
+
+}  // namespace darray::serve

@@ -1,0 +1,94 @@
+#include "serve/tcp_gateway.hpp"
+
+#include <sys/socket.h>
+
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/status.hpp"
+
+namespace darray::serve {
+
+namespace {
+
+// Reads up to one '\n'-terminated line (newline stripped, tolerates "\r\n").
+// Returns false when the peer hangs up.
+bool recv_line(int fd, std::string& line) {
+  line.clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) return false;
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    line.push_back(c);
+    if (line.size() > 1 << 20) return false;  // refuse absurd lines
+  }
+}
+
+}  // namespace
+
+bool TcpGateway::start() {
+  net::SocketListener::Options lopts;
+  lopts.bind_addr = opts_.bind_addr;
+  lopts.port = opts_.port;
+  lopts.name = "gateway";
+  if (!listener_.start(std::move(lopts), [this](int fd) { serve_conn(fd); }))
+    return false;
+  DLOG_INFO("gateway: serving kvs on %s:%u", opts_.bind_addr.c_str(),
+            listener_.port());
+  return true;
+}
+
+void TcpGateway::serve_conn(int fd) {
+  Client cli = Client::connect(service_, {.node = opts_.node, .window = 1,
+                                          .timeout_ns = opts_.timeout_ns});
+  std::string line;
+  while (recv_line(fd, line)) {
+    const size_t sp1 = line.find(' ');
+    const std::string cmd = line.substr(0, sp1);
+    if (cmd == "QUIT") return;
+    if (sp1 == std::string::npos) {
+      if (!net::send_all(fd, "ERR malformed\n")) return;
+      continue;
+    }
+    std::string reply;
+    if (cmd == "GET") {
+      std::string value;
+      const Status st = cli.get(line.substr(sp1 + 1), value);
+      if (st == Status::kOk)
+        reply = "VALUE " + std::to_string(value.size()) + "\n" + value + "\n";
+      else if (st == Status::kNotFound)
+        reply = "NOT_FOUND\n";
+      else if (st == Status::kBusy)
+        reply = "BUSY\n";
+      else
+        reply = std::string("ERR ") + status_name(st) + "\n";
+    } else if (cmd == "PUT") {
+      const size_t sp2 = line.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos) {
+        reply = "ERR malformed\n";
+      } else {
+        const Status st =
+            cli.put(line.substr(sp1 + 1, sp2 - sp1 - 1), line.substr(sp2 + 1));
+        reply = st == Status::kOk ? "STORED\n"
+                                  : std::string("ERR ") + status_name(st) + "\n";
+      }
+    } else if (cmd == "DEL") {
+      const Status st = cli.erase(line.substr(sp1 + 1));
+      if (st == Status::kOk)
+        reply = "DELETED\n";
+      else if (st == Status::kNotFound)
+        reply = "NOT_FOUND\n";
+      else
+        reply = std::string("ERR ") + status_name(st) + "\n";
+    } else {
+      reply = "ERR unknown_command\n";
+    }
+    if (!net::send_all(fd, reply)) return;
+  }
+}
+
+}  // namespace darray::serve

@@ -1,0 +1,50 @@
+// TcpGateway: a loopback TCP front end over darray::Client, mostly for poking
+// the serve path from external tools and the gateway test. Line protocol,
+// memcached-flavored:
+//
+//   GET <key>\n            → VALUE <len>\n<bytes>\n | NOT_FOUND\n | BUSY\n
+//   PUT <key> <value>\n    → STORED\n | ERR <status>\n
+//   DEL <key>\n            → DELETED\n | NOT_FOUND\n
+//   QUIT\n                 → closes the connection
+//
+// Built on net::SocketListener (shared with the telemetry server); each
+// connection gets its own Client session, handled serially on the accept
+// thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket_listener.hpp"
+#include "serve/client.hpp"
+
+namespace darray::serve {
+
+class TcpGateway {
+ public:
+  struct Options {
+    std::string bind_addr = "127.0.0.1";
+    uint16_t port = 0;        // 0: ephemeral, read back via port()
+    rt::NodeId node = 0;      // node new sessions attach to
+    uint64_t timeout_ns = 2'000'000'000;  // never wedge a TCP client forever
+  };
+
+  TcpGateway(KvsService service, Options opts)
+      : service_(std::move(service)), opts_(std::move(opts)) {}
+  explicit TcpGateway(KvsService service)
+      : TcpGateway(std::move(service), Options{}) {}
+  ~TcpGateway() { stop(); }
+
+  bool start();
+  void stop() { listener_.stop(); }
+  uint16_t port() const { return listener_.port(); }
+
+ private:
+  void serve_conn(int fd);
+
+  KvsService service_;
+  Options opts_;
+  net::SocketListener listener_;
+};
+
+}  // namespace darray::serve

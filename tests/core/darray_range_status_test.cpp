@@ -1,0 +1,64 @@
+// get_range/set_range out-of-bounds extents return Status::kOutOfRange
+// instead of aborting the process — the death-test-to-Status migration. The
+// serve path forwards client-supplied extents into these calls, so a
+// malformed request must surface as a typed error, never crash the cluster.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/darray.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray {
+namespace {
+
+using testing::run_on_nodes;
+using testing::small_cfg;
+
+TEST(DArrayRangeStatus, OutOfBoundsReturnsTypedError) {
+  rt::Cluster cluster(small_cfg(2));
+  const uint64_t n = 256;
+  auto a = DArray<uint64_t>::create(cluster, n);
+  bind_thread(cluster, 0);
+
+  std::vector<uint64_t> buf(16, 7);
+
+  // Entirely past the end.
+  EXPECT_EQ(a.get_range(n, std::span<uint64_t>(buf)), Status::kOutOfRange);
+  EXPECT_EQ(a.set_range(n, std::span<const uint64_t>(buf)), Status::kOutOfRange);
+  // Straddling the end.
+  EXPECT_EQ(a.get_range(n - 8, std::span<uint64_t>(buf)), Status::kOutOfRange);
+  EXPECT_EQ(a.set_range(n - 8, std::span<const uint64_t>(buf)), Status::kOutOfRange);
+  // first + count overflow must not wrap around to "valid".
+  EXPECT_EQ(a.get_range(~0ull - 4, std::span<uint64_t>(buf)), Status::kOutOfRange);
+  // Span longer than the whole array.
+  std::vector<uint64_t> big(n + 1);
+  EXPECT_EQ(a.get_range(0, std::span<uint64_t>(big)), Status::kOutOfRange);
+
+  // A failed set_range must not have written anything.
+  for (uint64_t i = n - 16; i < n; ++i) EXPECT_EQ(a.get(i), 0u);
+}
+
+TEST(DArrayRangeStatus, ValidExtentsReturnOkAndRoundTrip) {
+  rt::Cluster cluster(small_cfg(2));
+  const uint64_t n = 256;
+  auto a = DArray<uint64_t>::create(cluster, n);
+  bind_thread(cluster, 0);
+
+  std::vector<uint64_t> src(64);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = 1000 + i;
+  ASSERT_EQ(a.set_range(100, std::span<const uint64_t>(src)), Status::kOk);
+
+  std::vector<uint64_t> dst(64, 0);
+  ASSERT_EQ(a.get_range(100, std::span<uint64_t>(dst)), Status::kOk);
+  EXPECT_EQ(dst, src);
+
+  // Boundary cases: the exact tail, and the empty range anywhere valid.
+  std::vector<uint64_t> tail(16);
+  EXPECT_EQ(a.get_range(n - 16, std::span<uint64_t>(tail)), Status::kOk);
+  EXPECT_EQ(a.get_range(n, std::span<uint64_t>()), Status::kOk);
+  EXPECT_EQ(a.set_range(0, std::span<const uint64_t>()), Status::kOk);
+}
+
+}  // namespace
+}  // namespace darray

@@ -1,0 +1,113 @@
+// Admission control under overload: bounded queues shed with kBusy and never
+// hang; unbounded queues accept everything; a dead backend surfaces kTimeout.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kvs/kvs.hpp"
+#include "serve/client.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray::serve {
+namespace {
+
+kvs::KvsConfig tiny_kvs() {
+  kvs::KvsConfig c;
+  c.n_main_buckets = 64;
+  c.n_overflow_buckets = 32;
+  c.byte_capacity = 4 << 20;
+  return c;
+}
+
+TEST(ServeOverload, ShedsWithBusyAndNeverHangs) {
+  // One slow worker + a tiny accept queue: a pipelined burst far beyond
+  // capacity must (a) complete every handle — shed ops resolve as kBusy, not
+  // hang — and (b) actually shed.
+  rt::Cluster cluster(testing::small_cfg(2));
+  ServeConfig cfg;
+  cfg.workers_per_node = 1;
+  cfg.accept_queue_cap = 4;
+  cfg.worker_delay_ns = 2'000'000;  // 2 ms per op: queue fills immediately
+  auto svc = KvsService::create(cluster, kvs::DKvs::create(cluster, tiny_kvs()), cfg);
+  Client cli = Client::connect(svc, {.node = 0, .window = 64});
+
+  std::vector<OpHandle> hs;
+  for (int i = 0; i < 100; ++i)
+    hs.push_back(cli.async_put("hotspot" + std::to_string(i % 3), "v"));
+  uint64_t ok = 0, busy = 0;
+  for (auto& h : hs) {
+    const Status st = h.get().status;
+    if (st == Status::kOk)
+      ++ok;
+    else if (st == Status::kBusy)
+      ++busy;
+    else
+      FAIL() << "unexpected status " << status_name(st);
+  }
+  EXPECT_EQ(ok + busy, 100u);
+  EXPECT_GT(busy, 0u) << "burst above capacity must shed";
+  EXPECT_GT(ok, 0u) << "admitted requests must still be served";
+  EXPECT_EQ(svc.counters().shed.load(), svc.counters().busy_replies.load());
+  svc.shutdown();
+}
+
+TEST(ServeOverload, UnboundedQueueNeverSheds) {
+  rt::Cluster cluster(testing::small_cfg(2));
+  ServeConfig cfg;
+  cfg.workers_per_node = 1;
+  cfg.accept_queue_cap = 0;  // admission off
+  cfg.worker_delay_ns = 100'000;
+  auto svc = KvsService::create(cluster, kvs::DKvs::create(cluster, tiny_kvs()), cfg);
+  Client cli = Client::connect(svc, {.node = 0, .window = 32});
+
+  std::vector<OpHandle> hs;
+  for (int i = 0; i < 80; ++i) hs.push_back(cli.async_put("k" + std::to_string(i), "v"));
+  for (auto& h : hs) EXPECT_EQ(h.get().status, Status::kOk);
+  EXPECT_EQ(svc.counters().shed.load(), 0u);
+  svc.shutdown();
+}
+
+TEST(ServeOverload, DeadBackendTimesOutTyped) {
+  // Zero workers: accepted requests never execute. A session with a timeout
+  // gets kTimeout (not a hang, not a crash), and the response that never
+  // came is not counted as late (nothing was ever produced).
+  rt::Cluster cluster(testing::small_cfg(2));
+  ServeConfig cfg;
+  cfg.workers_per_node = 0;
+  auto svc = KvsService::create(cluster, kvs::DKvs::create(cluster, tiny_kvs()), cfg);
+  Client cli =
+      Client::connect(svc, {.node = 0, .window = 4, .timeout_ns = 50'000'000});
+
+  std::string v;
+  EXPECT_EQ(cli.get("anything", v), Status::kTimeout);
+  EXPECT_EQ(cli.put("anything", "x"), Status::kTimeout);
+  svc.shutdown();
+}
+
+TEST(ServeOverload, ShedBurstThenRecover) {
+  // After a shed burst drains, the service keeps working normally.
+  rt::Cluster cluster(testing::small_cfg(2));
+  ServeConfig cfg;
+  cfg.workers_per_node = 1;
+  cfg.accept_queue_cap = 2;
+  cfg.worker_delay_ns = 1'000'000;
+  auto svc = KvsService::create(cluster, kvs::DKvs::create(cluster, tiny_kvs()), cfg);
+  Client cli = Client::connect(svc, {.node = 0, .window = 32});
+
+  std::vector<OpHandle> hs;
+  for (int i = 0; i < 40; ++i) hs.push_back(cli.async_put("burst", "v"));
+  for (auto& h : hs) h.get();
+  ASSERT_GT(svc.counters().shed.load(), 0u);
+
+  // Sequential (window-1-style) traffic after the burst: full service.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(cli.put("after" + std::to_string(i), "v"), Status::kOk);
+  std::string v;
+  EXPECT_EQ(cli.get("after0", v), Status::kOk);
+  EXPECT_EQ(v, "v");
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace darray::serve

@@ -1,0 +1,76 @@
+// TcpGateway line protocol over a live serve stack: real sockets, real
+// sessions, typed errors mapped onto wire replies.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "kvs/kvs.hpp"
+#include "serve/tcp_gateway.hpp"
+#include "tests/test_util.hpp"
+
+namespace darray::serve {
+namespace {
+
+int dial(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+std::string roundtrip(int fd, const std::string& cmd, size_t want_lines = 1) {
+  EXPECT_EQ(::send(fd, cmd.data(), cmd.size(), 0),
+            static_cast<ssize_t>(cmd.size()));
+  std::string out;
+  size_t lines = 0;
+  char c;
+  while (lines < want_lines && ::recv(fd, &c, 1, 0) == 1) {
+    out.push_back(c);
+    if (c == '\n') ++lines;
+  }
+  return out;
+}
+
+TEST(ServeGateway, LineProtocolRoundTrip) {
+  rt::Cluster cluster(testing::small_cfg(2));
+  kvs::KvsConfig kcfg;
+  kcfg.n_main_buckets = 64;
+  kcfg.n_overflow_buckets = 32;
+  kcfg.byte_capacity = 4 << 20;
+  auto svc = KvsService::create(cluster, kvs::DKvs::create(cluster, kcfg));
+  TcpGateway gw(svc, {.bind_addr = "127.0.0.1", .port = 0, .node = 0});
+  ASSERT_TRUE(gw.start());
+  ASSERT_NE(gw.port(), 0);
+
+  const int fd = dial(gw.port());
+  EXPECT_EQ(roundtrip(fd, "PUT greeting hello world\n"), "STORED\n");
+  EXPECT_EQ(roundtrip(fd, "GET greeting\n", 2), "VALUE 11\nhello world\n");
+  EXPECT_EQ(roundtrip(fd, "GET nope\n"), "NOT_FOUND\n");
+  EXPECT_EQ(roundtrip(fd, "DEL greeting\n"), "DELETED\n");
+  EXPECT_EQ(roundtrip(fd, "DEL greeting\n"), "NOT_FOUND\n");
+  EXPECT_EQ(roundtrip(fd, "FROB x\n"), "ERR unknown_command\n");
+  EXPECT_EQ(roundtrip(fd, "GET\n"), "ERR malformed\n");
+  ::close(fd);
+
+  // The gateway handles connections serially: a second connection gets its
+  // own session and still sees the store.
+  const int fd2 = dial(gw.port());
+  EXPECT_EQ(roundtrip(fd2, "PUT k2 v2\n"), "STORED\n");
+  EXPECT_EQ(roundtrip(fd2, "GET k2\n", 2), "VALUE 2\nv2\n");
+  ::close(fd2);
+
+  gw.stop();
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace darray::serve

@@ -276,6 +276,16 @@ void render(const Snapshot& snap, const std::string& host, uint16_t port,
                 fmt_si(latest_rate(find(snap, "net.rndz.completed"))).c_str(),
                 fmt_si(rndz_fall).c_str());
 
+  // Client-serving front door (src/serve), when a KvsService is attached.
+  const double srv_acc = latest_rate(find(snap, "serve.accepted"));
+  const double srv_shed = latest_rate(find(snap, "serve.shed"));
+  const double srv_hot = latest_rate(find(snap, "serve.hot_hits"));
+  if (srv_acc > 0 || srv_shed > 0)
+    std::printf("  serve/s  accepted %s  shed %s  hot-hits %s  (%.0f%% shed)\n",
+                fmt_si(srv_acc).c_str(), fmt_si(srv_shed).c_str(),
+                fmt_si(srv_hot).c_str(),
+                srv_acc + srv_shed > 0 ? 100.0 * srv_shed / (srv_acc + srv_shed) : 0.0);
+
   // Latency percentiles (point series sampled from the op histograms).
   std::printf("\n  %-8s %9s %-*s %9s %-*s\n", "op", "p50 ns", static_cast<int>(kSpark),
               "", "p99 ns", static_cast<int>(kSpark), "");
