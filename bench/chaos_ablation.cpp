@@ -14,9 +14,12 @@
 #include "bench/bench_util.hpp"
 #include "chaos/fault_plan.hpp"
 #include "core/darray.hpp"
+#include "kvs/kvs.hpp"
 #include "net/message.hpp"
+#include "obs/journey.hpp"
 #include "obs/latency_histogram.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
 
 using namespace darray;
 using namespace darray::bench;
@@ -241,10 +244,13 @@ int watchdog_main() {
 
 // --serve: live telemetry demo and CI target. The seeded chaos workload runs
 // as a continuous flood (one thread per node, random set+get) while the
-// embedded listener serves /metrics, /stats.json and /series.json — point
-// curl, Prometheus, or tools/darray-top at it. Runs for DARRAY_SERVE_SECONDS
-// (default 30) then drains and exits 0; exits 1 if the listener failed to
-// bind (port taken).
+// embedded listener serves /metrics, /stats.json, /series.json, /slow.json
+// and /healthz — point curl, Prometheus, or tools/darray-top at it. A KVS
+// serving flood (sync client per node against workers with an artificial
+// backend stall) runs alongside the array flood, so the request-journey
+// families (darray_stage_latency_ns, /slow.json retained tails) are live
+// too. Runs for DARRAY_SERVE_SECONDS (default 30) then drains and exits 0;
+// exits 1 if the listener failed to bind (port taken).
 int serve_main() {
   const uint64_t secs = env_u64("DARRAY_SERVE_SECONDS", 30);
   std::printf("=== Chaos ablation (--serve): live telemetry under a chaos flood ===\n");
@@ -270,7 +276,8 @@ int serve_main() {
                  "set DARRAY_TELEMETRY_PORT, 0 = ephemeral)\n", cfg.telemetry_port);
     return 1;
   }
-  std::printf("serving on http://127.0.0.1:%u  (/metrics  /stats.json  /series.json)\n",
+  std::printf("serving on http://127.0.0.1:%u  (/metrics  /stats.json  /series.json  "
+              "/slow.json  /healthz)\n",
               cluster.telemetry_port());
   std::printf("flood: %u node%s x 1 thread, chaos plan seed-7%s; "
               "%llu s (DARRAY_SERVE_SECONDS)\n",
@@ -281,6 +288,16 @@ int serve_main() {
 
   const uint64_t total = elems_per_node() * cluster.num_nodes();
   auto arr = DArray<uint64_t>::create(cluster, total);
+
+  // KVS serving plane: workers with an artificial backend stall, journey
+  // floor low enough that every stalled request is tail-retained. This is
+  // what keeps /slow.json non-empty for the CI scrape.
+  serve::ServeConfig scfg;
+  scfg.workers_per_node = 2;
+  scfg.worker_delay_ns = env_u64("DARRAY_SERVE_WORKER_DELAY_NS", 500'000);
+  scfg.journey_slow_floor_ns = env_u64("DARRAY_SERVE_JOURNEY_FLOOR_NS", 250'000);
+  serve::KvsService svc = serve::KvsService::create(cluster, kvs::DKvs::create(cluster), scfg);
+
   std::atomic<bool> stop{false};
   std::vector<std::thread> floods;
   for (rt::NodeId n = 0; n < cluster.num_nodes(); ++n) {
@@ -296,19 +313,42 @@ int serve_main() {
       }
     });
   }
+  std::vector<std::thread> serve_floods;
+  for (rt::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    serve_floods.emplace_back([&, n] {
+      serve::Client cli = serve::Client::connect(svc, {.node = n});
+      uint64_t x = 0x2545f4914f6cdd1dull * (n + 1);
+      std::string v;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        const std::string key = "k" + std::to_string(x % 1024);
+        if (x % 8 == 0)
+          cli.put(key, "v" + std::to_string(x));
+        else
+          cli.get(key, v);
+      }
+    });
+  }
   const auto t_end = std::chrono::steady_clock::now() + std::chrono::seconds(secs);
   while (std::chrono::steady_clock::now() < t_end)
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : floods) t.join();
+  for (auto& t : serve_floods) t.join();
 
   const auto snap = cluster.stats();
+  const auto& jc = obs::journey_collector();
   std::printf("done: %llu http requests, %llu telemetry samples, "
               "%llu remote reqs, %llu injected faults recovered\n",
               static_cast<unsigned long long>(snap.value_or("telemetry.requests")),
               static_cast<unsigned long long>(snap.value_or("telemetry.samples")),
               static_cast<unsigned long long>(snap.value_or("runtime.remote_reqs")),
               static_cast<unsigned long long>(snap.value_or("fabric.retries")));
+  std::printf("journeys: %llu completed, %llu retained (threshold %llu ns)\n",
+              static_cast<unsigned long long>(jc.completed()),
+              static_cast<unsigned long long>(jc.retained()),
+              static_cast<unsigned long long>(jc.threshold_ns()));
+  svc.shutdown();
   obs::set_tracing(false);
   return 0;
 }

@@ -14,6 +14,10 @@
 //   hot_on/hot_off 95% gets, zipfian 0.99 at moderate load: the owner-side
 //                  hot-key cache answers the zipfian head without touching
 //                  the storage engine
+//   stages         request-journey breakdown (obs v4) under a 500 µs injected
+//                  backend stall: the five stage histograms must partition
+//                  end-to-end latency (stage_sum_ratio ~ 1) and the backend
+//                  stage must dominate the retained slow journeys
 //
 // The paper's serving story (§6.5) is closed-loop throughput; this harness
 // covers the orthogonal SLO axis: what clients *experience* when offered load
@@ -28,6 +32,7 @@
 
 #include "bench/bench_util.hpp"
 #include "kvs/kvs.hpp"
+#include "obs/journey.hpp"
 #include "obs/telemetry_server.hpp"
 #include "serve/client.hpp"
 #include "serve/ycsb_serve.hpp"
@@ -207,6 +212,70 @@ PhaseResult run_hot(uint32_t nodes, const ServeConfig& scfg, YcsbConfig ycfg,
   return r;
 }
 
+// Journey-breakdown phase: closed-loop sync ops against workers with a fixed
+// artificial backend stall, reading the per-stage histograms the serve path
+// filled. The load phase's journeys are dropped first so the numbers cover
+// only the timed mix.
+struct StageResult {
+  double p50_us[obs::kNumJourneyStages] = {0};
+  double p99_us[obs::kNumJourneyStages] = {0};
+  double e2e_p50_us = 0, e2e_p99_us = 0;
+  double stage_sum_ratio = 0;   // sum of per-stage sums / end-to-end sum
+  double backend_dom_pct = 0;   // % of retained slow journeys backend-dominated
+  double retained = 0;
+};
+
+StageResult run_stages(uint32_t nodes, const ServeConfig& scfg, YcsbConfig ycfg,
+                       uint64_t ops_per_thread) {
+  Fleet f(nodes, scfg, ycfg);
+  auto& jc = obs::journey_collector();
+  jc.reset();
+
+  std::vector<std::thread> ts;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    ts.emplace_back([&, n] {
+      Client cli = Client::connect(f.svc, {.node = n});
+      Xoshiro256 rng(13 * 1000003 + n);
+      ZipfGenerator zipf(ycfg.n_keys, ycfg.zipf_theta);
+      std::string v;
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        const uint64_t k = zipf.next(rng);
+        if (rng.next_double() < ycfg.get_ratio)
+          cli.get(ycsb_key(k), v);
+        else
+          cli.put(ycsb_key(k), ycsb_value(k ^ i, ycfg.value_bytes));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  StageResult r;
+  uint64_t stage_sum = 0;
+  for (size_t s = 0; s < obs::kNumJourneyStages; ++s) {
+    const obs::HistogramSnapshot snap =
+        jc.stage_snapshot(static_cast<obs::JourneyStage>(s));
+    r.p50_us[s] = static_cast<double>(snap.percentile_ns(0.50)) / 1e3;
+    r.p99_us[s] = static_cast<double>(snap.percentile_ns(0.99)) / 1e3;
+    stage_sum += snap.sum_ns;
+  }
+  const obs::HistogramSnapshot e2e = jc.e2e_snapshot();
+  r.e2e_p50_us = static_cast<double>(e2e.percentile_ns(0.50)) / 1e3;
+  r.e2e_p99_us = static_cast<double>(e2e.percentile_ns(0.99)) / 1e3;
+  r.stage_sum_ratio =
+      e2e.sum_ns ? static_cast<double>(stage_sum) / static_cast<double>(e2e.sum_ns) : 0;
+
+  uint64_t slow = 0, backend_dom = 0;
+  for (const obs::RequestJourney& j : jc.snapshot_retained()) {
+    if (j.flags != 0 || j.total_ns() == 0) continue;  // sheds/timeouts: no chain
+    ++slow;
+    if (j.dominant_stage() == obs::JourneyStage::kBackend) ++backend_dom;
+  }
+  r.backend_dom_pct =
+      slow ? 100.0 * static_cast<double>(backend_dom) / static_cast<double>(slow) : 0;
+  r.retained = static_cast<double>(jc.retained());
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -312,6 +381,49 @@ int main(int argc, char** argv) {
   report.add("hot_off", "get_mean_us", "us", hot_off_mean);
   report.add("hot_off", "get_p50_us", "us", hot_off_p50);
   report.add("hot_off", "get_p99_us", "us", hot_off_p99);
+
+  // Stage-breakdown phase: a 500 µs backend stall must show up as the backend
+  // stage, the stages must account for (nearly) all of end-to-end time, and
+  // the tail sampler must retain slow journeys blaming the backend.
+  ServeConfig stage_cfg = base;
+  stage_cfg.worker_delay_ns = env_u64("DARRAY_SERVE_STAGE_DELAY_NS", 500'000);
+  const uint64_t stage_ops = env_u64("DARRAY_BENCH_STAGE_OPS", 1500);
+  std::vector<double> st_ratio, st_dom, st_retained, st_e2e_p50, st_e2e_p99;
+  std::vector<std::vector<double>> st_p50(obs::kNumJourneyStages),
+      st_p99(obs::kNumJourneyStages);
+  print_header("request-journey stages, 500us backend stall",
+               {"phase", "backend_p50us", "backend_p99us", "sum_ratio", "backend_dom%",
+                "retained"});
+  for (uint32_t rep = 0; rep < reps; ++rep) {
+    StageResult s = run_stages(nodes, stage_cfg, ycfg, stage_ops);
+    st_ratio.push_back(s.stage_sum_ratio);
+    st_dom.push_back(s.backend_dom_pct);
+    st_retained.push_back(s.retained);
+    st_e2e_p50.push_back(s.e2e_p50_us);
+    st_e2e_p99.push_back(s.e2e_p99_us);
+    for (size_t i = 0; i < obs::kNumJourneyStages; ++i) {
+      st_p50[i].push_back(s.p50_us[i]);
+      st_p99[i].push_back(s.p99_us[i]);
+    }
+    const size_t bk = static_cast<size_t>(obs::JourneyStage::kBackend);
+    print_row(1, {s.p50_us[bk], s.p99_us[bk], s.stage_sum_ratio, s.backend_dom_pct,
+                  s.retained},
+              "%14.2f");
+    if (dump && rep == 0) {
+      if (obs::journey_collector().dump_json("serve_slow.json"))
+        std::printf("journey dump: wrote serve_slow.json\n");
+    }
+  }
+  for (size_t i = 0; i < obs::kNumJourneyStages; ++i) {
+    const std::string st = obs::journey_stage_name(static_cast<obs::JourneyStage>(i));
+    report.add("stages", st + "_p50_us", "us", st_p50[i]);
+    report.add("stages", st + "_p99_us", "us", st_p99[i]);
+  }
+  report.add("stages", "e2e_p50_us", "us", st_e2e_p50);
+  report.add("stages", "e2e_p99_us", "us", st_e2e_p99);
+  report.add("stages", "stage_sum_ratio", "ratio", st_ratio);
+  report.add("stages", "backend_dom_pct", "pct", st_dom);
+  report.add("stages", "retained", "count", st_retained);
 
   {
     // A fresh fleet whose registry still has live serve counters: embed the

@@ -48,6 +48,11 @@ def main():
                     help="require median[CONFIG][METRIC] >= MIN within this "
                          "report (repeatable); e.g. admission_on:shed_pct:1 "
                          "asserts the overload phase actually shed")
+    ap.add_argument("--gate-max", action="append", default=[],
+                    metavar="CONFIG:METRIC:MAX",
+                    help="require median[CONFIG][METRIC] <= MAX within this "
+                         "report (repeatable); e.g. stages:stage_sum_ratio:1.1 "
+                         "asserts the journey stages partition end-to-end time")
     args = ap.parse_args()
 
     report = load(args.report)
@@ -218,6 +223,34 @@ def main():
             tag = f"{cfg}/{metric}: median {median:g} (floor {floor:g})"
             if median < floor:
                 failures.append("MIN GATE " + tag)
+            else:
+                print("ok " + tag)
+
+    # Absolute ceiling gates: the mirror of --gate-min, for metrics that must
+    # stay bounded (ratios near 1, error percentages, etc.).
+    if args.gate_max:
+        fresh = index_results(report)
+        for spec in args.gate_max:
+            parts = spec.split(":")
+            if len(parts) != 3:
+                failures.append(f"bad --gate-max spec {spec!r} "
+                                "(want CONFIG:METRIC:MAX)")
+                continue
+            cfg, metric, ceiling = parts
+            try:
+                ceiling = float(ceiling)
+            except ValueError:
+                failures.append(f"bad --gate-max ceiling in {spec!r}")
+                continue
+            r = fresh.get((cfg, metric))
+            if r is None:
+                failures.append(f"gate-max {spec}: no result for "
+                                f"({cfg}, {metric})")
+                continue
+            median = float(r["median"])
+            tag = f"{cfg}/{metric}: median {median:g} (ceiling {ceiling:g})"
+            if median > ceiling:
+                failures.append("MAX GATE " + tag)
             else:
                 print("ok " + tag)
 

@@ -4,8 +4,10 @@
 Checks what a real scraper would choke on: metric/label name syntax, numeric
 sample values, TYPE lines that precede their samples and use known types, no
 duplicate series, and — for histograms — le-bucket cumulativity, a +Inf
-bucket, and bucket/_count agreement. Stdlib only, so the CI job needs nothing
-beyond python3:
+bucket, and bucket/_count agreement. OpenMetrics exemplar suffixes
+(' # {trace_id="..."} value') are validated when present: bucket lines only,
+well-formed label set, numeric value no larger than the bucket's le. Stdlib
+only, so the CI job needs nothing beyond python3:
 
     curl -s http://127.0.0.1:9464/metrics > metrics.txt
     scripts/validate_prometheus.py metrics.txt \
@@ -59,6 +61,7 @@ def main():
         lines = f.read().splitlines()
 
     failures = []
+    n_exemplars = 0
     types = {}        # family -> declared type
     samples = {}      # family -> sample count
     seen_series = set()
@@ -111,6 +114,13 @@ def main():
                     failures.append(f"{where}: duplicate label {mm.group(1)!r}")
                 labels[mm.group(1)] = mm.group(2)
         fields = rest.split()
+        # OpenMetrics exemplar suffix. Splitting on whitespace is fine for
+        # this producer: exemplar label values (hex trace ids) carry none.
+        exemplar_fields = None
+        if "#" in fields:
+            h = fields.index("#")
+            exemplar_fields = fields[h + 1:]
+            fields = fields[:h]
         if not fields:
             failures.append(f"{where}: sample without a value: {line!r}")
             continue
@@ -118,6 +128,31 @@ def main():
         if value is None:
             failures.append(f"{where}: non-numeric value {fields[0]!r}")
             continue
+        if exemplar_fields is not None:
+            n_exemplars += 1
+            if not name.endswith("_bucket"):
+                failures.append(f"{where}: exemplar on a non-bucket sample "
+                                f"{name}")
+            if (not exemplar_fields
+                    or not exemplar_fields[0].startswith("{")
+                    or not exemplar_fields[0].endswith("}")):
+                failures.append(f"{where}: exemplar without a label set: "
+                                f"{line!r}")
+            else:
+                ex_body = exemplar_fields[0][1:-1]
+                if not BODY_RE.fullmatch(ex_body):
+                    failures.append(f"{where}: malformed exemplar labels "
+                                    f"{ex_body!r}")
+                ex_val = (parse_value(exemplar_fields[1])
+                          if len(exemplar_fields) > 1 else None)
+                if ex_val is None:
+                    failures.append(f"{where}: exemplar without a numeric "
+                                    "value")
+                else:
+                    le = parse_value(labels.get("le", "x"))
+                    if le is not None and ex_val > le:
+                        failures.append(f"{where}: exemplar value {ex_val:g} "
+                                        f"above its bucket's le={le:g}")
 
         # Resolve the family (histogram children share their parent's TYPE).
         fam = name
@@ -187,8 +222,10 @@ def main():
         if len(failures) > 40:
             print(f"... and {len(failures) - 40} more", file=sys.stderr)
         return 1
+    ex_tail = f", {n_exemplars} exemplars" if n_exemplars else ""
     print(f"{args.exposition}: {len(seen_series)} series across "
-          f"{len(samples)} families ({len(histograms)} histograms) — ok")
+          f"{len(samples)} families ({len(histograms)} histograms{ex_tail}) "
+          "— ok")
     return 0
 
 

@@ -63,9 +63,13 @@ enum class MsgType : uint8_t {
   // --- client-serving plane (src/serve) --------------------------------------
   kClientReq,    // session → owner dispatcher: txn_id = session id, addr =
                  //   request sequence, chunk = hash spread (runtime-thread
-                 //   routing only), payload = [WireReq][key][value]
+                 //   routing only), payload = [WireReq][key][value]. Journey
+                 //   piggyback (obs v4): trace = journey id, aux:rkey = the
+                 //   origin's t_submit stamp split hi:lo (all zero when
+                 //   journey tracing is off)
   kClientResp,   // owner dispatcher → session: txn_id/addr echo the request,
-                 //   payload = [WireResp][value]
+                 //   trace echoes the journey id, payload = [WireResp][value]
+                 //   [WireJourney if WireResp.flags bit 0]
 
   // --- transport-internal ----------------------------------------------------
   kBatch,        // coalesced SEND envelope; aux = frame count (Rx unpacks,

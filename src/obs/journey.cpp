@@ -1,0 +1,220 @@
+#include "obs/journey.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+#include "common/status.hpp"
+#include "obs/trace.hpp"
+
+namespace darray::obs {
+
+const char* journey_stage_name(JourneyStage s) {
+  switch (s) {
+    case JourneyStage::kAdmit: return "admit";
+    case JourneyStage::kQueue: return "queue";
+    case JourneyStage::kBackend: return "backend";
+    case JourneyStage::kNet: return "net";
+    case JourneyStage::kDeliver: return "deliver";
+    case JourneyStage::kMaxStage: break;
+  }
+  return "?";
+}
+
+// Names for the serve::ClientOp values carried in RequestJourney::op. obs sits
+// below serve in the link graph, so the wire convention (get=0 put=1 delete=2)
+// is mirrored here rather than included; protocol_test pins the values.
+static const char* journey_op_name(uint8_t op) {
+  switch (op) {
+    case 0: return "get";
+    case 1: return "put";
+    case 2: return "del";
+    default: return "?";
+  }
+}
+
+uint64_t journey_trace_id() {
+  if (uint64_t id = new_corr_id()) return id;
+  // Tracing compiled out: keep journeys addressable with a local counter.
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void JourneyCollector::configure(bool enabled, uint32_t retain_cap, uint64_t slow_floor_ns) {
+  if (retain_cap == 0) retain_cap = 1;
+  retain_cap_.store(retain_cap, std::memory_order_relaxed);
+  slow_floor_ns_.store(slow_floor_ns, std::memory_order_relaxed);
+  enabled_.store(enabled, std::memory_order_release);
+}
+
+void JourneyCollector::complete(const RequestJourney& j) {
+  if (!enabled_.load(std::memory_order_acquire)) return;
+  for (size_t i = 0; i < kNumJourneyStages; ++i) {
+    const uint64_t d = j.stage_ns(static_cast<JourneyStage>(i));
+    if (d) stages_[i].record(d);
+  }
+  const uint64_t total = j.total_ns();
+  if (total) e2e_.record(total);
+
+  const uint64_t n = completed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % kThresholdEvery == 0) {
+    const uint64_t p99 = e2e_.snapshot().percentile_ns(0.99);
+    const uint64_t floor = slow_floor_ns_.load(std::memory_order_relaxed);
+    threshold_ns_.store(p99 > floor ? p99 : floor, std::memory_order_relaxed);
+  }
+
+  // Tail decision: a request is worth keeping if it is above the slow floor
+  // or above the live p99 (once the threshold has warmed up).
+  const uint64_t floor = slow_floor_ns_.load(std::memory_order_relaxed);
+  const uint64_t thresh = threshold_ns_.load(std::memory_order_relaxed);
+  const bool slow = (floor && total >= floor) || (thresh && total >= thresh);
+  if (!slow) return;
+
+  std::lock_guard<SpinLock> g(mu_);
+  retain_locked(j);
+}
+
+void JourneyCollector::retain_exceptional(const RequestJourney& j) {
+  if (!enabled_.load(std::memory_order_acquire)) return;
+  std::lock_guard<SpinLock> g(mu_);
+  retain_locked(j);
+}
+
+void JourneyCollector::retain_locked(const RequestJourney& j) {
+  const size_t cap = retain_cap_.load(std::memory_order_relaxed);
+  if (ring_.size() < cap) {
+    ring_.push_back(j);
+  } else {
+    if (ring_.size() > cap) ring_.resize(cap);  // cap was lowered mid-run
+    ring_[ring_pos_ % cap] = j;
+  }
+  ring_pos_ = (ring_pos_ + 1) % cap;
+  retained_.fetch_add(1, std::memory_order_relaxed);
+
+  if (exemplars_.empty()) exemplars_.resize(kNumJourneyStages * kHistBuckets);
+  for (size_t i = 0; i < kNumJourneyStages; ++i) {
+    const uint64_t d = j.stage_ns(static_cast<JourneyStage>(i));
+    if (!d || !j.trace) continue;
+    const size_t b = static_cast<size_t>(AtomicLatencyHistogram::bucket_index(d));
+    exemplars_[i * kHistBuckets + b] = Exemplar{j.trace, d};
+  }
+}
+
+HistogramSnapshot JourneyCollector::stage_snapshot(JourneyStage s) const {
+  if (s >= JourneyStage::kMaxStage) return {};
+  return stages_[static_cast<size_t>(s)].snapshot();
+}
+
+bool JourneyCollector::exemplar_for(JourneyStage stage, int bucket, Exemplar& out) const {
+  if (stage >= JourneyStage::kMaxStage || bucket < 0 || bucket >= kHistBuckets) return false;
+  std::lock_guard<SpinLock> g(mu_);
+  if (exemplars_.empty()) return false;
+  const Exemplar& e =
+      exemplars_[static_cast<size_t>(stage) * kHistBuckets + static_cast<size_t>(bucket)];
+  if (!e.trace) return false;
+  out = e;
+  return true;
+}
+
+bool JourneyCollector::exemplar_for_upper(JourneyStage stage, uint64_t upper_ns,
+                                          Exemplar& out) const {
+  // The scheme's linear row is inclusive of its rendered upper while the
+  // log-linear rows are exclusive, so probe both candidate indices — but only
+  // accept an exemplar whose value actually renders under this upper, never
+  // one bled in from a neighboring bucket (it would violate the OpenMetrics
+  // "exemplar value within the bucket" rule).
+  const uint64_t probes[2] = {upper_ns ? upper_ns - 1 : 0, upper_ns};
+  for (const uint64_t probe : probes) {
+    Exemplar e;
+    if (exemplar_for(stage, AtomicLatencyHistogram::bucket_index(probe), e) &&
+        AtomicLatencyHistogram::bucket_upper(
+            AtomicLatencyHistogram::bucket_index(e.value_ns)) == upper_ns) {
+      out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RequestJourney> JourneyCollector::snapshot_retained() const {
+  std::lock_guard<SpinLock> g(mu_);
+  std::vector<RequestJourney> out;
+  out.reserve(ring_.size());
+  const size_t cap = retain_cap_.load(std::memory_order_relaxed);
+  if (ring_.size() < cap) {
+    out = ring_;  // not yet wrapped: insertion order is already oldest-first
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i)
+      out.push_back(ring_[(ring_pos_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string JourneyCollector::slow_json() const {
+  const auto js = snapshot_retained();
+  std::string out;
+  out.reserve(256 + js.size() * 256);
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "{\"enabled\": %s, \"completed\": %" PRIu64 ", \"retained\": %" PRIu64
+                ", \"threshold_ns\": %" PRIu64 ", \"journeys\": [\n",
+                enabled() ? "true" : "false", completed(), retained(), threshold_ns());
+  out += line;
+  for (size_t i = 0; i < js.size(); ++i) {
+    const RequestJourney& j = js[i];
+    // One journey per line, fixed field order: line-oriented consumers
+    // (darray-trace --journeys) parse this with sscanf.
+    std::snprintf(
+        line, sizeof line,
+        "{\"trace\": \"%016" PRIx64 "\", \"origin\": %u, \"owner\": %u, \"session\": %u, "
+        "\"seq\": %" PRIu64 ", \"op\": \"%s\", \"status\": \"%s\", \"flags\": %u, "
+        "\"t_submit\": %" PRIu64 ", \"admit_ns\": %" PRIu64 ", \"queue_ns\": %" PRIu64
+        ", \"backend_ns\": %" PRIu64 ", \"net_ns\": %" PRIu64 ", \"deliver_ns\": %" PRIu64
+        ", \"total_ns\": %" PRIu64 "}%s\n",
+        j.trace, j.origin, j.owner, j.session, j.seq, journey_op_name(j.op),
+        status_name(static_cast<Status>(j.status)), j.flags, j.t_submit,
+        j.stage_ns(JourneyStage::kAdmit), j.stage_ns(JourneyStage::kQueue),
+        j.stage_ns(JourneyStage::kBackend), j.stage_ns(JourneyStage::kNet),
+        j.stage_ns(JourneyStage::kDeliver), j.total_ns(),
+        i + 1 < js.size() ? "," : "");
+    out += line;
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool JourneyCollector::dump_json(const char* path) const {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return false;
+  const std::string payload = slow_json();
+  const bool ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void JourneyCollector::reset() {
+  std::lock_guard<SpinLock> g(mu_);
+  ring_.clear();
+  ring_pos_ = 0;
+  exemplars_.clear();
+  completed_.store(0, std::memory_order_relaxed);
+  retained_.store(0, std::memory_order_relaxed);
+  threshold_ns_.store(0, std::memory_order_relaxed);
+  for (auto& h : stages_) h.reset();
+  e2e_.reset();
+}
+
+JourneyCollector& journey_collector() {
+  static JourneyCollector* c = new JourneyCollector();  // leaked, like the hist registries
+  return *c;
+}
+
+void JourneyCollector::reset_histograms() {
+  for (auto& h : stages_) h.reset();
+  e2e_.reset();
+  threshold_ns_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+}
+
+void reset_stage_histograms() { journey_collector().reset_histograms(); }
+
+}  // namespace darray::obs

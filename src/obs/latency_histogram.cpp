@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "obs/journey.hpp"
+
 namespace darray::obs {
 
 int AtomicLatencyHistogram::bucket_index(uint64_t nanos) {
@@ -110,6 +112,7 @@ HistogramSnapshot msg_class_snapshot(uint8_t cls) { return msg_class_hist(cls).s
 void reset_latency_histograms() {
   for (size_t i = 0; i < kOpKinds * kHistMaxNodes; ++i) op_cells()[i].reset();
   for (size_t i = 0; i < kMaxMsgClasses; ++i) msg_cells()[i].reset();
+  reset_stage_histograms();  // hist.stage.* cells live in the journey collector
 }
 
 }  // namespace darray::obs

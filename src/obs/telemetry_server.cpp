@@ -11,6 +11,7 @@
 
 #include "common/logging.hpp"
 #include "net/socket_listener.hpp"
+#include "obs/journey.hpp"
 
 namespace darray::obs {
 
@@ -47,9 +48,16 @@ bool split_hist(std::string_view name, std::string_view& family, std::string_vie
   return true;
 }
 
+// When `exemplar_of` is set (stage family with exemplars on), a bucket line
+// whose bucket retained a journey gains an OpenMetrics exemplar suffix:
+//   ..._bucket{stage="backend",le="1048576"} 42 # {trace_id="00ab..."} 913408
+using ExemplarFn =
+    std::function<bool(const std::string& label, uint64_t upper, std::string& suffix)>;
+
 void append_histogram_family(std::string& out, const std::string& metric,
                              const std::string& label_key,
-                             const std::vector<std::pair<std::string, HistCell>>& cells) {
+                             const std::vector<std::pair<std::string, HistCell>>& cells,
+                             const ExemplarFn& exemplar_of = nullptr) {
   if (cells.empty()) return;
   out += "# TYPE " + metric + " histogram\n";
   char buf[160];
@@ -57,11 +65,14 @@ void append_histogram_family(std::string& out, const std::string& metric,
     uint64_t cum = 0;
     for (const auto& [upper, cnt] : cell.buckets) {
       cum += cnt;
-      std::snprintf(buf, sizeof(buf), "%s_bucket{%s=\"%s\",le=\"%llu\"} %llu\n",
+      std::snprintf(buf, sizeof(buf), "%s_bucket{%s=\"%s\",le=\"%llu\"} %llu",
                     metric.c_str(), label_key.c_str(), label.c_str(),
                     static_cast<unsigned long long>(upper),
                     static_cast<unsigned long long>(cum));
       out += buf;
+      std::string ex;
+      if (exemplar_of && exemplar_of(label, upper, ex)) out += ex;
+      out += '\n';
     }
     // A live histogram can gain records between the bucket loads and the count
     // entry; pin the total to whichever is larger so +Inf == _count holds.
@@ -97,10 +108,10 @@ bool split_node(std::string_view name, std::string_view& node, std::string_view&
 
 }  // namespace
 
-std::string render_prometheus(const StatsSnapshot& snap) {
+std::string render_prometheus(const StatsSnapshot& snap, bool exemplars) {
   // Families keyed in first-seen order; histograms and node.* groups collect
   // across entries before rendering so each family's samples stay contiguous.
-  std::vector<std::pair<std::string, HistCell>> op_cells, msg_cells;
+  std::vector<std::pair<std::string, HistCell>> op_cells, msg_cells, stage_cells;
   std::vector<std::pair<std::string, std::vector<std::string>>> node_families;
   std::string plain;
 
@@ -116,9 +127,11 @@ std::string render_prometheus(const StatsSnapshot& snap) {
   for (const StatEntry& e : snap.entries) {
     std::string_view family, cell, suffix;
     if (split_hist(e.name, family, cell, suffix)) {
-      if (family != "op" && family != "msg") continue;  // unknown hist plane
-      if (stats_is_point_sample(e.name)) continue;      // quantiles: use buckets
-      HistCell& h = hist_cell(family == "op" ? op_cells : msg_cells, cell);
+      if (family != "op" && family != "msg" && family != "stage")
+        continue;                                   // unknown hist plane
+      if (stats_is_point_sample(e.name)) continue;  // quantiles: use buckets
+      HistCell& h = hist_cell(
+          family == "op" ? op_cells : family == "msg" ? msg_cells : stage_cells, cell);
       if (suffix == "count") {
         h.count = e.value;
       } else if (suffix == "sum_ns") {
@@ -158,11 +171,32 @@ std::string render_prometheus(const StatsSnapshot& snap) {
     out += "# TYPE " + metric + " counter\n";
     for (const std::string& l : lines) out += l;
   }
-  for (auto& cells : {&op_cells, &msg_cells})
+  for (auto& cells : {&op_cells, &msg_cells, &stage_cells})
     for (auto& [name, cell] : *cells)
       std::sort(cell.buckets.begin(), cell.buckets.end());
   append_histogram_family(out, "darray_op_latency_ns", "op", op_cells);
   append_histogram_family(out, "darray_msg_latency_ns", "class", msg_cells);
+  ExemplarFn stage_exemplar = nullptr;
+  if (exemplars) {
+    stage_exemplar = [](const std::string& label, uint64_t upper, std::string& suffix) {
+      JourneyStage st = JourneyStage::kMaxStage;
+      for (size_t i = 0; i < kNumJourneyStages; ++i)
+        if (label == journey_stage_name(static_cast<JourneyStage>(i)))
+          st = static_cast<JourneyStage>(i);
+      JourneyCollector::Exemplar ex;
+      if (st == JourneyStage::kMaxStage ||
+          !journey_collector().exemplar_for_upper(st, upper, ex))
+        return false;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), " # {trace_id=\"%016llx\"} %llu",
+                    static_cast<unsigned long long>(ex.trace),
+                    static_cast<unsigned long long>(ex.value_ns));
+      suffix = buf;
+      return true;
+    };
+  }
+  append_histogram_family(out, "darray_stage_latency_ns", "stage", stage_cells,
+                          stage_exemplar);
   return out;
 }
 
@@ -240,7 +274,21 @@ void TelemetryServer::handle(const std::string& target, int& status,
   if (path == "/metrics") {
     status = 200;
     content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = render_prometheus(opts_.snapshot());
+    const std::string ex = query_param(target, "exemplars");
+    const bool exemplars = ex.empty() ? opts_.exemplars : ex == "1";
+    body = render_prometheus(opts_.snapshot(), exemplars);
+    return;
+  }
+  if (path == "/slow.json") {
+    status = 200;
+    content_type = "application/json";
+    body = journey_collector().slow_json();
+    return;
+  }
+  if (path == "/healthz") {
+    status = 200;
+    content_type = opts_.healthz ? "application/json" : "text/plain; charset=utf-8";
+    body = opts_.healthz ? opts_.healthz() : std::string("ok\n");
     return;
   }
   if (path == "/stats.json") {
@@ -277,7 +325,7 @@ void TelemetryServer::handle(const std::string& target, int& status,
     return;
   }
   status = 404;
-  body = "not found; try /metrics, /stats.json, /series.json\n";
+  body = "not found; try /metrics, /stats.json, /series.json, /slow.json, /healthz\n";
 }
 
 }  // namespace darray::obs

@@ -4,13 +4,19 @@
 //
 //   GET /metrics      Prometheus text exposition (version 0.0.4): counters as
 //                     `darray_<name>_total`, point samples as gauges, and the
-//                     hist.op.* / hist.msg.* cells as native histograms with
-//                     cumulative `le` buckets rebuilt from the snapshot's
-//                     sparse ".bkt_" entries.
+//                     hist.op.* / hist.msg.* / hist.stage.* cells as native
+//                     histograms with cumulative `le` buckets rebuilt from the
+//                     snapshot's sparse ".bkt_" entries. `?exemplars=1` (or
+//                     Options::exemplars) attaches OpenMetrics exemplars
+//                     (`# {trace_id="..."} v`) to darray_stage_latency_ns
+//                     buckets that retained a journey.
 //   GET /stats.json   the current StatsSnapshot as one JSON object.
 //   GET /series.json  TimeSeriesStore contents; query params `metric=<name>`
 //                     (exact), `prefix=<p>` (filter), `n=<k>` (newest k points
 //                     per series). 404 when no store is attached.
+//   GET /slow.json    the journey collector's tail-retention ring: full stage
+//                     chains of slow / shed / timed-out / errored requests.
+//   GET /healthz      cheap liveness probe (node count, uptime, sampler lag).
 //
 // The socket plumbing lives in net::SocketListener (shared with the serving
 // front end, src/serve); this class only parses "GET <target>" requests and
@@ -36,7 +42,9 @@ namespace darray::obs {
 // Prometheus derives quantiles from the native buckets; everything else maps
 // name-for-name with dots flattened to underscores, except `node.<i>.<rest>`,
 // which becomes one `darray_node_<rest>_total{node="i"}` family per rest.
-std::string render_prometheus(const StatsSnapshot& snap);
+// With `exemplars` set, darray_stage_latency_ns bucket lines carry the most
+// recent retained journey's trace id in OpenMetrics exemplar syntax.
+std::string render_prometheus(const StatsSnapshot& snap, bool exemplars = false);
 
 class TelemetryServer {
  public:
@@ -45,6 +53,8 @@ class TelemetryServer {
     uint16_t port = 0;  // 0 = ephemeral; the bound port is port() after start
     std::function<StatsSnapshot()> snapshot;  // required
     const TimeSeriesStore* store = nullptr;   // optional (/series.json 404s)
+    std::function<std::string()> healthz;     // optional /healthz body provider
+    bool exemplars = false;  // default for /metrics (query param overrides)
   };
 
   explicit TelemetryServer(Options opts) : opts_(std::move(opts)) {}

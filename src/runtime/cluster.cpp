@@ -11,6 +11,7 @@
 #include "common/logging.hpp"
 #include "net/payload_buf.hpp"
 #include "obs/compute_stats.hpp"
+#include "obs/journey.hpp"
 #include "obs/trace.hpp"
 
 namespace darray::rt {
@@ -66,6 +67,19 @@ Cluster::Cluster(ClusterConfig cfg)
       o.port = cfg_.telemetry_port;
       o.snapshot = [this] { return stats(); };
       o.store = timeseries_.get();
+      const uint64_t start_ns = now_ns();
+      o.healthz = [this, start_ns] {
+        const uint64_t now = now_ns();
+        const uint64_t last = last_sample_ns_.load(std::memory_order_relaxed);
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "{\"status\": \"ok\", \"nodes\": %u, \"uptime_ns\": %llu, "
+                      "\"sampler_samples\": %llu, \"sampler_lag_ns\": %llu}\n",
+                      cfg_.num_nodes, static_cast<unsigned long long>(now - start_ns),
+                      static_cast<unsigned long long>(timeseries_->samples()),
+                      static_cast<unsigned long long>(last ? now - last : 0));
+        return std::string(buf);
+      };
       auto server = std::make_unique<obs::TelemetryServer>(std::move(o));
       // A taken port is an operator inconvenience, not a correctness problem:
       // keep running without the listener rather than failing the cluster.
@@ -115,6 +129,7 @@ void Cluster::sampler_main() {
     }
     next_sample = now + cfg_.telemetry_sample_ns;
     timeseries_->record(now, stats_registry_.snapshot());
+    last_sample_ns_.store(now, std::memory_order_relaxed);
   }
 }
 
@@ -344,6 +359,20 @@ void Cluster::register_default_stats_sources() {
       s.add_histogram(std::string("hist.msg.") +
                           net::msg_class_name(static_cast<uint8_t>(c)),
                       h);
+    }
+    // Serve-path stage breakdown (obs v4). Same skip-if-empty rule: a cluster
+    // with no serving front door adds no hist.stage.* entries.
+    auto& jc = obs::journey_collector();
+    for (size_t st = 0; st < obs::kNumJourneyStages; ++st) {
+      const auto stage = static_cast<obs::JourneyStage>(st);
+      const obs::HistogramSnapshot h = jc.stage_snapshot(stage);
+      if (h.count == 0) continue;
+      s.add_histogram(std::string("hist.stage.") + obs::journey_stage_name(stage), h);
+    }
+    if (jc.completed() != 0 || jc.retained() != 0) {
+      s.add("journey.completed", jc.completed());
+      s.add("journey.retained", jc.retained());
+      s.add("journey.threshold_ns.gauge", jc.threshold_ns());
     }
   });
   if (cfg_.watchdog_enabled) {

@@ -146,6 +146,7 @@ class Cluster {
   std::unique_ptr<obs::TimeSeriesStore> timeseries_;
   std::unique_ptr<obs::TelemetryServer> telemetry_server_;
   std::atomic<bool> sampler_stop_{false};
+  std::atomic<uint64_t> last_sample_ns_{0};  // /healthz sampler-lag probe
   std::thread sampler_thread_;
 };
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <random>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -76,6 +77,10 @@ class Client {
   explicit operator bool() const { return lease_ != nullptr; }
 
   // --- synchronous API (submit + await) -----------------------------------
+  // When ServeConfig::client_retry_enabled is set, a kBusy reply is retried
+  // with bounded exponential backoff + jitter (serve.client_retries counts
+  // the resubmits). The async API never retries: pipelined callers own their
+  // own policy.
   Status put(std::string_view key, std::string_view value);
   // out receives the value only on kOk.
   Status get(std::string_view key, std::string& out);
@@ -102,7 +107,10 @@ class Client {
     ~SessionLease() { svc->close_session(*core); }
   };
 
+  Response sync_op(const Request& req);
+
   std::shared_ptr<SessionLease> lease_;
+  std::minstd_rand jitter_rng_{0x9e3779b9};  // reseeded per session at connect
 };
 
 }  // namespace darray::serve

@@ -34,9 +34,30 @@ struct ServeConfig {
   // skip it — they model the fast path.
   uint64_t worker_delay_ns = 0;
 
+  // Request-journey tracing (obs v4): per-request stage stamps feeding the
+  // hist.stage.* histograms, with tail-based retention of full span chains
+  // (slow / shed / timed-out / errored) for /slow.json and darray-trace
+  // --journeys. The stamp cost is ~6 clock reads per request.
+  bool journey_enabled = true;
+  uint32_t journey_retain_cap = 256;   // retention-ring size (journeys kept)
+  uint64_t journey_slow_floor_ns = 0;  // also retain total >= floor; 0 = p99 only
+
+  // Client-side retry of kBusy replies in Client's synchronous API: bounded
+  // exponential backoff with jitter. Off by default — retries amplify load,
+  // so opting in is an application decision (docs/serving.md).
+  bool client_retry_enabled = false;
+  uint32_t client_retry_max = 4;             // retries after the first attempt
+  uint64_t client_retry_base_ns = 100'000;   // first backoff (doubles per retry)
+  uint64_t client_retry_cap_ns = 10'000'000; // backoff ceiling
+
   void validate() const {
     DARRAY_ASSERT_MSG(hot_promote_threshold > 0, "hot_promote_threshold must be >= 1");
     DARRAY_ASSERT_MSG(hot_max_entries > 0, "hot_max_entries must be >= 1");
+    DARRAY_ASSERT_MSG(journey_retain_cap > 0, "journey_retain_cap must be >= 1");
+    DARRAY_ASSERT_MSG(!client_retry_enabled || client_retry_base_ns > 0,
+                      "client_retry_base_ns must be >= 1 when retries are on");
+    DARRAY_ASSERT_MSG(client_retry_cap_ns >= client_retry_base_ns,
+                      "client_retry_cap_ns must be >= client_retry_base_ns");
   }
 };
 

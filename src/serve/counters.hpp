@@ -20,6 +20,7 @@ struct ServeCounters {
   std::atomic<uint64_t> hot_hits{0};         // gets answered from the hot cache
   std::atomic<uint64_t> hot_invalidations{0};// hot entries dropped by writes
   std::atomic<uint64_t> late_responses{0};   // responses after timeout/close
+  std::atomic<uint64_t> client_retries{0};   // sync-API resubmits after kBusy
   std::atomic<uint64_t> sessions_opened{0};
   std::atomic<uint64_t> reqs_wire{0};        // requests that crossed the fabric
   std::atomic<uint64_t> reqs_local{0};       // owner-local, fabric bypassed
@@ -43,6 +44,7 @@ inline void register_serve_counters(obs::StatsRegistry& reg,
     s.add("serve.hot_hits", ld(c->hot_hits));
     s.add("serve.hot_invalidations", ld(c->hot_invalidations));
     s.add("serve.late_responses", ld(c->late_responses));
+    s.add("serve.client_retries", ld(c->client_retries));
     s.add("serve.sessions_opened", ld(c->sessions_opened));
     s.add("serve.reqs_wire", ld(c->reqs_wire));
     s.add("serve.reqs_local", ld(c->reqs_local));

@@ -3,8 +3,10 @@
 #include <chrono>
 
 #include "common/assert.hpp"
+#include "common/histogram.hpp"  // now_ns
 #include "core/context.hpp"
 #include "kvs/kvs.hpp"  // fnv1a
+#include "obs/journey.hpp"
 #include "runtime/cluster.hpp"
 
 namespace darray::serve {
@@ -45,6 +47,7 @@ bool RequestDispatcher::offer(Job&& job) {
   // Capacity check happens before anything is moved, so a shed leaves `job`
   // valid for the caller's kBusy reply.
   if (cfg_.accept_queue_cap != 0 && queued_ >= cfg_.accept_queue_cap) return false;
+  if (job.trace) job.t_admit = now_ns();
   ++queued_;
   counters_.inflight.fetch_add(1, std::memory_order_relaxed);
   SessionQueue& sq = by_session_[job.session_key];
@@ -79,9 +82,15 @@ void RequestDispatcher::worker_main(uint32_t idx) {
       job = std::move(sq.jobs.front());
       sq.jobs.pop_front();
     }
+    if (job.trace) job.t_dequeue = now_ns();
 
     Response resp;
     execute(job, resp);
+    if (job.trace) {
+      resp.j.t_admit = job.t_admit;
+      resp.j.t_dequeue = job.t_dequeue;
+      resp.j.t_backend = now_ns();
+    }
     executed_.fetch_add(1, std::memory_order_relaxed);
     counters_.completed.fetch_add(1, std::memory_order_relaxed);
     counters_.inflight.fetch_sub(1, std::memory_order_relaxed);
@@ -109,6 +118,7 @@ void RequestDispatcher::execute(Job& job, Response& out) {
       if (cfg_.hot_key_enabled && hot_lookup(job.key, out.value)) {
         counters_.hot_hits.fetch_add(1, std::memory_order_relaxed);
         out.status = Status::kOk;
+        out.j.flags |= obs::RequestJourney::kFlagHotHit;
         return;
       }
       uint64_t epoch_before = 0;

@@ -39,6 +39,12 @@ struct Job {
   ClientOp op = ClientOp::kGet;
   std::string key;
   std::string value;
+  // Journey stamps (obs v4): trace/t_submit arrive from the client (on the
+  // wire: MsgHeader.trace + aux/rkey); the dispatcher fills the rest.
+  uint64_t trace = 0;
+  uint64_t t_submit = 0;
+  uint64_t t_admit = 0;
+  uint64_t t_dequeue = 0;
 };
 
 class RequestDispatcher {

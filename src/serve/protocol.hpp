@@ -37,10 +37,24 @@ struct Request {
   std::string value;
 };
 
+// Owner-side journey stamps that ride back with a response (obs v4). The
+// origin fills t_resp_rx on receipt; the shared process clock makes the
+// cross-node stamps directly comparable. All-zero when journey tracing is
+// disabled or the responder shed before stamping.
+struct JourneyStamps {
+  uint64_t t_admit = 0;    // dispatcher admitted the job
+  uint64_t t_dequeue = 0;  // a worker popped it off the accept queue
+  uint64_t t_backend = 0;  // backend op finished
+  uint64_t t_resp_rx = 0;  // origin received the response (never on the wire)
+  uint16_t owner = 0;      // node that executed (or shed) the request
+  uint8_t flags = 0;       // RequestJourney::kFlag* bits observed owner-side
+};
+
 // What comes back. `value` is only populated for a kGet that returned kOk.
 struct Response {
   Status status = Status::kTimeout;  // default: "never answered"
   std::string value;
+  JourneyStamps j;
 };
 
 // Keys share the KVS blob-length field downstream, so cap them the same way.
@@ -56,13 +70,28 @@ struct WireReq {
 };
 static_assert(sizeof(WireReq) == 8);
 
+// WireResp.flags bit 0: a 32-byte WireJourney trailer follows the value bytes.
+inline constexpr uint8_t kWireHasJourney = 1;
+
 struct WireResp {
   uint8_t status = 0;
-  uint8_t pad = 0;
+  uint8_t flags = 0;  // was pad before obs v4; old encoders wrote 0 = no trailer
   uint16_t pad2 = 0;
   uint32_t val_len = 0;
 };
 static_assert(sizeof(WireResp) == 8);
+
+// Owner-side stamps appended after the value when kWireHasJourney is set.
+struct WireJourney {
+  uint64_t t_admit = 0;
+  uint64_t t_dequeue = 0;
+  uint64_t t_backend = 0;
+  uint8_t flags = 0;  // RequestJourney::kFlag* bits
+  uint8_t pad = 0;
+  uint16_t owner = 0;
+  uint32_t pad2 = 0;
+};
+static_assert(sizeof(WireJourney) == 32);
 
 // --- encode / decode --------------------------------------------------------
 
@@ -94,24 +123,48 @@ inline bool decode_request(const net::PayloadBuf& buf, ClientOp& op, std::string
   return true;
 }
 
-inline void encode_response(net::PayloadBuf& buf, Status st, std::string_view value) {
+// `stamps` (when non-null) appends the WireJourney trailer and sets the flag
+// bit; a null stamps pointer encodes the pre-v4 8-byte-header layout exactly.
+inline void encode_response(net::PayloadBuf& buf, Status st, std::string_view value,
+                            const JourneyStamps* stamps = nullptr) {
   WireResp w;
   w.status = static_cast<uint8_t>(st);
+  if (stamps) w.flags = kWireHasJourney;
   w.val_len = static_cast<uint32_t>(value.size());
-  buf.resize(sizeof(WireResp) + value.size());
+  buf.resize(sizeof(WireResp) + value.size() + (stamps ? sizeof(WireJourney) : 0));
   std::byte* p = buf.data();
   std::memcpy(p, &w, sizeof(w));
   std::memcpy(p + sizeof(w), value.data(), value.size());
+  if (stamps) {
+    WireJourney wj;
+    wj.t_admit = stamps->t_admit;
+    wj.t_dequeue = stamps->t_dequeue;
+    wj.t_backend = stamps->t_backend;
+    wj.flags = stamps->flags;
+    wj.owner = stamps->owner;
+    std::memcpy(p + sizeof(w) + value.size(), &wj, sizeof(wj));
+  }
 }
 
 inline bool decode_response(const net::PayloadBuf& buf, Response& out) {
   if (buf.size() < sizeof(WireResp)) return false;
   WireResp w;
   std::memcpy(&w, buf.data(), sizeof(w));
-  if (buf.size() != sizeof(WireResp) + w.val_len) return false;
+  const size_t trailer = (w.flags & kWireHasJourney) ? sizeof(WireJourney) : 0;
+  if (buf.size() != sizeof(WireResp) + w.val_len + trailer) return false;
   out.status = static_cast<Status>(w.status);
   out.value.assign(reinterpret_cast<const char*>(buf.data()) + sizeof(WireResp),
                    w.val_len);
+  out.j = JourneyStamps{};
+  if (trailer) {
+    WireJourney wj;
+    std::memcpy(&wj, buf.data() + sizeof(WireResp) + w.val_len, sizeof(wj));
+    out.j.t_admit = wj.t_admit;
+    out.j.t_dequeue = wj.t_dequeue;
+    out.j.t_backend = wj.t_backend;
+    out.j.flags = wj.flags;
+    out.j.owner = wj.owner;
+  }
   return true;
 }
 

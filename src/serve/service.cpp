@@ -3,6 +3,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "kvs/kvs.hpp"  // fnv1a
+#include "obs/journey.hpp"
 #include "net/comm_layer.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/node.hpp"
@@ -26,6 +27,10 @@ ServiceImpl::ServiceImpl(rt::Cluster& cluster, const ServeConfig& cfg,
   max_payload_ =
       cluster_.node(0).comm().max_msg_bytes() - sizeof(net::MsgHeader);
   register_serve_counters(cluster_.stats_registry(), counters_);
+  // The collector is process-global (one front door per cluster, one cluster
+  // per bench/test process): the service owns its retention policy.
+  obs::journey_collector().configure(cfg_.journey_enabled, cfg_.journey_retain_cap,
+                                     cfg_.journey_slow_floor_ns);
 }
 
 ServiceImpl::~ServiceImpl() { shutdown(); }
@@ -68,7 +73,8 @@ void ServiceImpl::close_session(const SessionCore& s) {
   registries_[s.node]->close(s.id);
 }
 
-Status ServiceImpl::submit(SessionCore& s, uint64_t seq, const Request& req) {
+Status ServiceImpl::submit(SessionCore& s, uint64_t seq, const Request& req,
+                           uint64_t trace, uint64_t t_submit) {
   if (down_.load(std::memory_order_relaxed)) return Status::kUnavailable;
   if (req.key.empty() || req.key.size() > kMaxKeyLen) return Status::kMalformed;
   if (sizeof(WireReq) + req.key.size() + req.value.size() > max_payload_)
@@ -87,6 +93,8 @@ Status ServiceImpl::submit(SessionCore& s, uint64_t seq, const Request& req) {
     job.op = req.op;
     job.key = req.key;
     job.value = req.value;
+    job.trace = trace;
+    job.t_submit = t_submit;
     if (dispatchers_[owner]->offer(std::move(job))) {
       counters_->accepted.fetch_add(1, std::memory_order_relaxed);
       return Status::kOk;
@@ -102,6 +110,12 @@ Status ServiceImpl::submit(SessionCore& s, uint64_t seq, const Request& req) {
   tx.hdr.txn_id = s.id;
   tx.hdr.addr = seq;
   tx.hdr.chunk = kvs::fnv1a(req.key);  // spreads deliveries across rx threads
+  // Journey piggyback: trace rides its own field; t_submit splits across the
+  // aux/rkey pair, unused by client messages. Valid cross-node because every
+  // simulated node shares one monotonic clock.
+  tx.hdr.trace = trace;
+  tx.hdr.aux = static_cast<uint32_t>(t_submit >> 32);
+  tx.hdr.rkey = static_cast<uint32_t>(t_submit);
   encode_request(tx.payload, req.op, req.key, req.value);
   cluster_.node(s.node).comm().post(std::move(tx));
   return Status::kOk;
@@ -122,6 +136,8 @@ void ServiceImpl::on_client_msg(rt::NodeId n, net::RpcMessage&& m) {
   job.session = m.hdr.txn_id;
   job.seq = m.hdr.addr;
   job.session_key = session_key_of(job.origin, job.session);
+  job.trace = m.hdr.trace;
+  job.t_submit = (uint64_t{m.hdr.aux} << 32) | m.hdr.rkey;
   if (!decode_request(m.payload, job.op, job.key, job.value)) {
     Response r;
     r.status = Status::kMalformed;
@@ -140,6 +156,7 @@ void ServiceImpl::on_client_msg(rt::NodeId n, net::RpcMessage&& m) {
 
 void ServiceImpl::respond(rt::NodeId from, const Job& job, Response&& r) {
   if (down_.load(std::memory_order_relaxed)) return;
+  if (job.trace) r.j.owner = static_cast<uint16_t>(from);
   if (job.origin == from) {
     deliver_local(from, job.session, job.seq, std::move(r));
     return;
@@ -150,12 +167,14 @@ void ServiceImpl::respond(rt::NodeId from, const Job& job, Response&& r) {
   tx.hdr.txn_id = job.session;
   tx.hdr.addr = job.seq;
   tx.hdr.chunk = job.session_key;  // keep one session's responses on one rx thread
+  tx.hdr.trace = job.trace;
+  const size_t trailer = job.trace ? sizeof(WireJourney) : 0;
   // Responses must always fit: the value came out of a request-sized blob.
-  if (sizeof(WireResp) + r.value.size() > max_payload_) {
+  if (sizeof(WireResp) + r.value.size() + trailer > max_payload_) {
     r.value.clear();
     r.status = Status::kTooLarge;
   }
-  encode_response(tx.payload, r.status, r.value);
+  encode_response(tx.payload, r.status, r.value, job.trace ? &r.j : nullptr);
   // CommLayer::post is MPSC — legal from dispatcher workers and runtime
   // threads alike.
   cluster_.node(from).comm().post(std::move(tx));
@@ -163,6 +182,9 @@ void ServiceImpl::respond(rt::NodeId from, const Job& job, Response&& r) {
 
 void ServiceImpl::deliver_local(rt::NodeId n, uint32_t session, uint64_t seq,
                                 Response&& r) {
+  // Journeyed response (stamps or owner-side flags present): this entry point
+  // is "the origin has the bytes" — the net stage ends here.
+  if (r.j.t_backend || r.j.flags || r.j.owner) r.j.t_resp_rx = now_ns();
   auto core = registries_[n]->find(session);
   if (!core || !core->deliver(seq, std::move(r), *counters_))
     counters_->late_responses.fetch_add(1, std::memory_order_relaxed);

@@ -45,7 +45,12 @@ class ServiceImpl {
   // Route one request from session `s`. Returns kOk when the request is in
   // flight (response arrives via s.deliver), kTooLarge / kMalformed on guard
   // failures, kBusy when the local owner shed it synchronously.
-  Status submit(SessionCore& s, uint64_t seq, const Request& req);
+  //
+  // `trace`/`t_submit` are the journey identity stamped by the client; both 0
+  // when journey tracing is off. On the wire they piggyback on free MsgHeader
+  // fields (trace, and t_submit split across aux/rkey).
+  Status submit(SessionCore& s, uint64_t seq, const Request& req, uint64_t trace = 0,
+                uint64_t t_submit = 0);
 
   rt::Cluster& cluster() { return cluster_; }
   const ServeConfig& config() const { return cfg_; }

@@ -14,7 +14,9 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/histogram.hpp"  // now_ns
 #include "common/spinlock.hpp"
+#include "obs/journey.hpp"
 #include "runtime/types.hpp"
 #include "serve/counters.hpp"
 #include "serve/protocol.hpp"
@@ -24,6 +26,11 @@ namespace darray::serve {
 struct PendingOp {
   bool done = false;
   Response resp;
+  // Journey identity, stamped at submit. trace == 0 means "not journeyed"
+  // (journeys disabled) — deliver/await skip the collector entirely then.
+  uint64_t trace = 0;
+  uint64_t t_submit = 0;
+  uint8_t op = 0;  // ClientOp value, for the retained record
 };
 
 class SessionCore {
@@ -54,6 +61,7 @@ class SessionCore {
     if (it == pending.end() || it->second.done) return false;
     if (r.status == Status::kBusy)
       c.busy_replies.fetch_add(1, std::memory_order_relaxed);
+    finish_journey(it->second, r, seq);
     it->second.resp = std::move(r);
     it->second.done = true;
     --inflight;
@@ -81,10 +89,53 @@ class SessionCore {
           cv.wait_for(lk, std::chrono::nanoseconds(timeout_ns), [&] { return op.done; });
     }
     Response r = completed ? std::move(op.resp) : Response{};  // default = kTimeout
+    if (!completed && op.trace) {
+      // The waiter gave up: retain the partial chain (whatever stamps a late
+      // response would have carried are lost — the timeout IS the evidence).
+      obs::RequestJourney j;
+      j.trace = op.trace;
+      j.t_submit = op.t_submit;
+      j.origin = static_cast<uint16_t>(node);
+      j.session = id;
+      j.seq = seq;
+      j.op = op.op;
+      j.status = static_cast<uint8_t>(Status::kTimeout);
+      j.flags = obs::RequestJourney::kFlagTimeout;
+      obs::journey_collector().retain_exceptional(j);
+    }
     pending.erase(seq);
     if (!completed) --inflight;  // abandoned op: deliver() never freed the slot
     cv.notify_all();
     return r;
+  }
+
+ private:
+  // Completion-side journey accounting (mu held): a clean response completes
+  // the five-stage chain; a shed/errored one is retained unconditionally.
+  void finish_journey(const PendingOp& p, const Response& r, uint64_t seq) {
+    if (!p.trace) return;
+    obs::RequestJourney j;
+    j.trace = p.trace;
+    j.t_submit = p.t_submit;
+    j.t_admit = r.j.t_admit;
+    j.t_dequeue = r.j.t_dequeue;
+    j.t_backend = r.j.t_backend;
+    j.t_resp_rx = r.j.t_resp_rx;
+    j.t_deliver = now_ns();
+    j.origin = static_cast<uint16_t>(node);
+    j.owner = r.j.owner;
+    j.session = id;
+    j.seq = seq;
+    j.op = p.op;
+    j.status = static_cast<uint8_t>(r.status);
+    j.flags = r.j.flags;
+    if (r.status == Status::kOk || r.status == Status::kNotFound) {
+      obs::journey_collector().complete(j);
+    } else {
+      j.flags |= (r.status == Status::kBusy) ? obs::RequestJourney::kFlagShed
+                                             : obs::RequestJourney::kFlagError;
+      obs::journey_collector().retain_exceptional(j);
+    }
   }
 };
 

@@ -1,0 +1,265 @@
+// Request-journey tracing (obs v4): stage arithmetic on RequestJourney, the
+// JourneyCollector's histogram/retention/threshold behavior, and the exemplar
+// lookups that back the /metrics OpenMetrics suffixes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/journey.hpp"
+#include "obs/latency_histogram.hpp"
+#include "obs/telemetry_server.hpp"
+
+namespace darray::obs {
+namespace {
+
+// A journey whose stamps are base + the five requested stage durations laid
+// end to end, so stage_ns() must hand back exactly what went in.
+RequestJourney make_journey(uint64_t trace, uint64_t base, uint64_t admit,
+                            uint64_t queue, uint64_t backend, uint64_t net,
+                            uint64_t deliver) {
+  RequestJourney j;
+  j.trace = trace;
+  j.t_submit = base;
+  j.t_admit = base + admit;
+  j.t_dequeue = j.t_admit + queue;
+  j.t_backend = j.t_dequeue + backend;
+  j.t_resp_rx = j.t_backend + net;
+  j.t_deliver = j.t_resp_rx + deliver;
+  return j;
+}
+
+TEST(JourneyStages, FiveStagesPartitionEndToEnd) {
+  const RequestJourney j = make_journey(1, 1000, 150, 450, 800, 300, 200);
+  EXPECT_EQ(j.stage_ns(JourneyStage::kAdmit), 150u);
+  EXPECT_EQ(j.stage_ns(JourneyStage::kQueue), 450u);
+  EXPECT_EQ(j.stage_ns(JourneyStage::kBackend), 800u);
+  EXPECT_EQ(j.stage_ns(JourneyStage::kNet), 300u);
+  EXPECT_EQ(j.stage_ns(JourneyStage::kDeliver), 200u);
+  uint64_t sum = 0;
+  for (size_t i = 0; i < kNumJourneyStages; ++i)
+    sum += j.stage_ns(static_cast<JourneyStage>(i));
+  EXPECT_EQ(sum, j.total_ns());  // no residual bucket, by construction
+  EXPECT_EQ(j.dominant_stage(), JourneyStage::kBackend);
+}
+
+TEST(JourneyStages, MissingOrOutOfOrderStampsYieldZero) {
+  RequestJourney j = make_journey(1, 1000, 100, 100, 100, 100, 100);
+  j.t_dequeue = 0;  // e.g. shed before a worker ever saw it
+  EXPECT_EQ(j.stage_ns(JourneyStage::kQueue), 0u);
+  EXPECT_EQ(j.stage_ns(JourneyStage::kBackend), 0u);
+  EXPECT_EQ(j.stage_ns(JourneyStage::kAdmit), 100u);  // earlier stamps unaffected
+
+  RequestJourney rev;
+  rev.t_submit = 500;
+  rev.t_deliver = 400;  // clock can't run backwards; treat as unmeasurable
+  EXPECT_EQ(rev.total_ns(), 0u);
+
+  const RequestJourney empty;
+  EXPECT_EQ(empty.total_ns(), 0u);
+  EXPECT_EQ(empty.dominant_stage(), JourneyStage::kMaxStage);
+}
+
+TEST(JourneyCollectorTest, DisabledCollectorRecordsNothing) {
+  JourneyCollector c;  // enabled defaults to false
+  c.complete(make_journey(7, 1000, 10, 10, 10, 10, 10));
+  c.retain_exceptional(make_journey(8, 1000, 10, 10, 10, 10, 10));
+  EXPECT_EQ(c.completed(), 0u);
+  EXPECT_EQ(c.retained(), 0u);
+  EXPECT_EQ(c.e2e_snapshot().count, 0u);
+}
+
+TEST(JourneyCollectorTest, CompleteFeedsStageAndEndToEndHistograms) {
+  JourneyCollector c;
+  c.configure(true, 8, 0);
+  for (int i = 0; i < 10; ++i)
+    c.complete(make_journey(i + 1, 1000, 100, 200, 400, 300, 150));
+  EXPECT_EQ(c.completed(), 10u);
+  for (size_t i = 0; i < kNumJourneyStages; ++i)
+    EXPECT_EQ(c.stage_snapshot(static_cast<JourneyStage>(i)).count, 10u);
+  const HistogramSnapshot e2e = c.e2e_snapshot();
+  EXPECT_EQ(e2e.count, 10u);
+  EXPECT_EQ(e2e.sum_ns, 10u * 1150u);
+  EXPECT_EQ(c.stage_snapshot(JourneyStage::kBackend).sum_ns, 10u * 400u);
+  // No floor and a cold threshold: nothing qualifies as tail-slow yet.
+  EXPECT_EQ(c.retained(), 0u);
+}
+
+TEST(JourneyCollectorTest, FloorRetainsSlowJourneysOnly) {
+  JourneyCollector c;
+  c.configure(true, 8, 1'000'000);  // 1 ms floor
+  RequestJourney fast = make_journey(1, 1000, 10'000, 10'000, 50'000, 10'000, 5'000);
+  fast.seq = 11;
+  RequestJourney slow = make_journey(2, 1000, 10'000, 10'000, 2'000'000, 10'000, 5'000);
+  slow.seq = 22;
+  c.complete(fast);
+  c.complete(slow);
+  EXPECT_EQ(c.completed(), 2u);
+  EXPECT_EQ(c.retained(), 1u);
+  const auto kept = c.snapshot_retained();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].seq, 22u);
+  EXPECT_EQ(kept[0].trace, 2u);
+}
+
+TEST(JourneyCollectorTest, ThresholdWarmsUpToLiveP99) {
+  JourneyCollector c;
+  c.configure(true, 16, 0);
+  // 64 completions trigger the first p99 recompute; all totals ~= 500 us.
+  for (int i = 0; i < 64; ++i)
+    c.complete(make_journey(i + 1, 1000, 100'000, 100'000, 100'000, 100'000, 100'000));
+  EXPECT_GT(c.threshold_ns(), 0u);
+  const uint64_t before = c.retained();
+  // A 10 ms outlier is far above the warmed-up p99: retained.
+  c.complete(make_journey(99, 1000, 100'000, 100'000, 9'600'000, 100'000, 100'000));
+  EXPECT_EQ(c.retained(), before + 1);
+}
+
+TEST(JourneyCollectorTest, ExceptionalJourneysSkipHistograms) {
+  JourneyCollector c;
+  c.configure(true, 8, 0);
+  RequestJourney shed;
+  shed.trace = 5;
+  shed.t_submit = 1000;  // no later stamps: refused at admission
+  shed.flags = RequestJourney::kFlagShed;
+  c.retain_exceptional(shed);
+  EXPECT_EQ(c.completed(), 0u);
+  EXPECT_EQ(c.retained(), 1u);
+  EXPECT_EQ(c.e2e_snapshot().count, 0u);
+  const auto kept = c.snapshot_retained();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].flags, RequestJourney::kFlagShed);
+}
+
+TEST(JourneyCollectorTest, RingWrapsAtCapOldestFirst) {
+  JourneyCollector c;
+  c.configure(true, 4, 0);
+  for (uint64_t s = 10; s < 16; ++s) {  // six retains into a cap-4 ring
+    RequestJourney j = make_journey(s, 1000, 10, 10, 10, 10, 10);
+    j.seq = s;
+    j.flags = RequestJourney::kFlagError;
+    c.retain_exceptional(j);
+  }
+  EXPECT_EQ(c.retained(), 6u);
+  const auto kept = c.snapshot_retained();
+  ASSERT_EQ(kept.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(kept[i].seq, 12u + i);
+}
+
+TEST(JourneyCollectorTest, SlowJsonIsLineParseable) {
+  JourneyCollector c;
+  c.configure(true, 8, 1);  // floor 1 ns: every completion retained
+  RequestJourney j = make_journey(0xab, 1000, 150, 450, 800, 300, 200);
+  j.origin = 0;
+  j.owner = 1;
+  j.session = 3;
+  j.seq = 42;
+  j.op = 1;  // put
+  c.complete(j);
+  const std::string out = c.slow_json();
+  EXPECT_NE(out.find("\"completed\": 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"retained\": 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"trace\": \"00000000000000ab\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"op\": \"put\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"backend_ns\": 800"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"total_ns\": 1900"), std::string::npos) << out;
+  // One journey object per line, and the payload terminates cleanly: the
+  // line-oriented consumer (darray-trace --journeys) depends on both.
+  EXPECT_EQ(out.substr(out.size() - 3), "]}\n") << out;
+  size_t lines = 0;
+  for (const char ch : out)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 3u) << out;  // header, one journey, terminator
+}
+
+TEST(JourneyCollectorTest, ResetClearsEverything) {
+  JourneyCollector c;
+  c.configure(true, 8, 1);
+  c.complete(make_journey(1, 1000, 10, 10, 10, 10, 10));
+  ASSERT_EQ(c.completed(), 1u);
+  ASSERT_EQ(c.retained(), 1u);
+  c.reset();
+  EXPECT_EQ(c.completed(), 0u);
+  EXPECT_EQ(c.retained(), 0u);
+  EXPECT_EQ(c.threshold_ns(), 0u);
+  EXPECT_EQ(c.e2e_snapshot().count, 0u);
+  EXPECT_TRUE(c.snapshot_retained().empty());
+  EXPECT_TRUE(c.enabled());  // reset clears data, not policy
+}
+
+// --- exemplars ---------------------------------------------------------------
+
+TEST(ExemplarLookup, BucketKeyedLookupFindsRetainedJourney) {
+  JourneyCollector c;
+  c.configure(true, 8, 1);
+  const uint64_t backend = 1'000'000;
+  c.complete(make_journey(0xbeef, 1000, 100, 200, backend, 300, 150));
+  JourneyCollector::Exemplar ex;
+  ASSERT_TRUE(
+      c.exemplar_for(JourneyStage::kBackend, AtomicLatencyHistogram::bucket_index(backend), ex));
+  EXPECT_EQ(ex.trace, 0xbeefu);
+  EXPECT_EQ(ex.value_ns, backend);
+  // A stage that retained nothing in this bucket has no exemplar.
+  EXPECT_FALSE(
+      c.exemplar_for(JourneyStage::kNet, AtomicLatencyHistogram::bucket_index(backend), ex));
+}
+
+TEST(ExemplarLookup, UpperKeyedLookupStaysWithinBucket) {
+  JourneyCollector c;
+  c.configure(true, 8, 1);
+  const uint64_t backend = 1'000'000;  // log-linear row: upper is exclusive
+  const uint64_t admit = 5;            // linear row: upper is inclusive
+  c.complete(make_journey(0xcafe, 1000, admit, 200, backend, 300, 150));
+
+  JourneyCollector::Exemplar ex;
+  const int bkt = AtomicLatencyHistogram::bucket_index(backend);
+  const uint64_t upper = AtomicLatencyHistogram::bucket_upper(bkt);
+  ASSERT_TRUE(c.exemplar_for_upper(JourneyStage::kBackend, upper, ex));
+  EXPECT_EQ(ex.value_ns, backend);
+  // The exemplar's value must render under the le it is attached to
+  // (OpenMetrics: an exemplar belongs to its bucket).
+  EXPECT_EQ(AtomicLatencyHistogram::bucket_upper(
+                AtomicLatencyHistogram::bucket_index(ex.value_ns)),
+            upper);
+  // The neighboring bucket's upper must NOT steal this exemplar.
+  EXPECT_FALSE(c.exemplar_for_upper(JourneyStage::kBackend,
+                                    AtomicLatencyHistogram::bucket_upper(bkt + 1), ex));
+
+  // Linear-row value: upper == value (inclusive edge).
+  const uint64_t admit_upper =
+      AtomicLatencyHistogram::bucket_upper(AtomicLatencyHistogram::bucket_index(admit));
+  ASSERT_TRUE(c.exemplar_for_upper(JourneyStage::kAdmit, admit_upper, ex));
+  EXPECT_EQ(ex.value_ns, admit);
+}
+
+TEST(ExemplarRender, MetricsBucketLinesCarryTraceIds) {
+  // render_prometheus reads the process-global collector, so this test uses it
+  // (each ctest entry is its own process; no cross-test bleed).
+  JourneyCollector& c = journey_collector();
+  c.reset();
+  c.configure(true, 16, 1);
+  const uint64_t backend = 1'000'000;
+  c.complete(make_journey(0x1234abcd, 1000, 100, 200, backend, 300, 150));
+
+  const uint64_t upper =
+      AtomicLatencyHistogram::bucket_upper(AtomicLatencyHistogram::bucket_index(backend));
+  StatsSnapshot s;
+  s.add("hist.stage.backend.count", 1);
+  s.add("hist.stage.backend.sum_ns", backend);
+  s.add("hist.stage.backend.bkt_" + std::to_string(upper), 1);
+
+  const std::string with = render_prometheus(s, /*exemplars=*/true);
+  const std::string expect = "le=\"" + std::to_string(upper) +
+                             "\"} 1 # {trace_id=\"000000001234abcd\"} " +
+                             std::to_string(backend);
+  EXPECT_NE(with.find("# TYPE darray_stage_latency_ns histogram"), std::string::npos)
+      << with;
+  EXPECT_NE(with.find(expect), std::string::npos) << with;
+
+  const std::string without = render_prometheus(s, /*exemplars=*/false);
+  EXPECT_EQ(without.find("trace_id"), std::string::npos) << without;
+  c.reset();
+  c.configure(false, 16, 0);
+}
+
+}  // namespace
+}  // namespace darray::obs

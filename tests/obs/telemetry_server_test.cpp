@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/journey.hpp"
 #include "obs/telemetry_server.hpp"
 #include "obs/timeseries.hpp"
 
@@ -188,6 +189,93 @@ TEST_F(ServerFixture, ServesSeriesJsonWithQueryParams) {
 
   body = fetch(server.port(), "/series.json?metric=no.such.metric", status);
   EXPECT_EQ(status, 404);
+}
+
+TEST_F(ServerFixture, ServesSlowJsonFromJourneyCollector) {
+  JourneyCollector& jc = journey_collector();
+  jc.reset();
+  jc.configure(true, 8, 1);  // floor 1 ns: the completion below is retained
+  RequestJourney j;
+  j.trace = 0x42;
+  j.t_submit = 1000;
+  j.t_admit = 1100;
+  j.t_dequeue = 1300;
+  j.t_backend = 1900;
+  j.t_resp_rx = 2100;
+  j.t_deliver = 2200;
+  jc.complete(j);
+
+  int status = 0;
+  const std::string body = fetch(server.port(), "/slow.json", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"retained\": 1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"trace\": \"0000000000000042\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"total_ns\": 1200"), std::string::npos) << body;
+  jc.reset();
+  jc.configure(false, 8, 0);
+}
+
+TEST_F(ServerFixture, HealthzDefaultsToPlainOk) {
+  int status = 0;
+  const std::string body = fetch(server.port(), "/healthz", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+}
+
+TEST(TelemetryServerStandalone, HealthzUsesProvidedClosure) {
+  TelemetryServer::Options o;
+  o.snapshot = [] { return StatsSnapshot{}; };
+  o.healthz = [] { return std::string("{\"status\": \"ok\", \"nodes\": 2}\n"); };
+  TelemetryServer server(std::move(o));
+  ASSERT_TRUE(server.start());
+  int status = 0;
+  const std::string body = fetch(server.port(), "/healthz", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "{\"status\": \"ok\", \"nodes\": 2}\n");
+  server.stop();
+}
+
+TEST(TelemetryServerStandalone, ExemplarsQueryParamTogglesTraceIds) {
+  JourneyCollector& jc = journey_collector();
+  jc.reset();
+  jc.configure(true, 8, 1);
+  RequestJourney j;
+  j.trace = 0xfeed;
+  j.t_submit = 1000;
+  j.t_admit = 1100;
+  j.t_dequeue = 1300;
+  j.t_backend = 1'001'300;  // backend ~1 ms
+  j.t_resp_rx = 1'001'400;
+  j.t_deliver = 1'001'500;
+  jc.complete(j);
+
+  TelemetryServer::Options o;
+  o.snapshot = [] {
+    StatsSnapshot s;
+    const HistogramSnapshot b =
+        journey_collector().stage_snapshot(JourneyStage::kBackend);
+    s.add("hist.stage.backend.count", b.count);
+    s.add("hist.stage.backend.sum_ns", b.sum_ns);
+    for (int i = 0; i < kHistBuckets; ++i)
+      if (b.buckets[static_cast<size_t>(i)])
+        s.add("hist.stage.backend.bkt_" +
+                  std::to_string(AtomicLatencyHistogram::bucket_upper(i)),
+              b.buckets[static_cast<size_t>(i)]);
+    return s;
+  };
+  TelemetryServer server(std::move(o));
+  ASSERT_TRUE(server.start());
+  int status = 0;
+  // Options.exemplars defaults off; the query param turns them on per scrape.
+  std::string body = fetch(server.port(), "/metrics", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body.find("trace_id"), std::string::npos) << body;
+  body = fetch(server.port(), "/metrics?exemplars=1", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("# {trace_id=\"000000000000feed\"}"), std::string::npos) << body;
+  server.stop();
+  jc.reset();
+  jc.configure(false, 8, 0);
 }
 
 TEST_F(ServerFixture, UnknownPathAndMethodAreRejected) {

@@ -1,8 +1,9 @@
 // darray-top: a terminal dashboard for a live DArray cluster. Polls the
-// embedded telemetry listener's /series.json (see docs/observability.md) and
-// renders per-node op throughput, remote traffic, p50/p99 latency sparklines,
-// service-thread duty cycles, coherence transition rates, and chaos fault
-// counters. No curses, no deps: plain ANSI escapes and a blocking socket.
+// embedded telemetry listener's /series.json and /stats.json (see
+// docs/observability.md) and renders per-node op throughput, remote traffic,
+// p50/p99 latency sparklines, the serve-path stage breakdown, service-thread
+// duty cycles, coherence transition rates, and chaos fault counters. No
+// curses, no deps: plain ANSI escapes and a blocking socket.
 //
 //   darray-top [--host 127.0.0.1] [--port 9464] [--interval MS]
 //              [--frames N] [--once]
@@ -42,6 +43,11 @@ struct Series {
 struct Snapshot {
   uint64_t sample_count = 0;
   std::map<std::string, Series> series;
+  // Live StatsRegistry values from /stats.json. Point-sample (.gauge /
+  // percentile) reads fall back to these when the sampler has not produced
+  // enough points yet — a --once frame taken before the second sample would
+  // otherwise show no gauges at all.
+  std::map<std::string, uint64_t> live;
 };
 
 // --- transport ---------------------------------------------------------------
@@ -148,11 +154,46 @@ bool parse_series_json(const std::string& body, Snapshot& out) {
   return true;
 }
 
+// --- /stats.json parsing -----------------------------------------------------
+// StatsSnapshot::to_json is one flat object of "dotted.name": value pairs with
+// no escapes in names, so the same cursor-scan style works.
+
+bool parse_stats_json(const std::string& body, std::map<std::string, uint64_t>& out) {
+  size_t pos = body.find('{');
+  if (pos == std::string::npos) return false;
+  for (;;) {
+    const size_t q0 = body.find('"', pos);
+    if (q0 == std::string::npos) break;
+    const size_t q1 = body.find('"', q0 + 1);
+    if (q1 == std::string::npos) return false;
+    size_t vpos = body.find(':', q1);
+    if (vpos == std::string::npos) return false;
+    ++vpos;
+    while (vpos < body.size() && (body[vpos] == ' ' || body[vpos] == '\n')) ++vpos;
+    out[body.substr(q0 + 1, q1 - q0 - 1)] = scan_u64(body, vpos);
+    pos = vpos;
+  }
+  return true;
+}
+
 // --- derived values ----------------------------------------------------------
 
 const Series* find(const Snapshot& s, const std::string& name) {
   const auto it = s.series.find(name);
   return it == s.series.end() ? nullptr : &it->second;
+}
+
+// A point-sample metric's current value: newest ring point when the sampler
+// has one, else the live registry snapshot (fixes empty gauges under --once).
+uint64_t point_value(const Snapshot& s, const std::string& name, bool& present) {
+  const Series* ser = find(s, name);
+  if (ser != nullptr && !ser->pts.empty()) {
+    present = true;
+    return ser->pts.back().v;
+  }
+  const auto it = s.live.find(name);
+  present = it != s.live.end();
+  return present ? it->second : 0;
 }
 
 // Per-second rate over the newest interval of a delta (rate) series.
@@ -163,8 +204,6 @@ double latest_rate(const Series* s) {
   if (b.t <= a.t) return 0.0;
   return static_cast<double>(b.v) * 1e9 / static_cast<double>(b.t - a.t);
 }
-
-uint64_t latest(const Series* s) { return (s && !s->pts.empty()) ? s->pts.back().v : 0; }
 
 uint64_t window_sum(const Series* s) {
   uint64_t t = 0;
@@ -280,26 +319,64 @@ void render(const Snapshot& snap, const std::string& host, uint16_t port,
   const double srv_acc = latest_rate(find(snap, "serve.accepted"));
   const double srv_shed = latest_rate(find(snap, "serve.shed"));
   const double srv_hot = latest_rate(find(snap, "serve.hot_hits"));
-  if (srv_acc > 0 || srv_shed > 0)
-    std::printf("  serve/s  accepted %s  shed %s  hot-hits %s  (%.0f%% shed)\n",
+  bool have_inflight = false;
+  const uint64_t srv_inflight = point_value(snap, "serve.inflight.gauge", have_inflight);
+  if (srv_acc > 0 || srv_shed > 0 || have_inflight)
+    std::printf("  serve/s  accepted %s  shed %s  hot-hits %s  inflight %llu  (%.0f%% shed)\n",
                 fmt_si(srv_acc).c_str(), fmt_si(srv_shed).c_str(),
-                fmt_si(srv_hot).c_str(),
+                fmt_si(srv_hot).c_str(), static_cast<unsigned long long>(srv_inflight),
                 srv_acc + srv_shed > 0 ? 100.0 * srv_shed / (srv_acc + srv_shed) : 0.0);
 
-  // Latency percentiles (point series sampled from the op histograms).
+  // Latency percentiles (point series sampled from the op histograms; a frame
+  // taken before the sampler's first tick falls back to the live snapshot).
   std::printf("\n  %-8s %9s %-*s %9s %-*s\n", "op", "p50 ns", static_cast<int>(kSpark),
               "", "p99 ns", static_cast<int>(kSpark), "");
   static const char* kOps[] = {"get", "set", "apply", "get_range", "set_range"};
   for (const char* op : kOps) {
     const std::string base = std::string("hist.op.") + op;
-    const Series* p50 = find(snap, base + ".p50_ns");
-    const Series* p99 = find(snap, base + ".p99_ns");
-    if (p50 == nullptr && p99 == nullptr) continue;
+    bool h50 = false, h99 = false;
+    const uint64_t v50 = point_value(snap, base + ".p50_ns", h50);
+    const uint64_t v99 = point_value(snap, base + ".p99_ns", h99);
+    if (!h50 && !h99) continue;
     std::printf("  %-8s %s %s %s %s\n", op,
-                fmt_si(static_cast<double>(latest(p50))).c_str(),
-                sparkline(p50, kSpark).c_str(),
-                fmt_si(static_cast<double>(latest(p99))).c_str(),
-                sparkline(p99, kSpark).c_str());
+                fmt_si(static_cast<double>(v50)).c_str(),
+                sparkline(find(snap, base + ".p50_ns"), kSpark).c_str(),
+                fmt_si(static_cast<double>(v99)).c_str(),
+                sparkline(find(snap, base + ".p99_ns"), kSpark).c_str());
+  }
+
+  // Serve-path stage breakdown (obs v4 request journeys): where one request's
+  // end-to-end time goes. Only present while a KvsService handles traffic.
+  static const char* kStages[] = {"admit", "queue", "backend", "net", "deliver"};
+  bool stage_hdr = false;
+  for (const char* st : kStages) {
+    const std::string base = std::string("hist.stage.") + st;
+    bool h50 = false, h99 = false;
+    const uint64_t v50 = point_value(snap, base + ".p50_ns", h50);
+    const uint64_t v99 = point_value(snap, base + ".p99_ns", h99);
+    if (!h50 && !h99) continue;
+    if (!stage_hdr) {
+      std::printf("\n  %-8s %9s %-*s %9s %-*s\n", "stage", "p50 ns",
+                  static_cast<int>(kSpark), "", "p99 ns", static_cast<int>(kSpark), "");
+      stage_hdr = true;
+    }
+    std::printf("  %-8s %s %s %s %s\n", st,
+                fmt_si(static_cast<double>(v50)).c_str(),
+                sparkline(find(snap, base + ".p50_ns"), kSpark).c_str(),
+                fmt_si(static_cast<double>(v99)).c_str(),
+                sparkline(find(snap, base + ".p99_ns"), kSpark).c_str());
+  }
+  if (stage_hdr) {
+    // journey.retained is a counter: the series view holds per-interval
+    // deltas (sum the window), the live fallback holds the running total.
+    const Series* rser = find(snap, "journey.retained");
+    bool hr = false, ht = false;
+    const uint64_t retained =
+        rser != nullptr ? window_sum(rser) : point_value(snap, "journey.retained", hr);
+    const uint64_t thresh = point_value(snap, "journey.threshold_ns.gauge", ht);
+    std::printf("  journeys retained %llu  tail threshold %s ns  (GET /slow.json)\n",
+                static_cast<unsigned long long>(retained),
+                fmt_si(static_cast<double>(thresh)).c_str());
   }
 
   // Service-thread duty cycles from the busy/idle deltas.
@@ -382,6 +459,11 @@ int main(int argc, char** argv) {
       continue;
     }
     failures = 0;
+    // Live registry values back point-sample displays until the sampler's
+    // ring has data of its own; best-effort.
+    bool stats_ok = false;
+    const std::string stats_body = http_get(host, port, "/stats.json", stats_ok);
+    if (stats_ok) parse_stats_json(stats_body, snap.live);
     ++frame;
     if (!once) std::printf("\x1b[H\x1b[J");  // home + clear below: less flicker
     render(snap, host, port, frame);

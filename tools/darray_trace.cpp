@@ -12,6 +12,15 @@
 //                                          thread per node, flow arrows per
 //                                          correlation id)
 //
+// Request-journey dumps (obs v4) use a different line format — the retained
+// tail of a serving run, as captured from /slow.json or dump_json:
+//
+//   darray-trace --journeys SLOW.json                per-stage breakdown table
+//   darray-trace --journeys SLOW.json --perfetto OUT stage spans as child
+//                                          slices under each journey's parent
+//                                          slice, cross-node flow arrows keyed
+//                                          by the journey's correlation id
+//
 // Exit status: 0 on success, 1 on a malformed/unreadable dump.
 #include <algorithm>
 #include <cinttypes>
@@ -377,14 +386,241 @@ int cmd_perfetto(const std::vector<Rec>& evs, const std::vector<Span>& spans,
   return 0;
 }
 
+// --- request journeys (/slow.json dumps) -------------------------------------
+// JourneyCollector::slow_json writes one journey object per line with a fixed
+// field order (see src/obs/journey.cpp), so sscanf works here too.
+
+constexpr const char* kStageNames[5] = {"admit", "queue", "backend", "net", "deliver"};
+
+struct Journey {
+  uint64_t trace = 0;
+  unsigned origin = 0, owner = 0, session = 0, flags = 0;
+  uint64_t seq = 0;
+  char op[16] = {0};
+  char status[24] = {0};
+  uint64_t t_submit = 0;
+  uint64_t stage[5] = {0, 0, 0, 0, 0};
+  uint64_t total = 0;
+
+  int dominant() const {
+    int best = -1;
+    uint64_t best_ns = 0;
+    for (int i = 0; i < 5; ++i)
+      if (stage[i] > best_ns) {
+        best_ns = stage[i];
+        best = i;
+      }
+    return best;
+  }
+};
+
+struct JourneyDump {
+  uint64_t completed = 0;
+  uint64_t retained = 0;
+  uint64_t threshold_ns = 0;
+  std::vector<Journey> journeys;
+};
+
+bool parse_journeys(const char* path, JourneyDump& out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) {
+    std::fprintf(stderr, "darray-trace: cannot open %s\n", path);
+    return false;
+  }
+  char line[1024];
+  bool header_done = false;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (!header_done) {
+      if (const char* h = std::strstr(line, "\"journeys\":")) {
+        if (const char* c = std::strstr(line, "\"completed\":"))
+          std::sscanf(c, "\"completed\": %" SCNu64, &out.completed);
+        if (const char* r = std::strstr(line, "\"retained\":"))
+          std::sscanf(r, "\"retained\": %" SCNu64, &out.retained);
+        if (const char* t = std::strstr(line, "\"threshold_ns\":"))
+          std::sscanf(t, "\"threshold_ns\": %" SCNu64, &out.threshold_ns);
+        header_done = true;
+        (void)h;
+        continue;
+      }
+    }
+    const char* p = std::strstr(line, "{\"trace\":");
+    if (!p) continue;  // closing line
+    Journey j;
+    char trace_hex[24] = {0};
+    const int n = std::sscanf(
+        p,
+        "{\"trace\": \"%16[0-9a-fA-F]\", \"origin\": %u, \"owner\": %u, \"session\": %u, "
+        "\"seq\": %" SCNu64 ", \"op\": \"%15[^\"]\", \"status\": \"%23[^\"]\", "
+        "\"flags\": %u, \"t_submit\": %" SCNu64 ", \"admit_ns\": %" SCNu64
+        ", \"queue_ns\": %" SCNu64 ", \"backend_ns\": %" SCNu64 ", \"net_ns\": %" SCNu64
+        ", \"deliver_ns\": %" SCNu64 ", \"total_ns\": %" SCNu64,
+        trace_hex, &j.origin, &j.owner, &j.session, &j.seq, j.op, j.status, &j.flags,
+        &j.t_submit, &j.stage[0], &j.stage[1], &j.stage[2], &j.stage[3], &j.stage[4],
+        &j.total);
+    if (n != 15) {
+      std::fprintf(stderr, "darray-trace: malformed journey line: %s", line);
+      std::fclose(f);
+      return false;
+    }
+    j.trace = std::strtoull(trace_hex, nullptr, 16);
+    out.journeys.push_back(j);
+  }
+  std::fclose(f);
+  return header_done;
+}
+
+std::string journey_flags(unsigned flags) {
+  if (flags == 0) return "-";
+  std::string s;
+  if (flags & 1) s += "shed,";
+  if (flags & 2) s += "timeout,";
+  if (flags & 4) s += "error,";
+  if (flags & 8) s += "hot,";
+  s.pop_back();
+  return s;
+}
+
+int cmd_journeys(const JourneyDump& d) {
+  std::printf("retained %zu journeys (%" PRIu64 " total retained, %" PRIu64
+              " completed, tail threshold %" PRIu64 " ns)\n\n",
+              d.journeys.size(), d.retained, d.completed, d.threshold_ns);
+  std::printf("%-16s %-4s %-9s %-12s %3s>%-3s %9s %9s %9s %9s %9s %10s  %s\n", "trace",
+              "op", "status", "flags", "org", "own", "admit", "queue", "backend", "net",
+              "deliver", "total_ns", "dominant");
+  uint64_t dom_count[5] = {0};
+  for (const Journey& j : d.journeys) {
+    const int dom = j.dominant();
+    if (dom >= 0) dom_count[dom]++;
+    std::printf("%016" PRIx64 " %-4s %-9s %-12s %3u>%-3u %9" PRIu64 " %9" PRIu64
+                " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 " %10" PRIu64 "  %s\n",
+                j.trace, j.op, j.status, journey_flags(j.flags).c_str(), j.origin,
+                j.owner, j.stage[0], j.stage[1], j.stage[2], j.stage[3], j.stage[4],
+                j.total, dom >= 0 ? kStageNames[dom] : "-");
+  }
+  std::printf("\ndominant stage:");
+  for (int i = 0; i < 5; ++i)
+    if (dom_count[i])
+      std::printf(" %s=%" PRIu64, kStageNames[i], dom_count[i]);
+  std::printf("\n");
+  return 0;
+}
+
+// Perfetto view of the retained tail: per journey, one parent slice on the
+// origin node's session track spanning submit → deliver, with the five stage
+// spans nested inside it as child slices (Chrome trace viewers nest complete
+// events on one track by time containment). The owner-side interval
+// (queue + backend) is mirrored onto the owner node's serve track, and a flow
+// chain keyed by the journey's correlation id arrows origin → owner → origin —
+// loading this next to a --perfetto dump of the same run lines the journeys up
+// with the transport events that share those correlation ids.
+int cmd_journeys_perfetto(const JourneyDump& d, const char* out_path) {
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "darray-trace: cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  uint64_t t0 = ~0ull;
+  for (const Journey& j : d.journeys) t0 = std::min(t0, j.t_submit);
+  if (d.journeys.empty()) t0 = 0;
+  auto us = [t0](uint64_t t) { return static_cast<double>(t - t0) / 1000.0; };
+
+  std::fprintf(f, "{\"traceEvents\": [\n");
+  bool first = true;
+  auto emit = [&](const char* fmt, auto... args) {
+    std::fprintf(f, "%s", first ? "" : ",\n");
+    first = false;
+    std::fprintf(f, fmt, args...);
+  };
+
+  // Track metadata. Sessions get their own threads; owner-side work shares
+  // one "serve" thread per node (tid 0 — session ids start at 1).
+  std::map<TrackKey, bool> tracks;
+  for (const Journey& j : d.journeys) {
+    tracks[{j.origin, j.session}] = true;
+    if (j.stage[1] + j.stage[2] > 0) tracks[{j.owner, 0}] = true;
+  }
+  std::map<uint32_t, bool> pids;
+  for (const auto& [k, _] : tracks) pids[k.pid] = true;
+  for (const auto& [pid, _] : pids)
+    emit("{\"ph\": \"M\", \"pid\": %u, \"name\": \"process_name\", "
+         "\"args\": {\"name\": \"node %u\"}}",
+         pid, pid);
+  for (const auto& [k, _] : tracks) {
+    if (k.tid == 0)
+      emit("{\"ph\": \"M\", \"pid\": %u, \"tid\": 0, \"name\": \"thread_name\", "
+           "\"args\": {\"name\": \"serve\"}}",
+           k.pid);
+    else
+      emit("{\"ph\": \"M\", \"pid\": %u, \"tid\": %u, \"name\": \"thread_name\", "
+           "\"args\": {\"name\": \"session %u\"}}",
+           k.pid, k.tid, k.tid);
+  }
+
+  size_t flows = 0;
+  for (const Journey& j : d.journeys) {
+    if (j.total == 0) continue;  // exceptional journey with no deliver stamp
+    emit("{\"ph\": \"X\", \"pid\": %u, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+         "\"name\": \"%s\", \"cat\": \"journey\", "
+         "\"args\": {\"trace\": \"%016" PRIx64 "\", \"seq\": %" PRIu64
+         ", \"status\": \"%s\", \"flags\": %u}}",
+         j.origin, j.session, us(j.t_submit), static_cast<double>(j.total) / 1000.0,
+         j.op, j.trace, j.seq, j.status, j.flags);
+    uint64_t cursor = j.t_submit;
+    for (int s = 0; s < 5; ++s) {
+      if (j.stage[s] == 0) continue;
+      emit("{\"ph\": \"X\", \"pid\": %u, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+           "\"name\": \"%s\", \"cat\": \"stage\", "
+           "\"args\": {\"trace\": \"%016" PRIx64 "\"}}",
+           j.origin, j.session, us(cursor), static_cast<double>(j.stage[s]) / 1000.0,
+           kStageNames[s], j.trace);
+      cursor += j.stage[s];
+    }
+    const uint64_t owner_ns = j.stage[1] + j.stage[2];
+    if (owner_ns == 0) continue;
+    const uint64_t owner_t = j.t_submit + j.stage[0];
+    emit("{\"ph\": \"X\", \"pid\": %u, \"tid\": 0, \"ts\": %.3f, \"dur\": %.3f, "
+         "\"name\": \"serve %s\", \"cat\": \"journey\", "
+         "\"args\": {\"trace\": \"%016" PRIx64 "\"}}",
+         j.owner, us(owner_t), static_cast<double>(owner_ns) / 1000.0, j.op, j.trace);
+    emit("{\"ph\": \"s\", \"pid\": %u, \"tid\": %u, \"ts\": %.3f, "
+         "\"name\": \"%s\", \"cat\": \"flow\", \"id\": %" PRIu64 "}",
+         j.origin, j.session, us(j.t_submit), j.op, j.trace);
+    emit("{\"ph\": \"t\", \"pid\": %u, \"tid\": 0, \"ts\": %.3f, "
+         "\"name\": \"%s\", \"cat\": \"flow\", \"id\": %" PRIu64 "}",
+         j.owner, us(owner_t), j.op, j.trace);
+    emit("{\"ph\": \"f\", \"pid\": %u, \"tid\": %u, \"ts\": %.3f, "
+         "\"name\": \"%s\", \"cat\": \"flow\", \"id\": %" PRIu64 ", \"bp\": \"e\"}",
+         j.origin, j.session, us(j.t_submit + j.total - j.stage[4]), j.op, j.trace);
+    ++flows;
+  }
+
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "darray-trace: wrote %s (%zu journeys, %zu flows)\n", out_path,
+               d.journeys.size(), flows);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: darray-trace TRACE.json "
-                 "[--slowest N | --corr HEXID | --perfetto OUT.json]\n");
+                 "[--slowest N | --corr HEXID | --perfetto OUT.json]\n"
+                 "       darray-trace --journeys SLOW.json [--perfetto OUT.json]\n");
     return 1;
+  }
+  if (std::strcmp(argv[1], "--journeys") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: darray-trace --journeys SLOW.json [--perfetto OUT.json]\n");
+      return 1;
+    }
+    JourneyDump dump;
+    if (!parse_journeys(argv[2], dump)) return 1;
+    if (argc >= 5 && std::strcmp(argv[3], "--perfetto") == 0)
+      return cmd_journeys_perfetto(dump, argv[4]);
+    return cmd_journeys(dump);
   }
   std::vector<Rec> evs;
   DumpInfo info;
