@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "core/darray.hpp"
 #include "net/comm_layer.hpp"
 #include "obs/latency_histogram.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 using namespace darray;
@@ -496,11 +499,32 @@ int hist_main() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (bench::has_flag(argc, argv, "--json")) return json_main();
-  if (bench::has_flag(argc, argv, "--sweep")) return sweep_main();
-  if (bench::has_flag(argc, argv, "--hist")) return hist_main();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  obs::register_current_thread("main");
+  // --profile arms the sampling profiler (always-on defaults, cpu mode) for
+  // the whole run — same spirit as the telemetry-on measurement policy above —
+  // then writes micro_profile.prof + micro_profile.collapsed on exit.
+  const bool profile = bench::has_flag(argc, argv, "--profile");
+  if (profile && !obs::profiler_start(obs::ProfilerOptions{}))
+    std::fprintf(stderr, "micro_fastpath: profiler_start failed\n");
+  int rc = 0;
+  if (bench::has_flag(argc, argv, "--json")) {
+    rc = json_main();
+  } else if (bench::has_flag(argc, argv, "--sweep")) {
+    rc = sweep_main();
+  } else if (bench::has_flag(argc, argv, "--hist")) {
+    rc = hist_main();
+  } else {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  if (profile) {
+    obs::profiler_stop();
+    if (obs::dump_profile("micro_profile.prof"))
+      std::printf("profile dump: wrote micro_profile.prof\n");
+    std::ofstream out("micro_profile.collapsed");
+    out << obs::profiler_collapsed();
+    std::printf("profile dump: wrote micro_profile.collapsed\n");
+  }
+  return rc;
 }

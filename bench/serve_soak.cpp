@@ -2,7 +2,7 @@
 // measuring tail latency and goodput under overload with admission control on
 // vs off, and the hot-key cache's effect on a zipfian-0.99 read mix.
 //
-//   build/bench/serve_soak [--json] [--metrics-dump]
+//   build/bench/serve_soak [--json] [--metrics-dump] [--profile]
 //
 // Phases (each on a fresh cluster + service):
 //   calibrate      closed-loop capacity estimate (not reported)
@@ -26,6 +26,12 @@
 //
 // --metrics-dump writes the final /metrics exposition (serve counters
 // included) to serve_metrics.prom for scripts/validate_prometheus.py.
+//
+// --profile adds the continuous-profiling overhead phase (obs v5): identical
+// closed-loop runs with the sampling profiler disarmed vs armed at 97 Hz.
+// profile_on/profile_off ops_per_s is the CI overhead gate (>= 0.97); a
+// higher-rate run then writes serve_profile.prof (obs::dump_profile) and
+// serve_profile.collapsed (folded stacks) for scripts/validate_collapsed.py.
 #include <algorithm>
 #include <deque>
 #include <fstream>
@@ -33,6 +39,7 @@
 #include "bench/bench_util.hpp"
 #include "kvs/kvs.hpp"
 #include "obs/journey.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry_server.hpp"
 #include "serve/client.hpp"
 #include "serve/ycsb_serve.hpp"
@@ -279,8 +286,10 @@ StageResult run_stages(uint32_t nodes, const ServeConfig& scfg, YcsbConfig ycfg,
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::register_current_thread("main");
   const bool json = has_flag(argc, argv, "--json");
   const bool dump = has_flag(argc, argv, "--metrics-dump");
+  const bool profile = has_flag(argc, argv, "--profile");
   const uint32_t nodes = std::min<uint32_t>(3, max_nodes());
   JsonReport report("serve_soak", json);
 
@@ -424,6 +433,66 @@ int main(int argc, char** argv) {
   report.add("stages", "stage_sum_ratio", "ratio", st_ratio);
   report.add("stages", "backend_dom_pct", "pct", st_dom);
   report.add("stages", "retained", "count", st_retained);
+
+  // Profiling-overhead phase: the same closed-loop pipelined workload with
+  // the sampling profiler disarmed vs armed at the always-on default (97 Hz
+  // cpu mode). The gated metric is throughput retention, not latency — a
+  // profiler that costs cycles shows up directly as lost ops/s.
+  if (profile) {
+    YcsbConfig pcfg = ycfg;
+    pcfg.ops_per_thread = env_u64("DARRAY_BENCH_PROF_OPS", 4000);
+    ServeConfig psrv = base;
+    psrv.worker_delay_ns = 0;  // real CPU work only: overhead has nowhere to hide
+    std::vector<double> prof_off_ops, prof_on_ops;
+    print_header("profiler overhead, closed loop, " + std::to_string(nodes) + " nodes",
+                 {"profiler", "ops_per_s"});
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      {
+        Fleet f(nodes, psrv, pcfg);
+        const double ops = run_ycsb_serve(f.svc, pcfg, /*window=*/8).kops * 1e3;
+        prof_off_ops.push_back(ops);
+        print_row(0, {ops}, "%14.0f");
+      }
+      {
+        Fleet f(nodes, psrv, pcfg);
+        obs::ProfilerOptions po;  // the always-on defaults (config defaults)
+        if (!obs::profiler_start(po))
+          std::fprintf(stderr, "serve_soak: profiler_start failed\n");
+        const double ops = run_ycsb_serve(f.svc, pcfg, /*window=*/8).kops * 1e3;
+        obs::profiler_stop();
+        prof_on_ops.push_back(ops);
+        print_row(1, {ops}, "%14.0f");
+      }
+    }
+    report.add("profile_off", "ops_per_s", "ops/s", prof_off_ops);
+    report.add("profile_on", "ops_per_s", "ops/s", prof_on_ops);
+
+    // Artifact run at a higher rate so the dump has a meaningful sample
+    // population: scripts/validate_collapsed.py asserts the folded output
+    // parses and that the tx drain and dispatcher workers show up by name.
+    {
+      Fleet f(nodes, psrv, pcfg);
+      obs::ProfilerOptions po;
+      po.hz = static_cast<uint32_t>(env_u64("DARRAY_PROF_ARTIFACT_HZ", 499));
+      if (obs::profiler_start(po)) {
+        run_ycsb_serve(f.svc, pcfg, /*window=*/8);
+        obs::profiler_stop();
+        if (obs::dump_profile("serve_profile.prof"))
+          std::printf("profile dump: wrote serve_profile.prof\n");
+        std::ofstream out("serve_profile.collapsed");
+        out << obs::profiler_collapsed();
+        std::printf("profile dump: wrote serve_profile.collapsed\n");
+        const obs::ProfileTotals pt = obs::profile_totals();
+        std::printf("profile totals: samples %llu dropped %llu signals %llu "
+                    "unattributed %llu rings %llu\n",
+                    static_cast<unsigned long long>(pt.samples),
+                    static_cast<unsigned long long>(pt.dropped),
+                    static_cast<unsigned long long>(pt.signals),
+                    static_cast<unsigned long long>(pt.unattributed),
+                    static_cast<unsigned long long>(pt.rings));
+      }
+    }
+  }
 
   {
     // A fresh fleet whose registry still has live serve counters: embed the

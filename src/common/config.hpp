@@ -115,6 +115,16 @@ struct ClusterConfig {
   bool telemetry_serve = false;
   uint16_t telemetry_port = 0;  // 0 = ephemeral; Cluster::telemetry_port()
 
+  // --- continuous profiling (docs/observability.md v5) ----------------------
+  // Always-on CPU sampling profiler (obs/profiler): SIGPROF at profiler_hz,
+  // frame-pointer backtraces into per-thread sample rings, attributed to the
+  // registered thread names. Off: no timer, no signal handler overhead; the
+  // /profile telemetry endpoint can still run temporary sessions on demand.
+  bool profiler_enabled = false;
+  uint32_t profiler_hz = 97;          // off the 100 Hz timer-tick beat
+  uint32_t profiler_max_frames = 32;  // backtrace depth cap per sample
+  uint32_t profiler_ring_samples = 4096;  // per-thread ring capacity
+
   // --- derived --------------------------------------------------------------
   size_t chunk_bytes(size_t elem_size) const { return size_t{chunk_elems} * elem_size; }
 
@@ -172,6 +182,14 @@ struct ClusterConfig {
     if (telemetry_serve && !telemetry_enabled)
       return "telemetry_serve requires telemetry_enabled (the endpoints serve "
              "the sampler's rings)";
+    if (profiler_enabled && (profiler_hz < 1 || profiler_hz > 1000))
+      return "profiler_hz must be in [1, 1000] (above 1 kHz the signal "
+             "handler itself becomes the hot function)";
+    if (profiler_enabled && (profiler_max_frames < 2 || profiler_max_frames > 64))
+      return "profiler_max_frames must be in [2, 64]";
+    if (profiler_enabled && profiler_ring_samples < 64)
+      return "profiler_ring_samples must be >= 64 (a smaller ring wraps "
+             "within one aggregation interval)";
     return {};
   }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <span>
@@ -9,6 +10,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "obs/latency_histogram.hpp"
+#include "obs/thread_registry.hpp"
 #include "obs/trace.hpp"
 
 namespace darray::net {
@@ -1066,6 +1068,9 @@ void CommLayer::post_one(TxRequest& req) {
 }
 
 void CommLayer::tx_main() {
+  char tname[16];
+  std::snprintf(tname, sizeof tname, "tx.%u", node_id_);
+  obs::register_current_thread(tname);
   const bool coalesce = cfg_.coalesce_enabled;
   tx_duty_.on_start();
   for (;;) {
@@ -1128,6 +1133,9 @@ void CommLayer::tx_main() {
 }
 
 void CommLayer::rx_main() {
+  char tname[16];
+  std::snprintf(tname, sizeof tname, "rx.%u", node_id_);
+  obs::register_current_thread(tname);
   rdma::WorkCompletion wcs[32];
   rx_duty_.on_start();
   for (;;) {

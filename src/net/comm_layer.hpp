@@ -264,8 +264,10 @@ class CommLayer {
     PayloadBuf inner_payload;
   };
 
-  void tx_main();
-  void rx_main();
+  // Profile anchors: keep the drain loops out of the std::thread lambdas so
+  // sampled stacks name them (docs/observability.md v5).
+  DARRAY_PROFILE_ANCHOR void tx_main();
+  DARRAY_PROFILE_ANCHOR void rx_main();
   // Legacy immediate-post path (coalescing off; byte- and WR-identical to the
   // pre-coalescing engine).
   void post_one(TxRequest& req);

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "obs/thread_registry.hpp"
 
 namespace darray::net {
 
@@ -66,6 +67,9 @@ void SocketListener::stop() {
 }
 
 void SocketListener::accept_loop() {
+  // The options name ("telemetry", "gateway", ...) doubles as the accept
+  // thread's registered name in trace and profile dumps.
+  obs::register_current_thread(opts_.name.c_str());
   const int listen_fd = listen_fd_;
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);

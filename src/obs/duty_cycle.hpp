@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/histogram.hpp"  // now_ns()
+#include "obs/profiler.hpp"      // set_prof_phase: samples tag busy vs idle
 
 namespace darray::obs {
 
@@ -36,13 +37,22 @@ struct DutyStats {
 
 class DutyCycle {
  public:
-  // Owning thread, at loop entry / exit.
-  void on_start() { start_ns_.store(now_ns(), std::memory_order_relaxed); }
+  // Owning thread, at loop entry / exit. The park brackets double as the
+  // profiler's phase context: a sample taken between park_begin and park_end
+  // is tagged idle, everything else on a duty-cycled thread is busy.
+  void on_start() {
+    start_ns_.store(now_ns(), std::memory_order_relaxed);
+    set_prof_phase(ProfPhase::kBusy);
+  }
   void on_stop() { stop_ns_.store(now_ns(), std::memory_order_relaxed); }
 
   // Owning thread, around each blocking wait.
-  uint64_t park_begin() const { return now_ns(); }
+  uint64_t park_begin() const {
+    set_prof_phase(ProfPhase::kIdle);
+    return now_ns();
+  }
   void park_end(uint64_t t0) {
+    set_prof_phase(ProfPhase::kBusy);
     idle_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
     parks_.fetch_add(1, std::memory_order_relaxed);
   }

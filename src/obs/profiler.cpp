@@ -1,0 +1,471 @@
+#include "obs/profiler.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <errno.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <ucontext.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "common/logging.hpp"
+#include "obs/trace.hpp"  // op_kind_name for collapsed/dump rendering
+
+namespace darray::obs {
+
+namespace detail {
+constinit thread_local ProfCtx t_prof_ctx;
+}  // namespace detail
+
+namespace {
+
+const char* const kPhaseNames[] = {"unknown", "busy", "idle"};
+static_assert(sizeof(kPhaseNames) / sizeof(kPhaseNames[0]) ==
+              static_cast<size_t>(ProfPhase::kMaxPhase));
+
+size_t round_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* prof_phase_name(ProfPhase p) {
+  return p < ProfPhase::kMaxPhase ? kPhaseNames[static_cast<size_t>(p)] : "?";
+}
+
+// --- sample ring -------------------------------------------------------------
+
+ProfileRing::ProfileRing(size_t min_samples, uint32_t max_frames)
+    : cap_(round_pow2(min_samples < 2 ? 2 : min_samples)),
+      max_frames_(std::clamp<uint32_t>(max_frames, 2, kMaxFramesHard)),
+      words_(new std::atomic<uint64_t>[cap_ * (max_frames_ + 1)]) {
+  for (size_t i = 0; i < cap_ * (max_frames_ + 1); ++i)
+    words_[i].store(0, std::memory_order_relaxed);
+}
+
+void ProfileRing::push(uint8_t phase, uint8_t op, const uintptr_t* pcs, uint32_t n) {
+  if (n > max_frames_) n = max_frames_;
+  const uint64_t h = head_.load(std::memory_order_relaxed);
+  std::atomic<uint64_t>* w = &words_[(h & (cap_ - 1)) * (max_frames_ + 1)];
+  w[0].store((static_cast<uint64_t>(phase) << 16) | (static_cast<uint64_t>(op) << 8) | n,
+             std::memory_order_relaxed);
+  for (uint32_t i = 0; i < n; ++i)
+    w[1 + i].store(static_cast<uint64_t>(pcs[i]), std::memory_order_relaxed);
+  head_.store(h + 1, std::memory_order_release);
+}
+
+std::vector<ProfileRing::Sample> ProfileRing::collect() const {
+  const uint64_t h = head_.load(std::memory_order_acquire);
+  const uint64_t n = h < cap_ ? h : cap_;
+  std::vector<Sample> out;
+  out.reserve(n);
+  for (uint64_t i = h - n; i < h; ++i) {
+    const std::atomic<uint64_t>* w = &words_[(i & (cap_ - 1)) * (max_frames_ + 1)];
+    const uint64_t hdr = w[0].load(std::memory_order_relaxed);
+    Sample s;
+    s.phase = static_cast<uint8_t>(hdr >> 16);
+    s.op = static_cast<uint8_t>(hdr >> 8);
+    const uint32_t frames = std::min<uint32_t>(hdr & 0xff, max_frames_);
+    s.pcs.reserve(frames);
+    for (uint32_t f = 0; f < frames; ++f)
+      s.pcs.push_back(static_cast<uintptr_t>(w[1 + f].load(std::memory_order_relaxed)));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// --- global state & signal handler -------------------------------------------
+
+namespace {
+
+struct ProfilerState {
+  std::mutex session_mu;              // serializes start/stop (never the handler)
+  std::atomic<bool> on{false};        // handler gate + session flag
+  std::atomic<uint64_t> signals{0};
+  std::atomic<uint64_t> unattributed{0};
+  std::atomic<uint32_t> ring_samples{0};  // nonzero once ever configured
+  std::atomic<uint32_t> max_frames{0};
+  std::atomic<bool> handler_installed{false};
+  ProfilerOptions opts;  // last session's options (dump header)
+  std::thread ticker;    // wall mode only
+  std::atomic<bool> ticker_stop{false};
+};
+
+ProfilerState& state() {
+  static ProfilerState* s = new ProfilerState;  // leak: outlive static dtors
+  return *s;
+}
+
+// Async-signal-safe frame-pointer walk. The leaf PC and starting frame
+// pointer come from the interrupted context; every step is bounds-checked
+// against the thread's registered stack and must move toward the stack base,
+// so a clobbered or foreign frame chain terminates the walk instead of
+// faulting inside the handler. Requires -fno-omit-frame-pointer (set
+// globally in the top-level CMakeLists).
+uint32_t capture_stack(void* ucv, const ThreadEntry* te, uintptr_t* pcs, uint32_t max) {
+  const ucontext_t* uc = static_cast<const ucontext_t*>(ucv);
+  uintptr_t pc = 0, fp = 0;
+#if defined(__x86_64__)
+  pc = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+  pc = static_cast<uintptr_t>(uc->uc_mcontext.pc);
+  fp = static_cast<uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+  (void)uc;  // unknown ABI: leaf-only samples
+#endif
+  uint32_t n = 0;
+  if (pc != 0 && n < max) pcs[n++] = pc;
+  const uintptr_t lo = te->stack_lo, hi = te->stack_hi;
+  if (lo == 0 || hi <= lo) return n;  // no stack bounds: leaf only
+  while (n < max && fp >= lo && fp + 2 * sizeof(uintptr_t) <= hi &&
+         (fp & (sizeof(uintptr_t) - 1)) == 0) {
+    const uintptr_t* frame = reinterpret_cast<const uintptr_t*>(fp);
+    const uintptr_t ret = frame[1];
+    const uintptr_t next = frame[0];
+    if (ret < 4096) break;  // null-page "return address": corrupt frame
+    pcs[n++] = ret;
+    if (next <= fp) break;  // frames must march toward the stack base
+    fp = next;
+  }
+  return n;
+}
+
+void sigprof_handler(int, siginfo_t*, void* ucv) {
+  const int saved_errno = errno;  // the handler interrupts arbitrary code
+  ProfilerState& s = state();
+  s.signals.fetch_add(1, std::memory_order_relaxed);
+  if (s.on.load(std::memory_order_relaxed)) {
+    ThreadEntry* te = current_thread_entry();
+    if (te == nullptr || te->ring == nullptr) {
+      s.unattributed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      uintptr_t pcs[ProfileRing::kMaxFramesHard];
+      const uint32_t n = capture_stack(ucv, te, pcs, te->ring->max_frames());
+      if (n > 0)
+        te->ring->push(detail::t_prof_ctx.phase, detail::t_prof_ctx.op, pcs, n);
+    }
+  }
+  errno = saved_errno;
+}
+
+// Installed once and left in place for the process lifetime, gated by
+// state().on: restoring SIG_DFL on stop would let one straggling SIGPROF
+// (queued between disarm and restore) terminate the process.
+void install_handler_once() {
+  ProfilerState& s = state();
+  if (s.handler_installed.load(std::memory_order_acquire)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = sigprof_handler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGPROF, &sa, nullptr);
+  s.handler_installed.store(true, std::memory_order_release);
+}
+
+void ticker_main(uint32_t hz) {
+  register_current_thread("profticker");
+  ProfilerState& s = state();
+  const auto period = std::chrono::nanoseconds(1'000'000'000ull / (hz ? hz : 1));
+  const pthread_t self = pthread_self();
+  while (!s.ticker_stop.load(std::memory_order_acquire)) {
+    for (ThreadEntry* te : all_thread_entries()) {
+      // Re-check right before the kill: the exit hook flips alive before the
+      // thread can be joined, keeping the pthread_t target valid (ESRCH at
+      // worst for a zombie).
+      if (te->handle == self || te->ring == nullptr) continue;
+      if (!te->alive.load(std::memory_order_acquire)) continue;
+      pthread_kill(te->handle, SIGPROF);
+    }
+    std::this_thread::sleep_for(period);
+  }
+}
+
+}  // namespace
+
+ProfileRing* profiler_make_ring_if_configured() {
+  ProfilerState& s = state();
+  const uint32_t samples = s.ring_samples.load(std::memory_order_acquire);
+  if (samples == 0) return nullptr;
+  // Leaked with the owning ThreadEntry (registry discipline).
+  return new ProfileRing(samples, s.max_frames.load(std::memory_order_acquire));
+}
+
+bool profiler_start(const ProfilerOptions& opts) {
+  if (opts.hz < 1 || opts.hz > 1000) {
+    DLOG_ERROR("profiler: hz must be in [1, 1000], got %u", opts.hz);
+    return false;
+  }
+  if (opts.max_frames < 2 || opts.max_frames > ProfileRing::kMaxFramesHard) {
+    DLOG_ERROR("profiler: max_frames must be in [2, %u], got %u",
+               ProfileRing::kMaxFramesHard, opts.max_frames);
+    return false;
+  }
+  if (opts.ring_samples < 64) {
+    DLOG_ERROR("profiler: ring_samples must be >= 64, got %u", opts.ring_samples);
+    return false;
+  }
+  ProfilerState& s = state();
+  std::lock_guard lk(s.session_mu);
+  if (s.on.load(std::memory_order_acquire)) {
+    DLOG_ERROR("profiler: a session is already running");
+    return false;
+  }
+  s.opts = opts;
+  // First configuration fixes the per-thread ring geometry (rings are
+  // created once and leaked); later sessions reuse existing rings.
+  uint32_t zero = 0;
+  s.max_frames.compare_exchange_strong(zero, opts.max_frames);
+  zero = 0;
+  s.ring_samples.compare_exchange_strong(zero, opts.ring_samples);
+  ensure_profile_rings();
+  reset_profile();
+  install_handler_once();
+  s.on.store(true, std::memory_order_release);
+  if (opts.mode == ProfileMode::kCpu) {
+    itimerval itv;
+    itv.it_interval.tv_sec = 0;
+    itv.it_interval.tv_usec = static_cast<suseconds_t>(1'000'000 / opts.hz);
+    if (itv.it_interval.tv_usec == 0) itv.it_interval.tv_usec = 1;
+    itv.it_value = itv.it_interval;
+    setitimer(ITIMER_PROF, &itv, nullptr);
+  } else {
+    s.ticker_stop.store(false, std::memory_order_release);
+    s.ticker = std::thread([hz = opts.hz] { ticker_main(hz); });
+  }
+  return true;
+}
+
+void profiler_stop() {
+  ProfilerState& s = state();
+  std::lock_guard lk(s.session_mu);
+  if (!s.on.load(std::memory_order_acquire)) return;
+  if (s.opts.mode == ProfileMode::kCpu) {
+    itimerval off;
+    std::memset(&off, 0, sizeof(off));
+    setitimer(ITIMER_PROF, &off, nullptr);
+  } else if (s.ticker.joinable()) {
+    s.ticker_stop.store(true, std::memory_order_release);
+    s.ticker.join();
+  }
+  // In-flight signals after the disarm hit the still-installed handler; the
+  // gate makes them cheap no-ops (counted in profile.signals only).
+  s.on.store(false, std::memory_order_release);
+}
+
+bool profiler_running() { return state().on.load(std::memory_order_acquire); }
+
+ProfileTotals profile_totals() {
+  ProfilerState& s = state();
+  ProfileTotals t;
+  t.signals = s.signals.load(std::memory_order_relaxed);
+  t.unattributed = s.unattributed.load(std::memory_order_relaxed);
+  for (const ThreadEntry* te : all_thread_entries()) {
+    if (te->ring == nullptr) continue;
+    ++t.rings;
+    t.samples += te->ring->pushed();
+    t.dropped += te->ring->dropped();
+  }
+  return t;
+}
+
+void reset_profile() {
+  ProfilerState& s = state();
+  s.signals.store(0, std::memory_order_relaxed);
+  s.unattributed.store(0, std::memory_order_relaxed);
+  for (ThreadEntry* te : all_thread_entries())
+    if (te->ring != nullptr) te->ring->reset();
+}
+
+// --- collection --------------------------------------------------------------
+
+std::vector<ProfileStack> collect_profile() {
+  // Fold identical {thread, phase, op, stack} samples; map keys order
+  // lexicographically over the PC vector, which is all we need.
+  std::map<std::tuple<const ThreadEntry*, uint8_t, uint8_t, std::vector<uintptr_t>>,
+           uint64_t>
+      cells;
+  for (ThreadEntry* te : all_thread_entries()) {
+    if (te->ring == nullptr) continue;
+    for (ProfileRing::Sample& s : te->ring->collect())
+      ++cells[{te, s.phase, s.op, std::move(s.pcs)}];
+  }
+  std::vector<ProfileStack> out;
+  out.reserve(cells.size());
+  for (auto& [key, count] : cells) {
+    ProfileStack ps;
+    ps.thread = std::get<0>(key);
+    ps.phase = std::get<1>(key);
+    ps.op = std::get<2>(key);
+    ps.pcs = std::get<3>(key);
+    ps.count = count;
+    out.push_back(std::move(ps));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfileStack& a, const ProfileStack& b) { return a.count > b.count; });
+  return out;
+}
+
+// --- symbolization & rendering (offline paths: dladdr + demangle are not
+// signal-safe, so nothing here runs while a sample is being taken) ----------
+
+std::string symbolize_pc(uintptr_t pc) {
+  Dl_info info;
+  std::memset(&info, 0, sizeof(info));
+  // Function-granularity resolution on the raw PC: good enough for a
+  // profiler (the ±1-byte return-address skew only matters at instruction
+  // granularity).
+  if (dladdr(reinterpret_cast<void*>(pc), &info) == 0 || info.dli_fbase == nullptr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(pc));
+    return buf;
+  }
+  if (info.dli_sname != nullptr) {
+    int status = 0;
+    char* dem = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && dem != nullptr) {
+      std::string out(dem);
+      std::free(dem);
+      return out;
+    }
+    if (dem != nullptr) std::free(dem);
+    return info.dli_sname;
+  }
+  // Inside a mapped object but no dynamic symbol covers the PC (static
+  // function, stripped object): module + offset keeps it attributable.
+  const char* base = info.dli_fname != nullptr ? std::strrchr(info.dli_fname, '/') : nullptr;
+  const char* mod = base != nullptr ? base + 1
+                    : info.dli_fname != nullptr ? info.dli_fname
+                                                : "?";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s+0x%llx", mod,
+                static_cast<unsigned long long>(
+                    pc - reinterpret_cast<uintptr_t>(info.dli_fbase)));
+  return buf;
+}
+
+namespace {
+
+// Collapsed-format frames must survive a "split on last space" parse and the
+// ';' frame separator; demangled C++ names carry both.
+std::string sanitize_frame(std::string s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == ' ') continue;
+    out += (c == ';') ? ':' : c;
+  }
+  return out.empty() ? std::string("?") : out;
+}
+
+std::string phase_frame(uint8_t phase, uint8_t op) {
+  std::string f = "(";
+  f += prof_phase_name(static_cast<ProfPhase>(
+      phase < static_cast<uint8_t>(ProfPhase::kMaxPhase) ? phase : 0));
+  if (op != kProfNoOp && op < static_cast<uint8_t>(OpKind::kMaxOpKind)) {
+    f += ":";
+    f += op_kind_name(static_cast<OpKind>(op));
+  }
+  f += ")";
+  return f;
+}
+
+}  // namespace
+
+std::string profiler_collapsed() {
+  const std::vector<ProfileStack> stacks = collect_profile();
+  std::map<uintptr_t, std::string> syms;  // symbolize each distinct PC once
+  std::string out;
+  for (const ProfileStack& ps : stacks) {
+    std::string line = ps.thread->name[0] != '\0' ? ps.thread->name : "[unnamed]";
+    line += ";" + phase_frame(ps.phase, ps.op);
+    for (size_t i = ps.pcs.size(); i-- > 0;) {  // root first
+      auto it = syms.find(ps.pcs[i]);
+      if (it == syms.end())
+        it = syms.emplace(ps.pcs[i], sanitize_frame(symbolize_pc(ps.pcs[i]))).first;
+      line += ";" + it->second;
+    }
+    line += " " + std::to_string(ps.count) + "\n";
+    out += line;
+  }
+  return out;
+}
+
+bool dump_profile(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "profile dump: cannot open %s\n", path);
+    return false;
+  }
+  ProfilerState& s = state();
+  const ProfileTotals t = profile_totals();
+  const std::vector<ThreadEntry*> threads = all_thread_entries();
+  const std::vector<ProfileStack> stacks = collect_profile();
+
+  std::fprintf(f, "darray_profile v1\n");
+  std::fprintf(f, "mode %s hz %u max_frames %u\n",
+               s.opts.mode == ProfileMode::kWall ? "wall" : "cpu", s.opts.hz,
+               s.opts.max_frames);
+  std::fprintf(f,
+               "totals samples %llu dropped %llu signals %llu unattributed %llu "
+               "rings %llu\n",
+               static_cast<unsigned long long>(t.samples),
+               static_cast<unsigned long long>(t.dropped),
+               static_cast<unsigned long long>(t.signals),
+               static_cast<unsigned long long>(t.unattributed),
+               static_cast<unsigned long long>(t.rings));
+  for (size_t p = 0; p < static_cast<size_t>(ProfPhase::kMaxPhase); ++p)
+    std::fprintf(f, "phase %zu %s\n", p, prof_phase_name(static_cast<ProfPhase>(p)));
+  for (size_t o = 0; o < static_cast<size_t>(OpKind::kMaxOpKind); ++o)
+    std::fprintf(f, "op %zu %s\n", o, op_kind_name(static_cast<OpKind>(o)));
+  // Thread table: stack lines refer to threads by index into this list.
+  std::map<const ThreadEntry*, size_t> thread_idx;
+  for (size_t i = 0; i < threads.size(); ++i) {
+    thread_idx[threads[i]] = i;
+    std::fprintf(f, "thread %zu tid %llu alive %d name %s\n", i,
+                 static_cast<unsigned long long>(threads[i]->tid),
+                 threads[i]->alive.load(std::memory_order_relaxed) ? 1 : 0,
+                 threads[i]->name[0] != '\0' ? threads[i]->name : "[unnamed]");
+  }
+  // Raw /proc/self/maps so offline tooling can map PCs to modules even for
+  // addresses dladdr could not resolve here.
+  if (std::FILE* maps = std::fopen("/proc/self/maps", "r")) {
+    char line[512];
+    while (std::fgets(line, sizeof(line), maps) != nullptr)
+      std::fprintf(f, "map %s", line);
+    std::fclose(maps);
+  }
+  // dladdr symbol table, one entry per distinct PC (computed now, offline
+  // from any signal context — "sym <pc> <name>", name may contain spaces).
+  std::map<uintptr_t, std::string> syms;
+  for (const ProfileStack& ps : stacks)
+    for (const uintptr_t pc : ps.pcs)
+      if (syms.find(pc) == syms.end()) syms.emplace(pc, symbolize_pc(pc));
+  for (const auto& [pc, name] : syms)
+    std::fprintf(f, "sym 0x%llx %s\n", static_cast<unsigned long long>(pc),
+                 name.c_str());
+  // Aggregated stacks, leaf-first PC order (matching capture order).
+  for (const ProfileStack& ps : stacks) {
+    std::fprintf(f, "stack t%zu p%u o%u n%llu", thread_idx[ps.thread],
+                 ps.phase, ps.op, static_cast<unsigned long long>(ps.count));
+    for (const uintptr_t pc : ps.pcs)
+      std::fprintf(f, " 0x%llx", static_cast<unsigned long long>(pc));
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace darray::obs

@@ -1,17 +1,29 @@
 #include "obs/telemetry_server.hpp"
 
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "net/socket_listener.hpp"
 #include "obs/journey.hpp"
+#include "obs/profiler.hpp"
+
+#ifndef DARRAY_VERSION
+#define DARRAY_VERSION "unknown"
+#endif
+#ifndef DARRAY_COMMIT
+#define DARRAY_COMMIT "unknown"
+#endif
 
 namespace darray::obs {
 
@@ -106,6 +118,46 @@ bool split_node(std::string_view name, std::string_view& node, std::string_view&
   return !rest.empty();
 }
 
+// Unix time the process started, for the standard Prometheus
+// process_start_time_seconds gauge (scrapers use it to detect restarts and
+// un-skew counter rates). Real value from /proc (btime + starttime ticks);
+// the first-call wall clock is the fallback when /proc is unreadable.
+uint64_t process_start_time_seconds() {
+  static const uint64_t v = [] {
+    uint64_t btime = 0;
+    if (std::FILE* f = std::fopen("/proc/stat", "r")) {
+      char line[256];
+      while (std::fgets(line, sizeof(line), f) != nullptr) {
+        unsigned long long b = 0;
+        if (std::sscanf(line, "btime %llu", &b) == 1) {
+          btime = b;
+          break;
+        }
+      }
+      std::fclose(f);
+    }
+    unsigned long long start_ticks = 0;
+    if (std::FILE* f = std::fopen("/proc/self/stat", "r")) {
+      char buf[1024];
+      const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+      std::fclose(f);
+      buf[n] = '\0';
+      // Field 2 (comm) may contain spaces; fields 3..22 follow the last ')'.
+      if (const char* p = std::strrchr(buf, ')')) {
+        std::sscanf(p + 1,
+                    " %*s %*s %*s %*s %*s %*s %*s %*s %*s %*s %*s %*s %*s %*s "
+                    "%*s %*s %*s %*s %llu",
+                    &start_ticks);
+      }
+    }
+    const long hz = ::sysconf(_SC_CLK_TCK);
+    if (btime != 0 && start_ticks != 0 && hz > 0)
+      return static_cast<uint64_t>(btime + start_ticks / static_cast<unsigned long long>(hz));
+    return static_cast<uint64_t>(std::time(nullptr));
+  }();
+  return v;
+}
+
 }  // namespace
 
 std::string render_prometheus(const StatsSnapshot& snap, bool exemplars) {
@@ -197,6 +249,16 @@ std::string render_prometheus(const StatsSnapshot& snap, bool exemplars) {
   }
   append_histogram_family(out, "darray_stage_latency_ns", "stage", stage_cells,
                           stage_exemplar);
+  // Process identity trailer: which build is serving these numbers, and when
+  // the process came up (counter-rate de-skew across restarts).
+  out += "# TYPE darray_build_info gauge\n";
+  out += "darray_build_info{version=\"" DARRAY_VERSION "\",commit=\"" DARRAY_COMMIT
+         "\"} 1\n";
+  std::snprintf(buf, sizeof(buf),
+                "# TYPE process_start_time_seconds gauge\n"
+                "process_start_time_seconds %llu\n",
+                static_cast<unsigned long long>(process_start_time_seconds()));
+  out += buf;
   return out;
 }
 
@@ -324,8 +386,41 @@ void TelemetryServer::handle(const std::string& target, int& status,
     body = opts_.store->to_json(prefix, last_n);
     return;
   }
+  if (path == "/profile") {
+    // On-demand profile: collapsed folded stacks, ready for flamegraph.pl /
+    // speedscope. With a continuous session running (cfg.profiler_enabled)
+    // this snapshots what the rings hold now; otherwise it runs a temporary
+    // session for `seconds` (blocking this serving thread — HTTP/1.0, one
+    // request at a time, so nothing else queues behind it invisibly).
+    const std::string sec_s = query_param(target, "seconds");
+    const std::string type = query_param(target, "type");
+    if (!type.empty() && type != "cpu" && type != "wall") {
+      status = 400;
+      body = "unknown profile type '" + type + "'; want cpu or wall\n";
+      return;
+    }
+    uint64_t seconds = sec_s.empty() ? 1 : std::strtoull(sec_s.c_str(), nullptr, 10);
+    seconds = std::clamp<uint64_t>(seconds, 1, 10);
+    if (!profiler_running()) {
+      ProfilerOptions po;
+      po.mode = type == "wall" ? ProfileMode::kWall : ProfileMode::kCpu;
+      if (!profiler_start(po)) {
+        status = 503;
+        body = "profiler unavailable (session already starting elsewhere)\n";
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+      profiler_stop();
+    }
+    status = 200;
+    content_type = "text/plain; charset=utf-8";
+    body = profiler_collapsed();
+    if (body.empty()) body = "# no samples\n";
+    return;
+  }
   status = 404;
-  body = "not found; try /metrics, /stats.json, /series.json, /slow.json, /healthz\n";
+  body = "not found; try /metrics, /stats.json, /series.json, /slow.json, "
+         "/profile, /healthz\n";
 }
 
 }  // namespace darray::obs

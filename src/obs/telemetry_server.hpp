@@ -16,6 +16,11 @@
 //                     per series). 404 when no store is attached.
 //   GET /slow.json    the journey collector's tail-retention ring: full stage
 //                     chains of slow / shed / timed-out / errored requests.
+//   GET /profile      collapsed folded stacks from the sampling profiler
+//                     (obs/profiler). Query params `seconds=N` (1..10, only
+//                     used when no continuous session is running — a
+//                     temporary one is run for that long, blocking this
+//                     serving thread) and `type=cpu|wall`.
 //   GET /healthz      cheap liveness probe (node count, uptime, sampler lag).
 //
 // The socket plumbing lives in net::SocketListener (shared with the serving

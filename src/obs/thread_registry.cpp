@@ -1,0 +1,103 @@
+#include "obs/thread_registry.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+
+#include "common/spinlock.hpp"
+#include "obs/profiler.hpp"
+
+namespace darray::obs {
+
+namespace {
+
+// Entries are owned here and never destroyed while the process lives (the
+// trace-ring registry discipline): a profile dump taken after a worker was
+// joined still reads a valid name, stack bounds, and sample ring.
+struct Registry {
+  SpinLock mu;
+  std::vector<ThreadEntry*> entries;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leak: outlive static dtor order
+  return *r;
+}
+
+constinit thread_local ThreadEntry* t_entry = nullptr;
+
+// Thread-exit hook: flips alive before the thread becomes joinable-complete,
+// so the wall-clock profiler stops signalling it. The pthread_t itself stays
+// valid (ESRCH at worst) until the thread is joined; sessions that join
+// registered threads stop the profiler first (Cluster teardown does).
+struct EntryGuard {
+  ~EntryGuard() {
+    if (t_entry != nullptr) t_entry->alive.store(false, std::memory_order_release);
+  }
+};
+thread_local EntryGuard t_guard;
+
+void copy_name(ThreadEntry& e, const char* name) {
+  std::strncpy(e.name, name != nullptr ? name : "", kThreadNameMax);
+  e.name[kThreadNameMax] = '\0';
+}
+
+}  // namespace
+
+ThreadEntry* register_current_thread(const char* name) {
+  if (t_entry != nullptr) {  // re-registration = rename in place
+    copy_name(*t_entry, name);
+    pthread_setname_np(pthread_self(), t_entry->name);
+    return t_entry;
+  }
+  (void)t_guard;  // odr-use: arm the thread-exit hook
+  auto* e = new ThreadEntry;
+  copy_name(*e, name);
+  e->tid = static_cast<uint64_t>(::syscall(SYS_gettid));
+  e->handle = pthread_self();
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    size_t size = 0;
+    if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+      e->stack_lo = reinterpret_cast<uintptr_t>(addr);
+      e->stack_hi = e->stack_lo + size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+  pthread_setname_np(pthread_self(), e->name);
+  {
+    Registry& reg = registry();
+    std::lock_guard lk(reg.mu);
+    // The ring must exist before the entry is visible to the signal handler:
+    // a handler cannot allocate, so a ring-less entry would drop its samples.
+    e->ring = profiler_make_ring_if_configured();
+    reg.entries.push_back(e);
+  }
+  t_entry = e;  // publish last: the handler reads this thread_local
+  return e;
+}
+
+ThreadEntry* current_thread_entry() { return t_entry; }
+
+const char* current_thread_name() { return t_entry != nullptr ? t_entry->name : ""; }
+
+std::vector<ThreadEntry*> all_thread_entries() {
+  Registry& reg = registry();
+  std::lock_guard lk(reg.mu);
+  return reg.entries;
+}
+
+// Called by profiler_start() once sizes are configured: entries registered
+// before any profiler existed get their rings now, serialized against
+// concurrent registration by the registry lock.
+void ensure_profile_rings() {
+  Registry& reg = registry();
+  std::lock_guard lk(reg.mu);
+  for (ThreadEntry* e : reg.entries)
+    if (e->ring == nullptr) e->ring = profiler_make_ring_if_configured();
+}
+
+}  // namespace darray::obs

@@ -1,0 +1,63 @@
+// Process-wide registry of named service threads. Every long-lived internal
+// thread (runtime loops, comm Tx/Rx, dispatcher workers, accept loops,
+// watchdog, sampler) announces itself once at loop entry via
+// register_current_thread("name"); the registration
+//  - calls pthread_setname_np so TSan reports, gdb `info threads`, and
+//    /proc/<pid>/task/*/comm all show the role instead of a bare tid;
+//  - records the thread's stack bounds (pthread_getattr_np), which the
+//    sampling profiler's signal handler needs to validate the frame-pointer
+//    chain before dereferencing it;
+//  - pre-creates the thread's profiler sample ring, because a signal handler
+//    cannot allocate — by the time SIGPROF fires, storage must already exist.
+//
+// Entries are owned by a leaked registry (same discipline as the trace-ring
+// registry): a dump after the thread exited still reads valid storage. An
+// entry is marked not-alive from the thread_local destructor so the
+// wall-clock profiler never pthread_kill()s a dead thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <pthread.h>
+#include <string>
+#include <vector>
+
+namespace darray::obs {
+
+class ProfileRing;  // profiler.hpp; created per registration, owned there
+
+// Linux truncates pthread names to 15 chars + NUL; the registry keeps the
+// same bound so the name seen in /proc matches the name seen in dumps.
+inline constexpr size_t kThreadNameMax = 15;
+
+struct ThreadEntry {
+  char name[kThreadNameMax + 1] = {};
+  uint64_t tid = 0;          // gettid(): stable, meaningful in kernel traces
+  pthread_t handle = 0;      // wall-clock profiler signal target
+  uintptr_t stack_lo = 0;    // [lo, hi): frame pointers outside are garbage
+  uintptr_t stack_hi = 0;
+  ProfileRing* ring = nullptr;  // leaked with the entry
+  std::atomic<bool> alive{true};
+};
+
+// Idempotent for the calling thread: the first call names it and creates its
+// entry; later calls rename it (pthread name + registry entry) in place.
+// Returns the entry (never null).
+ThreadEntry* register_current_thread(const char* name);
+
+// The calling thread's entry, or nullptr when it never registered. Safe to
+// call from a signal handler: one thread_local pointer read.
+ThreadEntry* current_thread_entry();
+
+// The calling thread's registered name ("" when unregistered).
+const char* current_thread_name();
+
+// Snapshot of all entries ever registered (alive or exited), registration
+// order. Pointers stay valid for the process lifetime.
+std::vector<ThreadEntry*> all_thread_entries();
+
+// Profiler internal (profiler_start): creates sample rings for entries that
+// predate the profiler's configuration, under the registry lock.
+void ensure_profile_rings();
+
+}  // namespace darray::obs

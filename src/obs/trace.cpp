@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <cstring>
+
 #include "common/histogram.hpp"  // now_ns()
 #include "common/spinlock.hpp"
+#include "obs/thread_registry.hpp"
 
 namespace darray::obs {
 
@@ -58,6 +61,11 @@ TraceRing::TraceRing(size_t min_capacity)
     : cap_(round_pow2(min_capacity < 2 ? 2 : min_capacity)),
       words_(new std::atomic<uint64_t>[cap_ * 4]) {
   for (size_t i = 0; i < cap_ * 4; ++i) words_[i].store(0, std::memory_order_relaxed);
+}
+
+void TraceRing::set_name(const char* name) {
+  std::strncpy(name_, name != nullptr ? name : "", sizeof(name_) - 1);
+  name_[sizeof(name_) - 1] = '\0';
 }
 
 void TraceRing::push(const TraceEvent& e) {
@@ -125,6 +133,9 @@ TraceRing& thread_ring() {
   thread_local TraceRing* ring = [] {
     auto owned = std::make_unique<TraceRing>(thread_ring_capacity());
     TraceRing* p = owned.get();
+    // Threads register (obs/thread_registry) at loop entry, before their
+    // first traced event, so the name is normally already set here.
+    p->set_name(current_thread_name());
     RingRegistry& reg = registry();
     std::lock_guard lk(reg.mu);
     p->set_id(static_cast<uint16_t>(reg.rings.size()));
@@ -197,6 +208,7 @@ std::vector<TraceRingInfo> trace_ring_infos() {
     info.pushed = r->pushed();
     info.dropped = r->dropped();
     info.retained = info.pushed - info.dropped;
+    info.name = r->name();
     out.push_back(info);
   }
   return out;
@@ -230,8 +242,9 @@ bool dump_trace_json(const char* path) {
                static_cast<unsigned long long>(totals.recorded),
                static_cast<unsigned long long>(totals.dropped));
   for (size_t i = 0; i < rings.size(); ++i) {
-    std::fprintf(f, "%s{\"id\": %u, \"pushed\": %llu, \"dropped\": %llu}",
-                 i == 0 ? "" : ", ", rings[i].id,
+    std::fprintf(f,
+                 "%s{\"id\": %u, \"name\": \"%s\", \"pushed\": %llu, \"dropped\": %llu}",
+                 i == 0 ? "" : ", ", rings[i].id, rings[i].name.c_str(),
                  static_cast<unsigned long long>(rings[i].pushed),
                  static_cast<unsigned long long>(rings[i].dropped));
   }

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #ifndef DARRAY_TRACING
@@ -107,11 +108,17 @@ class TraceRing {
   void set_id(uint16_t id) { id_ = id; }
   uint16_t id() const { return id_; }
 
+  // Owning thread's registered name (obs/thread_registry), captured when the
+  // ring is created so dumps stay attributable after the thread exits.
+  void set_name(const char* name);
+  const char* name() const { return name_; }
+
  private:
   size_t cap_;  // power of two
   std::unique_ptr<std::atomic<uint64_t>[]> words_;  // 4 words per slot
   std::atomic<uint64_t> head_{0};
   uint16_t id_ = 0;
+  char name_[16] = {};
 };
 
 #if DARRAY_TRACING
@@ -164,6 +171,7 @@ struct TraceRingInfo {
   uint64_t pushed = 0;
   uint64_t retained = 0;
   uint64_t dropped = 0;
+  std::string name;  // recording thread's registered name ("" if unnamed)
 };
 
 // These are defined (as cheap no-ops where sensible) even with tracing

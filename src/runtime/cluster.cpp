@@ -12,6 +12,8 @@
 #include "net/payload_buf.hpp"
 #include "obs/compute_stats.hpp"
 #include "obs/journey.hpp"
+#include "obs/profiler.hpp"
+#include "obs/thread_registry.hpp"
 #include "obs/trace.hpp"
 
 namespace darray::rt {
@@ -96,9 +98,26 @@ Cluster::Cluster(ClusterConfig cfg)
     });
     sampler_thread_ = std::thread([this] { sampler_main(); });
   }
+  // Continuous profiling: armed last, once every long-lived thread above has
+  // registered (threads registering later still get rings on the fly). The
+  // destructor disarms it before joining anything — the wall-mode ticker
+  // signals registered threads and must never outlive them.
+  if (cfg_.profiler_enabled) {
+    obs::ProfilerOptions po;
+    po.mode = obs::ProfileMode::kCpu;
+    po.hz = cfg_.profiler_hz;
+    po.max_frames = cfg_.profiler_max_frames;
+    po.ring_samples = cfg_.profiler_ring_samples;
+    if (!obs::profiler_start(po))
+      DLOG_ERROR("profiler_enabled but profiler_start failed (session busy?)");
+    else
+      profiler_owned_ = true;
+  }
 }
 
 Cluster::~Cluster() {
+  // Disarm the sampling profiler before joining any thread it may signal.
+  if (profiler_owned_) obs::profiler_stop();
   // Stop (join) the serving thread before touching the unique_ptr: both the
   // sampler and the serve thread read telemetry_server_ through the meta
   // stats source, so the pointer itself must stay unmodified until both are
@@ -117,6 +136,7 @@ Cluster::~Cluster() {
 }
 
 void Cluster::sampler_main() {
+  obs::register_current_thread("sampler");
   uint64_t next_sample = now_ns();  // first point immediately: t=0 baseline
   while (!sampler_stop_.load(std::memory_order_acquire)) {
     const uint64_t now = now_ns();
@@ -134,6 +154,7 @@ void Cluster::sampler_main() {
 }
 
 void Cluster::watchdog_main() {
+  obs::register_current_thread("watchdog");
   uint64_t next_scan = now_ns() + cfg_.watchdog_poll_ns;
   while (!watchdog_stop_.load(std::memory_order_acquire)) {
     // Sleep in short slices so stop() joins promptly even with a long poll.
@@ -403,6 +424,17 @@ void Cluster::register_default_stats_sources() {
     s.add("trace.retained", t.retained);
     s.add("trace.dropped", t.dropped);
     s.add("trace.rings", t.rings);
+  });
+  // Sampling-profiler plane (docs/observability.md v5). All zero while no
+  // session has ever run; signals − samples − unattributed ≈ deliveries the
+  // handler declined (profiler momentarily off).
+  stats_registry_.add_source([](obs::StatsSnapshot& s) {
+    const obs::ProfileTotals p = obs::profile_totals();
+    s.add("profile.samples", p.samples);
+    s.add("profile.dropped", p.dropped);
+    s.add("profile.signals", p.signals);
+    s.add("profile.unattributed", p.unattributed);
+    s.add("profile.rings", p.rings);
   });
 }
 

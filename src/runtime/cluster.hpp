@@ -148,6 +148,10 @@ class Cluster {
   std::atomic<bool> sampler_stop_{false};
   std::atomic<uint64_t> last_sample_ns_{0};  // /healthz sampler-lag probe
   std::thread sampler_thread_;
+
+  // True when this cluster armed the continuous profiler (profiler_enabled)
+  // and must disarm it before joining its threads.
+  bool profiler_owned_ = false;
 };
 
 }  // namespace darray::rt

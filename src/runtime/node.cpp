@@ -14,7 +14,7 @@ NodeRuntime::NodeRuntime(Cluster* cluster, NodeId id, rdma::Device* device,
   comm_->set_error_handler(
       [this](const net::CommError& err) { cluster_->handle_comm_error(id_, err); });
   for (uint32_t i = 0; i < cfg.runtime_threads_per_node; ++i)
-    rts_.push_back(std::make_unique<RuntimeThread>(this, i, cfg, device));
+    rts_.push_back(std::make_unique<RuntimeThread>(this, id, i, cfg, device));
 }
 
 NodeRuntime::~NodeRuntime() { stop(); }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdio>
 #include <thread>
 
 #include "common/config.hpp"
@@ -19,9 +20,12 @@ class NodeRuntime;
 
 class RuntimeThread {
  public:
-  RuntimeThread(NodeRuntime* node, uint32_t index, const ClusterConfig& cfg,
-                rdma::Device* device)
-      : region_(device, cfg), engine_(node, index, &region_, &bell_) {}
+  RuntimeThread(NodeRuntime* node, uint32_t node_id, uint32_t index,
+                const ClusterConfig& cfg, rdma::Device* device)
+      : region_(device, cfg),
+        engine_(node, index, &region_, &bell_),
+        node_id_(node_id),
+        index_(index) {}
 
   RuntimeThread(const RuntimeThread&) = delete;
   RuntimeThread& operator=(const RuntimeThread&) = delete;
@@ -48,7 +52,12 @@ class RuntimeThread {
   const CacheRegion& region() const { return region_; }
 
  private:
-  void main_loop() {
+  // noinline keeps this frame out of the start() lambda so profiler samples
+  // name the runtime loop (docs/observability.md v5).
+  DARRAY_PROFILE_ANCHOR void main_loop() {
+    char tname[16];
+    std::snprintf(tname, sizeof tname, "rt.%u.%u", node_id_, index_);
+    obs::register_current_thread(tname);
     duty_.on_start();
     for (;;) {
       const uint32_t snap = bell_.snapshot();
@@ -85,6 +94,8 @@ class RuntimeThread {
   obs::DutyCycle duty_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  uint32_t node_id_ = 0;
+  uint32_t index_ = 0;
 };
 
 }  // namespace darray::rt

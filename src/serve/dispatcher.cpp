@@ -1,6 +1,7 @@
 #include "serve/dispatcher.hpp"
 
 #include <chrono>
+#include <cstdio>
 
 #include "common/assert.hpp"
 #include "common/histogram.hpp"  // now_ns
@@ -64,7 +65,9 @@ bool RequestDispatcher::offer(Job&& job) {
 }
 
 void RequestDispatcher::worker_main(uint32_t idx) {
-  (void)idx;
+  char tname[16];
+  std::snprintf(tname, sizeof tname, "disp.%u.%u", static_cast<unsigned>(node_), idx);
+  obs::register_current_thread(tname);
   // Workers execute KVS ops, which issue DArray traffic — they need a bound
   // thread context like any application thread.
   bind_thread(cluster_, node_);
@@ -72,6 +75,7 @@ void RequestDispatcher::worker_main(uint32_t idx) {
     Job job;
     {
       std::unique_lock lk(mu_);
+      obs::set_prof_phase(obs::ProfPhase::kIdle);  // parked on the ready cv
       cv_.wait(lk, [&] { return stopping_ || !ready_.empty(); });
       if (stopping_) return;
       const uint64_t skey = ready_.front();
@@ -85,7 +89,15 @@ void RequestDispatcher::worker_main(uint32_t idx) {
     if (job.trace) job.t_dequeue = now_ns();
 
     Response resp;
-    execute(job, resp);
+    // Profile-context op tag: samples taken while this request executes fold
+    // under (busy:get) / (busy:set) instead of the bare worker loop.
+    {
+      const obs::OpKind k =
+          job.op == ClientOp::kGet ? obs::OpKind::kGet : obs::OpKind::kSet;
+      obs::ProfOpScope prof_op(static_cast<uint8_t>(k));
+      obs::set_prof_phase(obs::ProfPhase::kBusy);
+      execute(job, resp);
+    }
     if (job.trace) {
       resp.j.t_admit = job.t_admit;
       resp.j.t_dequeue = job.t_dequeue;

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "serve/backend.hpp"
 #include "serve/config.hpp"
 #include "serve/counters.hpp"
@@ -72,7 +73,7 @@ class RequestDispatcher {
     bool running = false;  // a worker is executing this session's head job
   };
 
-  void worker_main(uint32_t idx);
+  DARRAY_PROFILE_ANCHOR void worker_main(uint32_t idx);
   void execute(Job& job, Response& out);
 
   // Hot-key cache (owner side). `heat_` is a fixed array of hashed read

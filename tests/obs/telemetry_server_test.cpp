@@ -9,8 +9,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/journey.hpp"
 #include "obs/telemetry_server.hpp"
@@ -283,6 +287,117 @@ TEST_F(ServerFixture, UnknownPathAndMethodAreRejected) {
   fetch(server.port(), "/nope", status);
   EXPECT_EQ(status, 404);
   EXPECT_GE(server.requests(), 1u);
+}
+
+// Like fetch() but keeps the whole response, headers included.
+std::string raw_fetch(uint16_t port, const std::string& target, int& status) {
+  status = 0;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, static_cast<size_t>(n));
+  ::close(fd);
+  const size_t sp = resp.find(' ');
+  if (sp != std::string::npos) status = std::atoi(resp.c_str() + sp + 1);
+  return resp;
+}
+
+// Regression guard: error responses must carry a Content-Length that matches
+// the actual body, or keep-alive-ish clients mis-frame the next response.
+TEST_F(ServerFixture, NotFoundContentLengthMatchesBody) {
+  int status = 0;
+  const std::string resp = raw_fetch(server.port(), "/definitely-not-here", status);
+  EXPECT_EQ(status, 404);
+  const size_t hdr_end = resp.find("\r\n\r\n");
+  ASSERT_NE(hdr_end, std::string::npos) << resp;
+  const std::string headers = resp.substr(0, hdr_end);
+  const std::string body = resp.substr(hdr_end + 4);
+  const size_t cl = headers.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos) << headers;
+  const size_t declared =
+      std::strtoull(headers.c_str() + cl + std::strlen("Content-Length: "), nullptr, 10);
+  EXPECT_EQ(declared, body.size()) << resp;
+  EXPECT_NE(body.find("/profile"), std::string::npos)
+      << "404 body should advertise the endpoint list: " << body;
+  // The error body is plain text, not an empty stub.
+  EXPECT_NE(headers.find("Content-Type: text/plain"), std::string::npos) << headers;
+}
+
+// Several clients hammering different endpoints at once: every response must
+// be complete and internally consistent (the accept loop serves connections
+// sequentially, but the snapshot closure and journey collector are shared).
+TEST_F(ServerFixture, ConcurrentScrapesAllSucceed) {
+  constexpr int kThreads = 4;
+  constexpr int kReps = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    clients.emplace_back([this, i, &failures] {
+      for (int r = 0; r < kReps; ++r) {
+        int status = 0;
+        const std::string target = (i % 2 == 0) ? "/metrics" : "/series.json";
+        const std::string body = fetch(server.port(), target, status);
+        if (status != 200) {
+          ++failures;
+          continue;
+        }
+        const char* want =
+            (i % 2 == 0) ? "darray_fabric_sends_total 120" : "\"sample_count\": 2";
+        if (body.find(want) == std::string::npos) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.requests(), static_cast<uint64_t>(kThreads * kReps));
+}
+
+TEST_F(ServerFixture, ExpositionCarriesBuildInfoAndStartTime) {
+  int status = 0;
+  const std::string body = fetch(server.port(), "/metrics", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("# TYPE darray_build_info gauge"), std::string::npos) << body;
+  EXPECT_NE(body.find("darray_build_info{version=\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\",commit=\""), std::string::npos) << body;
+  EXPECT_NE(body.find("# TYPE process_start_time_seconds gauge"), std::string::npos)
+      << body;
+  // The value itself is machine-dependent; it just has to be a sane epoch
+  // (after 2020-01-01, i.e. not 0 from a parse failure).
+  const size_t pos = body.find("\nprocess_start_time_seconds ");
+  ASSERT_NE(pos, std::string::npos) << body;
+  const uint64_t start = std::strtoull(
+      body.c_str() + pos + std::strlen("\nprocess_start_time_seconds "), nullptr, 10);
+  EXPECT_GT(start, 1'577'836'800u) << body;
+}
+
+TEST_F(ServerFixture, ProfileEndpointValidatesTypeParam) {
+  int status = 0;
+  const std::string body = fetch(server.port(), "/profile?type=heap", status);
+  EXPECT_EQ(status, 400);
+  EXPECT_NE(body.find("cpu or wall"), std::string::npos) << body;
+}
+
+TEST_F(ServerFixture, ProfileEndpointRunsATemporarySession) {
+  // No continuous session: the endpoint runs its own 1 s cpu capture and
+  // returns folded stacks (or the "# no samples" comment on an idle process —
+  // either way a 200 with a text/plain body).
+  int status = 0;
+  const std::string body = fetch(server.port(), "/profile?seconds=1&type=cpu", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_FALSE(body.empty());
 }
 
 TEST_F(ServerFixture, StopJoinsAndFurtherConnectsFail) {

@@ -12,6 +12,7 @@
 
 #include "chaos/fault_plan.hpp"
 #include "core/darray.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "tests/test_util.hpp"
 
@@ -44,6 +45,28 @@ TEST(ClusterStats, SnapshotCoversEveryLayer) {
   cluster.stats_registry().add_source(
       [](obs::StatsSnapshot& out) { out.add("harness.custom", 5); });
   EXPECT_EQ(cluster.stats().value_or("harness.custom"), 5u);
+}
+
+TEST(ClusterStats, ContinuousProfilerArmsAndExposesCounters) {
+  {
+    rt::ClusterConfig cfg = small_cfg(2);
+    cfg.profiler_enabled = true;
+    cfg.profiler_hz = 499;  // dense sampling so a short test still lands hits
+    rt::Cluster cluster(cfg);
+    EXPECT_TRUE(obs::profiler_running());
+    auto a = DArray<uint64_t>::create(cluster, 256);
+    run_on_nodes(cluster, [&](rt::NodeId n) {
+      for (uint64_t i = 0; i < 2048; ++i) a.set(i % 256, i + n);
+    });
+    const obs::StatsSnapshot s = cluster.stats();
+    // The profile.* plane is present and the registry saw the cluster's
+    // named threads (rt/tx/rx at minimum — 2 nodes' worth of rings).
+    EXPECT_NE(s.find("profile.samples"), nullptr);
+    EXPECT_NE(s.find("profile.signals"), nullptr);
+    EXPECT_NE(s.find("profile.unattributed"), nullptr);
+    EXPECT_GE(s.value_or("profile.rings"), 6u);
+  }  // cluster dtor disarms the session before joining its threads
+  EXPECT_FALSE(obs::profiler_running());
 }
 
 #if DARRAY_TRACING

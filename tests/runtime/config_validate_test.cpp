@@ -76,6 +76,36 @@ TEST(ConfigValidate, EachBadFieldIsNamedInTheMessage) {
   cfg = {};
   cfg.telemetry_serve = true;  // without the sampler
   expect_mentions(cfg, "telemetry_serve");
+  cfg = {};
+  cfg.profiler_enabled = true;
+  cfg.profiler_hz = 0;
+  expect_mentions(cfg, "profiler_hz");
+  cfg = {};
+  cfg.profiler_enabled = true;
+  cfg.profiler_hz = 2000;  // above the 1 kHz handler-overhead ceiling
+  expect_mentions(cfg, "profiler_hz");
+  cfg = {};
+  cfg.profiler_enabled = true;
+  cfg.profiler_max_frames = 1;
+  expect_mentions(cfg, "profiler_max_frames");
+  cfg = {};
+  cfg.profiler_enabled = true;
+  cfg.profiler_max_frames = 65;
+  expect_mentions(cfg, "profiler_max_frames");
+  cfg = {};
+  cfg.profiler_enabled = true;
+  cfg.profiler_ring_samples = 8;  // wraps within one aggregation interval
+  expect_mentions(cfg, "profiler_ring_samples");
+}
+
+TEST(ConfigValidate, ProfilerKnobsOnlyCheckedWhenEnabled) {
+  ClusterConfig cfg;
+  cfg.profiler_hz = 0;  // ignored while the profiler is off
+  cfg.profiler_max_frames = 0;
+  cfg.profiler_ring_samples = 0;
+  EXPECT_EQ(cfg.validate(), "");
+  cfg.profiler_enabled = true;
+  EXPECT_NE(cfg.validate(), "");
 }
 
 TEST(ConfigValidate, TelemetryKnobsOnlyCheckedWhenEnabled) {

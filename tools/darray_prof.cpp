@@ -1,0 +1,56 @@
+// darray-prof: offline reader for sampling-profiler dumps produced by
+// obs::dump_profile (bench/serve_soak --profile, or any harness calling the
+// dump API). Symbolization happened inside the dumping process (the dump
+// embeds a dladdr table plus a /proc/self/maps copy), so this tool works on
+// any machine.
+//
+//   darray-prof PROFILE.prof                 totals, per-thread split, top-20
+//                                            self/total table
+//   darray-prof PROFILE.prof --top N         same with N rows
+//   darray-prof PROFILE.prof --collapsed OUT flamegraph-collapsed folded
+//                                            stacks ("-" = stdout); feed to
+//                                            flamegraph.pl / speedscope
+//   darray-prof PROFILE.prof --perfetto OUT  Chrome trace-event JSON with
+//                                            stackFrames/samples sampling
+//                                            tracks for ui.perfetto.dev
+//
+// Exit status: 0 on success, 1 on a malformed/unreadable dump.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "prof_report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: darray-prof PROFILE.prof "
+                 "[--top N | --collapsed OUT | --perfetto OUT.json]\n");
+    return 1;
+  }
+  profdump::ProfDump d;
+  if (!profdump::load(argv[1], d)) return 1;
+
+  if (argc >= 4 && std::strcmp(argv[2], "--collapsed") == 0) {
+    if (std::strcmp(argv[3], "-") == 0) {
+      profdump::write_collapsed(d, stdout);
+      return 0;
+    }
+    std::FILE* f = std::fopen(argv[3], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "darray-prof: cannot open %s for writing\n", argv[3]);
+      return 1;
+    }
+    profdump::write_collapsed(d, f);
+    std::fclose(f);
+    return 0;
+  }
+  if (argc >= 4 && std::strcmp(argv[2], "--perfetto") == 0)
+    return profdump::write_perfetto(d, argv[3]) ? 0 : 1;
+
+  size_t topn = 20;
+  if (argc >= 4 && std::strcmp(argv[2], "--top") == 0)
+    topn = static_cast<size_t>(std::strtoull(argv[3], nullptr, 10));
+  profdump::print_report(d, topn);
+  return 0;
+}

@@ -417,6 +417,15 @@ void render(const Snapshot& snap, const std::string& host, uint16_t port,
   }
   if (!chaos_seen) std::printf(" (no fault plan)");
   std::printf("\n");
+  // Sampling profiler (obs v5): sample/signal rates while a session runs and
+  // the ring-overwrite rate that says whether the window is still lossless.
+  const double prof_samples = latest_rate(find(snap, "profile.samples"));
+  const double prof_signals = latest_rate(find(snap, "profile.signals"));
+  const double prof_dropped = latest_rate(find(snap, "profile.dropped"));
+  if (prof_samples > 0 || prof_signals > 0)
+    std::printf("  profile/s   samples %s  signals %s  dropped %s  (GET /profile)\n",
+                fmt_si(prof_samples).c_str(), fmt_si(prof_signals).c_str(),
+                fmt_si(prof_dropped).c_str());
   std::fflush(stdout);
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "prof_report.hpp"
 
 namespace {
 
@@ -608,8 +609,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: darray-trace TRACE.json "
                  "[--slowest N | --corr HEXID | --perfetto OUT.json]\n"
-                 "       darray-trace --journeys SLOW.json [--perfetto OUT.json]\n");
+                 "       darray-trace --journeys SLOW.json [--perfetto OUT.json]\n"
+                 "       darray-trace --profile PROFILE.prof "
+                 "[--collapsed OUT | --perfetto OUT.json]\n");
     return 1;
+  }
+  if (std::strcmp(argv[1], "--profile") == 0) {
+    // Sampling-profiler dumps (obs::dump_profile) share the offline reader
+    // with darray-prof; this alias keeps one entry point for all obs dumps.
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: darray-trace --profile PROFILE.prof "
+                   "[--collapsed OUT | --perfetto OUT.json]\n");
+      return 1;
+    }
+    profdump::ProfDump pd;
+    if (!profdump::load(argv[2], pd)) return 1;
+    if (argc >= 5 && std::strcmp(argv[3], "--collapsed") == 0) {
+      if (std::strcmp(argv[4], "-") == 0) {
+        profdump::write_collapsed(pd, stdout);
+        return 0;
+      }
+      std::FILE* out = std::fopen(argv[4], "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "darray-trace: cannot open %s for writing\n", argv[4]);
+        return 1;
+      }
+      profdump::write_collapsed(pd, out);
+      std::fclose(out);
+      return 0;
+    }
+    if (argc >= 5 && std::strcmp(argv[3], "--perfetto") == 0)
+      return profdump::write_perfetto(pd, argv[4]) ? 0 : 1;
+    profdump::print_report(pd, 20);
+    return 0;
   }
   if (std::strcmp(argv[1], "--journeys") == 0) {
     if (argc < 3) {
